@@ -1,0 +1,164 @@
+package ecochip
+
+// Benchmark harness: one testing.B per table/figure of the paper's
+// evaluation. Each benchmark regenerates the figure's full data series
+// through the experiment registry, so
+//
+//	go test -bench=. -benchmem
+//
+// is the Go equivalent of the artifact's run_all.sh. On the first
+// iteration of each benchmark the table is printed once under -v via
+// b.Log, so benchmark runs double as a raw-data dump.
+
+import (
+	"testing"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	db := DefaultDB()
+	tbl, err := Experiments(id, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + tbl.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Experiments(id, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2a regenerates Fig. 2(a): manufacturing CFP vs die area.
+func BenchmarkFig2a(b *testing.B) { benchExperiment(b, "fig2a") }
+
+// BenchmarkFig2b regenerates Fig. 2(b): monolithic vs 4-chiplet GA102.
+func BenchmarkFig2b(b *testing.B) { benchExperiment(b, "fig2b") }
+
+// BenchmarkFig3b regenerates Fig. 3(b): wafer-periphery wastage effect.
+func BenchmarkFig3b(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig6a regenerates Fig. 6(a): defect density vs node.
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// BenchmarkFig6b regenerates Fig. 6(b): total CFP vs defect density.
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// BenchmarkFig7a regenerates Fig. 7(a): C_mfg + C_HI per node tuple.
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// BenchmarkFig7b regenerates Fig. 7(b): single-SP&R design CFP per tuple.
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") }
+
+// BenchmarkFig7c regenerates Fig. 7(c): embodied CFP vs the ACT baseline.
+func BenchmarkFig7c(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// BenchmarkFig7d regenerates Fig. 7(d): total CFP split per tuple.
+func BenchmarkFig7d(b *testing.B) { benchExperiment(b, "fig7d") }
+
+// BenchmarkFig8a regenerates Fig. 8(a): EMR vs its monolith.
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// BenchmarkFig8b regenerates Fig. 8(b): A15 vs its monolith.
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// BenchmarkFig9 regenerates Fig. 9: C_HI of five packaging architectures.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig. 10: C_mfg vs C_HI across chiplet counts.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11a regenerates Fig. 11(a): C_HI vs RDL layer count.
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+
+// BenchmarkFig11b regenerates Fig. 11(b): C_HI vs EMIB bridge range.
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+
+// BenchmarkFig11c regenerates Fig. 11(c): C_HI vs interposer node.
+func BenchmarkFig11c(b *testing.B) { benchExperiment(b, "fig11c") }
+
+// BenchmarkFig11d regenerates Fig. 11(d): C_HI vs TSV pitch.
+func BenchmarkFig11d(b *testing.B) { benchExperiment(b, "fig11d") }
+
+// BenchmarkFig12a regenerates Fig. 12(a): design CFP vs reuse ratio.
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
+
+// BenchmarkFig12b regenerates Fig. 12(b): GA102 C_tot vs ratio x lifetime.
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
+
+// BenchmarkFig12c regenerates Fig. 12(c): A15 C_tot vs ratio x lifetime.
+func BenchmarkFig12c(b *testing.B) { benchExperiment(b, "fig12c") }
+
+// BenchmarkFig12d regenerates Fig. 12(d): EMR C_tot vs ratio x lifetime.
+func BenchmarkFig12d(b *testing.B) { benchExperiment(b, "fig12d") }
+
+// BenchmarkFig13 regenerates Fig. 13: AR/VR carbon-delay/power/area.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Fig. 14: GA102 carbon-power/area products.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15a regenerates Fig. 15(a): dollar cost per node tuple.
+func BenchmarkFig15a(b *testing.B) { benchExperiment(b, "fig15a") }
+
+// BenchmarkFig15b regenerates Fig. 15(b): dollar cost vs chiplet count.
+func BenchmarkFig15b(b *testing.B) { benchExperiment(b, "fig15b") }
+
+// BenchmarkTableI regenerates Table I: the input-parameter database.
+func BenchmarkTableI(b *testing.B) { benchExperiment(b, "tbl1") }
+
+// BenchmarkExtTornado regenerates the extension sensitivity study.
+func BenchmarkExtTornado(b *testing.B) { benchExperiment(b, "ext-tornado") }
+
+// BenchmarkExtPareto regenerates the carbon-cost Pareto front.
+func BenchmarkExtPareto(b *testing.B) { benchExperiment(b, "ext-pareto") }
+
+// BenchmarkExtNoC regenerates the NoC scaling table.
+func BenchmarkExtNoC(b *testing.B) { benchExperiment(b, "ext-noc") }
+
+// BenchmarkExtNRE regenerates the mask-carbon amortization table.
+func BenchmarkExtNRE(b *testing.B) { benchExperiment(b, "ext-nre") }
+
+// BenchmarkExtValidation regenerates the Section VII sanity check.
+func BenchmarkExtValidation(b *testing.B) { benchExperiment(b, "ext-validation") }
+
+// BenchmarkExtUncertainty regenerates the Monte Carlo uncertainty study.
+func BenchmarkExtUncertainty(b *testing.B) { benchExperiment(b, "ext-uncertainty") }
+
+// BenchmarkEvaluateGA102 measures a single full-system evaluation — the
+// unit of work inside every experiment.
+func BenchmarkEvaluateGA102(b *testing.B) {
+	db := DefaultDB()
+	s := GA102(db, 7, 14, 10, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNodeExploration measures the 27-combination design-space sweep
+// the ecochip CLI performs for a 3-chiplet system.
+func BenchmarkNodeExploration(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	nodes := []int{7, 10, 14}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range nodes {
+			for _, m := range nodes {
+				for _, a := range nodes {
+					s, err := base.WithNodes(d, m, a)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.Evaluate(db); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecochip/internal/config"
+)
+
+func TestRunOnExampleDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := config.WriteExampleDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(dir, 1000, 5, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"per-chiplet breakdown", "carbon summary", "best 5 of 27 node combinations",
+		"digital", "memory", "analog", "ctot",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunMissingDir(t *testing.T) {
+	var out strings.Builder
+	if err := run(filepath.Join(t.TempDir(), "nope"), 1000, 5, &out); err == nil {
+		t.Error("missing design dir should fail")
+	}
+}
+
+func TestRunComboCap(t *testing.T) {
+	dir := t.TempDir()
+	if err := config.WriteExampleDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(dir, 10, 5, &out); err == nil {
+		t.Error("combo cap of 10 should reject the 27-combination sweep")
+	}
+}
+
+func TestRunMonolithSkipsSweep(t *testing.T) {
+	dir := t.TempDir()
+	arch := `{"monolithic":true,"chiplets":[{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`
+	if err := os.WriteFile(filepath.Join(dir, "architecture.json"), []byte(arch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "node_list.txt"), []byte("7\n10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(dir, 1000, 5, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "node combinations") {
+		t.Error("monolith should not print a node sweep")
+	}
+}

@@ -1,0 +1,120 @@
+// Command ecodse runs the Section VI design-space-exploration workflows
+// on a JSON design directory:
+//
+//	ecodse --design_dir testcases/GA102 --mode sweep    # node sweep + Pareto front
+//	ecodse --design_dir testcases/GA102 --mode tornado  # sensitivity analysis
+//	ecodse --design_dir testcases/GA102 --mode group    # block-grouping optimizer
+//	ecodse --design_dir testcases/GA102 --mode mc       # Monte Carlo uncertainty
+//
+// The sweep mode needs a node_list.txt in the design directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ecochip/internal/config"
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/explore"
+	"ecochip/internal/report"
+	"ecochip/internal/sensitivity"
+	"ecochip/internal/tech"
+	"ecochip/internal/uncertainty"
+)
+
+func main() {
+	designDir := flag.String("design_dir", "", "directory with architecture.json etc. (required)")
+	mode := flag.String("mode", "sweep", "sweep | tornado | group | mc")
+	rel := flag.Float64("rel", 0.25, "tornado: relative perturbation")
+	samples := flag.Int("samples", 500, "mc: Monte Carlo sample count")
+	seed := flag.Int64("seed", 2024, "mc: random seed")
+	flag.Parse()
+	if *designDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: ecodse --design_dir <dir> --mode sweep|tornado|group|mc")
+		os.Exit(2)
+	}
+	if err := run(*designDir, *mode, *rel, *samples, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ecodse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(designDir, mode string, rel float64, samples int, seed int64, w io.Writer) error {
+	db := tech.Default()
+	system, nodes, err := config.LoadSystem(designDir, db)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "sweep":
+		return runSweep(w, system, db, nodes)
+	case "tornado":
+		return runTornado(w, system, db, rel)
+	case "group":
+		return runGroup(w, system, db)
+	case "mc":
+		return runMC(w, system, db, samples, seed)
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}
+
+func runSweep(w io.Writer, system *core.System, db *tech.DB, nodes []int) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("sweep mode needs node_list.txt in the design directory")
+	}
+	points, err := explore.NodeSweep(system, db, nodes, cost.DefaultParams())
+	if err != nil {
+		return err
+	}
+	front := explore.ParetoFront(points, explore.ByEmbodied, explore.ByCost)
+	t := report.New(fmt.Sprintf("carbon-cost Pareto front (%d of %d candidates)", len(front), len(points)), "",
+		"nodes", "cemb_kg", "ctot_kg", "cost_usd", "area_mm2")
+	for _, p := range front {
+		t.AddRow(p.Label, report.F(p.EmbodiedKg), report.F(p.TotalKg), report.F(p.CostUSD), report.F(p.PackageAreaMM2))
+	}
+	return t.Fprint(w)
+}
+
+func runTornado(w io.Writer, system *core.System, db *tech.DB, rel float64) error {
+	results, err := sensitivity.Tornado(system, db, rel)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("sensitivity tornado (+/-%.0f%%)", rel*100), "",
+		"factor", "low_kg", "base_kg", "high_kg", "swing_kg")
+	for _, r := range results {
+		t.AddRow(r.Factor, report.F(r.LowKg), report.F(r.BaseKg), report.F(r.HighKg), report.F(r.Swing()))
+	}
+	return t.Fprint(w)
+}
+
+func runGroup(w io.Writer, system *core.System, db *tech.DB) error {
+	plan, err := explore.Disaggregate(system, db)
+	if err != nil {
+		return err
+	}
+	t := report.New("block grouping plan", "", "group", "blocks")
+	for i, g := range plan.Groups {
+		t.AddRow(fmt.Sprintf("chiplet%d", i), fmt.Sprint(g))
+	}
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "embodied carbon: %.2f kg (from %.2f kg, %d merges)\n",
+		plan.EmbodiedKg, plan.InitialKg, plan.Steps)
+	return err
+}
+
+func runMC(w io.Writer, system *core.System, db *tech.DB, samples int, seed int64) error {
+	d, err := uncertainty.Run(system, db, uncertainty.DefaultSpread(), samples, seed)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("embodied-carbon uncertainty (%d samples, seed %d)", samples, seed), "",
+		"p5_kg", "p50_kg", "mean_kg", "p95_kg", "relative_spread")
+	t.AddRow(report.F(d.P5Kg), report.F(d.P50Kg), report.F(d.MeanKg), report.F(d.P95Kg), report.F(d.RelativeSpread()))
+	return t.Fprint(w)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecochip/internal/config"
+)
+
+func exampleDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := config.WriteExampleDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunSweepMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(exampleDir(t), "sweep", 0.25, 100, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Pareto front") {
+		t.Errorf("sweep output missing front:\n%s", out.String())
+	}
+}
+
+func TestRunTornadoMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(exampleDir(t), "tornado", 0.25, 100, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "swing_kg") {
+		t.Errorf("tornado output missing swing column:\n%s", out.String())
+	}
+}
+
+func TestRunGroupMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(exampleDir(t), "group", 0.25, 100, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "embodied carbon:") {
+		t.Errorf("group output missing summary:\n%s", out.String())
+	}
+}
+
+func TestRunMCMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(exampleDir(t), "mc", 0.25, 50, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "relative_spread") {
+		t.Errorf("mc output missing distribution:\n%s", out.String())
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	var out strings.Builder
+	if err := run(exampleDir(t), "magic", 0.25, 100, 1, &out); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestRunMissingDir(t *testing.T) {
+	var out strings.Builder
+	if err := run(t.TempDir(), "sweep", 0.25, 100, 1, &out); err == nil {
+		t.Error("empty design dir should fail")
+	}
+}
+
+func TestSweepNeedsNodeList(t *testing.T) {
+	dir := exampleDir(t)
+	// Remove the node list.
+	if err := removeNodeList(dir); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(dir, "sweep", 0.25, 100, 1, &out); err == nil {
+		t.Error("sweep without node_list.txt should fail")
+	}
+}
+
+// removeNodeList deletes node_list.txt from a design dir.
+func removeNodeList(dir string) error {
+	return os.Remove(filepath.Join(dir, "node_list.txt"))
+}

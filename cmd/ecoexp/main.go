@@ -1,0 +1,90 @@
+// Command ecoexp regenerates the data behind every figure of the
+// ECO-CHIP paper's evaluation (the Go equivalent of the artifact's
+// run_all.sh):
+//
+//	ecoexp                  # print every experiment table
+//	ecoexp -exp fig7a       # one experiment
+//	ecoexp -csv results/    # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ecochip/internal/experiments"
+	"ecochip/internal/report"
+	"ecochip/internal/tech"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment id (default: all)")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if err := run(*exp, *csvDir, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes one or all experiments, printing tables to w and
+// optionally writing CSVs into csvDir.
+func run(exp, csvDir string, w io.Writer) error {
+	db := tech.Default()
+	var tables []*report.Table
+	if exp != "" {
+		t, err := experiments.Run(exp, db)
+		if err != nil {
+			return err
+		}
+		tables = []*report.Table{t}
+	} else {
+		var err error
+		tables, err = experiments.RunAll(db)
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, t := range tables {
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, t := range tables {
+			f, err := os.Create(filepath.Join(csvDir, t.Title+".csv"))
+			if err != nil {
+				return err
+			}
+			err = t.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(tables), csvDir)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecoexp:", err)
+	os.Exit(1)
+}

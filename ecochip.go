@@ -1,0 +1,175 @@
+// Package ecochip is the public facade of the ECO-CHIP carbon estimator
+// for chiplet-based (heterogeneously integrated) VLSI systems, a Go
+// implementation of "ECO-CHIP: Estimation of Carbon Footprint of
+// Chiplet-based Architectures for Sustainable VLSI" (HPCA 2024).
+//
+// A System describes a monolithic SoC or a multi-chiplet package;
+// Evaluate returns the total carbon footprint decomposed per Eq. (1)-(2)
+// of the paper:
+//
+//	C_tot = C_emb + lifetime * C_op
+//	C_emb = C_mfg + C_des + C_HI
+//
+// Quick start:
+//
+//	db := ecochip.DefaultDB()
+//	sys := ecochip.GA102(db, 7, 14, 10, false) // digital 7nm, memory 14nm, analog 10nm
+//	rep, err := sys.Evaluate(db)
+//	fmt.Println(rep.EmbodiedKg(), rep.TotalKg())
+//
+// The subpackages under internal/ hold the individual models (technology
+// database, yield, wafer geometry, floorplanning, packaging, NoC, design
+// and operational carbon, ACT baseline, dollar cost); this package
+// re-exports the surface a downstream user needs.
+package ecochip
+
+import (
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/experiments"
+	"ecochip/internal/explore"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/report"
+	"ecochip/internal/roadmap"
+	"ecochip/internal/sensitivity"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+	"ecochip/internal/uncertainty"
+)
+
+// Core model types.
+type (
+	// System is a monolithic or chiplet-based design point.
+	System = core.System
+	// Chiplet is one block of a System.
+	Chiplet = core.Chiplet
+	// Report is the carbon breakdown produced by System.Evaluate.
+	Report = core.Report
+	// ChipletReport is the per-die slice of a Report.
+	ChipletReport = core.ChipletReport
+	// TechDB is the technology-node parameter database.
+	TechDB = tech.DB
+	// Node is one technology node's parameters.
+	Node = tech.Node
+	// DesignType classifies a block as logic, memory or analog.
+	DesignType = tech.DesignType
+	// PackagingParams configures the HI packaging model.
+	PackagingParams = pkgcarbon.Params
+	// Architecture selects the packaging technology.
+	Architecture = pkgcarbon.Architecture
+	// CostBreakdown is the dollar-cost result.
+	CostBreakdown = cost.Breakdown
+	// Table is the tabular result of an experiment run.
+	Table = report.Table
+)
+
+// Design-type constants.
+const (
+	Logic  = tech.Logic
+	Memory = tech.Memory
+	Analog = tech.Analog
+)
+
+// Packaging architectures.
+const (
+	RDLFanout         = pkgcarbon.RDLFanout
+	SiliconBridge     = pkgcarbon.SiliconBridge
+	PassiveInterposer = pkgcarbon.PassiveInterposer
+	ActiveInterposer  = pkgcarbon.ActiveInterposer
+	ThreeD            = pkgcarbon.ThreeD
+)
+
+// DefaultDB returns the built-in technology database calibrated to the
+// Table I parameter ranges of the paper.
+func DefaultDB() *TechDB { return tech.Default() }
+
+// DefaultPackaging returns the paper's packaging defaults for an
+// architecture (65 nm packaging node, coal-powered fab, EMIB-spec
+// bridges, 512-bit NoC).
+func DefaultPackaging(arch Architecture) PackagingParams { return pkgcarbon.DefaultParams(arch) }
+
+// DefaultCostParams returns the dollar-cost model defaults.
+func DefaultCostParams() cost.Params { return cost.DefaultParams() }
+
+// BlockFromArea builds a Chiplet from a die-area measurement at a
+// reference node (the form teardown data arrives in).
+func BlockFromArea(name string, t DesignType, areaMM2 float64, ref *Node, targetNm int) Chiplet {
+	return core.BlockFromArea(name, t, areaMM2, ref, targetNm)
+}
+
+// Built-in industry testcases (Section IV of the paper).
+var (
+	// GA102 builds the NVIDIA GA102 GPU as a 3-chiplet system (or the
+	// monolithic baseline).
+	GA102 = testcases.GA102
+	// A15 builds the Apple A15 mobile SoC.
+	A15 = testcases.A15
+	// EMR builds the Intel Emerald Rapids 2-chiplet EMIB CPU.
+	EMR = testcases.EMR
+	// ARVR builds the 3D-stacked AR/VR accelerator of Fig. 13.
+	ARVR = testcases.ARVR
+)
+
+// Experiments reproduces a figure of the paper's evaluation by id
+// ("fig2a" ... "fig15b", "tbl1", plus "ext-*" extensions);
+// ExperimentIDs lists the known ids.
+func Experiments(id string, db *TechDB) (*Table, error) { return experiments.Run(id, db) }
+
+// ExperimentIDs lists every reproducible figure id.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Design-space exploration and analysis (Section VI workflows).
+type (
+	// DesignPoint is one evaluated candidate in a design-space sweep.
+	DesignPoint = explore.Point
+	// DisaggregationPlan is the result of the greedy block-grouping
+	// optimizer.
+	DisaggregationPlan = explore.Plan
+	// SensitivityResult is one factor of a tornado analysis.
+	SensitivityResult = sensitivity.Result
+	// Generation is one product generation in a reuse roadmap.
+	Generation = roadmap.Generation
+	// RoadmapReport is a multi-generation reuse evaluation.
+	RoadmapReport = roadmap.Report
+)
+
+// NodeSweep evaluates every node combination of a system (carbon + cost).
+func NodeSweep(base *System, db *TechDB, nodes []int, cp cost.Params) ([]DesignPoint, error) {
+	return explore.NodeSweep(base, db, nodes, cp)
+}
+
+// ParetoFront filters design points to the non-dominated set.
+func ParetoFront(points []DesignPoint, objectives ...explore.Metric) []DesignPoint {
+	return explore.ParetoFront(points, objectives...)
+}
+
+// Disaggregate runs the greedy block-to-chiplet grouping optimizer.
+func Disaggregate(base *System, db *TechDB) (*DisaggregationPlan, error) {
+	return explore.Disaggregate(base, db)
+}
+
+// Tornado runs a one-at-a-time sensitivity analysis at +/- rel.
+func Tornado(base *System, db *TechDB, rel float64) ([]SensitivityResult, error) {
+	return sensitivity.Tornado(base, db, rel)
+}
+
+// EvaluateRoadmap scores a multi-generation product roadmap with
+// cross-generation chiplet reuse.
+func EvaluateRoadmap(db *TechDB, generations []Generation) (*RoadmapReport, error) {
+	return roadmap.Evaluate(db, generations)
+}
+
+// EPYC builds the 8-CCD-class server testcase (AMD-style chiplet CPU).
+var EPYC = testcases.EPYC
+
+// EPYCMonolith builds its hypothetical monolithic counterpart.
+var EPYCMonolith = testcases.EPYCMonolith
+
+// CarbonDistribution summarizes a Monte Carlo uncertainty run.
+type CarbonDistribution = uncertainty.Distribution
+
+// Uncertainty propagates Table I input uncertainty through the model:
+// n seeded Monte Carlo samples of the system's embodied carbon.
+func Uncertainty(base *System, db *TechDB, n int, seed int64) (CarbonDistribution, error) {
+	return uncertainty.Run(base, db, uncertainty.DefaultSpread(), n, seed)
+}

@@ -1,0 +1,79 @@
+package ecochip
+
+import (
+	"testing"
+)
+
+// The facade must expose a working end-to-end path: build a testcase,
+// evaluate it, run an experiment.
+func TestFacadeEndToEnd(t *testing.T) {
+	db := DefaultDB()
+	sys := GA102(db, 7, 14, 10, false)
+	rep, err := sys.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EmbodiedKg() <= 0 || rep.TotalKg() <= rep.EmbodiedKg() {
+		t.Errorf("implausible GA102 report: emb=%g tot=%g", rep.EmbodiedKg(), rep.TotalKg())
+	}
+	tbl, err := Experiments("fig7a", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Error("fig7a produced no rows")
+	}
+	if len(ExperimentIDs()) < 26 {
+		t.Errorf("expected at least 26 experiments, got %d", len(ExperimentIDs()))
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if Logic == Memory || Memory == Analog {
+		t.Error("design-type constants must be distinct")
+	}
+	archs := []Architecture{RDLFanout, SiliconBridge, PassiveInterposer, ActiveInterposer, ThreeD}
+	seen := map[Architecture]bool{}
+	for _, a := range archs {
+		if seen[a] {
+			t.Errorf("duplicate architecture constant %v", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestFacadeBlockFromArea(t *testing.T) {
+	db := DefaultDB()
+	ref := db.MustGet(7)
+	c := BlockFromArea("x", Logic, 100, ref, 14)
+	if c.NodeNm != 14 || c.Transistors <= 0 {
+		t.Errorf("unexpected chiplet %+v", c)
+	}
+}
+
+func TestFacadeTestcases(t *testing.T) {
+	db := DefaultDB()
+	for _, build := range []func() (*Report, error){
+		func() (*Report, error) { return A15(db, 7, 14, 10, false).Evaluate(db) },
+		func() (*Report, error) { return EMR(db, 10, false).Evaluate(db) },
+	} {
+		rep, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalKg() <= 0 {
+			t.Error("testcase should evaluate to positive carbon")
+		}
+	}
+}
+
+func TestDefaultPackagingAndCost(t *testing.T) {
+	p := DefaultPackaging(RDLFanout)
+	if err := p.Validate(); err != nil {
+		t.Errorf("default packaging invalid: %v", err)
+	}
+	cp := DefaultCostParams()
+	if err := cp.Validate(); err != nil {
+		t.Errorf("default cost params invalid: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Carbon audit: a full what-if report for one system — sensitivity
+// tornado, fab energy-source scenarios, NRE mask-carbon split and the
+// carbon-cost Pareto front. This is the workflow a sustainability team
+// would run before committing to a disaggregation plan.
+//
+//	go run ./examples/carbon_audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecochip"
+	"ecochip/internal/cost"
+	"ecochip/internal/energy"
+	"ecochip/internal/explore"
+	"ecochip/internal/sensitivity"
+)
+
+func main() {
+	db := ecochip.DefaultDB()
+	base := ecochip.GA102(db, 7, 14, 10, false)
+
+	fmt.Println("== sensitivity tornado (±25% per factor) ==")
+	results, err := sensitivity.Tornado(base, db, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-28s swing %7.1f kg   (%.1f / %.1f / %.1f)\n",
+			r.Factor, r.Swing(), r.LowKg, r.BaseKg, r.HighKg)
+	}
+
+	fmt.Println("\n== fab energy-source scenarios ==")
+	for _, src := range []string{"coal", "gas", "grid-taiwan", "solar", "wind"} {
+		ci, err := energy.Intensity(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := ecochip.GA102(db, 7, 14, 10, false)
+		s.Mfg.CarbonIntensity = ci
+		s.Packaging.CarbonIntensity = ci
+		rep, err := s.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s (%.3f kg/kWh): C_emb = %6.1f kg\n", src, ci, rep.EmbodiedKg())
+	}
+
+	fmt.Println("\n== NRE mask-carbon split (future-work extension) ==")
+	withNRE := ecochip.GA102(db, 7, 14, 10, false)
+	withNRE.IncludeNRE = true
+	rep, err := withNRE.Evaluate(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C_emb without NRE split: %.1f kg; with: %.1f kg (mask share %.2f kg/part)\n",
+		rep.EmbodiedKg()-rep.NREKg, rep.EmbodiedKg(), rep.NREKg)
+
+	fmt.Println("\n== carbon-cost Pareto front over node assignments ==")
+	points, err := explore.NodeSweep(base, db, []int{7, 10, 14}, cost.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := explore.ParetoFront(points, explore.ByEmbodied, explore.ByCost)
+	fmt.Printf("%d of %d candidates survive domination:\n", len(front), len(points))
+	for _, p := range front {
+		fmt.Printf("  %-12s C_emb %6.1f kg   $%7.0f   %6.0f mm^2\n",
+			p.Label, p.EmbodiedKg, p.CostUSD, p.PackageAreaMM2)
+	}
+}

@@ -1,0 +1,67 @@
+// Disaggregation explorer: the Section VI workflow. Given the GA102 SoC,
+// sweep (a) technology-node assignments per chiplet and (b) the number of
+// digital chiplets, and report carbon alongside dollar cost so an
+// architect can pick a design point on both axes.
+//
+//	go run ./examples/disaggregation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecochip"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/testcases"
+)
+
+func main() {
+	db := ecochip.DefaultDB()
+	costParams := ecochip.DefaultCostParams()
+
+	fmt.Println("== node mix-and-match for the 3-chiplet GA102 (digital, memory, analog) ==")
+	fmt.Printf("%-14s %12s %12s %12s\n", "nodes", "C_emb (kg)", "C_tot (kg)", "cost ($)")
+	nodes := []int{7, 10, 14}
+	for _, d := range nodes {
+		for _, m := range nodes {
+			for _, a := range nodes {
+				s := ecochip.GA102(db, d, m, a, false)
+				rep, err := s.Evaluate(db)
+				if err != nil {
+					log.Fatal(err)
+				}
+				c, err := s.CostUSD(db, costParams)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("(%2d,%2d,%2d)     %12.1f %12.1f %12.0f\n",
+					d, m, a, rep.EmbodiedKg(), rep.TotalKg(), c.TotalUSD())
+			}
+		}
+	}
+
+	mono, err := ecochip.GA102(db, 7, 7, 7, true).Evaluate(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monolith(7nm)  %12.1f %12.1f\n\n", mono.EmbodiedKg(), mono.TotalKg())
+
+	fmt.Println("== digital-block split count (RDL fanout) ==")
+	fmt.Printf("%-4s %12s %12s %12s %12s\n", "Nc", "C_mfg (kg)", "C_HI (kg)", "sum (kg)", "cost ($)")
+	for _, nc := range []int{1, 2, 3, 4, 6, 8} {
+		s, err := testcases.GA102Split(db, nc, pkgcarbon.RDLFanout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := s.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := s.CostUSD(db, costParams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %12.1f %12.2f %12.1f %12.0f\n",
+			nc, rep.MfgKg, rep.HIKg, rep.MfgKg+rep.HIKg, c.TotalUSD())
+	}
+}

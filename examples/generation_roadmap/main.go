@@ -1,0 +1,67 @@
+// Generation roadmap: quantify the fleet-level carbon saving of reusing
+// chiplets across product generations — the paper's introduction thesis
+// ("the reuse of chiplets across several designs, not only in the
+// current generation of ICs but even in the next generation, can
+// massively amortize the embodied CFP").
+//
+//	go run ./examples/generation_roadmap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecochip"
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// product builds a phone SoC generation: the CPU complex is redesigned
+// every generation, while the modem and IO chiplets carry over.
+func product(gen int, cpuTransistors float64, includeNRE bool) *ecochip.System {
+	db := ecochip.DefaultDB()
+	ref := db.MustGet(7)
+	return &ecochip.System{
+		Name: fmt.Sprintf("phone-gen%d", gen),
+		Chiplets: []core.Chiplet{
+			{Name: fmt.Sprintf("cpu-v%d", gen), Type: tech.Logic,
+				Transistors: cpuTransistors, NodeNm: 7},
+			ecochip.BlockFromArea("modem", ecochip.Logic, 40, ref, 10),
+			ecochip.BlockFromArea("sram", ecochip.Memory, 30, ref, 14),
+			ecochip.BlockFromArea("io", ecochip.Analog, 20, ref, 14),
+		},
+		Packaging:  pkgcarbon.DefaultParams(pkgcarbon.RDLFanout),
+		Mfg:        mfg.DefaultParams(),
+		Design:     descarbon.DefaultParams(),
+		IncludeNRE: includeNRE,
+	}
+}
+
+func main() {
+	db := ecochip.DefaultDB()
+	for _, nre := range []bool{false, true} {
+		generations := []ecochip.Generation{
+			{Name: "gen1 (2026)", System: product(1, 8e9, nre), Volume: 500_000},
+			{Name: "gen2 (2027)", System: product(2, 11e9, nre), Volume: 700_000},
+			{Name: "gen3 (2028)", System: product(3, 15e9, nre), Volume: 900_000},
+		}
+		rep, err := ecochip.EvaluateRoadmap(db, generations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "design carbon only"
+		if nre {
+			label = "design + mask NRE"
+		}
+		fmt.Printf("== 3-generation roadmap (%s) ==\n", label)
+		for _, g := range rep.Generations {
+			fmt.Printf("%-14s per-part %6.2f kg (naive redesign %6.2f kg), carried over: %v\n",
+				g.Name, g.PerPartKg, g.NaivePerPartKg, g.CarriedOver)
+		}
+		fmt.Printf("fleet total: %.0f t CO2e; reuse saves %.1f%% vs redesigning everything\n\n",
+			rep.TotalFleetKg()/1000, 100*rep.SavingFraction())
+	}
+}

@@ -1,0 +1,92 @@
+// Packaging explorer: compare the carbon overheads of the five advanced
+// packaging architectures for a user-defined chiplet set, and sweep the
+// key per-architecture parameter (RDL layers, bridge range, interposer
+// node, bond pitch) the way Fig. 11 of the paper does.
+//
+//	go run ./examples/packaging_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecochip"
+	"ecochip/internal/pkgcarbon"
+)
+
+func main() {
+	db := ecochip.DefaultDB()
+	n7 := db.MustGet(7)
+
+	// A 4-chiplet compute package: two compute dies, a cache die and an
+	// IO die.
+	chiplets := []pkgcarbon.Chiplet{
+		{Name: "compute0", AreaMM2: 150, Node: n7},
+		{Name: "compute1", AreaMM2: 150, Node: n7},
+		{Name: "cache", AreaMM2: 60, Node: db.MustGet(10)},
+		{Name: "io", AreaMM2: 40, Node: db.MustGet(14)},
+	}
+
+	fmt.Println("== C_HI by packaging architecture ==")
+	fmt.Printf("%-20s %12s %12s %12s %10s\n", "architecture", "package(kg)", "routing(kg)", "total(kg)", "asm yield")
+	for _, arch := range pkgcarbon.Architectures {
+		res, err := pkgcarbon.Estimate(chiplets, pkgcarbon.DefaultParams(arch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12.3f %12.3f %12.3f %10.3f\n",
+			arch, res.PackageKg, res.RoutingKg, res.TotalKg(), res.AssemblyYield)
+	}
+
+	fmt.Println("\n== RDL layer sweep ==")
+	for l := 3; l <= 9; l++ {
+		p := pkgcarbon.DefaultParams(pkgcarbon.RDLFanout)
+		p.RDLLayers = l
+		res, err := pkgcarbon.Estimate(chiplets, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("L_RDL=%d  C_HI=%.3f kg\n", l, res.TotalKg())
+	}
+
+	fmt.Println("\n== interposer node sweep (active interposer) ==")
+	for _, nm := range []int{22, 28, 40, 65} {
+		p := pkgcarbon.DefaultParams(pkgcarbon.ActiveInterposer)
+		p.PackagingNode = db.MustGet(nm)
+		res, err := pkgcarbon.Estimate(chiplets, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("interposer %2dnm  C_HI=%.3f kg\n", nm, res.TotalKg())
+	}
+
+	fmt.Println("\n== bond pitch sweep (3D microbumps) ==")
+	stack := []pkgcarbon.Chiplet{
+		{Name: "logic", AreaMM2: 100, Node: n7},
+		{Name: "sram0", AreaMM2: 100, Node: n7},
+		{Name: "sram1", AreaMM2: 100, Node: n7},
+	}
+	for _, pitch := range []float64{10, 20, 30, 45} {
+		p := pkgcarbon.DefaultParams(pkgcarbon.ThreeD)
+		p.BondPitchUM = pitch
+		res, err := pkgcarbon.Estimate(stack, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pitch %2.0fum  bonds=%.0f  C_HI=%.3f kg\n", pitch, res.NumBonds, res.TotalKg())
+	}
+
+	// Show the floorplan the estimator derived for the RDL package.
+	res, err := pkgcarbon.Estimate(chiplets, pkgcarbon.DefaultParams(pkgcarbon.RDLFanout))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== derived floorplan (%.1f x %.1f mm, %.1f%% whitespace) ==\n",
+		res.Floorplan.WidthMM, res.Floorplan.HeightMM, 100*res.Floorplan.WhitespaceFraction())
+	for _, p := range res.Floorplan.Placements {
+		fmt.Printf("%-9s at (%6.2f, %6.2f)  %6.2f x %6.2f mm\n", p.Name, p.X, p.Y, p.Width, p.Height)
+	}
+	for _, a := range res.Floorplan.Adjacencies {
+		fmt.Printf("interface %s <-> %s: %.1f mm shared edge\n", a.A, a.B, a.OverlapMM)
+	}
+}

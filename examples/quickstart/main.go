@@ -1,0 +1,77 @@
+// Quickstart: estimate the carbon footprint of a custom 3-chiplet system
+// and compare it against its monolithic equivalent.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecochip"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+)
+
+func main() {
+	db := ecochip.DefaultDB()
+	ref := db.MustGet(7) // areas below were measured at 7nm
+
+	// A hypothetical edge SoC: 120 mm^2 of logic, 40 mm^2 of SRAM,
+	// 25 mm^2 of analog/IO, disaggregated with technology mix-and-match
+	// (logic stays at 7nm; memory and analog move to mature nodes).
+	chiplets := []ecochip.Chiplet{
+		ecochip.BlockFromArea("npu", ecochip.Logic, 120, ref, 7),
+		ecochip.BlockFromArea("sram", ecochip.Memory, 40, ref, 14),
+		ecochip.BlockFromArea("io", ecochip.Analog, 25, ref, 10),
+	}
+
+	operation := &opcarbon.Spec{
+		DutyCycle:       0.15,
+		LifetimeYears:   3,
+		CarbonIntensity: 0.300,
+		Battery:         &opcarbon.Battery{CapacityWh: 18, ChargesPerYear: 300, ChargerEfficiency: 0.85},
+	}
+
+	hi := &ecochip.System{
+		Name:      "edge-soc-3chiplet",
+		Chiplets:  chiplets,
+		Packaging: ecochip.DefaultPackaging(ecochip.RDLFanout),
+		Mfg:       mfg.DefaultParams(),
+		Design:    descarbon.DefaultParams(),
+		Operation: operation,
+	}
+
+	// The monolithic baseline: same blocks, single 7nm die.
+	mono := &ecochip.System{
+		Name: "edge-soc-monolith",
+		Chiplets: []ecochip.Chiplet{
+			ecochip.BlockFromArea("npu", ecochip.Logic, 120, ref, 7),
+			ecochip.BlockFromArea("sram", ecochip.Memory, 40, ref, 7),
+			ecochip.BlockFromArea("io", ecochip.Analog, 25, ref, 7),
+		},
+		Monolithic: true,
+		Mfg:        mfg.DefaultParams(),
+		Design:     descarbon.DefaultParams(),
+		Operation:  operation,
+	}
+
+	for _, s := range []*ecochip.System{mono, hi} {
+		rep, err := s.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s C_mfg=%7.2f  C_des=%6.2f  C_HI=%6.2f  C_emb=%7.2f  C_op=%6.2f  C_tot=%7.2f kg CO2e\n",
+			s.Name, rep.MfgKg, rep.DesignKg, rep.HIKg, rep.EmbodiedKg(), rep.OperationalKg, rep.TotalKg())
+		for _, c := range rep.Chiplets {
+			fmt.Printf("    %-8s %6.1f mm^2 @%2dnm  yield %.3f  %6.2f kg\n",
+				c.Name, c.AreaMM2, c.NodeNm, c.Yield, c.MfgKg)
+		}
+	}
+
+	hiRep, _ := hi.Evaluate(db)
+	monoRep, _ := mono.Evaluate(db)
+	fmt.Printf("\nembodied-carbon saving from disaggregation: %.1f%%\n",
+		100*(1-hiRep.EmbodiedKg()/monoRep.EmbodiedKg()))
+}

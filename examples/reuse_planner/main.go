@@ -1,0 +1,81 @@
+// Reuse planner: the Section V-C workflow. Given a system and a target
+// embodied-carbon budget per part, find how many systems each chiplet
+// design must be reused across (the N_Mi/N_S ratio of Fig. 12) for the
+// amortized design carbon to fit the budget, and show the C_tot trend
+// across lifetimes.
+//
+//	go run ./examples/reuse_planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ecochip"
+	"ecochip/internal/core"
+)
+
+func main() {
+	db := ecochip.DefaultDB()
+
+	fmt.Println("== A15: design carbon vs chiplet reuse ratio (N_S = 100k) ==")
+	fmt.Printf("%-7s %14s %14s\n", "ratio", "C_des (kg)", "C_emb (kg)")
+	var base float64
+	for _, ratio := range []int{1, 2, 5, 10, 20, 50, 100} {
+		s := ecochip.A15(db, 7, 14, 10, false)
+		applyRatio(s, ratio)
+		rep, err := s.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ratio == 1 {
+			base = rep.DesignKg
+		}
+		fmt.Printf("%-7d %14.3f %14.2f\n", ratio, rep.DesignKg, rep.EmbodiedKg())
+	}
+
+	// Find the minimum reuse ratio that cuts design carbon below 20% of
+	// its unamortized-per-system value.
+	target := 0.2 * base
+	for ratio := 1; ratio <= 1024; ratio *= 2 {
+		s := ecochip.A15(db, 7, 14, 10, false)
+		applyRatio(s, ratio)
+		rep, err := s.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.DesignKg <= target {
+			fmt.Printf("\nreuse each chiplet across >= %d systems to cut C_des below %.2f kg/part\n\n", ratio, target)
+			break
+		}
+	}
+
+	fmt.Println("== GA102: C_tot vs lifetime at reuse ratios 1 / 10 / 100 ==")
+	fmt.Printf("%-9s", "lifetime")
+	for _, r := range []int{1, 10, 100} {
+		fmt.Printf(" %12s", fmt.Sprintf("ratio=%d", r))
+	}
+	fmt.Println()
+	for lifetime := 1.0; lifetime <= 5; lifetime++ {
+		fmt.Printf("%-9.0f", lifetime)
+		for _, ratio := range []int{1, 10, 100} {
+			s := ecochip.GA102(db, 7, 14, 10, false)
+			applyRatio(s, ratio)
+			s.Operation.LifetimeYears = lifetime
+			rep, err := s.Evaluate(db)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12.1f", rep.TotalKg())
+		}
+		fmt.Println()
+	}
+}
+
+// applyRatio sets N_Mi = ratio * N_S with N_S at the default volume.
+func applyRatio(s *ecochip.System, ratio int) {
+	for i := range s.Chiplets {
+		s.Chiplets[i].ManufacturedParts = ratio * core.DefaultVolume
+	}
+	s.SystemVolume = core.DefaultVolume
+}

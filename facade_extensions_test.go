@@ -1,0 +1,85 @@
+package ecochip
+
+import (
+	"testing"
+)
+
+func TestFacadeNodeSweepAndPareto(t *testing.T) {
+	db := DefaultDB()
+	points, err := NodeSweep(GA102(db, 7, 14, 10, false), db, []int{7, 14}, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("2^3 combinations expected, got %d", len(points))
+	}
+	front := ParetoFront(points, func(p DesignPoint) float64 { return p.EmbodiedKg },
+		func(p DesignPoint) float64 { return p.CostUSD })
+	if len(front) == 0 || len(front) > len(points) {
+		t.Errorf("implausible front size %d", len(front))
+	}
+}
+
+func TestFacadeTornado(t *testing.T) {
+	db := DefaultDB()
+	results, err := Tornado(A15(db, 7, 14, 10, false), db, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Error("tornado should produce factors")
+	}
+}
+
+func TestFacadeEPYC(t *testing.T) {
+	db := DefaultDB()
+	hi, err := EPYC(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiRep, err := hi.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := EPYCMonolith(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRep, err := mono.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiRep.EmbodiedKg() >= monoRep.EmbodiedKg() {
+		t.Error("EPYC chiplet design should beat its monolith")
+	}
+}
+
+func TestFacadeRoadmap(t *testing.T) {
+	db := DefaultDB()
+	gen := func() *System { return A15(db, 7, 14, 10, false) }
+	rep, err := EvaluateRoadmap(db, []Generation{
+		{Name: "g1", System: gen()},
+		{Name: "g2", System: gen()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Generations) != 2 {
+		t.Fatalf("want 2 generations, got %d", len(rep.Generations))
+	}
+	// Identical systems: generation 2 reuses everything.
+	if len(rep.Generations[1].CarriedOver) != 3 {
+		t.Errorf("gen2 should carry all 3 chiplets over, got %v", rep.Generations[1].CarriedOver)
+	}
+}
+
+func TestFacadeDisaggregate(t *testing.T) {
+	db := DefaultDB()
+	plan, err := Disaggregate(GA102(db, 7, 14, 10, false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EmbodiedKg > plan.InitialKg {
+		t.Error("plan must never be worse than its input")
+	}
+}

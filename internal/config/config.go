@@ -1,0 +1,427 @@
+// Package config is the JSON front-end of the ECO-CHIP tool, mirroring
+// the file layout of the released artifact: a design directory contains
+//
+//	architecture.json  - chiplet/system description and packaging choice
+//	packageC.json      - packaging parameters (optional)
+//	designC.json       - design-carbon parameters (optional)
+//	operationalC.json  - operating specification (optional)
+//	node_list.txt      - technology nodes for design-space exploration
+//	                     (optional, one node per line)
+//
+// LoadSystem assembles a core.System from such a directory;
+// WriteExampleDir emits a fully commented example testcase.
+package config
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/energy"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+	"ecochip/internal/wafer"
+)
+
+// ArchitectureFile mirrors architecture.json.
+type ArchitectureFile struct {
+	// SystemName labels reports.
+	SystemName string `json:"system_name"`
+	// Packaging is the architecture name (RDL, EMIB, passive, active, 3D).
+	Packaging string `json:"packaging"`
+	// Monolithic merges all chiplets onto one die.
+	Monolithic bool `json:"monolithic"`
+	// ReferenceNodeNm is the node at which area_mm2 figures were
+	// measured (defaults to 7).
+	ReferenceNodeNm int `json:"reference_node_nm"`
+	// Chiplets lists the blocks.
+	Chiplets []ChipletJSON `json:"chiplets"`
+}
+
+// ChipletJSON is one block in architecture.json. Exactly one of AreaMM2
+// (at the reference node) or Transistors must be set.
+type ChipletJSON struct {
+	Name        string  `json:"name"`
+	Type        string  `json:"type"`
+	AreaMM2     float64 `json:"area_mm2,omitempty"`
+	Transistors float64 `json:"transistors,omitempty"`
+	NodeNm      int     `json:"node_nm"`
+	Parts       int     `json:"parts,omitempty"`
+	Reused      bool    `json:"reused,omitempty"`
+}
+
+// PackageFile mirrors packageC.json (all fields optional; zero values
+// keep the architecture defaults).
+type PackageFile struct {
+	PackagingNodeNm      int     `json:"packaging_node_nm,omitempty"`
+	CarbonIntensity      float64 `json:"carbon_intensity_kg_per_kwh,omitempty"`
+	RDLLayers            int     `json:"rdl_layers,omitempty"`
+	BridgeLayers         int     `json:"bridge_layers,omitempty"`
+	BridgeRangeMM        float64 `json:"bridge_range_mm,omitempty"`
+	BridgeAreaMM2        float64 `json:"bridge_area_mm2,omitempty"`
+	InterposerBEOLLayers int     `json:"interposer_beol_layers,omitempty"`
+	Bond                 string  `json:"bond,omitempty"`
+	BondPitchUM          float64 `json:"bond_pitch_um,omitempty"`
+	SpacingMM            float64 `json:"chiplet_spacing_mm,omitempty"`
+	FlitWidthBits        int     `json:"noc_flit_width_bits,omitempty"`
+}
+
+// DesignFile mirrors designC.json.
+type DesignFile struct {
+	PowerW          float64 `json:"power_w,omitempty"`
+	Iterations      int     `json:"iterations,omitempty"`
+	CarbonIntensity float64 `json:"carbon_intensity_kg_per_kwh,omitempty"`
+	SystemVolume    int     `json:"system_volume,omitempty"`
+}
+
+// OperationalFile mirrors operationalC.json.
+type OperationalFile struct {
+	DutyCycle       float64 `json:"duty_cycle"`
+	LifetimeYears   float64 `json:"lifetime_years"`
+	CarbonIntensity float64 `json:"carbon_intensity_kg_per_kwh"`
+	AnnualEnergyKWh float64 `json:"annual_energy_kwh,omitempty"`
+	Battery         *struct {
+		CapacityWh        float64 `json:"capacity_wh"`
+		ChargesPerYear    float64 `json:"charges_per_year"`
+		ChargerEfficiency float64 `json:"charger_efficiency,omitempty"`
+	} `json:"battery,omitempty"`
+	Electrical *struct {
+		Vdd      float64 `json:"vdd_v"`
+		LeakA    float64 `json:"leakage_a"`
+		Activity float64 `json:"activity"`
+		CapF     float64 `json:"capacitance_f"`
+		FreqHz   float64 `json:"frequency_hz"`
+	} `json:"electrical,omitempty"`
+	// Profile is a multi-state usage profile (active/idle/sleep...);
+	// mutually exclusive with the other energy sources.
+	Profile []struct {
+		Name        string  `json:"name"`
+		ShareOfYear float64 `json:"share_of_year"`
+		PowerW      float64 `json:"power_w"`
+	} `json:"profile,omitempty"`
+}
+
+// MfgFile mirrors mfgC.json (optional fab context overrides). The fab
+// energy source may be given numerically (carbon_intensity_kg_per_kwh)
+// or by name (energy_source: "coal", "gas", "solar", "grid-taiwan", ...;
+// see the internal/energy catalog).
+type MfgFile struct {
+	CarbonIntensity float64 `json:"carbon_intensity_kg_per_kwh,omitempty"`
+	EnergySource    string  `json:"energy_source,omitempty"`
+	WaferDiameterMM float64 `json:"wafer_diameter_mm,omitempty"`
+	ExcludeWastage  bool    `json:"exclude_wastage,omitempty"`
+}
+
+func readJSON(path string, out any) (bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return false, fmt.Errorf("config: %s: %w", filepath.Base(path), err)
+	}
+	return true, nil
+}
+
+// LoadSystem reads a design directory and assembles the system plus the
+// optional node-exploration list from node_list.txt.
+func LoadSystem(dir string, db *tech.DB) (*core.System, []int, error) {
+	var arch ArchitectureFile
+	ok, err := readJSON(filepath.Join(dir, "architecture.json"), &arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("config: %s: architecture.json is required", dir)
+	}
+	if len(arch.Chiplets) == 0 {
+		return nil, nil, fmt.Errorf("config: %s: no chiplets declared", dir)
+	}
+	refNm := arch.ReferenceNodeNm
+	if refNm == 0 {
+		refNm = 7
+	}
+	refNode, err := db.Get(refNm)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := &core.System{
+		Name:       arch.SystemName,
+		Monolithic: arch.Monolithic,
+		Mfg:        mfg.DefaultParams(),
+		Design:     descarbon.DefaultParams(),
+	}
+	if s.Name == "" {
+		s.Name = filepath.Base(dir)
+	}
+	for _, cj := range arch.Chiplets {
+		dt, err := tech.ParseDesignType(cj.Type)
+		if err != nil {
+			return nil, nil, err
+		}
+		if (cj.AreaMM2 > 0) == (cj.Transistors > 0) {
+			return nil, nil, fmt.Errorf("config: chiplet %q must set exactly one of area_mm2 or transistors", cj.Name)
+		}
+		c := core.Chiplet{
+			Name:              cj.Name,
+			Type:              dt,
+			Transistors:       cj.Transistors,
+			NodeNm:            cj.NodeNm,
+			ManufacturedParts: cj.Parts,
+			Reused:            cj.Reused,
+		}
+		if cj.AreaMM2 > 0 {
+			c.Transistors = refNode.Transistors(dt, cj.AreaMM2)
+		}
+		s.Chiplets = append(s.Chiplets, c)
+	}
+
+	archKind, err := pkgcarbon.ParseArchitecture(arch.Packaging)
+	if err != nil && !arch.Monolithic && len(arch.Chiplets) > 1 {
+		return nil, nil, err
+	}
+	s.Packaging = pkgcarbon.DefaultParams(archKind)
+
+	var pf PackageFile
+	if ok, err := readJSON(filepath.Join(dir, "packageC.json"), &pf); err != nil {
+		return nil, nil, err
+	} else if ok {
+		if err := applyPackage(&s.Packaging, pf, db); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var df DesignFile
+	if ok, err := readJSON(filepath.Join(dir, "designC.json"), &df); err != nil {
+		return nil, nil, err
+	} else if ok {
+		if df.PowerW > 0 {
+			s.Design.PowerW = df.PowerW
+		}
+		if df.Iterations > 0 {
+			s.Design.Iterations = df.Iterations
+		}
+		if df.CarbonIntensity > 0 {
+			s.Design.CarbonIntensity = df.CarbonIntensity
+		}
+		if df.SystemVolume > 0 {
+			s.SystemVolume = df.SystemVolume
+		}
+	}
+
+	var mf MfgFile
+	if ok, err := readJSON(filepath.Join(dir, "mfgC.json"), &mf); err != nil {
+		return nil, nil, err
+	} else if ok {
+		if mf.CarbonIntensity > 0 && mf.EnergySource != "" {
+			return nil, nil, fmt.Errorf("config: mfgC.json: set either carbon_intensity_kg_per_kwh or energy_source, not both")
+		}
+		if mf.CarbonIntensity > 0 {
+			s.Mfg.CarbonIntensity = mf.CarbonIntensity
+		}
+		if mf.EnergySource != "" {
+			ci, err := energy.Intensity(mf.EnergySource)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Mfg.CarbonIntensity = ci
+		}
+		if mf.WaferDiameterMM > 0 {
+			s.Mfg.Wafer = wafer.Wafer{DiameterMM: mf.WaferDiameterMM}
+		}
+		s.Mfg.IncludeWastage = !mf.ExcludeWastage
+	}
+
+	var of OperationalFile
+	if ok, err := readJSON(filepath.Join(dir, "operationalC.json"), &of); err != nil {
+		return nil, nil, err
+	} else if ok {
+		spec := opcarbon.Spec{
+			DutyCycle:       of.DutyCycle,
+			LifetimeYears:   of.LifetimeYears,
+			CarbonIntensity: of.CarbonIntensity,
+			AnnualEnergyKWh: of.AnnualEnergyKWh,
+		}
+		if of.Battery != nil {
+			spec.Battery = &opcarbon.Battery{
+				CapacityWh:        of.Battery.CapacityWh,
+				ChargesPerYear:    of.Battery.ChargesPerYear,
+				ChargerEfficiency: of.Battery.ChargerEfficiency,
+			}
+		}
+		if of.Electrical != nil {
+			spec.Elec = &opcarbon.Electrical{
+				Vdd:      of.Electrical.Vdd,
+				LeakA:    of.Electrical.LeakA,
+				Activity: of.Electrical.Activity,
+				CapF:     of.Electrical.CapF,
+				FreqHz:   of.Electrical.FreqHz,
+			}
+		}
+		if len(of.Profile) > 0 {
+			if spec.AnnualEnergyKWh > 0 || spec.Battery != nil || spec.Elec != nil {
+				return nil, nil, fmt.Errorf("config: operationalC.json: profile is mutually exclusive with other energy sources")
+			}
+			profile := opcarbon.Profile{}
+			for _, ph := range of.Profile {
+				profile.Phases = append(profile.Phases, opcarbon.Phase{
+					Name: ph.Name, ShareOfYear: ph.ShareOfYear, PowerW: ph.PowerW,
+				})
+			}
+			built, err := opcarbon.SpecFromProfile(profile, of.LifetimeYears, of.CarbonIntensity)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec = built
+		}
+		s.Operation = &spec
+	}
+
+	nodes, err := readNodeList(filepath.Join(dir, "node_list.txt"), db)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.Validate(db); err != nil {
+		return nil, nil, err
+	}
+	return s, nodes, nil
+}
+
+func applyPackage(p *pkgcarbon.Params, pf PackageFile, db *tech.DB) error {
+	if pf.PackagingNodeNm > 0 {
+		n, err := db.Get(pf.PackagingNodeNm)
+		if err != nil {
+			return err
+		}
+		p.PackagingNode = n
+	}
+	if pf.CarbonIntensity > 0 {
+		p.CarbonIntensity = pf.CarbonIntensity
+	}
+	if pf.RDLLayers > 0 {
+		p.RDLLayers = pf.RDLLayers
+	}
+	if pf.BridgeLayers > 0 {
+		p.BridgeLayers = pf.BridgeLayers
+	}
+	if pf.BridgeRangeMM > 0 {
+		p.BridgeRangeMM = pf.BridgeRangeMM
+	}
+	if pf.BridgeAreaMM2 > 0 {
+		p.BridgeAreaMM2 = pf.BridgeAreaMM2
+	}
+	if pf.InterposerBEOLLayers > 0 {
+		p.InterposerBEOLLayers = pf.InterposerBEOLLayers
+	}
+	if pf.Bond != "" {
+		switch pf.Bond {
+		case "tsv", "TSV":
+			p.Bond = pkgcarbon.TSV
+		case "microbump":
+			p.Bond = pkgcarbon.Microbump
+		case "hybrid", "hybrid-bond":
+			p.Bond = pkgcarbon.HybridBond
+		default:
+			return fmt.Errorf("config: unknown bond type %q", pf.Bond)
+		}
+	}
+	if pf.BondPitchUM > 0 {
+		p.BondPitchUM = pf.BondPitchUM
+	}
+	if pf.SpacingMM > 0 {
+		p.SpacingMM = pf.SpacingMM
+	}
+	if pf.FlitWidthBits > 0 {
+		p.Router.FlitWidthBits = pf.FlitWidthBits
+	}
+	return nil
+}
+
+// readNodeList parses node_list.txt: one node per line, '#' comments.
+func readNodeList(path string, db *tech.DB) ([]int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var nodes []int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		nm, err := strconv.Atoi(strings.TrimSuffix(line, "nm"))
+		if err != nil {
+			return nil, fmt.Errorf("config: node_list.txt: bad line %q", line)
+		}
+		if !db.Has(nm) {
+			return nil, fmt.Errorf("config: node_list.txt: unsupported node %dnm", nm)
+		}
+		nodes = append(nodes, nm)
+	}
+	return nodes, sc.Err()
+}
+
+// WriteExampleDir emits a complete example design directory (a GA102-like
+// 3-chiplet system) that LoadSystem can read back.
+func WriteExampleDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]any{
+		"architecture.json": ArchitectureFile{
+			SystemName:      "example-3chiplet",
+			Packaging:       "RDL",
+			ReferenceNodeNm: 7,
+			Chiplets: []ChipletJSON{
+				{Name: "digital", Type: "logic", AreaMM2: 500, NodeNm: 7},
+				{Name: "memory", Type: "memory", AreaMM2: 80, NodeNm: 14},
+				{Name: "analog", Type: "analog", AreaMM2: 48, NodeNm: 10},
+			},
+		},
+		"packageC.json": PackageFile{
+			PackagingNodeNm: 65,
+			RDLLayers:       6,
+		},
+		"designC.json": DesignFile{
+			PowerW:       10,
+			Iterations:   100,
+			SystemVolume: 100000,
+		},
+		"operationalC.json": OperationalFile{
+			DutyCycle:       0.2,
+			LifetimeYears:   2,
+			CarbonIntensity: 0.7,
+			AnnualEnergyKWh: 228,
+		},
+	}
+	for name, v := range files {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	nodeList := "# nodes explored by the design-space sweep\n7\n10\n14\n"
+	return os.WriteFile(filepath.Join(dir, "node_list.txt"), []byte(nodeList), 0o644)
+}

@@ -1,0 +1,276 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ecochip/internal/tech"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+func TestExampleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteExampleDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s, nodes, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "example-3chiplet" {
+		t.Errorf("system name = %q", s.Name)
+	}
+	if len(s.Chiplets) != 3 {
+		t.Fatalf("want 3 chiplets, got %d", len(s.Chiplets))
+	}
+	if s.Chiplets[1].NodeNm != 14 {
+		t.Errorf("memory node = %d, want 14", s.Chiplets[1].NodeNm)
+	}
+	if len(nodes) != 3 || nodes[0] != 7 {
+		t.Errorf("node list = %v, want [7 10 14]", nodes)
+	}
+	if s.SystemVolume != 100000 {
+		t.Errorf("system volume = %d", s.SystemVolume)
+	}
+	if s.Operation == nil || s.Operation.AnnualEnergyKWh != 228 {
+		t.Error("operational spec not loaded")
+	}
+	rep, err := s.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalKg() <= 0 {
+		t.Error("loaded system should evaluate to positive carbon")
+	}
+}
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingArchitecture(t *testing.T) {
+	if _, _, err := LoadSystem(t.TempDir(), db()); err == nil {
+		t.Error("missing architecture.json should fail")
+	}
+}
+
+func TestRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"system_name":"x","bogus_field":1,"chiplets":[]}`)
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("unknown JSON fields should fail (DisallowUnknownFields)")
+	}
+}
+
+func TestChipletValidation(t *testing.T) {
+	cases := map[string]string{
+		"no chiplets": `{"system_name":"x","packaging":"RDL","chiplets":[]}`,
+		"both area and transistors": `{"packaging":"RDL","chiplets":[
+			{"name":"a","type":"logic","area_mm2":10,"transistors":1e9,"node_nm":7},
+			{"name":"b","type":"logic","area_mm2":10,"node_nm":7}]}`,
+		"neither area nor transistors": `{"packaging":"RDL","chiplets":[
+			{"name":"a","type":"logic","node_nm":7},
+			{"name":"b","type":"logic","area_mm2":10,"node_nm":7}]}`,
+		"bad type": `{"packaging":"RDL","chiplets":[
+			{"name":"a","type":"fpga","area_mm2":10,"node_nm":7},
+			{"name":"b","type":"logic","area_mm2":10,"node_nm":7}]}`,
+		"bad node": `{"packaging":"RDL","chiplets":[
+			{"name":"a","type":"logic","area_mm2":10,"node_nm":3},
+			{"name":"b","type":"logic","area_mm2":10,"node_nm":7}]}`,
+		"bad packaging": `{"packaging":"wirebond","chiplets":[
+			{"name":"a","type":"logic","area_mm2":10,"node_nm":7},
+			{"name":"b","type":"logic","area_mm2":10,"node_nm":7}]}`,
+	}
+	for name, arch := range cases {
+		dir := t.TempDir()
+		write(t, dir, "architecture.json", arch)
+		if _, _, err := LoadSystem(dir, db()); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+func TestTransistorSpecifiedChiplet(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"packaging":"EMIB","chiplets":[
+		{"name":"a","type":"logic","transistors":1e10,"node_nm":7},
+		{"name":"b","type":"logic","transistors":1e10,"node_nm":7}]}`)
+	s, _, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chiplets[0].Transistors != 1e10 {
+		t.Error("transistor count should pass through")
+	}
+	if s.Name != filepath.Base(dir) {
+		t.Errorf("default system name should be the directory name, got %q", s.Name)
+	}
+}
+
+func TestMonolithicSkipsPackaging(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"monolithic":true,"chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`)
+	s, _, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Monolithic {
+		t.Error("monolithic flag lost")
+	}
+}
+
+func TestPackageOverrides(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"packaging":"3D","chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7},
+		{"name":"b","type":"memory","area_mm2":50,"node_nm":7}]}`)
+	write(t, dir, "packageC.json", `{"bond":"tsv","bond_pitch_um":20,"packaging_node_nm":40,"noc_flit_width_bits":256}`)
+	s, _, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Packaging.BondPitchUM != 20 || s.Packaging.PackagingNode.Nm != 40 {
+		t.Errorf("package overrides not applied: %+v", s.Packaging)
+	}
+	if s.Packaging.Router.FlitWidthBits != 256 {
+		t.Error("flit width override not applied")
+	}
+}
+
+func TestBadPackageOverrides(t *testing.T) {
+	base := `{"packaging":"RDL","chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7},
+		{"name":"b","type":"logic","area_mm2":50,"node_nm":7}]}`
+	for name, pkg := range map[string]string{
+		"bad bond": `{"bond":"glue"}`,
+		"bad node": `{"packaging_node_nm":13}`,
+	} {
+		dir := t.TempDir()
+		write(t, dir, "architecture.json", base)
+		write(t, dir, "packageC.json", pkg)
+		if _, _, err := LoadSystem(dir, db()); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+}
+
+func TestOperationalVariants(t *testing.T) {
+	base := `{"monolithic":true,"chiplets":[{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`
+	battery := `{"duty_cycle":0.2,"lifetime_years":2,"carbon_intensity_kg_per_kwh":0.3,
+		"battery":{"capacity_wh":12.7,"charges_per_year":300,"charger_efficiency":0.85}}`
+	electrical := `{"duty_cycle":0.1,"lifetime_years":3,"carbon_intensity_kg_per_kwh":0.5,
+		"electrical":{"vdd_v":0.8,"leakage_a":0.5,"activity":0.2,"capacitance_f":1e-9,"frequency_hz":1e9}}`
+	for name, op := range map[string]string{"battery": battery, "electrical": electrical} {
+		dir := t.TempDir()
+		write(t, dir, "architecture.json", base)
+		write(t, dir, "operationalC.json", op)
+		s, _, err := LoadSystem(dir, db())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, err := s.Evaluate(db())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.OperationalKg <= 0 {
+			t.Errorf("%s: operational carbon should be positive", name)
+		}
+	}
+}
+
+func TestOperationalProfile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"monolithic":true,"chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`)
+	write(t, dir, "operationalC.json", `{"lifetime_years":5,"carbon_intensity_kg_per_kwh":0.45,
+		"profile":[{"name":"busy","share_of_year":0.3,"power_w":200},
+		           {"name":"idle","share_of_year":0.6,"power_w":50}]}`)
+	s, _, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OperationalKg <= 0 {
+		t.Error("profile spec should yield operational carbon")
+	}
+	// Profile plus another source must fail.
+	write(t, dir, "operationalC.json", `{"duty_cycle":0.2,"lifetime_years":5,
+		"carbon_intensity_kg_per_kwh":0.45,"annual_energy_kwh":100,
+		"profile":[{"name":"busy","share_of_year":0.3,"power_w":200}]}`)
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("profile plus direct energy should fail")
+	}
+	// Broken profile must fail.
+	write(t, dir, "operationalC.json", `{"lifetime_years":5,"carbon_intensity_kg_per_kwh":0.45,
+		"profile":[{"name":"busy","share_of_year":1.3,"power_w":200}]}`)
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("profile with share > 1 should fail")
+	}
+}
+
+func TestMfgOverrides(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"monolithic":true,"chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`)
+	write(t, dir, "mfgC.json", `{"carbon_intensity_kg_per_kwh":0.03,"wafer_diameter_mm":300,"exclude_wastage":true}`)
+	s, _, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mfg.CarbonIntensity != 0.03 || s.Mfg.Wafer.DiameterMM != 300 || s.Mfg.IncludeWastage {
+		t.Errorf("mfg overrides not applied: %+v", s.Mfg)
+	}
+}
+
+func TestEnergySourceByName(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"monolithic":true,"chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`)
+	write(t, dir, "mfgC.json", `{"energy_source":"solar"}`)
+	s, _, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mfg.CarbonIntensity != 0.048 {
+		t.Errorf("solar fab intensity = %g, want 0.048", s.Mfg.CarbonIntensity)
+	}
+	write(t, dir, "mfgC.json", `{"energy_source":"fusion"}`)
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("unknown energy source should fail")
+	}
+	write(t, dir, "mfgC.json", `{"energy_source":"coal","carbon_intensity_kg_per_kwh":0.5}`)
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("setting both intensity and source should fail")
+	}
+}
+
+func TestNodeListParsing(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "architecture.json", `{"monolithic":true,"chiplets":[
+		{"name":"a","type":"logic","area_mm2":100,"node_nm":7}]}`)
+	write(t, dir, "node_list.txt", "# comment\n7\n14nm\n\n65\n")
+	_, nodes, err := LoadSystem(dir, db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[1] != 14 {
+		t.Errorf("nodes = %v, want [7 14 65]", nodes)
+	}
+	write(t, dir, "node_list.txt", "banana\n")
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("bad node list should fail")
+	}
+	write(t, dir, "node_list.txt", "3\n")
+	if _, _, err := LoadSystem(dir, db()); err == nil {
+		t.Error("unsupported node should fail")
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"ecochip/internal/pkgcarbon"
+)
+
+func BenchmarkEvaluateMonolith(b *testing.B) {
+	s := monolith(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(db()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateThreeChiplet(b *testing.B) {
+	s := threeChiplet(7, 14, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(db()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateInterposer(b *testing.B) {
+	s := threeChiplet(7, 14, 10)
+	s.Packaging = pkgcarbon.DefaultParams(pkgcarbon.ActiveInterposer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(db()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"ecochip/internal/act"
+	"ecochip/internal/cost"
+	"ecochip/internal/tech"
+)
+
+// WithNodes returns a copy of the system with chiplet i re-targeted to
+// nodes[i] (the technology "mix and match" sweep of Section V-A). The
+// transistor budgets are preserved; areas re-derive at evaluation time.
+func (s *System) WithNodes(nodes ...int) (*System, error) {
+	if len(nodes) != len(s.Chiplets) {
+		return nil, fmt.Errorf("core: %d nodes for %d chiplets", len(nodes), len(s.Chiplets))
+	}
+	out := *s
+	out.Chiplets = make([]Chiplet, len(s.Chiplets))
+	copy(out.Chiplets, s.Chiplets)
+	for i, nm := range nodes {
+		out.Chiplets[i].NodeNm = nm
+	}
+	return &out, nil
+}
+
+// ACTEmbodiedKg evaluates the same system under the ACT baseline model
+// (Fig. 7(c) comparison): per-die manufacturing carbon plus ACT's fixed
+// 150 g package constant, no design carbon, no wafer wastage.
+func (s *System) ACTEmbodiedKg(db *tech.DB) (float64, error) {
+	if err := s.Validate(db); err != nil {
+		return 0, err
+	}
+	p := act.Params{CarbonIntensity: s.Mfg.CarbonIntensity, Alpha: s.Mfg.Alpha}
+	if s.Monolithic || len(s.Chiplets) == 1 {
+		node := db.MustGet(s.Chiplets[0].NodeNm)
+		var area float64
+		for _, c := range s.Chiplets {
+			area += node.Area(c.Type, c.Transistors)
+		}
+		return act.SystemKg([]act.Die{{AreaMM2: area, Node: node}}, p)
+	}
+	dies := make([]act.Die, len(s.Chiplets))
+	for i, c := range s.Chiplets {
+		node := db.MustGet(c.NodeNm)
+		dies[i] = act.Die{AreaMM2: node.Area(c.Type, c.Transistors), Node: node}
+	}
+	return act.SystemKg(dies, p)
+}
+
+// CostUSD prices the system with the dollar-cost model of Section VI(2),
+// reusing the identical yield and floorplan numbers the carbon estimate
+// produced.
+func (s *System) CostUSD(db *tech.DB, cp cost.Params) (cost.Breakdown, error) {
+	rep, err := s.Evaluate(db)
+	if err != nil {
+		return cost.Breakdown{}, err
+	}
+	dies := make([]cost.Die, len(rep.Chiplets))
+	for i, c := range rep.Chiplets {
+		dies[i] = cost.Die{Node: db.MustGet(c.NodeNm), AreaMM2: c.AreaMM2}
+	}
+	archName := "monolithic"
+	packageArea := rep.Chiplets[0].AreaMM2
+	assemblyYield := 1.0
+	if rep.Packaging != nil {
+		archName = rep.Packaging.Arch.String()
+		packageArea = rep.Packaging.PackageAreaMM2
+		assemblyYield = rep.Packaging.AssemblyYield
+	}
+	vol := s.volume()
+	return cost.SystemUSD(dies, archName, packageArea, assemblyYield, vol, cp)
+}

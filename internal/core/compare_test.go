@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"ecochip/internal/cost"
+)
+
+func defaultCostParams() cost.Params { return cost.DefaultParams() }
+
+func TestACTEmbodiedErrors(t *testing.T) {
+	s := threeChiplet(7, 14, 10)
+	s.Chiplets[0].Transistors = 0
+	if _, err := s.ACTEmbodiedKg(db()); err == nil {
+		t.Error("invalid system should fail ACT comparison")
+	}
+}
+
+func TestCostUSDErrors(t *testing.T) {
+	s := threeChiplet(7, 14, 10)
+	s.Chiplets[0].Transistors = 0
+	if _, err := s.CostUSD(db(), defaultCostParams()); err == nil {
+		t.Error("invalid system should fail cost estimation")
+	}
+}
+
+// The dollar-cost trend must mirror the carbon trend across node tuples
+// (Fig. 15a vs Fig. 7): the mixed tuple beats the all-advanced tuple.
+func TestCostTrendMirrorsCarbon(t *testing.T) {
+	mixed, err := threeChiplet(7, 14, 10).CostUSD(db(), defaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allAdvanced, err := threeChiplet(7, 7, 7).CostUSD(db(), defaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.DiesUSD >= allAdvanced.DiesUSD {
+		t.Errorf("mixed-node die cost $%.2f should beat all-7nm $%.2f",
+			mixed.DiesUSD, allAdvanced.DiesUSD)
+	}
+}

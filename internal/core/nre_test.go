@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"ecochip/internal/mfg"
+)
+
+func TestNREExtensionRaisesEmbodied(t *testing.T) {
+	base := threeChiplet(7, 14, 10)
+	plain, err := base.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NREKg != 0 {
+		t.Fatal("NRE term should be zero when the extension is off")
+	}
+	withNRE := threeChiplet(7, 14, 10)
+	withNRE.IncludeNRE = true
+	rep, err := withNRE.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NREKg <= 0 {
+		t.Fatal("NRE term should be positive when enabled")
+	}
+	if rep.EmbodiedKg() <= plain.EmbodiedKg() {
+		t.Error("enabling NRE should raise embodied carbon")
+	}
+	if rep.MfgKg != plain.MfgKg {
+		t.Error("NRE must not change the per-die manufacturing term")
+	}
+}
+
+// The paper's Section V-C claim: splitting out NRE "will only improve
+// CFP savings" for reused chiplets — higher per-chiplet volume shrinks
+// the NRE share.
+func TestNREAmortizesWithReuse(t *testing.T) {
+	lowReuse := threeChiplet(7, 14, 10)
+	lowReuse.IncludeNRE = true
+	highReuse := threeChiplet(7, 14, 10)
+	highReuse.IncludeNRE = true
+	for i := range highReuse.Chiplets {
+		highReuse.Chiplets[i].ManufacturedParts = 10 * DefaultVolume
+	}
+	lo, err := lowReuse.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := highReuse.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.NREKg >= lo.NREKg {
+		t.Errorf("10x reuse should cut the NRE share: %g vs %g", hi.NREKg, lo.NREKg)
+	}
+}
+
+func TestNREMonolith(t *testing.T) {
+	mono := monolith(7)
+	mono.IncludeNRE = true
+	rep, err := mono.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 7nm mask set over the default volume.
+	want, err := mfg.AmortizedNREKg(db().MustGet(7), DefaultVolume, mfg.DefaultNREParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NREKg != want {
+		t.Errorf("monolith NRE = %g, want %g", rep.NREKg, want)
+	}
+}
+
+func TestNRECustomParams(t *testing.T) {
+	s := monolith(7)
+	s.IncludeNRE = true
+	s.NRE = mfg.NREParams{EnergyPerMaskKWh: 1000, MaterialKgPerMask: 20, CarbonIntensity: 0.7}
+	custom, err := s.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.NRE = mfg.NREParams{}
+	def, err := s.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.NREKg <= def.NREKg {
+		t.Error("doubled mask energy should raise the NRE term")
+	}
+	bad := monolith(7)
+	bad.IncludeNRE = true
+	bad.NRE = mfg.NREParams{EnergyPerMaskKWh: -1, MaterialKgPerMask: 1, CarbonIntensity: 0.7}
+	if _, err := bad.Evaluate(db()); err == nil {
+		t.Error("invalid NRE params should fail evaluation")
+	}
+}

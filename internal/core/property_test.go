@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// randomSystem builds a valid HI system from fuzz inputs: 2-6 chiplets
+// with bounded transistor budgets, node assignments from the supported
+// set, and one of the 2D packaging architectures.
+func randomSystem(seed []uint16) *System {
+	if len(seed) < 3 {
+		return nil
+	}
+	sizes := []int{7, 10, 14, 22, 28, 40, 65}
+	archs := []pkgcarbon.Architecture{
+		pkgcarbon.RDLFanout, pkgcarbon.SiliconBridge,
+		pkgcarbon.PassiveInterposer, pkgcarbon.ActiveInterposer,
+	}
+	n := 2 + int(seed[0])%5
+	chiplets := make([]Chiplet, 0, n)
+	for i := 0; i < n; i++ {
+		v := seed[i%len(seed)]
+		chiplets = append(chiplets, Chiplet{
+			Name:        string(rune('a' + i)),
+			Type:        tech.DesignTypes[int(v)%3],
+			Transistors: float64(v%5000+100) * 1e6,
+			NodeNm:      sizes[int(v>>3)%len(sizes)],
+		})
+	}
+	return &System{
+		Name:      "fuzz",
+		Chiplets:  chiplets,
+		Packaging: pkgcarbon.DefaultParams(archs[int(seed[1])%len(archs)]),
+		Mfg:       mfg.DefaultParams(),
+		Design:    descarbon.DefaultParams(),
+	}
+}
+
+// Property: every valid random system evaluates without error, all
+// carbon components are positive, additivity holds, and every chiplet
+// yield is in (0, 1].
+func TestEvaluatePropertyRandomSystems(t *testing.T) {
+	f := func(seed []uint16) bool {
+		s := randomSystem(seed)
+		if s == nil {
+			return true
+		}
+		rep, err := s.Evaluate(db())
+		if err != nil {
+			// Random systems only fail when a huge analog block in an
+			// old node physically does not fit the wafer; that is a
+			// correct rejection, not a model bug.
+			return true
+		}
+		if rep.MfgKg <= 0 || rep.DesignKg <= 0 || rep.HIKg <= 0 {
+			return false
+		}
+		if math.Abs(rep.EmbodiedKg()-(rep.MfgKg+rep.DesignKg+rep.HIKg+rep.NREKg)) > 1e-9 {
+			return false
+		}
+		for _, c := range rep.Chiplets {
+			if c.Yield <= 0 || c.Yield > 1 || c.AreaMM2 <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: re-targeting every chiplet to its own node (identity
+// WithNodes) reproduces the identical report.
+func TestWithNodesIdentity(t *testing.T) {
+	f := func(seed []uint16) bool {
+		s := randomSystem(seed)
+		if s == nil {
+			return true
+		}
+		nodes := make([]int, len(s.Chiplets))
+		for i, c := range s.Chiplets {
+			nodes[i] = c.NodeNm
+		}
+		s2, err := s.WithNodes(nodes...)
+		if err != nil {
+			return false
+		}
+		r1, err1 := s.Evaluate(db())
+		r2, err2 := s2.Evaluate(db())
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return math.Abs(r1.TotalKg()-r2.TotalKg()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: doubling every chiplet's manufacturing volume never raises
+// the amortized design carbon.
+func TestVolumeMonotonicityProperty(t *testing.T) {
+	f := func(seed []uint16) bool {
+		s := randomSystem(seed)
+		if s == nil {
+			return true
+		}
+		s2 := *s
+		s2.Chiplets = make([]Chiplet, len(s.Chiplets))
+		copy(s2.Chiplets, s.Chiplets)
+		for i := range s2.Chiplets {
+			s2.Chiplets[i].ManufacturedParts = 2 * DefaultVolume
+		}
+		s2.SystemVolume = 2 * DefaultVolume
+		r1, err1 := s.Evaluate(db())
+		r2, err2 := s2.Evaluate(db())
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return r2.DesignKg <= r1.DesignKg+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package cost implements the dollar-cost model ECO-CHIP integrates with
+// in Section VI(2) (Fig. 15), following the structure of the
+// Chiplet-Actuary / Graening et al. cost models [20],[27],[59]:
+//
+//   - die cost     = wafer cost / (dies-per-wafer * yield), using the
+//     *same* negative-binomial yield and wafer geometry as the carbon
+//     model, per the paper ("identical yield numbers used for CFP
+//     estimation"),
+//   - assembly cost = per-architecture substrate cost over the package
+//     area plus a per-chiplet bonding cost, divided by assembly yield,
+//   - NRE cost     = mask-set and design-effort dollars amortized over
+//     the manufactured volume.
+package cost
+
+import (
+	"fmt"
+
+	"ecochip/internal/tech"
+	"ecochip/internal/wafer"
+	"ecochip/internal/yieldmodel"
+)
+
+// Params configures the cost model.
+type Params struct {
+	// Wafer is the manufacturing wafer geometry.
+	Wafer wafer.Wafer
+	// Alpha is the yield clustering parameter.
+	Alpha float64
+	// SubstrateUSDPerCM2 maps a packaging architecture name (the
+	// pkgcarbon Architecture String values) to substrate cost per cm^2.
+	SubstrateUSDPerCM2 map[string]float64
+	// BondUSDPerChiplet is the per-chiplet attach/bond cost.
+	BondUSDPerChiplet float64
+	// MaskSetUSD maps node nm to full mask-set NRE dollars.
+	MaskSetUSD map[int]float64
+}
+
+// DefaultParams uses published-magnitude substrate and mask costs.
+func DefaultParams() Params {
+	return Params{
+		Wafer: wafer.Default(),
+		Alpha: yieldmodel.DefaultAlpha,
+		SubstrateUSDPerCM2: map[string]float64{
+			"RDL":                2.0,
+			"EMIB":               3.5,
+			"passive-interposer": 6.0,
+			"active-interposer":  9.0,
+			"3D":                 5.0,
+			"monolithic":         0.5,
+		},
+		BondUSDPerChiplet: 1.5,
+		MaskSetUSD: map[int]float64{
+			7: 10_000_000, 10: 6_000_000, 14: 4_000_000,
+			22: 2_500_000, 28: 1_500_000, 40: 1_000_000, 65: 500_000,
+		},
+	}
+}
+
+// Validate enforces basic sanity.
+func (p Params) Validate() error {
+	if err := p.Wafer.Validate(); err != nil {
+		return err
+	}
+	if p.Alpha <= 0 {
+		return fmt.Errorf("cost: alpha must be positive, got %g", p.Alpha)
+	}
+	if p.BondUSDPerChiplet < 0 {
+		return fmt.Errorf("cost: bond cost must be non-negative")
+	}
+	return nil
+}
+
+// DieUSD returns the manufactured cost of one good die of the given area
+// and node: the wafer cost divided across good dies.
+func DieUSD(n *tech.Node, areaMM2 float64, p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if areaMM2 <= 0 {
+		return 0, fmt.Errorf("cost: die area must be positive, got %g", areaMM2)
+	}
+	dpw := p.Wafer.DiesPerWafer(areaMM2)
+	if dpw == 0 {
+		return 0, fmt.Errorf("cost: die of %g mm^2 does not fit the wafer", areaMM2)
+	}
+	y := yieldmodel.DieAlpha(areaMM2, n.DefectDensity, p.Alpha)
+	return n.WaferCostUSD / (float64(dpw) * y), nil
+}
+
+// AssemblyUSD returns the packaging cost: substrate dollars over the
+// package area plus per-chiplet bonding, divided by the assembly yield
+// computed by the packaging carbon model.
+func AssemblyUSD(archName string, packageAreaMM2 float64, numChiplets int, assemblyYield float64, p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	rate, ok := p.SubstrateUSDPerCM2[archName]
+	if !ok {
+		return 0, fmt.Errorf("cost: no substrate cost for architecture %q", archName)
+	}
+	if packageAreaMM2 < 0 || numChiplets < 1 {
+		return 0, fmt.Errorf("cost: invalid package area %g or chiplet count %d", packageAreaMM2, numChiplets)
+	}
+	if assemblyYield <= 0 || assemblyYield > 1 {
+		return 0, fmt.Errorf("cost: assembly yield %g outside (0, 1]", assemblyYield)
+	}
+	return (rate*packageAreaMM2/100 + p.BondUSDPerChiplet*float64(numChiplets)) / assemblyYield, nil
+}
+
+// NREUSDPerPart returns the per-part share of mask-set NRE for a chiplet
+// in the given node manufactured parts times.
+func NREUSDPerPart(n *tech.Node, parts int, p Params) (float64, error) {
+	if parts < 1 {
+		return 0, fmt.Errorf("cost: parts must be >= 1, got %d", parts)
+	}
+	mask, ok := p.MaskSetUSD[n.Nm]
+	if !ok {
+		return 0, fmt.Errorf("cost: no mask-set cost for node %dnm", n.Nm)
+	}
+	return mask / float64(parts), nil
+}
+
+// Die is one die in a system cost query.
+type Die struct {
+	Node    *tech.Node
+	AreaMM2 float64
+}
+
+// Breakdown is a per-system dollar-cost result.
+type Breakdown struct {
+	// DiesUSD is the summed good-die cost.
+	DiesUSD float64
+	// AssemblyUSD is the packaging/attach cost.
+	AssemblyUSD float64
+	// NREUSD is the per-part amortized mask NRE.
+	NREUSD float64
+}
+
+// TotalUSD sums the breakdown.
+func (b Breakdown) TotalUSD() float64 { return b.DiesUSD + b.AssemblyUSD + b.NREUSD }
+
+// SystemUSD prices a multi-die system: per-die manufactured cost plus
+// assembly plus amortized NRE over the per-chiplet volume.
+func SystemUSD(dies []Die, archName string, packageAreaMM2, assemblyYield float64, partsPerChiplet int, p Params) (Breakdown, error) {
+	if len(dies) == 0 {
+		return Breakdown{}, fmt.Errorf("cost: no dies")
+	}
+	var b Breakdown
+	for _, d := range dies {
+		usd, err := DieUSD(d.Node, d.AreaMM2, p)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		b.DiesUSD += usd
+		nre, err := NREUSDPerPart(d.Node, partsPerChiplet, p)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		b.NREUSD += nre
+	}
+	asm, err := AssemblyUSD(archName, packageAreaMM2, len(dies), assemblyYield, p)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b.AssemblyUSD = asm
+	return b, nil
+}

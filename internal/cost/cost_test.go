@@ -1,0 +1,187 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ecochip/internal/tech"
+	"ecochip/internal/wafer"
+	"ecochip/internal/yieldmodel"
+)
+
+func n(nm int) *tech.Node { return tech.Default().MustGet(nm) }
+
+func TestDieUSDKnownValue(t *testing.T) {
+	p := DefaultParams()
+	node := n(7)
+	area := 100.0
+	dpw := p.Wafer.DiesPerWafer(area)
+	y := yieldmodel.Die(area, node.DefectDensity)
+	want := node.WaferCostUSD / (float64(dpw) * y)
+	got, err := DieUSD(node, area, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DieUSD = %g, want %g", got, want)
+	}
+}
+
+func TestDieUSDErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := DieUSD(n(7), 0, p); err == nil {
+		t.Error("zero area should fail")
+	}
+	small := p
+	small.Wafer = wafer.Wafer{DiameterMM: 25}
+	if _, err := DieUSD(n(7), 2500, small); err == nil {
+		t.Error("die larger than wafer should fail")
+	}
+	bad := p
+	bad.Alpha = 0
+	if _, err := DieUSD(n(7), 100, bad); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	bad = p
+	bad.BondUSDPerChiplet = -1
+	if _, err := DieUSD(n(7), 100, bad); err == nil {
+		t.Error("negative bond cost should fail")
+	}
+}
+
+// Fig. 15(b) ingredient: die cost is superlinear in area (yield), so
+// splitting a die lowers total silicon cost.
+func TestSplittingLowersDieCost(t *testing.T) {
+	p := DefaultParams()
+	f := func(a uint16) bool {
+		area := float64(a%500) + 50
+		whole, err1 := DieUSD(n(7), area, p)
+		half, err2 := DieUSD(n(7), area/2, p)
+		return err1 == nil && err2 == nil && 2*half < whole
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fig. 15(a) ingredient: older nodes have cheaper wafers and better
+// yields, so the same area costs less.
+func TestOlderNodesCheaper(t *testing.T) {
+	p := DefaultParams()
+	sizes := tech.DefaultSizes()
+	for i := 1; i < len(sizes); i++ {
+		newer, err := DieUSD(n(sizes[i-1]), 100, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		older, err := DieUSD(n(sizes[i]), 100, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if older >= newer {
+			t.Errorf("100mm^2 at %dnm ($%g) should cost less than %dnm ($%g)",
+				sizes[i], older, sizes[i-1], newer)
+		}
+	}
+}
+
+func TestAssemblyUSD(t *testing.T) {
+	p := DefaultParams()
+	// RDL at $2/cm^2 over 500 mm^2 (5 cm^2) + 3 chiplets at $1.5,
+	// yield 0.9: (10 + 4.5)/0.9.
+	got, err := AssemblyUSD("RDL", 500, 3, 0.9, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0*5 + 1.5*3) / 0.9
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AssemblyUSD = %g, want %g", got, want)
+	}
+	if _, err := AssemblyUSD("unknown-arch", 500, 3, 0.9, p); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+	if _, err := AssemblyUSD("RDL", 500, 0, 0.9, p); err == nil {
+		t.Error("zero chiplets should fail")
+	}
+	if _, err := AssemblyUSD("RDL", 500, 3, 0, p); err == nil {
+		t.Error("zero yield should fail")
+	}
+}
+
+func TestAssemblyOrderedByComplexity(t *testing.T) {
+	p := DefaultParams()
+	rdl, _ := AssemblyUSD("RDL", 500, 3, 1, p)
+	emib, _ := AssemblyUSD("EMIB", 500, 3, 1, p)
+	passive, _ := AssemblyUSD("passive-interposer", 500, 3, 1, p)
+	active, _ := AssemblyUSD("active-interposer", 500, 3, 1, p)
+	if !(rdl < emib && emib < passive && passive < active) {
+		t.Errorf("assembly cost should order RDL < EMIB < passive < active: %g %g %g %g",
+			rdl, emib, passive, active)
+	}
+}
+
+func TestNRE(t *testing.T) {
+	p := DefaultParams()
+	got, err := NREUSDPerPart(n(7), 100_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("7nm mask NRE per part = %g, want 100", got)
+	}
+	if _, err := NREUSDPerPart(n(7), 0, p); err == nil {
+		t.Error("zero parts should fail")
+	}
+	stranger := &tech.Node{Nm: 99}
+	if _, err := NREUSDPerPart(stranger, 1, p); err == nil {
+		t.Error("unknown node mask cost should fail")
+	}
+}
+
+func TestSystemUSD(t *testing.T) {
+	p := DefaultParams()
+	dies := []Die{
+		{Node: n(7), AreaMM2: 250},
+		{Node: n(14), AreaMM2: 80},
+	}
+	b, err := SystemUSD(dies, "RDL", 400, 0.95, 100_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DiesUSD <= 0 || b.AssemblyUSD <= 0 || b.NREUSD <= 0 {
+		t.Errorf("all cost components should be positive: %+v", b)
+	}
+	if math.Abs(b.TotalUSD()-(b.DiesUSD+b.AssemblyUSD+b.NREUSD)) > 1e-12 {
+		t.Error("TotalUSD must sum the components")
+	}
+	if _, err := SystemUSD(nil, "RDL", 400, 0.95, 1, p); err == nil {
+		t.Error("empty system should fail")
+	}
+	if _, err := SystemUSD(dies, "bogus", 400, 0.95, 1, p); err == nil {
+		t.Error("unknown arch should fail")
+	}
+	if _, err := SystemUSD([]Die{{Node: n(7), AreaMM2: -1}}, "RDL", 400, 0.95, 1, p); err == nil {
+		t.Error("bad die should fail")
+	}
+}
+
+// Higher volume amortizes NRE: total system cost falls with volume.
+func TestVolumeAmortizesNRE(t *testing.T) {
+	p := DefaultParams()
+	dies := []Die{{Node: n(7), AreaMM2: 250}}
+	low, err := SystemUSD(dies, "RDL", 300, 1, 1_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SystemUSD(dies, "RDL", 300, 1, 1_000_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.TotalUSD() >= low.TotalUSD() {
+		t.Errorf("1M-part cost (%g) should be below 1k-part cost (%g)", high.TotalUSD(), low.TotalUSD())
+	}
+	if high.DiesUSD != low.DiesUSD {
+		t.Error("die cost should be volume-independent in this model")
+	}
+}

@@ -1,0 +1,88 @@
+// Package experiments contains one runner per figure of the ECO-CHIP
+// paper's evaluation (Sections V and VI). Each runner regenerates the
+// figure's underlying data series as a report.Table, exactly like the
+// artifact scripts (fig7.py, fig9.py, ...) of the released tool print the
+// raw data behind each plot.
+//
+// The Registry maps experiment ids ("fig2a", "fig7c", ...) to runners so
+// the ecoexp CLI and the benchmark harness can enumerate them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ecochip/internal/report"
+	"ecochip/internal/tech"
+)
+
+// Runner regenerates one figure's data.
+type Runner func(db *tech.DB) (*report.Table, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, db *tech.DB) (*report.Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(db)
+}
+
+// RunAll executes every registered experiment in id order.
+func RunAll(db *tech.DB) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, id := range IDs() {
+		t, err := Run(id, db)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// nodeTuples is the technology-combination sweep of Fig. 7: the first
+// entry is the 7 nm monolith, the rest are (digital, memory, analog)
+// chiplet node assignments.
+type nodeTuple struct {
+	digital, memory, analog int
+	monolithic              bool
+}
+
+func (nt nodeTuple) label() string {
+	if nt.monolithic {
+		return fmt.Sprintf("(%d,%d,%d)-mono", nt.digital, nt.memory, nt.analog)
+	}
+	return fmt.Sprintf("(%d,%d,%d)", nt.digital, nt.memory, nt.analog)
+}
+
+var fig7Tuples = []nodeTuple{
+	{7, 7, 7, true},
+	{7, 7, 7, false},
+	{7, 10, 10, false},
+	{7, 10, 14, false},
+	{7, 14, 10, false},
+	{7, 14, 14, false},
+	{10, 10, 10, false},
+	{10, 14, 14, false},
+	{14, 14, 14, false},
+}

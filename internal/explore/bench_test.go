@@ -1,0 +1,29 @@
+package explore
+
+import (
+	"testing"
+
+	"ecochip/internal/cost"
+	"ecochip/internal/testcases"
+)
+
+func BenchmarkNodeSweep27(b *testing.B) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	cp := cost.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NodeSweep(base, db(), []int{7, 10, 14}, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisaggregate8Blocks(b *testing.B) {
+	base := fineGrained(6, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Disaggregate(base, db()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

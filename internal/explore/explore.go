@@ -1,0 +1,183 @@
+// Package explore implements the chiplet-disaggregation design-space
+// exploration workflow of Section VI of the ECO-CHIP paper: enumerate
+// candidate systems (technology-node assignments, chiplet counts,
+// packaging choices), evaluate each on carbon, dollar cost, area and
+// power, and reduce the space to a Pareto front so an architect can pick
+// a design that "meets the latency, power, and area specifications while
+// minimizing C_tot".
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/tech"
+)
+
+// Point is one evaluated design candidate.
+type Point struct {
+	// Label identifies the candidate (e.g. its node tuple).
+	Label string
+	// Nodes is the per-chiplet node assignment.
+	Nodes []int
+	// EmbodiedKg, TotalKg are the carbon metrics.
+	EmbodiedKg, TotalKg float64
+	// CostUSD is the per-part dollar cost.
+	CostUSD float64
+	// PackageAreaMM2 is the substrate/die footprint.
+	PackageAreaMM2 float64
+}
+
+// MaxCombinations bounds the exhaustive node sweep; beyond it NodeSweep
+// returns an error rather than silently truncating the space.
+const MaxCombinations = 100_000
+
+// NodeSweep evaluates the base system under every combination of the
+// candidate nodes across its chiplets (the Fig. 7 / Fig. 15(a) sweep),
+// including the dollar-cost model.
+func NodeSweep(base *core.System, db *tech.DB, nodes []int, cp cost.Params) ([]Point, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("explore: no candidate nodes")
+	}
+	nc := len(base.Chiplets)
+	combos := 1
+	for i := 0; i < nc; i++ {
+		combos *= len(nodes)
+		if combos > MaxCombinations {
+			return nil, fmt.Errorf("explore: %d^%d combinations exceed the %d cap",
+				len(nodes), nc, MaxCombinations)
+		}
+	}
+	var points []Point
+	assign := make([]int, nc)
+	var walk func(int) error
+	walk = func(i int) error {
+		if i == nc {
+			picked := make([]int, nc)
+			copy(picked, assign)
+			p, err := evaluate(base, db, picked, cp)
+			if err != nil {
+				return err
+			}
+			points = append(points, p)
+			return nil
+		}
+		for _, nm := range nodes {
+			assign[i] = nm
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+func evaluate(base *core.System, db *tech.DB, picked []int, cp cost.Params) (Point, error) {
+	s, err := base.WithNodes(picked...)
+	if err != nil {
+		return Point{}, err
+	}
+	rep, err := s.Evaluate(db)
+	if err != nil {
+		return Point{}, err
+	}
+	c, err := s.CostUSD(db, cp)
+	if err != nil {
+		return Point{}, err
+	}
+	area := rep.Chiplets[0].AreaMM2
+	if rep.Packaging != nil {
+		area = rep.Packaging.PackageAreaMM2
+	}
+	return Point{
+		Label:          fmt.Sprint(picked),
+		Nodes:          picked,
+		EmbodiedKg:     rep.EmbodiedKg(),
+		TotalKg:        rep.TotalKg(),
+		CostUSD:        c.TotalUSD(),
+		PackageAreaMM2: area,
+	}, nil
+}
+
+// Metric extracts one objective value from a point; all objectives are
+// minimized.
+type Metric func(Point) float64
+
+// Standard objectives.
+var (
+	// ByEmbodied minimizes embodied carbon.
+	ByEmbodied Metric = func(p Point) float64 { return p.EmbodiedKg }
+	// ByTotal minimizes total (lifetime) carbon.
+	ByTotal Metric = func(p Point) float64 { return p.TotalKg }
+	// ByCost minimizes dollar cost.
+	ByCost Metric = func(p Point) float64 { return p.CostUSD }
+	// ByArea minimizes package footprint.
+	ByArea Metric = func(p Point) float64 { return p.PackageAreaMM2 }
+)
+
+// Best returns the point minimizing the metric. It panics on an empty
+// slice (an authoring bug in experiment code).
+func Best(points []Point, m Metric) Point {
+	if len(points) == 0 {
+		panic("explore: Best on empty point set")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if m(p) < m(best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// ParetoFront returns the subset of points not dominated under the given
+// objectives (all minimized): a point is dominated if some other point is
+// no worse in every objective and strictly better in at least one. The
+// result is sorted by the first objective.
+func ParetoFront(points []Point, objectives ...Metric) []Point {
+	if len(objectives) == 0 {
+		panic("explore: ParetoFront needs at least one objective")
+	}
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p, objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool {
+		return objectives[0](front[a]) < objectives[0](front[b])
+	})
+	return front
+}
+
+// dominates reports whether q dominates p: q <= p everywhere and q < p
+// somewhere.
+func dominates(q, p Point, objectives []Metric) bool {
+	strictly := false
+	for _, m := range objectives {
+		qv, pv := m(q), m(p)
+		if qv > pv {
+			return false
+		}
+		if qv < pv {
+			strictly = true
+		}
+	}
+	return strictly
+}

@@ -1,0 +1,147 @@
+package explore
+
+import (
+	"testing"
+
+	"ecochip/internal/cost"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+func sweep(t *testing.T) []Point {
+	t.Helper()
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	points, err := NodeSweep(base, db(), []int{7, 10, 14}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestNodeSweepEnumerates(t *testing.T) {
+	points := sweep(t)
+	if len(points) != 27 {
+		t.Fatalf("3 nodes ^ 3 chiplets should give 27 points, got %d", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if seen[p.Label] {
+			t.Errorf("duplicate point %s", p.Label)
+		}
+		seen[p.Label] = true
+		if p.EmbodiedKg <= 0 || p.TotalKg <= p.EmbodiedKg || p.CostUSD <= 0 || p.PackageAreaMM2 <= 0 {
+			t.Errorf("implausible point %+v", p)
+		}
+	}
+}
+
+func TestNodeSweepErrors(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	if _, err := NodeSweep(base, db(), nil, cost.DefaultParams()); err == nil {
+		t.Error("empty node list should fail")
+	}
+	// Blow the combination cap: 7 nodes ^ 10 chiplets.
+	big, err := testcases.GA102Split(db(), 8, base.Packaging.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NodeSweep(big, db(), db().Sizes(), cost.DefaultParams()); err == nil {
+		t.Error("combination explosion should fail, not truncate")
+	}
+	// Invalid node propagates.
+	if _, err := NodeSweep(base, db(), []int{7, 3}, cost.DefaultParams()); err == nil {
+		t.Error("unsupported node should fail")
+	}
+}
+
+// The paper's Section V-A result must fall out of the sweep: the best
+// embodied-carbon point is (7,14,10).
+func TestBestMatchesPaper(t *testing.T) {
+	points := sweep(t)
+	best := Best(points, ByEmbodied)
+	if best.Label != "[7 14 10]" {
+		t.Errorf("best embodied point = %s, want [7 14 10]", best.Label)
+	}
+}
+
+func TestBestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Best on empty set should panic")
+		}
+	}()
+	Best(nil, ByEmbodied)
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	points := sweep(t)
+	front := ParetoFront(points, ByEmbodied, ByCost)
+	if len(front) == 0 || len(front) > len(points) {
+		t.Fatalf("front size %d implausible", len(front))
+	}
+	// No point in the front is dominated by any sweep point.
+	for _, p := range front {
+		for _, q := range points {
+			if q.Label == p.Label {
+				continue
+			}
+			if q.EmbodiedKg <= p.EmbodiedKg && q.CostUSD <= p.CostUSD &&
+				(q.EmbodiedKg < p.EmbodiedKg || q.CostUSD < p.CostUSD) {
+				t.Errorf("front point %s is dominated by %s", p.Label, q.Label)
+			}
+		}
+	}
+	// Front is sorted by the first objective.
+	for i := 1; i < len(front); i++ {
+		if front[i].EmbodiedKg < front[i-1].EmbodiedKg {
+			t.Error("front not sorted by first objective")
+		}
+	}
+	// Both single-objective optima are on the front.
+	bestEmb := Best(points, ByEmbodied)
+	bestCost := Best(points, ByCost)
+	var foundEmb, foundCost bool
+	for _, p := range front {
+		if p.Label == bestEmb.Label {
+			foundEmb = true
+		}
+		if p.Label == bestCost.Label {
+			foundCost = true
+		}
+	}
+	if !foundEmb || !foundCost {
+		t.Error("single-objective optima must be on the Pareto front")
+	}
+}
+
+func TestParetoSingleObjective(t *testing.T) {
+	points := sweep(t)
+	front := ParetoFront(points, ByTotal)
+	// With one objective the front is exactly the set of minima.
+	best := Best(points, ByTotal)
+	for _, p := range front {
+		if p.TotalKg != best.TotalKg {
+			t.Errorf("single-objective front contains non-minimal point %s", p.Label)
+		}
+	}
+}
+
+func TestParetoPanicsWithoutObjectives(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ParetoFront without objectives should panic")
+		}
+	}()
+	ParetoFront(sweep(t))
+}
+
+func TestByAreaMetric(t *testing.T) {
+	points := sweep(t)
+	best := Best(points, ByArea)
+	// All-advanced nodes minimize area.
+	if best.Label != "[7 7 7]" {
+		t.Errorf("smallest-area point = %s, want [7 7 7]", best.Label)
+	}
+}

@@ -1,0 +1,164 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ecochip/internal/core"
+	"ecochip/internal/tech"
+)
+
+// This file implements the grouping half of SoC-to-chiplet
+// disaggregation (Section VI): given a system described at fine block
+// granularity, decide which blocks should share a die. Merging blocks
+// saves packaging overhead and amortizes per-die waste, but grows die
+// area (hurting yield) and forces every member onto the most advanced
+// node in the group. The optimizer runs a deterministic greedy merge:
+// starting from the fully disaggregated system, it repeatedly applies
+// the pairwise merge that lowers embodied carbon the most, stopping when
+// no merge helps.
+
+// Plan is the result of a disaggregation search.
+type Plan struct {
+	// System is the optimized system (chiplets are merged groups).
+	System *core.System
+	// Groups maps each result chiplet to the names of the original
+	// blocks it absorbed.
+	Groups [][]string
+	// EmbodiedKg is the optimized embodied carbon.
+	EmbodiedKg float64
+	// InitialKg is the fully disaggregated starting point's carbon.
+	InitialKg float64
+	// Steps is the number of merges applied.
+	Steps int
+}
+
+// mergeable reports whether two chiplets may share a die: same scaling
+// type (a die is floorplanned per class here) and neither is a reused
+// hard IP (merging would forfeit its pre-designed status).
+func mergeable(a, b core.Chiplet) bool {
+	return a.Type == b.Type && !a.Reused && !b.Reused
+}
+
+// merge combines two chiplets: transistor budgets add, the group settles
+// on the most advanced (smallest) node so every member can be built.
+func merge(a, b core.Chiplet) core.Chiplet {
+	node := a.NodeNm
+	if b.NodeNm < node {
+		node = b.NodeNm
+	}
+	parts := a.ManufacturedParts
+	if b.ManufacturedParts < parts || parts == 0 {
+		parts = b.ManufacturedParts
+	}
+	return core.Chiplet{
+		Name:              a.Name + "+" + b.Name,
+		Type:              a.Type,
+		Transistors:       a.Transistors + b.Transistors,
+		NodeNm:            node,
+		ManufacturedParts: parts,
+	}
+}
+
+// Disaggregate runs the greedy merge search on the system's blocks and
+// returns the best grouping found.
+func Disaggregate(base *core.System, db *tech.DB) (*Plan, error) {
+	if err := base.Validate(db); err != nil {
+		return nil, err
+	}
+	if base.Monolithic {
+		return nil, fmt.Errorf("explore: disaggregation needs a chiplet-form system, not a monolith")
+	}
+
+	current := cloneSystem(base)
+	groups := make([][]string, len(current.Chiplets))
+	for i, c := range current.Chiplets {
+		groups[i] = []string{c.Name}
+	}
+	currentKg, err := embodied(current, db)
+	if err != nil {
+		return nil, err
+	}
+	initialKg := currentKg
+
+	steps := 0
+	for len(current.Chiplets) > 1 {
+		bestKg := currentKg
+		bestI, bestJ := -1, -1
+		var bestSys *core.System
+		for i := 0; i < len(current.Chiplets); i++ {
+			for j := i + 1; j < len(current.Chiplets); j++ {
+				if !mergeable(current.Chiplets[i], current.Chiplets[j]) {
+					continue
+				}
+				candidate := applyMerge(current, i, j)
+				kg, err := embodied(candidate, db)
+				if err != nil {
+					return nil, err
+				}
+				if kg < bestKg {
+					bestKg, bestI, bestJ, bestSys = kg, i, j, candidate
+				}
+			}
+		}
+		if bestI < 0 {
+			break // no merge improves
+		}
+		mergedGroup := append(append([]string{}, groups[bestI]...), groups[bestJ]...)
+		var nextGroups [][]string
+		for k := range groups {
+			if k != bestI && k != bestJ {
+				nextGroups = append(nextGroups, groups[k])
+			}
+		}
+		groups = append(nextGroups, mergedGroup)
+		current, currentKg = bestSys, bestKg
+		steps++
+	}
+
+	for _, g := range groups {
+		sort.Strings(g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return strings.Join(groups[i], ",") < strings.Join(groups[j], ",")
+	})
+	return &Plan{
+		System:     current,
+		Groups:     groups,
+		EmbodiedKg: currentKg,
+		InitialKg:  initialKg,
+		Steps:      steps,
+	}, nil
+}
+
+// applyMerge returns a copy of s with chiplets i and j merged (i < j).
+// The merged chiplet is appended so group bookkeeping can mirror the
+// move.
+func applyMerge(s *core.System, i, j int) *core.System {
+	out := cloneSystem(s)
+	merged := merge(out.Chiplets[i], out.Chiplets[j])
+	var chiplets []core.Chiplet
+	for k, c := range out.Chiplets {
+		if k != i && k != j {
+			chiplets = append(chiplets, c)
+		}
+	}
+	out.Chiplets = append(chiplets, merged)
+	return out
+}
+
+func cloneSystem(s *core.System) *core.System {
+	out := *s
+	out.Chiplets = make([]core.Chiplet, len(s.Chiplets))
+	copy(out.Chiplets, s.Chiplets)
+	return &out
+}
+
+func embodied(s *core.System, db *tech.DB) (float64, error) {
+	rep, err := s.Evaluate(db)
+	if err != nil {
+		return 0, err
+	}
+	return rep.EmbodiedKg(), nil
+}

@@ -1,0 +1,44 @@
+package floorplan
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchBlocks(n int) []Block {
+	blocks := make([]Block, n)
+	for i := range blocks {
+		blocks[i] = Block{Name: fmt.Sprintf("b%d", i), AreaMM2: float64(20 + 13*i%200)}
+	}
+	return blocks
+}
+
+func BenchmarkPlan8(b *testing.B) {
+	blocks := benchBlocks(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(blocks, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlan32(b *testing.B) {
+	blocks := benchBlocks(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(blocks, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanFlexible8(b *testing.B) {
+	blocks := benchBlocks(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanFlexible(blocks, 0.5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

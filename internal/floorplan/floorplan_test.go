@@ -1,0 +1,243 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func blocksOf(areas ...float64) []Block {
+	bs := make([]Block, len(areas))
+	for i, a := range areas {
+		bs[i] = Block{Name: fmt.Sprintf("c%d", i), AreaMM2: a}
+	}
+	return bs
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(nil, 0.5); err == nil {
+		t.Error("empty block list should fail")
+	}
+	if _, err := Plan(blocksOf(0), 0.5); err == nil {
+		t.Error("zero-area block should fail")
+	}
+	if _, err := Plan(blocksOf(100), 5); err == nil {
+		t.Error("spacing outside Table I range should fail")
+	}
+	if _, err := Plan(blocksOf(100), 0.05); err == nil {
+		t.Error("spacing below Table I range should fail")
+	}
+}
+
+func TestSingleBlock(t *testing.T) {
+	res, err := Plan(blocksOf(100), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AreaMM2()-100) > 1e-9 {
+		t.Errorf("single square block package area = %g, want 100", res.AreaMM2())
+	}
+	if res.WhitespaceMM2() > 1e-9 {
+		t.Errorf("single block whitespace = %g, want 0", res.WhitespaceMM2())
+	}
+	if len(res.Adjacencies) != 0 {
+		t.Errorf("single block should have no adjacencies, got %d", len(res.Adjacencies))
+	}
+}
+
+func TestTwoEqualBlocks(t *testing.T) {
+	res, err := Plan(blocksOf(100, 100), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 10x10 squares side by side with 0.5mm gap: 20.5 x 10.
+	if math.Abs(res.AreaMM2()-205) > 1e-9 {
+		t.Errorf("package area = %g, want 205", res.AreaMM2())
+	}
+	if math.Abs(res.WhitespaceMM2()-5) > 1e-9 {
+		t.Errorf("whitespace = %g, want 5 (the spacing strip)", res.WhitespaceMM2())
+	}
+	if len(res.Adjacencies) != 1 {
+		t.Fatalf("want 1 adjacency, got %d: %+v", len(res.Adjacencies), res.Adjacencies)
+	}
+	if math.Abs(res.Adjacencies[0].OverlapMM-10) > 1e-9 {
+		t.Errorf("overlap = %g, want 10", res.Adjacencies[0].OverlapMM)
+	}
+}
+
+func TestDefaultSpacing(t *testing.T) {
+	res, err := Plan(blocksOf(100, 100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (10 + DefaultSpacingMM + 10) * 10
+	if math.Abs(res.AreaMM2()-want) > 1e-9 {
+		t.Errorf("package area with default spacing = %g, want %g", res.AreaMM2(), want)
+	}
+}
+
+func TestAspectRatio(t *testing.T) {
+	res, err := Plan([]Block{{Name: "wide", AreaMM2: 100, AspectRatio: 4}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Placements[0]
+	if math.Abs(p.Width-20) > 1e-9 || math.Abs(p.Height-5) > 1e-9 {
+		t.Errorf("4:1 block dims = %gx%g, want 20x5", p.Width, p.Height)
+	}
+}
+
+func TestPlacementsDoNotOverlap(t *testing.T) {
+	res, err := Plan(blocksOf(400, 150, 150, 80, 60, 30), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(res.Placements); i++ {
+		for j := i + 1; j < len(res.Placements); j++ {
+			a, b := res.Placements[i], res.Placements[j]
+			overlapX := math.Min(a.X+a.Width, b.X+b.Width) - math.Max(a.X, b.X)
+			overlapY := math.Min(a.Y+a.Height, b.Y+b.Height) - math.Max(a.Y, b.Y)
+			if overlapX > 1e-9 && overlapY > 1e-9 {
+				t.Errorf("placements %s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestPlacementsInsideBoundingBox(t *testing.T) {
+	res, err := Plan(blocksOf(500, 80, 48, 30, 20), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Placements {
+		if p.X < -1e-9 || p.Y < -1e-9 ||
+			p.X+p.Width > res.WidthMM+1e-9 || p.Y+p.Height > res.HeightMM+1e-9 {
+			t.Errorf("placement %s (%g,%g %gx%g) escapes package %gx%g",
+				p.Name, p.X, p.Y, p.Width, p.Height, res.WidthMM, res.HeightMM)
+		}
+	}
+}
+
+func TestAllBlocksPlaced(t *testing.T) {
+	blocks := blocksOf(100, 90, 80, 70, 60, 50, 40)
+	res, err := Plan(blocks, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) != len(blocks) {
+		t.Fatalf("placed %d of %d blocks", len(res.Placements), len(blocks))
+	}
+	seen := map[string]bool{}
+	for _, p := range res.Placements {
+		seen[p.Name] = true
+	}
+	for _, b := range blocks {
+		if !seen[b.Name] {
+			t.Errorf("block %s missing from placements", b.Name)
+		}
+	}
+}
+
+// Property: package area >= sum of chiplet areas, whitespace fraction in
+// [0, 1), for arbitrary block sets.
+func TestPackageAreaProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		blocks := make([]Block, len(raw))
+		for i, r := range raw {
+			blocks[i] = Block{Name: fmt.Sprintf("b%d", i), AreaMM2: float64(r%500) + 1}
+		}
+		res, err := Plan(blocks, 0.5)
+		if err != nil {
+			return false
+		}
+		wf := res.WhitespaceFraction()
+		return res.AreaMM2() >= res.ChipletAreaMM2-1e-9 && wf >= -1e-12 && wf < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The slicing floorplan should stay reasonably compact: for equal-sized
+// squares the whitespace fraction must stay below 35%.
+func TestWhitespaceBoundedForEqualSquares(t *testing.T) {
+	for n := 2; n <= 16; n++ {
+		areas := make([]float64, n)
+		for i := range areas {
+			areas[i] = 100
+		}
+		res, err := Plan(blocksOf(areas...), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wf := res.WhitespaceFraction(); wf > 0.35 {
+			t.Errorf("n=%d: whitespace fraction %.2f exceeds 0.35", n, wf)
+		}
+	}
+}
+
+// Every multi-chiplet floorplan must expose at least one adjacency, and
+// n placed chiplets form a connected arrangement needing >= n-1 pairwise
+// interfaces is not guaranteed by slicing; we check >= 1 and overlap > 0.
+func TestAdjacenciesExist(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		areas := make([]float64, n)
+		for i := range areas {
+			areas[i] = float64(50 + 10*i)
+		}
+		res, err := Plan(blocksOf(areas...), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Adjacencies) == 0 {
+			t.Errorf("n=%d: no adjacencies found", n)
+		}
+		for _, a := range res.Adjacencies {
+			if a.OverlapMM <= 0 {
+				t.Errorf("n=%d: adjacency %s-%s has non-positive overlap", n, a.A, a.B)
+			}
+			if a.A == a.B {
+				t.Errorf("self adjacency %s", a.A)
+			}
+		}
+	}
+}
+
+// Determinism: same input, same floorplan.
+func TestPlanDeterministic(t *testing.T) {
+	blocks := blocksOf(500, 80, 48)
+	r1, err1 := Plan(blocks, 0.5)
+	r2, err2 := Plan(blocks, 0.5)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.AreaMM2() != r2.AreaMM2() || len(r1.Adjacencies) != len(r2.Adjacencies) {
+		t.Error("Plan is not deterministic")
+	}
+}
+
+// More chiplets for the same total area should grow the package area
+// (more spacing strips), never shrink it below the total silicon.
+func TestMoreChipletsMorePackage(t *testing.T) {
+	const total = 500.0
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8} {
+		areas := make([]float64, n)
+		for i := range areas {
+			areas[i] = total / float64(n)
+		}
+		res, err := Plan(blocksOf(areas...), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := res.WhitespaceMM2()
+		if ws < prev-1e-9 {
+			t.Errorf("whitespace with %d chiplets (%.2f) below previous (%.2f)", n, ws, prev)
+		}
+		prev = ws
+	}
+}

@@ -1,0 +1,148 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanFlexibleErrors(t *testing.T) {
+	if _, err := PlanFlexible(nil, 0.5, nil); err == nil {
+		t.Error("empty block list should fail")
+	}
+	if _, err := PlanFlexible(blocksOf(0), 0.5, nil); err == nil {
+		t.Error("zero-area block should fail")
+	}
+	if _, err := PlanFlexible(blocksOf(100), 5, nil); err == nil {
+		t.Error("bad spacing should fail")
+	}
+	if _, err := PlanFlexible(blocksOf(100, 100), 0.5, []float64{-1}); err == nil {
+		t.Error("negative aspect should fail")
+	}
+}
+
+// Flexible planning must never produce a larger package than the
+// fixed-shape planner for the same blocks.
+func TestFlexibleNeverWorse(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		blocks := make([]Block, len(raw))
+		for i, r := range raw {
+			blocks[i] = Block{Name: fmt.Sprintf("b%d", i), AreaMM2: float64(r%400) + 1}
+		}
+		fixed, err1 := Plan(blocks, 0.5)
+		flex, err2 := PlanFlexible(blocks, 0.5, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return flex.AreaMM2() <= fixed.AreaMM2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A mismatched pair (one large, one small) benefits from aspect freedom:
+// the small block stretches along the large one's edge.
+func TestFlexibleBeatsFixedOnMismatch(t *testing.T) {
+	blocks := blocksOf(400, 50)
+	fixed, err := Plan(blocks, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex, err := PlanFlexible(blocks, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flex.WhitespaceMM2() >= fixed.WhitespaceMM2() {
+		t.Errorf("flexible whitespace %.1f should beat fixed %.1f",
+			flex.WhitespaceMM2(), fixed.WhitespaceMM2())
+	}
+}
+
+func TestFlexiblePlacementsValid(t *testing.T) {
+	blocks := blocksOf(300, 120, 80, 40, 25)
+	res, err := PlanFlexible(blocks, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) != len(blocks) {
+		t.Fatalf("placed %d of %d blocks", len(res.Placements), len(blocks))
+	}
+	for _, p := range res.Placements {
+		if p.X < -1e-9 || p.Y < -1e-9 ||
+			p.X+p.Width > res.WidthMM+1e-9 || p.Y+p.Height > res.HeightMM+1e-9 {
+			t.Errorf("placement %s escapes the package", p.Name)
+		}
+	}
+	// Areas preserved under aspect changes.
+	for _, p := range res.Placements {
+		want := map[string]float64{"c0": 300, "c1": 120, "c2": 80, "c3": 40, "c4": 25}[p.Name]
+		if math.Abs(p.Width*p.Height-want) > 1e-6 {
+			t.Errorf("block %s area %.2f, want %.2f", p.Name, p.Width*p.Height, want)
+		}
+	}
+	// No overlaps.
+	for i := 0; i < len(res.Placements); i++ {
+		for j := i + 1; j < len(res.Placements); j++ {
+			a, b := res.Placements[i], res.Placements[j]
+			ox := math.Min(a.X+a.Width, b.X+b.Width) - math.Max(a.X, b.X)
+			oy := math.Min(a.Y+a.Height, b.Y+b.Height) - math.Max(a.Y, b.Y)
+			if ox > 1e-9 && oy > 1e-9 {
+				t.Errorf("placements %s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestFixedAspectRespected(t *testing.T) {
+	blocks := []Block{
+		{Name: "hard", AreaMM2: 100, AspectRatio: 4}, // hard macro: 20x5
+		{Name: "soft", AreaMM2: 100},
+	}
+	res, err := PlanFlexible(blocks, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Placements {
+		if p.Name == "hard" {
+			if math.Abs(p.Width-20) > 1e-9 || math.Abs(p.Height-5) > 1e-9 {
+				t.Errorf("hard macro reshaped to %gx%g", p.Width, p.Height)
+			}
+		}
+	}
+}
+
+func TestPruneKeepsParetoOnly(t *testing.T) {
+	shapes := []shape{
+		{w: 10, h: 10}, {w: 20, h: 5}, {w: 5, h: 20},
+		{w: 12, h: 12}, // dominated by 10x10
+	}
+	out := prune(shapes)
+	for _, s := range out {
+		if s.w == 12 && s.h == 12 {
+			t.Error("dominated shape survived pruning")
+		}
+	}
+	if len(out) != 3 {
+		t.Errorf("want 3 Pareto shapes, got %d", len(out))
+	}
+}
+
+func TestFlexibleDeterministic(t *testing.T) {
+	blocks := blocksOf(200, 100, 50)
+	r1, err := PlanFlexible(blocks, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PlanFlexible(blocks, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.AreaMM2() != r2.AreaMM2() {
+		t.Error("PlanFlexible is not deterministic")
+	}
+}

@@ -1,0 +1,97 @@
+package mfg
+
+import (
+	"fmt"
+
+	"ecochip/internal/tech"
+)
+
+// Section V-C of the paper notes that ECO-CHIP "does not split the C_mfg
+// into its NRE and non-NRE components" and that doing so "will only
+// improve CFP savings" for reused chiplets — because the carbon of
+// manufacturing and designing the photolithography mask set is paid once
+// per chiplet design and amortized over every part manufactured. This
+// file implements that extension.
+
+// NREParams configures the mask-set carbon model.
+type NREParams struct {
+	// EnergyPerMaskKWh is the e-beam write + inspection energy of one
+	// mask.
+	EnergyPerMaskKWh float64
+	// MaterialKgPerMask is the carbon of the mask blank and processing
+	// chemistry.
+	MaterialKgPerMask float64
+	// CarbonIntensity converts mask-shop energy to carbon (kg CO2/kWh).
+	CarbonIntensity float64
+}
+
+// DefaultNREParams uses mask-shop magnitudes: multi-day e-beam writes
+// (~500 kWh/mask) and ~20 kg CO2 of blank + chemistry per mask, on a
+// coal-dominated grid.
+func DefaultNREParams() NREParams {
+	return NREParams{
+		EnergyPerMaskKWh:  500,
+		MaterialKgPerMask: 20,
+		CarbonIntensity:   IntensityCoal,
+	}
+}
+
+// Validate checks ranges.
+func (p NREParams) Validate() error {
+	if p.EnergyPerMaskKWh <= 0 {
+		return fmt.Errorf("mfg: mask energy must be positive, got %g", p.EnergyPerMaskKWh)
+	}
+	if p.MaterialKgPerMask < 0 {
+		return fmt.Errorf("mfg: mask material carbon must be non-negative, got %g", p.MaterialKgPerMask)
+	}
+	if p.CarbonIntensity < 0.030 || p.CarbonIntensity > 0.700 {
+		return fmt.Errorf("mfg: mask-shop carbon intensity %g outside [0.030, 0.700]", p.CarbonIntensity)
+	}
+	return nil
+}
+
+// MaskCount returns the mask-set size for a node. Advanced nodes carry
+// more layers (and multi-patterning); the counts follow published
+// mask-set sizes from ~30 masks at 65 nm to ~80 at 7 nm.
+func MaskCount(n *tech.Node) int {
+	switch {
+	case n.Nm <= 7:
+		return 80
+	case n.Nm <= 10:
+		return 75
+	case n.Nm <= 14:
+		return 65
+	case n.Nm <= 22:
+		return 55
+	case n.Nm <= 28:
+		return 48
+	case n.Nm <= 40:
+		return 40
+	default:
+		return 30
+	}
+}
+
+// MaskSetKg returns the one-time carbon of manufacturing a full mask set
+// for the node.
+func MaskSetKg(n *tech.Node, p NREParams) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	masks := float64(MaskCount(n))
+	return masks * (p.EnergyPerMaskKWh*p.CarbonIntensity + p.MaterialKgPerMask), nil
+}
+
+// AmortizedNREKg returns the per-part share of the mask-set carbon for a
+// chiplet design manufactured `parts` times. Reuse across products grows
+// `parts` and shrinks this share, exactly like design carbon.
+func AmortizedNREKg(n *tech.Node, parts int, p NREParams) (float64, error) {
+	if parts < 1 {
+		return 0, fmt.Errorf("mfg: parts must be >= 1, got %d", parts)
+	}
+	set, err := MaskSetKg(n, p)
+	if err != nil {
+		return 0, err
+	}
+	return set / float64(parts), nil
+}

@@ -1,0 +1,76 @@
+package mfg
+
+import (
+	"math"
+	"testing"
+
+	"ecochip/internal/tech"
+)
+
+func TestMaskCountTrend(t *testing.T) {
+	db := tech.Default()
+	sizes := db.Sizes()
+	for i := 1; i < len(sizes); i++ {
+		newer := MaskCount(db.MustGet(sizes[i-1]))
+		older := MaskCount(db.MustGet(sizes[i]))
+		if older > newer {
+			t.Errorf("mask count at %dnm (%d) should not exceed %dnm (%d)",
+				sizes[i], older, sizes[i-1], newer)
+		}
+	}
+	if MaskCount(db.MustGet(7)) != 80 || MaskCount(db.MustGet(65)) != 30 {
+		t.Error("mask count anchors mismatch")
+	}
+}
+
+func TestMaskSetKgKnownValue(t *testing.T) {
+	// 80 masks * (500 kWh * 0.7 kg/kWh + 20 kg) = 80 * 370 = 29600 kg.
+	got, err := MaskSetKg(tech.Default().MustGet(7), DefaultNREParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-29600) > 1e-9 {
+		t.Errorf("MaskSetKg(7nm) = %g, want 29600", got)
+	}
+}
+
+func TestAmortizedNRE(t *testing.T) {
+	n := tech.Default().MustGet(7)
+	per, err := AmortizedNREKg(n, 100_000, DefaultNREParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(per-0.296) > 1e-9 {
+		t.Errorf("AmortizedNREKg = %g, want 0.296", per)
+	}
+	if _, err := AmortizedNREKg(n, 0, DefaultNREParams()); err == nil {
+		t.Error("zero parts should fail")
+	}
+}
+
+func TestNREParamsValidate(t *testing.T) {
+	bad := []NREParams{
+		{EnergyPerMaskKWh: 0, MaterialKgPerMask: 20, CarbonIntensity: 0.7},
+		{EnergyPerMaskKWh: 500, MaterialKgPerMask: -1, CarbonIntensity: 0.7},
+		{EnergyPerMaskKWh: 500, MaterialKgPerMask: 20, CarbonIntensity: 5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should fail", i)
+		}
+		if _, err := MaskSetKg(tech.Default().MustGet(7), p); err == nil {
+			t.Errorf("MaskSetKg with params %d should fail", i)
+		}
+	}
+}
+
+// Older nodes have cheaper mask sets — part of the reuse/mix-and-match
+// advantage.
+func TestOlderNodesCheaperMasks(t *testing.T) {
+	db := tech.Default()
+	m7, _ := MaskSetKg(db.MustGet(7), DefaultNREParams())
+	m65, _ := MaskSetKg(db.MustGet(65), DefaultNREParams())
+	if m65 >= m7 {
+		t.Errorf("65nm mask set (%g) should cost less carbon than 7nm (%g)", m65, m7)
+	}
+}

@@ -1,0 +1,170 @@
+// Package noc estimates the silicon area and power of network-on-chip /
+// network-on-interposer routers used for inter-die communication in 2.5D
+// and 3D HI systems (Section III-D(2) of the ECO-CHIP paper).
+//
+// The paper delegates these scalars to ORION 3.0 [26] for power and Stow
+// et al. [42] for area. Both are closed C++ tools, so this package
+// re-implements the same microarchitectural accounting from first
+// principles: a virtual-channel router is decomposed into its input
+// buffers, crossbar, virtual-channel and switch allocators, and link
+// drivers; each component gets a transistor estimate parameterised by flit
+// width, port count, virtual channels and buffer depth; transistors are
+// converted to area through the technology database's logic density and to
+// power through the alpha*C*V^2*f dynamic model plus density-scaled
+// leakage. The absolute magnitudes land in the range [42] reports
+// (sub-mm^2 routers) and, critically, reproduce the *trends* the paper
+// uses: router area grows with flit width and ports, shrinks with advanced
+// nodes, and router power rises with V^2 f.
+package noc
+
+import (
+	"fmt"
+
+	"ecochip/internal/tech"
+)
+
+// Config describes a router microarchitecture. The zero value is not
+// valid; use DefaultConfig for the paper's setup (512-bit flits, 5-port
+// mesh router).
+type Config struct {
+	// FlitWidthBits is the datapath width (Table I: 512 bits).
+	FlitWidthBits int
+	// Ports is the number of bidirectional router ports (a 2D-mesh
+	// router has 5: N, S, E, W, local).
+	Ports int
+	// VirtualChannels per port.
+	VirtualChannels int
+	// BufferDepthFlits is the per-VC input-buffer depth in flits.
+	BufferDepthFlits int
+}
+
+// DefaultConfig is the ECO-CHIP experimental setup from Table I.
+func DefaultConfig() Config {
+	return Config{FlitWidthBits: 512, Ports: 5, VirtualChannels: 4, BufferDepthFlits: 4}
+}
+
+// Validate rejects degenerate router configurations.
+func (c Config) Validate() error {
+	if c.FlitWidthBits <= 0 || c.FlitWidthBits > 4096 {
+		return fmt.Errorf("noc: flit width %d outside (0, 4096]", c.FlitWidthBits)
+	}
+	if c.Ports < 2 || c.Ports > 16 {
+		return fmt.Errorf("noc: port count %d outside [2, 16]", c.Ports)
+	}
+	if c.VirtualChannels < 1 || c.VirtualChannels > 16 {
+		return fmt.Errorf("noc: virtual channels %d outside [1, 16]", c.VirtualChannels)
+	}
+	if c.BufferDepthFlits < 1 || c.BufferDepthFlits > 64 {
+		return fmt.Errorf("noc: buffer depth %d outside [1, 64]", c.BufferDepthFlits)
+	}
+	return nil
+}
+
+// Per-component transistor coefficients. These calibrate the model to the
+// magnitudes reported by ORION 3.0 / Stow et al.: an SRAM bit costs ~6T
+// plus ~2T of read/write periphery; a crossbar crosspoint is a ~10T
+// mux/driver per bit; allocators are ~30T per request pair; each link bit
+// needs pipeline register + driver (~16T).
+const (
+	transistorsPerBufferBit = 8.0
+	transistorsPerXbarBit   = 10.0
+	transistorsPerArbPair   = 30.0
+	transistorsPerLinkBit   = 16.0
+)
+
+// Transistors returns the estimated transistor count of one router.
+func Transistors(c Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	p := float64(c.Ports)
+	vc := float64(c.VirtualChannels)
+	depth := float64(c.BufferDepthFlits)
+	flit := float64(c.FlitWidthBits)
+
+	buffers := p * vc * depth * flit * transistorsPerBufferBit
+	crossbar := p * p * flit * transistorsPerXbarBit
+	allocators := (p*p*vc*vc + p*p) * transistorsPerArbPair
+	links := p * flit * transistorsPerLinkBit
+	return buffers + crossbar + allocators + links, nil
+}
+
+// AreaMM2 returns the router area when implemented in the given node.
+// Routers are synthesized logic (buffers included), so the logic density
+// applies.
+func AreaMM2(c Config, n *tech.Node) (float64, error) {
+	tr, err := Transistors(c)
+	if err != nil {
+		return 0, err
+	}
+	return n.Area(tech.Logic, tr), nil
+}
+
+// PowerParams are the operating conditions for router power estimation.
+type PowerParams struct {
+	// FrequencyHz is the router clock.
+	FrequencyHz float64
+	// Activity is the average switching-activity factor in (0, 1].
+	Activity float64
+}
+
+// DefaultPowerParams matches a 1 GHz interposer NoC at 20% activity.
+func DefaultPowerParams() PowerParams {
+	return PowerParams{FrequencyHz: 1e9, Activity: 0.2}
+}
+
+// Technology-dependent electrical constants for the power model. The
+// effective switched capacitance per transistor shrinks roughly with node
+// pitch; leakage current per transistor is higher in advanced nodes.
+const (
+	// farads of switched capacitance per transistor at 65 nm; scaled by
+	// (node/65).
+	capPerTransistor65 = 1.3e-16
+	// amps of leakage per transistor at 7 nm; scaled by (7/node).
+	leakPerTransistor7 = 4e-11
+)
+
+// PowerW returns the router power in watts: dynamic alpha*C*V^2*f plus
+// leakage V*I_leak, both scaled by the router's transistor count and the
+// node's electrical parameters (Eq. (14) applied to the router netlist).
+func PowerW(c Config, n *tech.Node, pp PowerParams) (float64, error) {
+	if pp.FrequencyHz <= 0 {
+		return 0, fmt.Errorf("noc: frequency must be positive, got %g", pp.FrequencyHz)
+	}
+	if pp.Activity <= 0 || pp.Activity > 1 {
+		return 0, fmt.Errorf("noc: activity %g outside (0, 1]", pp.Activity)
+	}
+	tr, err := Transistors(c)
+	if err != nil {
+		return 0, err
+	}
+	capacitance := tr * capPerTransistor65 * float64(n.Nm) / 65
+	dynamic := pp.Activity * capacitance * n.Vdd * n.Vdd * pp.FrequencyHz
+	leak := tr * leakPerTransistor7 * 7 / float64(n.Nm) * n.Vdd
+	return dynamic + leak, nil
+}
+
+// transistorsPerPHYLane sizes one serdes lane block of a die-to-die PHY.
+const transistorsPerPHYLane = 40_000.0
+
+// PHYTransistors returns the transistor count of a die-to-die PHY
+// interface: one serdes lane block per 64 bits of flit width.
+func PHYTransistors(c Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	lanes := float64((c.FlitWidthBits + 63) / 64)
+	return lanes * transistorsPerPHYLane, nil
+}
+
+// PHYAreaMM2 returns the area of a die-to-die PHY interface (the
+// UCIe/AIB-style IP the paper notes EMIB- and RDL-based packages embed in
+// each chiplet instead of full routers). PHYs are small relative to
+// routers.
+func PHYAreaMM2(c Config, n *tech.Node) (float64, error) {
+	tr, err := PHYTransistors(c)
+	if err != nil {
+		return 0, err
+	}
+	return n.Area(tech.Logic, tr), nil
+}

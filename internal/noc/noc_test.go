@@ -1,0 +1,182 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecochip/internal/tech"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{FlitWidthBits: 0, Ports: 5, VirtualChannels: 4, BufferDepthFlits: 4},
+		{FlitWidthBits: 8192, Ports: 5, VirtualChannels: 4, BufferDepthFlits: 4},
+		{FlitWidthBits: 512, Ports: 1, VirtualChannels: 4, BufferDepthFlits: 4},
+		{FlitWidthBits: 512, Ports: 5, VirtualChannels: 0, BufferDepthFlits: 4},
+		{FlitWidthBits: 512, Ports: 5, VirtualChannels: 4, BufferDepthFlits: 0},
+		{FlitWidthBits: 512, Ports: 32, VirtualChannels: 4, BufferDepthFlits: 4},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate should reject %+v", c)
+		}
+	}
+}
+
+func TestTransistorsHandCount(t *testing.T) {
+	// 2 ports, 1 VC, depth 1, 64-bit flit:
+	// buffers  = 2*1*1*64*8   = 1024
+	// crossbar = 4*64*10      = 2560
+	// alloc    = (4*1+4)*30   = 240
+	// links    = 2*64*16      = 2048
+	c := Config{FlitWidthBits: 64, Ports: 2, VirtualChannels: 1, BufferDepthFlits: 1}
+	got, err := Transistors(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1024.0 + 2560 + 240 + 2048
+	if got != want {
+		t.Errorf("Transistors = %g, want %g", got, want)
+	}
+}
+
+func TestTransistorsGrowWithEveryKnob(t *testing.T) {
+	base := DefaultConfig()
+	baseT, _ := Transistors(base)
+	grow := []func(Config) Config{
+		func(c Config) Config { c.FlitWidthBits *= 2; return c },
+		func(c Config) Config { c.Ports++; return c },
+		func(c Config) Config { c.VirtualChannels++; return c },
+		func(c Config) Config { c.BufferDepthFlits *= 2; return c },
+	}
+	for i, g := range grow {
+		bigger, err := Transistors(g(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bigger <= baseT {
+			t.Errorf("knob %d: transistors %g should exceed base %g", i, bigger, baseT)
+		}
+	}
+}
+
+// The magnitude must land in the range Stow et al. report: a 512-bit
+// 5-port interposer router is sub-mm^2 in advanced nodes and below
+// ~2 mm^2 at 65 nm.
+func TestAreaMagnitude(t *testing.T) {
+	db := tech.Default()
+	a7, err := AreaMM2(DefaultConfig(), db.MustGet(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a65, err := AreaMM2(DefaultConfig(), db.MustGet(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a7 <= 0 || a7 > 0.1 {
+		t.Errorf("7nm router area %g mm^2 outside plausible (0, 0.1]", a7)
+	}
+	if a65 <= a7 || a65 > 2 {
+		t.Errorf("65nm router area %g mm^2 should be in (%g, 2]", a65, a7)
+	}
+}
+
+// Router area shrinks monotonically with newer nodes (the reason passive
+// interposers with in-chiplet routers have lower routing overhead,
+// Section V-B(1)).
+func TestAreaMonotoneAcrossNodes(t *testing.T) {
+	db := tech.Default()
+	sizes := db.Sizes()
+	for i := 1; i < len(sizes); i++ {
+		newer, _ := AreaMM2(DefaultConfig(), db.MustGet(sizes[i-1]))
+		older, _ := AreaMM2(DefaultConfig(), db.MustGet(sizes[i]))
+		if older <= newer {
+			t.Errorf("router area at %dnm (%g) should exceed %dnm (%g)",
+				sizes[i], older, sizes[i-1], newer)
+		}
+	}
+}
+
+func TestPowerW(t *testing.T) {
+	db := tech.Default()
+	p7, err := PowerW(DefaultConfig(), db.MustGet(7), DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p7 <= 0 || p7 > 1 {
+		t.Errorf("7nm router power %g W outside plausible (0, 1]", p7)
+	}
+	// Older node at higher Vdd burns more dynamic power per router.
+	p65, err := PowerW(DefaultConfig(), db.MustGet(65), DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p65 <= p7 {
+		t.Errorf("65nm router power %g should exceed 7nm %g (V^2 and C scaling)", p65, p7)
+	}
+}
+
+func TestPowerErrors(t *testing.T) {
+	n := tech.Default().MustGet(7)
+	if _, err := PowerW(DefaultConfig(), n, PowerParams{FrequencyHz: 0, Activity: 0.2}); err == nil {
+		t.Error("zero frequency should fail")
+	}
+	if _, err := PowerW(DefaultConfig(), n, PowerParams{FrequencyHz: 1e9, Activity: 2}); err == nil {
+		t.Error("activity > 1 should fail")
+	}
+	bad := DefaultConfig()
+	bad.Ports = 0
+	if _, err := PowerW(bad, n, DefaultPowerParams()); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+// Property: power scales linearly with frequency at fixed activity.
+func TestPowerLinearInFrequency(t *testing.T) {
+	n := tech.Default().MustGet(14)
+	f := func(raw uint8) bool {
+		freq := float64(raw%100+1) * 1e7
+		p1, err1 := PowerW(DefaultConfig(), n, PowerParams{FrequencyHz: freq, Activity: 0.2})
+		p2, err2 := PowerW(DefaultConfig(), n, PowerParams{FrequencyHz: 2 * freq, Activity: 0.2})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Leakage does not scale with f, so p2 < 2*p1 but p2 > p1.
+		return p2 > p1 && p2 < 2*p1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPHYSmallerThanRouter(t *testing.T) {
+	db := tech.Default()
+	for _, nm := range db.Sizes() {
+		n := db.MustGet(nm)
+		phy, err := PHYAreaMM2(DefaultConfig(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router, err := AreaMM2(DefaultConfig(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phy <= 0 || phy >= router {
+			t.Errorf("%dnm: PHY area %g should be in (0, router area %g)", nm, phy, router)
+		}
+	}
+}
+
+func TestPHYErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.FlitWidthBits = -1
+	if _, err := PHYAreaMM2(bad, tech.Default().MustGet(7)); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

@@ -1,0 +1,53 @@
+package opcarbon
+
+import (
+	"fmt"
+)
+
+// DesignElectrical derives the Eq. (14) inputs from a design's physical
+// parameters instead of measured values: switched capacitance scales
+// with transistor count and node pitch, leakage with transistor count
+// and node, matching the constants used by the NoC power model so both
+// paths agree.
+type DesignElectrical struct {
+	// Transistors is the design's device budget.
+	Transistors float64
+	// NodeNm is the process node.
+	NodeNm int
+	// Vdd is the node's supply voltage.
+	Vdd float64
+	// FreqHz is the average use-case clock.
+	FreqHz float64
+	// Activity is the average switching factor.
+	Activity float64
+}
+
+// Per-transistor electrical constants (shared calibration with
+// internal/noc): effective switched capacitance at 65 nm scaled by
+// node/65, and leakage current at 7 nm scaled by 7/node.
+const (
+	capPerTransistor65F = 1.3e-16
+	leakPerTransistor7A = 4e-11
+)
+
+// Electrical lowers the design description into an Eq. (14) Electrical
+// operating point.
+func (d DesignElectrical) Electrical() (Electrical, error) {
+	if d.Transistors <= 0 {
+		return Electrical{}, fmt.Errorf("opcarbon: transistor count must be positive, got %g", d.Transistors)
+	}
+	if d.NodeNm <= 0 {
+		return Electrical{}, fmt.Errorf("opcarbon: node must be positive, got %d", d.NodeNm)
+	}
+	e := Electrical{
+		Vdd:      d.Vdd,
+		Activity: d.Activity,
+		CapF:     d.Transistors * capPerTransistor65F * float64(d.NodeNm) / 65,
+		LeakA:    d.Transistors * leakPerTransistor7A * 7 / float64(d.NodeNm),
+		FreqHz:   d.FreqHz,
+	}
+	if err := e.Validate(); err != nil {
+		return Electrical{}, err
+	}
+	return e, nil
+}

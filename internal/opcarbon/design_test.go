@@ -1,0 +1,64 @@
+package opcarbon
+
+import (
+	"testing"
+)
+
+func TestDesignElectrical(t *testing.T) {
+	d := DesignElectrical{
+		Transistors: 10e9, NodeNm: 7, Vdd: 0.7, FreqHz: 1.5e9, Activity: 0.15,
+	}
+	e, err := d.Electrical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.PowerW()
+	// A 10B-transistor 7nm design at 1.5 GHz should land in the tens to
+	// hundreds of watts.
+	if p < 5 || p > 500 {
+		t.Errorf("derived power %g W outside plausible range", p)
+	}
+	// Dynamic power must scale down on an older node at the same Vdd?
+	// No: older nodes have larger C per transistor AND larger Vdd, so
+	// the same netlist burns more.
+	d65 := d
+	d65.NodeNm = 65
+	d65.Vdd = 1.2
+	e65, err := d65.Electrical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e65.PowerW() <= p {
+		t.Errorf("65nm port (%g W) should burn more than 7nm (%g W)", e65.PowerW(), p)
+	}
+}
+
+func TestDesignElectricalErrors(t *testing.T) {
+	bad := []DesignElectrical{
+		{Transistors: 0, NodeNm: 7, Vdd: 0.7, FreqHz: 1e9, Activity: 0.2},
+		{Transistors: 1e9, NodeNm: 0, Vdd: 0.7, FreqHz: 1e9, Activity: 0.2},
+		{Transistors: 1e9, NodeNm: 7, Vdd: 0.1, FreqHz: 1e9, Activity: 0.2}, // Vdd out of range
+		{Transistors: 1e9, NodeNm: 7, Vdd: 0.7, FreqHz: 1e9, Activity: 2},
+	}
+	for i, d := range bad {
+		if _, err := d.Electrical(); err == nil {
+			t.Errorf("design %d should fail", i)
+		}
+	}
+}
+
+func TestDesignElectricalIntoSpec(t *testing.T) {
+	d := DesignElectrical{Transistors: 1e9, NodeNm: 14, Vdd: 0.8, FreqHz: 1e9, Activity: 0.2}
+	e, err := d.Electrical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Spec{DutyCycle: 0.1, LifetimeYears: 3, CarbonIntensity: 0.3, Elec: &e}
+	kg, err := s.LifetimeKg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg <= 0 {
+		t.Error("design-derived spec should produce positive carbon")
+	}
+}

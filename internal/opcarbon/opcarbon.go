@@ -1,0 +1,178 @@
+// Package opcarbon implements the operational-carbon model of Section
+// III-F of the ECO-CHIP paper (Eqs. (3) and (14)):
+//
+//	C_op  = C_src,use * E_use
+//	E_use = T_ON * (V_dd * I_leak + alpha * C * V_dd^2 * f)
+//
+// E_use can be produced three ways, matching the paper's testcases:
+// directly (profiled energy, e.g. the GA102's 228 kWh/year), from the
+// electrical model of Eq. (14), or from a battery rating and recharge
+// cadence (mobile processors).
+package opcarbon
+
+import (
+	"fmt"
+)
+
+// HoursPerYear is the operational year used to convert duty cycles into
+// ON-hours.
+const HoursPerYear = 24 * 365.0
+
+// Electrical carries the Eq. (14) inputs for systems modeled from first
+// principles.
+type Electrical struct {
+	// Vdd is the supply voltage in volts (Table I: 0.7 - 1.8 V).
+	Vdd float64
+	// LeakA is I_leak, the total leakage current in amps.
+	LeakA float64
+	// Activity is alpha, the average switching-activity factor.
+	Activity float64
+	// CapF is C, the total switched load capacitance in farads.
+	CapF float64
+	// FreqHz is f, the average use-case frequency.
+	FreqHz float64
+}
+
+// PowerW returns the average operating power V*I_leak + alpha*C*V^2*f.
+func (e Electrical) PowerW() float64 {
+	return e.Vdd*e.LeakA + e.Activity*e.CapF*e.Vdd*e.Vdd*e.FreqHz
+}
+
+// Validate enforces the Table I voltage range and positivity.
+func (e Electrical) Validate() error {
+	if e.Vdd < 0.7 || e.Vdd > 1.8 {
+		return fmt.Errorf("opcarbon: Vdd %g outside Table I range [0.7, 1.8]", e.Vdd)
+	}
+	if e.LeakA < 0 || e.CapF < 0 || e.FreqHz < 0 {
+		return fmt.Errorf("opcarbon: leakage, capacitance and frequency must be non-negative")
+	}
+	if e.Activity < 0 || e.Activity > 1 {
+		return fmt.Errorf("opcarbon: activity %g outside [0, 1]", e.Activity)
+	}
+	return nil
+}
+
+// Spec is the operating specification of a system.
+type Spec struct {
+	// DutyCycle is the fraction of wall time the system is ON
+	// (Table I: T_ON 5% - 20%).
+	DutyCycle float64
+	// LifetimeYears is the service life (Table I: 2 - 5 years).
+	LifetimeYears float64
+	// CarbonIntensity is C_src,use of the usage-phase grid in
+	// kg CO2/kWh.
+	CarbonIntensity float64
+
+	// Exactly one of the following three energy sources must be set.
+
+	// AnnualEnergyKWh is a directly profiled E_use per year.
+	AnnualEnergyKWh float64
+	// Elec computes E_use from Eq. (14) and the duty cycle.
+	Elec *Electrical
+	// Battery derives E_use from a battery rating and recharge cadence.
+	Battery *Battery
+}
+
+// Battery models battery-operated devices: E_use follows from capacity
+// and how often the battery is recharged (Section III-F).
+type Battery struct {
+	// CapacityWh is the battery capacity in watt-hours.
+	CapacityWh float64
+	// ChargesPerYear is the number of full charge cycles per year.
+	ChargesPerYear float64
+	// ChargerEfficiency is the wall-to-battery efficiency in (0, 1].
+	ChargerEfficiency float64
+}
+
+// AnnualKWh returns the yearly wall energy drawn by the device.
+func (b Battery) AnnualKWh() float64 {
+	eff := b.ChargerEfficiency
+	if eff == 0 {
+		eff = 1
+	}
+	return b.CapacityWh * b.ChargesPerYear / eff / 1000
+}
+
+// Validate enforces ranges.
+func (s Spec) Validate() error {
+	if s.DutyCycle < 0 || s.DutyCycle > 1 {
+		return fmt.Errorf("opcarbon: duty cycle %g outside [0, 1]", s.DutyCycle)
+	}
+	if s.LifetimeYears <= 0 || s.LifetimeYears > 30 {
+		return fmt.Errorf("opcarbon: lifetime %g years outside (0, 30]", s.LifetimeYears)
+	}
+	if s.CarbonIntensity < 0.030 || s.CarbonIntensity > 0.700 {
+		return fmt.Errorf("opcarbon: carbon intensity %g outside [0.030, 0.700]", s.CarbonIntensity)
+	}
+	sources := 0
+	if s.AnnualEnergyKWh > 0 {
+		sources++
+	}
+	if s.Elec != nil {
+		sources++
+		if err := s.Elec.Validate(); err != nil {
+			return err
+		}
+		if s.DutyCycle == 0 {
+			return fmt.Errorf("opcarbon: electrical model requires a positive duty cycle")
+		}
+	}
+	if s.Battery != nil {
+		sources++
+		if s.Battery.CapacityWh <= 0 || s.Battery.ChargesPerYear <= 0 {
+			return fmt.Errorf("opcarbon: battery capacity and charge rate must be positive")
+		}
+		if s.Battery.ChargerEfficiency < 0 || s.Battery.ChargerEfficiency > 1 {
+			return fmt.Errorf("opcarbon: charger efficiency %g outside [0, 1]", s.Battery.ChargerEfficiency)
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("opcarbon: exactly one energy source must be specified, got %d", sources)
+	}
+	return nil
+}
+
+// AnnualEnergyKWhTotal resolves E_use per year from whichever source the
+// spec carries, plus the extra always-on power overhead (e.g. inter-die
+// NoC routers) in watts.
+func (s Spec) AnnualEnergyKWhTotal(extraPowerW float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if extraPowerW < 0 {
+		return 0, fmt.Errorf("opcarbon: extra power must be non-negative, got %g", extraPowerW)
+	}
+	var base float64
+	switch {
+	case s.AnnualEnergyKWh > 0:
+		base = s.AnnualEnergyKWh
+	case s.Elec != nil:
+		base = s.Elec.PowerW() * s.DutyCycle * HoursPerYear / 1000
+	default:
+		base = s.Battery.AnnualKWh()
+	}
+	duty := s.DutyCycle
+	if duty == 0 {
+		duty = 1 // direct/battery energy already encodes usage time
+	}
+	overhead := extraPowerW * duty * HoursPerYear / 1000
+	return base + overhead, nil
+}
+
+// AnnualKg returns C_op for one year of use.
+func (s Spec) AnnualKg(extraPowerW float64) (float64, error) {
+	e, err := s.AnnualEnergyKWhTotal(extraPowerW)
+	if err != nil {
+		return 0, err
+	}
+	return e * s.CarbonIntensity, nil
+}
+
+// LifetimeKg returns lifetime * C_op, the operational term of Eq. (1).
+func (s Spec) LifetimeKg(extraPowerW float64) (float64, error) {
+	annual, err := s.AnnualKg(extraPowerW)
+	if err != nil {
+		return 0, err
+	}
+	return annual * s.LifetimeYears, nil
+}

@@ -1,0 +1,155 @@
+package opcarbon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func directSpec() Spec {
+	return Spec{
+		DutyCycle:       0.2,
+		LifetimeYears:   2,
+		CarbonIntensity: 0.700,
+		AnnualEnergyKWh: 228, // the paper's GA102 E_use
+	}
+}
+
+func TestDirectEnergy(t *testing.T) {
+	s := directSpec()
+	e, err := s.AnnualEnergyKWhTotal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 228 {
+		t.Errorf("AnnualEnergyKWhTotal = %g, want 228", e)
+	}
+	kg, err := s.LifetimeKg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 228 * 0.7 * 2
+	if math.Abs(kg-want) > 1e-9 {
+		t.Errorf("LifetimeKg = %g, want %g", kg, want)
+	}
+}
+
+func TestElectricalModel(t *testing.T) {
+	// Eq. (14): P = V*Ileak + alpha*C*V^2*f
+	//             = 0.8*2 + 0.2*1e-9*0.64*2e9 = 1.6 + 0.256 = 1.856 W
+	e := Electrical{Vdd: 0.8, LeakA: 2, Activity: 0.2, CapF: 1e-9, FreqHz: 2e9}
+	if got, want := e.PowerW(), 0.8*2+0.2*1e-9*0.8*0.8*2e9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PowerW = %g, want %g", got, want)
+	}
+	s := Spec{DutyCycle: 0.1, LifetimeYears: 3, CarbonIntensity: 0.3, Elec: &e}
+	kwh, err := s.AnnualEnergyKWhTotal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.PowerW() * 0.1 * HoursPerYear / 1000
+	if math.Abs(kwh-want) > 1e-9 {
+		t.Errorf("annual energy = %g, want %g", kwh, want)
+	}
+}
+
+func TestBatteryModel(t *testing.T) {
+	// 12.7 Wh battery charged daily at 85% efficiency.
+	b := Battery{CapacityWh: 12.7, ChargesPerYear: 365, ChargerEfficiency: 0.85}
+	want := 12.7 * 365 / 0.85 / 1000
+	if got := b.AnnualKWh(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AnnualKWh = %g, want %g", got, want)
+	}
+	// Zero efficiency defaults to 1.
+	b2 := Battery{CapacityWh: 10, ChargesPerYear: 100}
+	if got := b2.AnnualKWh(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("AnnualKWh with default efficiency = %g, want 1", got)
+	}
+	s := Spec{DutyCycle: 0.15, LifetimeYears: 2, CarbonIntensity: 0.5, Battery: &b}
+	if _, err := s.AnnualKg(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtraPower(t *testing.T) {
+	s := directSpec()
+	base, err := s.AnnualEnergyKWhTotal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNoC, err := s.AnnualEnergyKWhTotal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := 10 * 0.2 * HoursPerYear / 1000
+	if math.Abs(withNoC-base-wantDelta) > 1e-9 {
+		t.Errorf("router overhead delta = %g, want %g", withNoC-base, wantDelta)
+	}
+	if _, err := s.AnnualEnergyKWhTotal(-1); err == nil {
+		t.Error("negative extra power should fail")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{},
+		{DutyCycle: 2, LifetimeYears: 2, CarbonIntensity: 0.7, AnnualEnergyKWh: 1},
+		{DutyCycle: 0.1, LifetimeYears: 0, CarbonIntensity: 0.7, AnnualEnergyKWh: 1},
+		{DutyCycle: 0.1, LifetimeYears: 2, CarbonIntensity: 5, AnnualEnergyKWh: 1},
+		// Two energy sources.
+		{DutyCycle: 0.1, LifetimeYears: 2, CarbonIntensity: 0.7, AnnualEnergyKWh: 1,
+			Battery: &Battery{CapacityWh: 1, ChargesPerYear: 1}},
+		// Electrical without duty cycle.
+		{LifetimeYears: 2, CarbonIntensity: 0.7,
+			Elec: &Electrical{Vdd: 0.8, Activity: 0.5}},
+		// Bad Vdd.
+		{DutyCycle: 0.1, LifetimeYears: 2, CarbonIntensity: 0.7,
+			Elec: &Electrical{Vdd: 3, Activity: 0.5}},
+		// Bad battery.
+		{DutyCycle: 0.1, LifetimeYears: 2, CarbonIntensity: 0.7,
+			Battery: &Battery{CapacityWh: 0, ChargesPerYear: 1}},
+		{DutyCycle: 0.1, LifetimeYears: 2, CarbonIntensity: 0.7,
+			Battery: &Battery{CapacityWh: 1, ChargesPerYear: 1, ChargerEfficiency: 2}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should fail validation: %+v", i, s)
+		}
+	}
+}
+
+func TestElectricalValidate(t *testing.T) {
+	good := Electrical{Vdd: 1.0, LeakA: 0.1, Activity: 0.3, CapF: 1e-9, FreqHz: 1e9}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid electrical rejected: %v", err)
+	}
+	bad := []Electrical{
+		{Vdd: 0.5, Activity: 0.3},
+		{Vdd: 1.0, LeakA: -1, Activity: 0.3},
+		{Vdd: 1.0, Activity: 1.5},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("electrical %d should fail", i)
+		}
+	}
+}
+
+// Property: lifetime carbon is linear in lifetime and carbon intensity.
+func TestLifetimeLinear(t *testing.T) {
+	f := func(years, ci uint8) bool {
+		y := float64(years%10) + 1
+		c := 0.05 + float64(ci%60)/100
+		s1 := Spec{DutyCycle: 0.1, LifetimeYears: y, CarbonIntensity: c, AnnualEnergyKWh: 100}
+		s2 := s1
+		s2.LifetimeYears = 2 * y
+		k1, err1 := s1.LifetimeKg(0)
+		k2, err2 := s2.LifetimeKg(0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(k2-2*k1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package opcarbon
+
+import "fmt"
+
+// Phase is one operating state of a multi-state usage profile: real
+// devices spend their year across active / idle / sleep states with very
+// different power draws, which a single duty-cycled Eq. (14) point
+// cannot capture.
+type Phase struct {
+	// Name labels the state ("active", "idle", "sleep").
+	Name string
+	// ShareOfYear is the fraction of wall time spent in this state.
+	ShareOfYear float64
+	// PowerW is the average power drawn in this state.
+	PowerW float64
+}
+
+// Profile is a set of phases covering at most the full year; uncovered
+// time is implicitly powered off.
+type Profile struct {
+	Phases []Phase
+}
+
+// Validate checks shares are positive and sum to at most 1.
+func (p Profile) Validate() error {
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("opcarbon: profile has no phases")
+	}
+	total := 0.0
+	seen := map[string]bool{}
+	for _, ph := range p.Phases {
+		if ph.Name == "" {
+			return fmt.Errorf("opcarbon: profile phase without a name")
+		}
+		if seen[ph.Name] {
+			return fmt.Errorf("opcarbon: duplicate profile phase %q", ph.Name)
+		}
+		seen[ph.Name] = true
+		if ph.ShareOfYear <= 0 || ph.ShareOfYear > 1 {
+			return fmt.Errorf("opcarbon: phase %q share %g outside (0, 1]", ph.Name, ph.ShareOfYear)
+		}
+		if ph.PowerW < 0 {
+			return fmt.Errorf("opcarbon: phase %q has negative power", ph.Name)
+		}
+		total += ph.ShareOfYear
+	}
+	if total > 1+1e-9 {
+		return fmt.Errorf("opcarbon: profile shares sum to %g, above 1", total)
+	}
+	return nil
+}
+
+// AnnualKWh returns the yearly energy of the profile.
+func (p Profile) AnnualKWh() float64 {
+	var kwh float64
+	for _, ph := range p.Phases {
+		kwh += ph.PowerW * ph.ShareOfYear * HoursPerYear / 1000
+	}
+	return kwh
+}
+
+// ActiveShare returns the share of the year covered by any phase.
+func (p Profile) ActiveShare() float64 {
+	var total float64
+	for _, ph := range p.Phases {
+		total += ph.ShareOfYear
+	}
+	return total
+}
+
+// SpecFromProfile builds a Spec whose energy comes from the profile,
+// with the profile's covered share as the duty cycle used to scale
+// always-on overheads (e.g. NoC routers).
+func SpecFromProfile(p Profile, lifetimeYears, carbonIntensity float64) (Spec, error) {
+	if err := p.Validate(); err != nil {
+		return Spec{}, err
+	}
+	s := Spec{
+		DutyCycle:       p.ActiveShare(),
+		LifetimeYears:   lifetimeYears,
+		CarbonIntensity: carbonIntensity,
+		AnnualEnergyKWh: p.AnnualKWh(),
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

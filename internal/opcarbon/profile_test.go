@@ -1,0 +1,101 @@
+package opcarbon
+
+import (
+	"math"
+	"testing"
+)
+
+func validProfile() Profile {
+	return Profile{Phases: []Phase{
+		{Name: "active", ShareOfYear: 0.10, PowerW: 20},
+		{Name: "idle", ShareOfYear: 0.30, PowerW: 2},
+		{Name: "sleep", ShareOfYear: 0.60, PowerW: 0.1},
+	}}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{},
+		{Phases: []Phase{{Name: "", ShareOfYear: 0.5, PowerW: 1}}},
+		{Phases: []Phase{{Name: "a", ShareOfYear: 0, PowerW: 1}}},
+		{Phases: []Phase{{Name: "a", ShareOfYear: 0.5, PowerW: -1}}},
+		{Phases: []Phase{{Name: "a", ShareOfYear: 0.7, PowerW: 1}, {Name: "b", ShareOfYear: 0.7, PowerW: 1}}},
+		{Phases: []Phase{{Name: "a", ShareOfYear: 0.3, PowerW: 1}, {Name: "a", ShareOfYear: 0.3, PowerW: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should fail validation", i)
+		}
+	}
+}
+
+func TestProfileAnnualKWh(t *testing.T) {
+	p := validProfile()
+	want := (20*0.10 + 2*0.30 + 0.1*0.60) * HoursPerYear / 1000
+	if got := p.AnnualKWh(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AnnualKWh = %g, want %g", got, want)
+	}
+}
+
+func TestActiveShare(t *testing.T) {
+	if got := validProfile().ActiveShare(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("ActiveShare = %g, want 1.0", got)
+	}
+}
+
+func TestSpecFromProfile(t *testing.T) {
+	spec, err := SpecFromProfile(validProfile(), 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := spec.LifetimeKg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := validProfile().AnnualKWh() * 0.3 * 3
+	if math.Abs(kg-want) > 1e-9 {
+		t.Errorf("LifetimeKg = %g, want %g", kg, want)
+	}
+	// Router overheads scale by the covered share.
+	withNoC, err := spec.AnnualEnergyKWhTotal(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := 5 * spec.DutyCycle * HoursPerYear / 1000
+	if math.Abs(withNoC-spec.AnnualEnergyKWh-wantDelta) > 1e-9 {
+		t.Errorf("overhead delta = %g, want %g", withNoC-spec.AnnualEnergyKWh, wantDelta)
+	}
+}
+
+func TestSpecFromProfileErrors(t *testing.T) {
+	if _, err := SpecFromProfile(Profile{}, 2, 0.3); err != nil {
+		// expected: invalid profile
+	} else {
+		t.Error("empty profile should fail")
+	}
+	if _, err := SpecFromProfile(validProfile(), 0, 0.3); err == nil {
+		t.Error("zero lifetime should fail")
+	}
+	if _, err := SpecFromProfile(validProfile(), 2, 9); err == nil {
+		t.Error("out-of-range intensity should fail")
+	}
+}
+
+// An always-idle device burns less than an always-active one with the
+// same hardware.
+func TestProfileOrdering(t *testing.T) {
+	mostlyIdle := Profile{Phases: []Phase{
+		{Name: "active", ShareOfYear: 0.05, PowerW: 20},
+		{Name: "idle", ShareOfYear: 0.95, PowerW: 1},
+	}}
+	mostlyActive := Profile{Phases: []Phase{
+		{Name: "active", ShareOfYear: 0.95, PowerW: 20},
+		{Name: "idle", ShareOfYear: 0.05, PowerW: 1},
+	}}
+	if mostlyIdle.AnnualKWh() >= mostlyActive.AnnualKWh() {
+		t.Error("mostly-idle profile should burn less energy")
+	}
+}

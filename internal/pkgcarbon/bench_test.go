@@ -1,0 +1,26 @@
+package pkgcarbon
+
+import (
+	"testing"
+)
+
+func benchEstimate(b *testing.B, arch Architecture, nc int) {
+	b.Helper()
+	areas := make([]float64, nc)
+	for i := range areas {
+		areas[i] = 500 / float64(nc)
+	}
+	chips := chipletsOf(7, areas...)
+	p := DefaultParams(arch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(chips, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateRDL4(b *testing.B)     { benchEstimate(b, RDLFanout, 4) }
+func BenchmarkEstimateEMIB4(b *testing.B)    { benchEstimate(b, SiliconBridge, 4) }
+func BenchmarkEstimateActive4(b *testing.B)  { benchEstimate(b, ActiveInterposer, 4) }
+func BenchmarkEstimate3DTiers4(b *testing.B) { benchEstimate(b, ThreeD, 4) }

@@ -1,0 +1,567 @@
+// Package pkgcarbon implements the HI-oriented carbon overheads of
+// Section III-D of the ECO-CHIP paper: the packaging-architecture models
+// (Eqs. (9)-(11)), the inter-die communication overheads (routers and
+// PHYs), and the whitespace-aware package/interposer area estimation
+// built on the slicing floorplanner.
+//
+// Five packaging architectures are modeled:
+//
+//	RDLFanout         - chiplets on an epoxy-molding-compound substrate
+//	                    with L_RDL patterned redistribution layers.
+//	SiliconBridge     - EMIB/LSI-style local high-density bridges embedded
+//	                    in an organic substrate; one or more bridges per
+//	                    adjacent chiplet pair, ceil(overlap/range) each.
+//	PassiveInterposer - a BEOL-only silicon die spanning the whole
+//	                    package; NoC routers live inside the chiplets.
+//	ActiveInterposer  - a silicon die with BEOL across the full area plus
+//	                    local FEOL regions hosting the NoC routers.
+//	ThreeD            - stacked tiers bonded by a dense grid of TSVs,
+//	                    microbumps or hybrid bonds at minimum pitch.
+package pkgcarbon
+
+import (
+	"fmt"
+	"math"
+
+	"ecochip/internal/floorplan"
+	"ecochip/internal/noc"
+	"ecochip/internal/tech"
+	"ecochip/internal/yieldmodel"
+)
+
+// Architecture selects the packaging/integration technology.
+type Architecture int
+
+const (
+	// RDLFanout is fanout packaging with RDL metal layers (Fig. 4a).
+	RDLFanout Architecture = iota
+	// SiliconBridge is EMIB/LSI-style bridge integration (Fig. 4b).
+	SiliconBridge
+	// PassiveInterposer is TSV-based 2.5D with a metal-only interposer
+	// (Fig. 4c).
+	PassiveInterposer
+	// ActiveInterposer is 2.5D with FEOL logic in the interposer
+	// (Fig. 4c).
+	ActiveInterposer
+	// ThreeD is chiplet stacking with TSVs/microbumps/hybrid bonds
+	// (Fig. 4d).
+	ThreeD
+)
+
+// Architectures lists all supported architectures in display order.
+var Architectures = []Architecture{RDLFanout, SiliconBridge, PassiveInterposer, ActiveInterposer, ThreeD}
+
+// String returns the canonical name used in reports.
+func (a Architecture) String() string {
+	switch a {
+	case RDLFanout:
+		return "RDL"
+	case SiliconBridge:
+		return "EMIB"
+	case PassiveInterposer:
+		return "passive-interposer"
+	case ActiveInterposer:
+		return "active-interposer"
+	case ThreeD:
+		return "3D"
+	}
+	return fmt.Sprintf("Architecture(%d)", int(a))
+}
+
+// ParseArchitecture accepts the JSON spellings of the released tool.
+func ParseArchitecture(s string) (Architecture, error) {
+	switch s {
+	case "RDL", "rdl", "fanout", "RDL-fanout":
+		return RDLFanout, nil
+	case "EMIB", "emib", "bridge", "silicon-bridge":
+		return SiliconBridge, nil
+	case "passive", "passive-interposer", "2.5D-passive":
+		return PassiveInterposer, nil
+	case "active", "active-interposer", "2.5D-active":
+		return ActiveInterposer, nil
+	case "3D", "3d", "stacked":
+		return ThreeD, nil
+	}
+	return 0, fmt.Errorf("pkgcarbon: unknown packaging architecture %q", s)
+}
+
+// BondType selects the vertical interconnect of 3D stacks.
+type BondType int
+
+const (
+	// TSV is a through-silicon via (face-to-back stacking).
+	TSV BondType = iota
+	// Microbump is a face-to-face microbump.
+	Microbump
+	// HybridBond is direct Cu-Cu hybrid bonding.
+	HybridBond
+)
+
+// String names the bond type.
+func (b BondType) String() string {
+	switch b {
+	case TSV:
+		return "TSV"
+	case Microbump:
+		return "microbump"
+	case HybridBond:
+		return "hybrid-bond"
+	}
+	return fmt.Sprintf("BondType(%d)", int(b))
+}
+
+// Default per-bond patterning energies in kWh. TSVs require deep etch and
+// fill, microbumps plating and reflow, hybrid bonds only surface
+// preparation amortized over a huge count.
+const (
+	EnergyPerTSVKWh    = 3e-6
+	EnergyPerBumpKWh   = 2e-6
+	EnergyPerHybridKWh = 5e-8
+)
+
+// Params bundles every packaging knob with Table I defaults.
+type Params struct {
+	Arch Architecture
+
+	// PackagingNode is the node of the RDL / bridge / interposer
+	// patterning (Table I: 22 - 65 nm; the paper's experiments use 65 nm).
+	PackagingNode *tech.Node
+
+	// CarbonIntensity is C_pkg,src in kg CO2/kWh.
+	CarbonIntensity float64
+
+	// SpacingMM is the chiplet spacing constraint for the floorplanner.
+	SpacingMM float64
+
+	// FlexibleFloorplan lets chiplets take non-square aspect ratios
+	// during floorplanning (shape-curve sizing), which can only shrink
+	// the package area. Off by default: the paper's experiments assume
+	// fixed square dies.
+	FlexibleFloorplan bool
+
+	// RDLLayers is L_RDL (Table I: 3 - 9).
+	RDLLayers int
+
+	// BridgeLayers is L_bridge (Table I: 3 - 4).
+	BridgeLayers int
+	// BridgeRangeMM is the reach of one silicon bridge along a shared
+	// edge (EMIB spec: 2 mm).
+	BridgeRangeMM float64
+	// BridgeAreaMM2 is the silicon area of one bridge (EMIB spec:
+	// 2x2 mm^2).
+	BridgeAreaMM2 float64
+	// BridgeEmbedEnergyKWh is the cavity-milling/placement energy of
+	// embedding one bridge in the substrate.
+	BridgeEmbedEnergyKWh float64
+
+	// InterposerBEOLLayers is the metal-layer count of 2.5D interposers.
+	InterposerBEOLLayers int
+
+	// AttachEnergyKWhPerChiplet is the assembly energy of placing and
+	// bonding one chiplet onto a 2D substrate/interposer (pick-and-
+	// place, reflow, underfill). It is the per-die term that makes
+	// C_HI grow with chiplet count in Fig. 10. 3D stacks carry their
+	// assembly energy in the bond-grid term instead.
+	AttachEnergyKWhPerChiplet float64
+
+	// Bond selects the 3D vertical interconnect.
+	Bond BondType
+	// BondPitchUM is the TSV/microbump/hybrid-bond pitch (Table I:
+	// TSV and microbump 10 - 45 um, hybrid 1 - 10 um).
+	BondPitchUM float64
+	// EnergyPerBondKWh overrides the per-bond energy; 0 selects the
+	// default for the bond type.
+	EnergyPerBondKWh float64
+
+	// Router is the NoC router microarchitecture for interposer/3D
+	// communication; PHY interfaces for RDL/EMIB derive from the same
+	// config.
+	Router noc.Config
+	// RouterPower is the operating point for router power estimation.
+	RouterPower noc.PowerParams
+}
+
+// DefaultParams returns the paper's experimental configuration for the
+// given architecture: 65 nm packaging node, coal-powered packaging fab,
+// EMIB-spec bridges, 35 um TSV/bump pitch (5 um hybrid), 512-bit routers.
+func DefaultParams(arch Architecture) Params {
+	p := Params{
+		Arch:                      arch,
+		PackagingNode:             tech.Default().MustGet(65),
+		CarbonIntensity:           0.700,
+		SpacingMM:                 floorplan.DefaultSpacingMM,
+		RDLLayers:                 6,
+		BridgeLayers:              4,
+		BridgeRangeMM:             2,
+		BridgeAreaMM2:             4,
+		BridgeEmbedEnergyKWh:      0.2,
+		InterposerBEOLLayers:      4,
+		AttachEnergyKWhPerChiplet: 0.3,
+		Bond:                      Microbump,
+		BondPitchUM:               35,
+		Router:                    noc.DefaultConfig(),
+		RouterPower:               noc.DefaultPowerParams(),
+	}
+	if arch == ThreeD {
+		p.Bond = Microbump
+	}
+	return p
+}
+
+// Validate enforces the Table I parameter ranges.
+func (p Params) Validate() error {
+	if p.PackagingNode == nil {
+		return fmt.Errorf("pkgcarbon: packaging node is required")
+	}
+	if p.PackagingNode.Nm < 22 || p.PackagingNode.Nm > 65 {
+		return fmt.Errorf("pkgcarbon: packaging node %dnm outside Table I range [22, 65]", p.PackagingNode.Nm)
+	}
+	if p.CarbonIntensity < 0.030 || p.CarbonIntensity > 0.700 {
+		return fmt.Errorf("pkgcarbon: carbon intensity %g outside [0.030, 0.700]", p.CarbonIntensity)
+	}
+	if p.RDLLayers < 3 || p.RDLLayers > 9 {
+		return fmt.Errorf("pkgcarbon: RDL layers %d outside Table I range [3, 9]", p.RDLLayers)
+	}
+	if p.BridgeLayers < 3 || p.BridgeLayers > 4 {
+		return fmt.Errorf("pkgcarbon: bridge layers %d outside Table I range [3, 4]", p.BridgeLayers)
+	}
+	if p.BridgeRangeMM <= 0 || p.BridgeAreaMM2 <= 0 {
+		return fmt.Errorf("pkgcarbon: bridge range and area must be positive")
+	}
+	if p.BridgeEmbedEnergyKWh < 0 {
+		return fmt.Errorf("pkgcarbon: bridge embed energy must be non-negative")
+	}
+	if p.InterposerBEOLLayers < 1 || p.InterposerBEOLLayers > 12 {
+		return fmt.Errorf("pkgcarbon: interposer BEOL layers %d outside [1, 12]", p.InterposerBEOLLayers)
+	}
+	if p.AttachEnergyKWhPerChiplet < 0 {
+		return fmt.Errorf("pkgcarbon: attach energy must be non-negative")
+	}
+	switch p.Bond {
+	case TSV, Microbump:
+		if p.BondPitchUM < 10 || p.BondPitchUM > 45 {
+			return fmt.Errorf("pkgcarbon: %s pitch %g um outside Table I range [10, 45]", p.Bond, p.BondPitchUM)
+		}
+	case HybridBond:
+		if p.BondPitchUM < 1 || p.BondPitchUM > 10 {
+			return fmt.Errorf("pkgcarbon: hybrid-bond pitch %g um outside Table I range [1, 10]", p.BondPitchUM)
+		}
+	default:
+		return fmt.Errorf("pkgcarbon: unknown bond type %v", p.Bond)
+	}
+	return p.Router.Validate()
+}
+
+func (p Params) energyPerBond() float64 {
+	if p.EnergyPerBondKWh > 0 {
+		return p.EnergyPerBondKWh
+	}
+	switch p.Bond {
+	case TSV:
+		return EnergyPerTSVKWh
+	case Microbump:
+		return EnergyPerBumpKWh
+	default:
+		return EnergyPerHybridKWh
+	}
+}
+
+// Chiplet is one die to be packaged. Node is the chiplet's own process,
+// used to size in-chiplet routers (passive interposer) and PHYs
+// (RDL/EMIB).
+type Chiplet struct {
+	Name    string
+	AreaMM2 float64
+	Node    *tech.Node
+}
+
+// Result is the C_HI breakdown of one packaged system.
+type Result struct {
+	Arch Architecture
+
+	// PackageAreaMM2 is the substrate/interposer area (3D: the stack
+	// footprint).
+	PackageAreaMM2 float64
+	// WhitespaceMM2 is package area minus chiplet area (3D: 0).
+	WhitespaceMM2 float64
+	// Floorplan is the placement (nil for 3D stacks).
+	Floorplan *floorplan.Result
+
+	// NumBridges is the silicon-bridge count (EMIB only).
+	NumBridges int
+	// NumBonds is the TSV/bump/bond count (3D only).
+	NumBonds float64
+	// AssemblyYield is the package-level yield divisor.
+	AssemblyYield float64
+
+	// PackageKg is C_package in kg CO2.
+	PackageKg float64
+	// RoutingKg is C_mfg,comm: the carbon of routers or PHYs.
+	RoutingKg float64
+
+	// RouterAreaPerChipletMM2 is the NoC area implemented inside each
+	// chiplet (passive interposer, and PHYs for RDL/EMIB). For active
+	// interposers this is zero: routers live in the interposer.
+	RouterAreaPerChipletMM2 float64
+	// RouterTotalPowerW is the added inter-die communication power,
+	// fed into the operational-carbon model.
+	RouterTotalPowerW float64
+}
+
+// TotalKg returns C_HI = C_package + C_mfg,comm in kg CO2.
+func (r *Result) TotalKg() float64 { return r.PackageKg + r.RoutingKg }
+
+// Estimate computes the HI carbon overheads for the chiplet set under the
+// given parameters. For non-3D architectures the chiplets are floorplanned
+// side by side; for ThreeD they are treated as stacked tiers in the given
+// order.
+func Estimate(chiplets []Chiplet, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(chiplets) == 0 {
+		return nil, fmt.Errorf("pkgcarbon: no chiplets")
+	}
+	for _, c := range chiplets {
+		if c.AreaMM2 <= 0 {
+			return nil, fmt.Errorf("pkgcarbon: chiplet %q has non-positive area", c.Name)
+		}
+		if c.Node == nil {
+			return nil, fmt.Errorf("pkgcarbon: chiplet %q has no technology node", c.Name)
+		}
+	}
+	if p.Arch == ThreeD {
+		return estimate3D(chiplets, p)
+	}
+
+	blocks := make([]floorplan.Block, len(chiplets))
+	for i, c := range chiplets {
+		blocks[i] = floorplan.Block{Name: c.Name, AreaMM2: c.AreaMM2}
+	}
+	var fp *floorplan.Result
+	var err error
+	if p.FlexibleFloorplan {
+		fp, err = floorplan.PlanFlexible(blocks, p.SpacingMM, nil)
+	} else {
+		fp, err = floorplan.Plan(blocks, p.SpacingMM)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Arch:           p.Arch,
+		PackageAreaMM2: fp.AreaMM2(),
+		WhitespaceMM2:  fp.WhitespaceMM2(),
+		Floorplan:      fp,
+	}
+	switch p.Arch {
+	case RDLFanout:
+		err = estimateRDL(res, p)
+	case SiliconBridge:
+		err = estimateBridge(res, fp, p)
+	case PassiveInterposer:
+		err = estimateInterposer(res, chiplets, p, false)
+	case ActiveInterposer:
+		err = estimateInterposer(res, chiplets, p, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Per-chiplet attach energy, charged through the assembly yield so
+	// failed assemblies are borne by the good ones.
+	res.PackageKg += float64(len(chiplets)) * p.AttachEnergyKWhPerChiplet *
+		p.CarbonIntensity / res.AssemblyYield
+	if err := addCommunication(res, chiplets, p); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// estimateRDL implements Eq. (9): per-layer patterning energy over the
+// package area, divided by the layered RDL yield.
+func estimateRDL(res *Result, p Params) error {
+	areaCM2 := res.PackageAreaMM2 / 100
+	// RDL layers are coarse (6-10 um L/S); their per-layer yield uses
+	// the negative-binomial model at a derated defect density.
+	perLayer := yieldmodel.Die(res.PackageAreaMM2, p.PackagingNode.DefectDensity*rdlDefectDerate)
+	y := yieldmodel.Layered(perLayer, p.RDLLayers)
+	res.AssemblyYield = y
+	energy := float64(p.RDLLayers) * p.PackagingNode.EPLARDL * areaCM2
+	res.PackageKg = energy * p.CarbonIntensity / y
+	return nil
+}
+
+// rdlDefectDerate scales the silicon defect density down for the coarse
+// RDL linewidths (6-10 um L/S vs sub-um silicon metal).
+const rdlDefectDerate = 0.25
+
+// bridgeDefectMultiplier scales defect density up for the ultra-fine
+// (2 um L/S) bridge interconnect, which is the reason EMIB yields trail
+// RDL (Section II-C).
+const bridgeDefectMultiplier = 8
+
+// estimateBridge implements Eq. (10): one bridge per 2 mm of shared edge
+// between adjacent chiplets, each carrying patterning plus embedding
+// energy over the bridge yield.
+func estimateBridge(res *Result, fp *floorplan.Result, p Params) error {
+	n := 0
+	for _, adj := range fp.Adjacencies {
+		n += int(math.Ceil(adj.OverlapMM / p.BridgeRangeMM))
+	}
+	if n == 0 {
+		return fmt.Errorf("pkgcarbon: EMIB floorplan produced no adjacent chiplet pairs")
+	}
+	res.NumBridges = n
+	y := yieldmodel.Die(p.BridgeAreaMM2, p.PackagingNode.DefectDensity*bridgeDefectMultiplier)
+	y = yieldmodel.Layered(y, p.BridgeLayers)
+	res.AssemblyYield = y
+	perBridgeEnergy := float64(p.BridgeLayers)*p.PackagingNode.EPLABridge*(p.BridgeAreaMM2/100) + p.BridgeEmbedEnergyKWh
+	res.PackageKg = float64(n) * perBridgeEnergy * p.CarbonIntensity / y
+	return nil
+}
+
+// beolEPAFraction is the share of a node's full-flow EPA attributable to
+// BEOL-only processing, used for the passive interposer which has no
+// devices.
+const beolEPAFraction = 0.4
+
+// interposerTSVPitchUM is the pitch of the through-silicon vias that
+// carry interposer signals down to the package substrate (Fig. 4(c):
+// 2.5D interposers are TSV-based). TSVs sit at the coarse end of the
+// Table I range since they only serve substrate escape, not die-to-die
+// bandwidth.
+const interposerTSVPitchUM = 45.0
+
+// estimateInterposer models 2.5D interposers as an additional large
+// silicon die spanning the package area. Passive interposers carry only
+// BEOL processing plus material; active interposers carry the full flow
+// energy (FEOL+BEOL) plus gas emissions, since devices are fabricated
+// even though they are used only in local router regions. Both carry a
+// grid of escape TSVs to the package substrate.
+func estimateInterposer(res *Result, chiplets []Chiplet, p Params, active bool) error {
+	n := p.PackagingNode
+	areaCM2 := res.PackageAreaMM2 / 100
+	y := yieldmodel.Die(res.PackageAreaMM2, n.DefectDensity)
+	res.AssemblyYield = y
+
+	var rawKgPerCM2 float64
+	if active {
+		rawKgPerCM2 = n.EquipEfficiency*p.CarbonIntensity*n.EPA + n.GasCFP + n.MaterialCFP
+	} else {
+		rawKgPerCM2 = n.EquipEfficiency*p.CarbonIntensity*(beolEPAFraction*n.EPA) + n.MaterialCFP
+	}
+	// Metal patterning for the interposer's routing layers.
+	layerKgPerCM2 := float64(p.InterposerBEOLLayers) * n.EPLARDL * p.CarbonIntensity
+	// Escape TSVs through the interposer to the substrate.
+	pitchMM := interposerTSVPitchUM / 1000
+	tsvs := res.PackageAreaMM2 / (pitchMM * pitchMM)
+	res.NumBonds = tsvs
+	tsvKg := tsvs * EnergyPerTSVKWh * p.CarbonIntensity
+
+	res.PackageKg = ((rawKgPerCM2+layerKgPerCM2)*areaCM2 + tsvKg) / y
+	return nil
+}
+
+// estimate3D implements Eq. (11): a dense grid of vertical bonds at
+// minimum pitch across the stack footprint. Following Section V-B(1), the
+// bond grid is a single vertical stack network across all tiers (the
+// footprint shrinks as logic is split across more tiers, so the bond
+// count falls even though the assembly yield degrades with tier count).
+func estimate3D(chiplets []Chiplet, p Params) (*Result, error) {
+	footprint := 0.0
+	for _, c := range chiplets {
+		footprint = math.Max(footprint, c.AreaMM2)
+	}
+	res := &Result{Arch: ThreeD, PackageAreaMM2: footprint}
+
+	pitchMM := p.BondPitchUM / 1000
+	bonds := footprint / (pitchMM * pitchMM)
+	res.NumBonds = bonds
+
+	tiers := len(chiplets)
+	bondY := yieldmodel.BondYieldFromPitch(p.BondPitchUM)
+	y := math.Pow(bondY, float64(tiers-1))
+	res.AssemblyYield = y
+	res.PackageKg = bonds * p.energyPerBond() * p.CarbonIntensity / y
+
+	if err := addCommunication(res, chiplets, p); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// addCommunication adds C_mfg,comm per Section III-D(2):
+//
+//   - interposer-based and 3D systems need a full NoC router per chiplet
+//     (in the chiplet's node for passive interposers and 3D, in the
+//     packaging node for active interposers, where it also consumes
+//     interposer FEOL),
+//   - RDL and EMIB packages only need small PHY IPs inside each chiplet.
+//
+// Router/PHY silicon is charged at the carbon of its host node using the
+// same CFPA formulation as Eq. (6) (without wafer wastage: the blocks are
+// tiny IP regions, not separate dies).
+func addCommunication(res *Result, chiplets []Chiplet, p Params) error {
+	switch res.Arch {
+	case RDLFanout, SiliconBridge:
+		var total float64
+		var areaSum float64
+		for _, c := range chiplets {
+			a, err := noc.PHYAreaMM2(p.Router, c.Node)
+			if err != nil {
+				return err
+			}
+			total += chipletLogicCarbon(c.Node, a, p.CarbonIntensity)
+			areaSum += a
+		}
+		res.RoutingKg = total
+		res.RouterAreaPerChipletMM2 = areaSum / float64(len(chiplets))
+		// PHYs are near-DC interfaces; their power is folded into the
+		// system power elsewhere. Keep router power zero here.
+		return nil
+
+	case PassiveInterposer, ThreeD:
+		var total float64
+		var areaSum, powerSum float64
+		for _, c := range chiplets {
+			a, err := noc.AreaMM2(p.Router, c.Node)
+			if err != nil {
+				return err
+			}
+			w, err := noc.PowerW(p.Router, c.Node, p.RouterPower)
+			if err != nil {
+				return err
+			}
+			total += chipletLogicCarbon(c.Node, a, p.CarbonIntensity)
+			areaSum += a
+			powerSum += w
+		}
+		res.RoutingKg = total
+		res.RouterAreaPerChipletMM2 = areaSum / float64(len(chiplets))
+		res.RouterTotalPowerW = powerSum
+		return nil
+
+	case ActiveInterposer:
+		a, err := noc.AreaMM2(p.Router, p.PackagingNode)
+		if err != nil {
+			return err
+		}
+		w, err := noc.PowerW(p.Router, p.PackagingNode, p.RouterPower)
+		if err != nil {
+			return err
+		}
+		n := float64(len(chiplets))
+		res.RoutingKg = n * chipletLogicCarbon(p.PackagingNode, a, p.CarbonIntensity)
+		res.RouterTotalPowerW = n * w
+		return nil
+	}
+	return fmt.Errorf("pkgcarbon: unknown architecture %v", res.Arch)
+}
+
+// chipletLogicCarbon is the Eq. (6) CFPA (without wastage) applied to a
+// small logic region of the given area in the given node.
+func chipletLogicCarbon(n *tech.Node, areaMM2, carbonIntensity float64) float64 {
+	y := yieldmodel.Die(areaMM2, n.DefectDensity)
+	raw := n.EquipEfficiency*carbonIntensity*n.EPA + n.GasCFP + n.MaterialCFP
+	return raw / y * areaMM2 / 100
+}

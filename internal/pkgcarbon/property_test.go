@@ -1,0 +1,51 @@
+package pkgcarbon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecochip/internal/tech"
+)
+
+// Property: every architecture produces positive package carbon, a valid
+// assembly yield and a package at least as large as the silicon it
+// hosts, for arbitrary chiplet sets.
+func TestEstimatePropertyRandomSets(t *testing.T) {
+	db := tech.Default()
+	sizes := db.Sizes()
+	f := func(raw []uint16, archRaw uint8) bool {
+		if len(raw) < 2 || len(raw) > 10 {
+			return true
+		}
+		arch := Architectures[int(archRaw)%len(Architectures)]
+		chips := make([]Chiplet, len(raw))
+		var silicon float64
+		for i, r := range raw {
+			area := float64(r%400) + 1
+			chips[i] = Chiplet{
+				Name:    string(rune('a' + i)),
+				AreaMM2: area,
+				Node:    db.MustGet(sizes[int(r)%len(sizes)]),
+			}
+			silicon += area
+		}
+		res, err := Estimate(chips, DefaultParams(arch))
+		if err != nil {
+			return false
+		}
+		if res.PackageKg <= 0 || res.RoutingKg <= 0 {
+			return false
+		}
+		if res.AssemblyYield <= 0 || res.AssemblyYield > 1 {
+			return false
+		}
+		if arch == ThreeD {
+			// Footprint is the largest tier.
+			return res.PackageAreaMM2 <= silicon
+		}
+		return res.PackageAreaMM2 >= silicon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

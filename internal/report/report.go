@@ -1,0 +1,155 @@
+// Package report provides the tabular output format shared by the
+// experiment runners, the ecoexp CLI and the benchmark harness: a simple
+// column-aligned text renderer and a CSV writer, mirroring how the
+// released ECO-CHIP artifact prints the raw data underlying each plot.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	// Title identifies the experiment (e.g. "fig7a").
+	Title string
+	// Note is an optional caption describing workload and parameters.
+	Note string
+	// Headers are the column names.
+	Headers []string
+	// Rows hold the data cells, each row len(Headers) long.
+	Rows [][]string
+}
+
+// New creates a table with the given title and headers.
+func New(title, note string, headers ...string) *Table {
+	return &Table{Title: title, Note: note, Headers: headers}
+}
+
+// AddRow appends a row; it panics if the cell count mismatches the
+// headers (an experiment-authoring bug, not a runtime condition).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: table %q: row has %d cells, want %d", t.Title, len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// F formats a float for table cells: fixed-point with enough precision
+// for small carbon values, compact for large ones.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case v >= 10 || v <= -10:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+}
+
+// I formats an integer cell.
+func I(v int) string { return strconv.Itoa(v) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := widths[i] - len(c); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table (headers + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Column returns the values of the named column parsed as floats; cells
+// that do not parse are returned as NaN-free errors.
+func (t *Table) Column(name string) ([]float64, error) {
+	idx := -1
+	for i, h := range t.Headers {
+		if h == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("report: table %q has no column %q", t.Title, name)
+	}
+	out := make([]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[idx], 64)
+		if err != nil {
+			return nil, fmt.Errorf("report: table %q row %d column %q: %w", t.Title, i, name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

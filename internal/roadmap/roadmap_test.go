@@ -1,0 +1,144 @@
+package roadmap
+
+import (
+	"testing"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+// product builds a 3-chiplet system whose digital block changes per
+// generation (newGen) while IO and memory chiplets carry over.
+func product(gen int, digitalTransistors float64) *core.System {
+	ref := db().MustGet(7)
+	digital := core.Chiplet{
+		Name: "digital-v" + string(rune('0'+gen)), Type: tech.Logic,
+		Transistors: digitalTransistors, NodeNm: 7,
+	}
+	return &core.System{
+		Name: "product",
+		Chiplets: []core.Chiplet{
+			digital,
+			core.BlockFromArea("memory", tech.Memory, 60, ref, 14),
+			core.BlockFromArea("io", tech.Analog, 30, ref, 14),
+		},
+		Packaging: pkgcarbon.DefaultParams(pkgcarbon.RDLFanout),
+		Mfg:       mfg.DefaultParams(),
+		Design:    descarbon.DefaultParams(),
+	}
+}
+
+func twoGen() []Generation {
+	return []Generation{
+		{Name: "gen1", System: product(1, 10e9)},
+		{Name: "gen2", System: product(2, 14e9)},
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(db(), nil); err == nil {
+		t.Error("empty roadmap should fail")
+	}
+	if _, err := Evaluate(db(), []Generation{{Name: "x"}}); err == nil {
+		t.Error("generation without system should fail")
+	}
+	broken := product(1, 10e9)
+	broken.Chiplets[0].Transistors = 0
+	if _, err := Evaluate(db(), []Generation{{Name: "x", System: broken}}); err == nil {
+		t.Error("invalid system should fail")
+	}
+}
+
+func TestCarryOverDetection(t *testing.T) {
+	rep, err := Evaluate(db(), twoGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Generations) != 2 {
+		t.Fatalf("want 2 generation reports, got %d", len(rep.Generations))
+	}
+	g1, g2 := rep.Generations[0], rep.Generations[1]
+	if len(g1.CarriedOver) != 0 {
+		t.Errorf("gen1 should carry nothing over, got %v", g1.CarriedOver)
+	}
+	if len(g2.CarriedOver) != 2 {
+		t.Errorf("gen2 should carry memory and io over, got %v", g2.CarriedOver)
+	}
+	// Reuse must cut gen2's per-part carbon below the naive redesign.
+	if g2.PerPartKg >= g2.NaivePerPartKg {
+		t.Errorf("gen2 reuse per-part %.2f should be below naive %.2f", g2.PerPartKg, g2.NaivePerPartKg)
+	}
+	// Gen1 has no reuse: per-part equals naive.
+	if g1.PerPartKg != g1.NaivePerPartKg {
+		t.Errorf("gen1 per-part %.2f should equal naive %.2f", g1.PerPartKg, g1.NaivePerPartKg)
+	}
+}
+
+func TestNodeChangeBreaksCarryOver(t *testing.T) {
+	gens := twoGen()
+	// Move gen2's memory chiplet to a different node: same name, but it
+	// is a new design now.
+	gens[1].System.Chiplets[1].NodeNm = 10
+	rep, err := Evaluate(db(), gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Generations[1].CarriedOver) != 1 {
+		t.Errorf("retargeted memory chiplet should not carry over: %v", rep.Generations[1].CarriedOver)
+	}
+}
+
+func TestFleetAccounting(t *testing.T) {
+	gens := twoGen()
+	gens[0].Volume = 200_000
+	gens[1].Volume = 300_000
+	rep, err := Evaluate(db(), gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFleet := rep.Generations[0].PerPartKg*200_000 + rep.Generations[1].PerPartKg*300_000
+	if diff := rep.TotalFleetKg() - wantFleet; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("TotalFleetKg = %g, want %g", rep.TotalFleetKg(), wantFleet)
+	}
+	if rep.SavingFraction() <= 0 || rep.SavingFraction() >= 1 {
+		t.Errorf("saving fraction %.3f should be in (0, 1)", rep.SavingFraction())
+	}
+	if rep.NaiveFleetKg() <= rep.TotalFleetKg() {
+		t.Error("naive fleet carbon should exceed reuse-aware fleet carbon")
+	}
+}
+
+// A three-generation roadmap keeps amortizing: each generation with
+// carried-over chiplets beats its own naive baseline.
+func TestThreeGenerations(t *testing.T) {
+	gens := []Generation{
+		{Name: "gen1", System: product(1, 10e9)},
+		{Name: "gen2", System: product(2, 14e9)},
+		{Name: "gen3", System: product(3, 20e9)},
+	}
+	rep, err := Evaluate(db(), gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range rep.Generations[1:] {
+		if g.PerPartKg >= g.NaivePerPartKg {
+			t.Errorf("generation %d should benefit from reuse", i+2)
+		}
+	}
+	// The IncludeNRE extension compounds the saving.
+	for i := range gens {
+		gens[i].System.IncludeNRE = true
+	}
+	repNRE, err := Evaluate(db(), gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repNRE.TotalFleetKg() <= rep.TotalFleetKg() {
+		t.Error("NRE accounting should raise absolute carbon")
+	}
+}

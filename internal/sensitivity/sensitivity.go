@@ -1,0 +1,154 @@
+// Package sensitivity performs one-at-a-time (tornado) sensitivity
+// analysis of a system's total carbon with respect to the key model
+// inputs — the generalization of the paper's Fig. 6(b) defect-density
+// study. Each factor is scaled down and up by a relative amount (with
+// Table I clamping) while everything else is held at its base value, and
+// the swing in C_tot ranks the factors.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"ecochip/internal/core"
+	"ecochip/internal/tech"
+)
+
+// Result is the C_tot response of one factor.
+type Result struct {
+	// Factor names the perturbed input.
+	Factor string
+	// BaseKg, LowKg, HighKg are C_tot at the base, scaled-down and
+	// scaled-up factor values.
+	BaseKg, LowKg, HighKg float64
+}
+
+// Swing is the absolute C_tot range the factor commands.
+func (r Result) Swing() float64 {
+	lo, hi := r.LowKg, r.HighKg
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return hi - lo
+}
+
+// factor applies a scale (e.g. 0.8 or 1.2) to one input of a
+// (system, db) pair, returning the perturbed pair.
+type factor struct {
+	name  string
+	apply func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error)
+}
+
+func factors() []factor {
+	return []factor{
+		{"defect density D0", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			db2, err := db.Clone(func(n *tech.Node) {
+				n.DefectDensity = tech.Clamp(n.DefectDensity*scale, 0.07, 0.3)
+			})
+			return &s, db2, err
+		}},
+		{"manufacturing energy EPA", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			db2, err := db.Clone(func(n *tech.Node) {
+				n.EPA = tech.Clamp(n.EPA*scale, 0.8, 3.5)
+			})
+			return &s, db2, err
+		}},
+		{"fab carbon intensity", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			s.Mfg.CarbonIntensity = tech.Clamp(s.Mfg.CarbonIntensity*scale, 0.030, 0.700)
+			s.Packaging.CarbonIntensity = tech.Clamp(s.Packaging.CarbonIntensity*scale, 0.030, 0.700)
+			return &s, db, nil
+		}},
+		{"design iterations N_des", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			iters := int(float64(s.Design.Iterations)*scale + 0.5)
+			if iters < 1 {
+				iters = 1
+			}
+			s.Design.Iterations = iters
+			return &s, db, nil
+		}},
+		{"use-phase carbon intensity", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			if s.Operation == nil {
+				return &s, db, nil
+			}
+			op := *s.Operation
+			op.CarbonIntensity = tech.Clamp(op.CarbonIntensity*scale, 0.030, 0.700)
+			s.Operation = &op
+			return &s, db, nil
+		}},
+		{"lifetime", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			if s.Operation == nil {
+				return &s, db, nil
+			}
+			op := *s.Operation
+			op.LifetimeYears = op.LifetimeYears * scale
+			s.Operation = &op
+			return &s, db, nil
+		}},
+		{"manufacturing volume", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+			vol := s.SystemVolume
+			if vol == 0 {
+				vol = core.DefaultVolume
+			}
+			scaled := int(float64(vol) * scale)
+			if scaled < 1 {
+				scaled = 1
+			}
+			s.SystemVolume = scaled
+			chiplets := make([]core.Chiplet, len(s.Chiplets))
+			copy(chiplets, s.Chiplets)
+			for i := range chiplets {
+				parts := chiplets[i].ManufacturedParts
+				if parts == 0 {
+					parts = core.DefaultVolume
+				}
+				p := int(float64(parts) * scale)
+				if p < 1 {
+					p = 1
+				}
+				chiplets[i].ManufacturedParts = p
+			}
+			s.Chiplets = chiplets
+			return &s, db, nil
+		}},
+	}
+}
+
+// Tornado perturbs each factor by ±rel (e.g. 0.25 for ±25%) and returns
+// the results sorted by descending swing.
+func Tornado(base *core.System, db *tech.DB, rel float64) ([]Result, error) {
+	if rel <= 0 || rel >= 1 {
+		return nil, fmt.Errorf("sensitivity: relative perturbation %g outside (0, 1)", rel)
+	}
+	baseRep, err := base.Evaluate(db)
+	if err != nil {
+		return nil, err
+	}
+	baseKg := baseRep.TotalKg()
+
+	var results []Result
+	for _, f := range factors() {
+		lowKg, err := evalScaled(base, db, f, 1-rel)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: factor %q low: %w", f.name, err)
+		}
+		highKg, err := evalScaled(base, db, f, 1+rel)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: factor %q high: %w", f.name, err)
+		}
+		results = append(results, Result{Factor: f.name, BaseKg: baseKg, LowKg: lowKg, HighKg: highKg})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Swing() > results[j].Swing() })
+	return results, nil
+}
+
+func evalScaled(base *core.System, db *tech.DB, f factor, scale float64) (float64, error) {
+	s, db2, err := f.apply(*base, db, scale)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := s.Evaluate(db2)
+	if err != nil {
+		return 0, err
+	}
+	return rep.TotalKg(), nil
+}

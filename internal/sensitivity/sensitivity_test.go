@@ -1,0 +1,145 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+func TestTornadoRuns(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	results, err := Tornado(base, db(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("want 7 factors, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.BaseKg <= 0 {
+			t.Errorf("%s: base carbon must be positive", r.Factor)
+		}
+		if r.Swing() < 0 {
+			t.Errorf("%s: negative swing", r.Factor)
+		}
+	}
+	// Sorted by descending swing.
+	for i := 1; i < len(results); i++ {
+		if results[i].Swing() > results[i-1].Swing() {
+			t.Error("results not sorted by swing")
+		}
+	}
+}
+
+// For the GPU (operational-dominated), lifetime and use-phase intensity
+// must rank above fab-side factors.
+func TestGPUDominatedByOperationalFactors(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	results, err := Tornado(base, db(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := map[string]int{}
+	for i, r := range results {
+		rank[r.Factor] = i
+	}
+	if rank["lifetime"] > 1 && rank["use-phase carbon intensity"] > 1 {
+		t.Errorf("for a GPU, an operational factor should rank in the top 2: %v", rank)
+	}
+	if rank["lifetime"] >= rank["defect density D0"] {
+		t.Errorf("lifetime should out-rank defect density for a GPU: %v", rank)
+	}
+}
+
+// For the mobile SoC (embodied-dominated), an embodied-side factor
+// (volume, design iterations, fab intensity, defect density, EPA) must
+// hold the top rank — not lifetime or the use-phase grid.
+func TestMobileDominatedByEmbodiedFactors(t *testing.T) {
+	base := testcases.A15(db(), 7, 14, 10, false)
+	results, err := Tornado(base, db(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := results[0].Factor
+	if top == "lifetime" || top == "use-phase carbon intensity" {
+		t.Errorf("for a mobile SoC the top factor should be embodied-side, got %q", top)
+	}
+}
+
+// Directionality: scaling lifetime up must increase C_tot; scaling
+// defect density up must increase C_tot.
+func TestDirections(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	results, err := Tornado(base, db(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		switch r.Factor {
+		case "lifetime", "use-phase carbon intensity", "defect density D0",
+			"manufacturing energy EPA", "fab carbon intensity", "design iterations N_des":
+			if r.HighKg < r.BaseKg || r.LowKg > r.BaseKg {
+				t.Errorf("%s: scaling up should not lower C_tot (low %.1f base %.1f high %.1f)",
+					r.Factor, r.LowKg, r.BaseKg, r.HighKg)
+			}
+		case "manufacturing volume":
+			// More volume amortizes design carbon: high <= base.
+			if r.HighKg > r.BaseKg {
+				t.Errorf("volume up should not raise C_tot (base %.1f high %.1f)", r.BaseKg, r.HighKg)
+			}
+		}
+	}
+}
+
+func TestTornadoErrors(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	for _, rel := range []float64{0, 1, -0.5, 2} {
+		if _, err := Tornado(base, db(), rel); err == nil {
+			t.Errorf("rel=%g should fail", rel)
+		}
+	}
+	bad := testcases.GA102(db(), 7, 14, 10, false)
+	bad.Chiplets[0].Transistors = 0
+	if _, err := Tornado(bad, db(), 0.2); err == nil {
+		t.Error("invalid base system should fail")
+	}
+}
+
+// The base system must not be mutated by the analysis.
+func TestBaseUnchanged(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	beforeIters := base.Design.Iterations
+	beforeLifetime := base.Operation.LifetimeYears
+	beforeParts := base.Chiplets[0].ManufacturedParts
+	if _, err := Tornado(base, db(), 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if base.Design.Iterations != beforeIters ||
+		base.Operation.LifetimeYears != beforeLifetime ||
+		base.Chiplets[0].ManufacturedParts != beforeParts {
+		t.Error("Tornado mutated the base system")
+	}
+	// The shared tech DB must also be untouched.
+	if db().MustGet(7).DefectDensity != 0.20 {
+		t.Error("Tornado mutated the shared tech database")
+	}
+}
+
+// A system without an operating spec still analyzes (operational factors
+// become no-ops with zero swing).
+func TestEmbodiedOnlySystem(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	base.Operation = nil
+	results, err := Tornado(base, db(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Factor == "lifetime" && r.Swing() != 0 {
+			t.Error("lifetime swing should be zero without an operating spec")
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package tech provides the technology-node parameter database that every
+// carbon and cost model in ECO-CHIP consumes.
+//
+// The database covers the parameters of Table I of the HPCA 2024 paper:
+// defect density D0(p), transistor density D_T(d, p) for the three design
+// types (logic, memory, analog), manufacturing energy per unit area EPA(p),
+// greenhouse-gas and material CFP per unit area, the process-equipment
+// energy-efficiency derate eta_eq, the EDA-productivity derate eta_EDA,
+// nominal supply voltage, and per-layer patterning energies (EPLA) used by
+// the packaging models.
+//
+// Units convention (used consistently across the repository):
+//   - areas are mm^2 at package boundaries; cm^2 appears only inside
+//     carbon-per-area math,
+//   - energies are kWh,
+//   - carbon is kg of CO2-equivalent,
+//   - transistor densities are MTr/mm^2 (millions of transistors per mm^2).
+package tech
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DesignType identifies the scaling class of a block or chiplet. The three
+// classes scale very differently with process node: logic tracks the full
+// density improvement, SRAM lags it, and analog barely scales at all
+// (Section III-C(1) of the paper).
+type DesignType int
+
+const (
+	// Logic is standard-cell digital logic.
+	Logic DesignType = iota
+	// Memory is SRAM-dominated area.
+	Memory
+	// Analog covers analog, IO and mixed-signal area.
+	Analog
+)
+
+// ParseDesignType converts the JSON/CLI spellings used by the released
+// ECO-CHIP tool ("logic", "memory"/"mem"/"sram", "analog"/"io") into a
+// DesignType.
+func ParseDesignType(s string) (DesignType, error) {
+	switch s {
+	case "logic", "digital":
+		return Logic, nil
+	case "memory", "mem", "sram":
+		return Memory, nil
+	case "analog", "io", "analog_io":
+		return Analog, nil
+	}
+	return 0, fmt.Errorf("tech: unknown design type %q", s)
+}
+
+// String returns the canonical lower-case name of the design type.
+func (d DesignType) String() string {
+	switch d {
+	case Logic:
+		return "logic"
+	case Memory:
+		return "memory"
+	case Analog:
+		return "analog"
+	}
+	return fmt.Sprintf("DesignType(%d)", int(d))
+}
+
+// DesignTypes lists all supported design types in a stable order.
+var DesignTypes = []DesignType{Logic, Memory, Analog}
+
+// Node holds every per-process parameter the carbon and cost models need.
+// The numbers are interpolations within the ranges of Table I of the paper
+// (see the table in nodes.go); they are deliberately exported as plain
+// fields so that a user with access to proprietary fab data can construct
+// their own Node values.
+type Node struct {
+	// Nm is the marketing node name in nanometres (7, 10, 14, ...).
+	Nm int
+
+	// DefectDensity is D0(p) in defects/cm^2. Mature nodes have lower
+	// defect densities (Table I: 0.07 - 0.3 /cm^2).
+	DefectDensity float64
+
+	// Density maps each design type to its transistor density in
+	// MTr/mm^2 (Table I: 5 - 150 MTr/mm^2 across types and nodes).
+	Density map[DesignType]float64
+
+	// EPA is the manufacturing energy per unit area in kWh/cm^2
+	// (Table I: 0.8 - 3.5 kWh/cm^2).
+	EPA float64
+
+	// GasCFP is the direct greenhouse-gas CFP of fabrication in
+	// kg CO2/cm^2 (Table I: 0.1 - 0.5).
+	GasCFP float64
+
+	// MaterialCFP is the CFP of sourcing wafer materials in kg CO2/cm^2
+	// (Table I: 0.5).
+	MaterialCFP float64
+
+	// EquipEfficiency is eta_eq(p) in (0, 1]: a derate applied to the
+	// fab-energy term of CFPA. Mature nodes run on better-amortized,
+	// more efficient equipment and therefore carry a lower derate.
+	EquipEfficiency float64
+
+	// EDAProductivity is eta_EDA(p) in (0, 1]: design time is divided by
+	// this factor, so the *larger* values assigned to older nodes model
+	// the paper's observation that the latest EDA tools finish older
+	// nodes faster (Section III-E).
+	EDAProductivity float64
+
+	// Vdd is the nominal supply voltage in volts (Table I: 0.7 - 1.8 V).
+	Vdd float64
+
+	// EPLARDL is the energy per RDL metal layer per unit area in
+	// kWh/cm^2 when this node is used as the packaging/RDL node
+	// (Table I: 0.05 - 0.2).
+	EPLARDL float64
+
+	// EPLABridge is the energy per silicon-bridge metal layer per unit
+	// area in kWh/cm^2; bridges use ultra-fine L/S lower-metal patterning
+	// and are therefore more energy-intensive than RDL
+	// (Table I: 0.1 - 0.35).
+	EPLABridge float64
+
+	// WaferCostUSD is the dollar cost of a 300 mm-equivalent processed
+	// wafer in this node, used only by the dollar-cost model (Section VI).
+	WaferCostUSD float64
+}
+
+// Area returns the silicon area in mm^2 of a block of the given design
+// type with the given transistor count, implemented in this node:
+//
+//	A_die(d, p) = N_T / D_T(d, p)
+//
+// (Section III-C(1); the paper's inline formula is dimensionally inverted,
+// the released tool divides as we do here.) transistors is an absolute
+// count, not millions.
+func (n *Node) Area(d DesignType, transistors float64) float64 {
+	density, ok := n.Density[d]
+	if !ok || density <= 0 {
+		panic(fmt.Sprintf("tech: node %dnm has no density for design type %s", n.Nm, d))
+	}
+	return transistors / (density * 1e6)
+}
+
+// Transistors is the inverse of Area: the transistor count that fills the
+// given area (mm^2) for the design type at this node.
+func (n *Node) Transistors(d DesignType, areaMM2 float64) float64 {
+	density, ok := n.Density[d]
+	if !ok || density <= 0 {
+		panic(fmt.Sprintf("tech: node %dnm has no density for design type %s", n.Nm, d))
+	}
+	return areaMM2 * density * 1e6
+}
+
+// Validate checks that the node's parameters sit inside the ranges of
+// Table I of the paper. It is used by the config front-end to reject
+// out-of-model inputs early.
+func (n *Node) Validate() error {
+	check := func(name string, v, lo, hi float64) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("tech: node %dnm: %s = %g outside Table I range [%g, %g]", n.Nm, name, v, lo, hi)
+		}
+		return nil
+	}
+	if n.Nm <= 0 {
+		return fmt.Errorf("tech: node size must be positive, got %d", n.Nm)
+	}
+	if err := check("defect density", n.DefectDensity, 0.07, 0.3); err != nil {
+		return err
+	}
+	for _, d := range DesignTypes {
+		density, ok := n.Density[d]
+		if !ok {
+			return fmt.Errorf("tech: node %dnm: missing density for %s", n.Nm, d)
+		}
+		// Analog density sits below the headline logic range; allow
+		// down to 1 MTr/mm^2 for it.
+		lo := 5.0
+		if d == Analog {
+			lo = 1.0
+		}
+		if err := check(d.String()+" density", density, lo, 150); err != nil {
+			return err
+		}
+	}
+	if err := check("EPA", n.EPA, 0.8, 3.5); err != nil {
+		return err
+	}
+	if err := check("gas CFP", n.GasCFP, 0.1, 0.5); err != nil {
+		return err
+	}
+	if err := check("material CFP", n.MaterialCFP, 0.1, 0.5); err != nil {
+		return err
+	}
+	if err := check("equipment efficiency", n.EquipEfficiency, 0, 1); err != nil {
+		return err
+	}
+	if err := check("EDA productivity", n.EDAProductivity, 0, 1); err != nil {
+		return err
+	}
+	if err := check("Vdd", n.Vdd, 0.7, 1.8); err != nil {
+		return err
+	}
+	if err := check("EPLA RDL", n.EPLARDL, 0.05, 0.2); err != nil {
+		return err
+	}
+	if err := check("EPLA bridge", n.EPLABridge, 0.1, 0.35); err != nil {
+		return err
+	}
+	if n.WaferCostUSD <= 0 {
+		return fmt.Errorf("tech: node %dnm: wafer cost must be positive", n.Nm)
+	}
+	return nil
+}
+
+// DB is an immutable set of technology nodes keyed by node size.
+// The zero value is unusable; construct with NewDB or use Default().
+type DB struct {
+	nodes map[int]*Node
+}
+
+// NewDB builds a database from the given nodes, validating each one.
+func NewDB(nodes []Node) (*DB, error) {
+	db := &DB{nodes: make(map[int]*Node, len(nodes))}
+	for i := range nodes {
+		n := nodes[i]
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := db.nodes[n.Nm]; dup {
+			return nil, fmt.Errorf("tech: duplicate node %dnm", n.Nm)
+		}
+		db.nodes[n.Nm] = &n
+	}
+	return db, nil
+}
+
+// Get returns the node with the given size in nm.
+func (db *DB) Get(nm int) (*Node, error) {
+	n, ok := db.nodes[nm]
+	if !ok {
+		return nil, fmt.Errorf("tech: unsupported node %dnm (supported: %v)", nm, db.Sizes())
+	}
+	return n, nil
+}
+
+// MustGet is Get that panics on unknown nodes. It is intended for
+// experiment code whose node lists are compile-time constants.
+func (db *DB) MustGet(nm int) *Node {
+	n, err := db.Get(nm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Sizes returns the supported node sizes in ascending order.
+func (db *DB) Sizes() []int {
+	sizes := make([]int, 0, len(db.nodes))
+	for nm := range db.nodes {
+		sizes = append(sizes, nm)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+// Has reports whether the database contains the node.
+func (db *DB) Has(nm int) bool {
+	_, ok := db.nodes[nm]
+	return ok
+}
+
+// Clone returns a deep copy of the database with the mutate function
+// applied to every node. Mutated values are clamped back into the
+// Table I ranges by the caller's mutate function or rejected here by
+// re-validation — Clone never lets an out-of-model database escape.
+// It is the supported way to run what-if analyses (e.g. sensitivity
+// sweeps) without touching the shared Default() database.
+func (db *DB) Clone(mutate func(*Node)) (*DB, error) {
+	nodes := make([]Node, 0, len(db.nodes))
+	for _, nm := range db.Sizes() {
+		n := *db.nodes[nm]
+		density := make(map[DesignType]float64, len(n.Density))
+		for k, v := range n.Density {
+			density[k] = v
+		}
+		n.Density = density
+		if mutate != nil {
+			mutate(&n)
+		}
+		nodes = append(nodes, n)
+	}
+	return NewDB(nodes)
+}
+
+// Clamp bounds v into [lo, hi]; a convenience for Clone mutate functions
+// that scale Table I parameters.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,261 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultDBValid(t *testing.T) {
+	db := Default()
+	sizes := db.Sizes()
+	want := []int{7, 10, 14, 22, 28, 40, 65}
+	if len(sizes) != len(want) {
+		t.Fatalf("Sizes() = %v, want %v", sizes, want)
+	}
+	for i, nm := range want {
+		if sizes[i] != nm {
+			t.Errorf("Sizes()[%d] = %d, want %d", i, sizes[i], nm)
+		}
+		if !db.Has(nm) {
+			t.Errorf("Has(%d) = false, want true", nm)
+		}
+	}
+}
+
+func TestDefaultDBSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() should return the same instance")
+	}
+}
+
+func TestGetUnknownNode(t *testing.T) {
+	if _, err := Default().Get(3); err == nil {
+		t.Fatal("Get(3) should fail: 3nm is not in the built-in table")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(999) should panic")
+		}
+	}()
+	Default().MustGet(999)
+}
+
+// Defect density must decrease monotonically as nodes mature (Fig. 6a).
+func TestDefectDensityMonotone(t *testing.T) {
+	db := Default()
+	sizes := db.Sizes()
+	for i := 1; i < len(sizes); i++ {
+		prev, cur := db.MustGet(sizes[i-1]), db.MustGet(sizes[i])
+		if cur.DefectDensity >= prev.DefectDensity {
+			t.Errorf("D0(%dnm)=%g should be < D0(%dnm)=%g",
+				cur.Nm, cur.DefectDensity, prev.Nm, prev.DefectDensity)
+		}
+	}
+}
+
+// Logic density scales steeply, memory less so, analog barely: at every
+// node memory density > logic is allowed (SRAM bitcells are denser), but
+// the *scaling ratio* from 65nm to 7nm must order logic > memory > analog.
+func TestScalingRatios(t *testing.T) {
+	db := Default()
+	n7, n65 := db.MustGet(7), db.MustGet(65)
+	logicRatio := n7.Density[Logic] / n65.Density[Logic]
+	memRatio := n7.Density[Memory] / n65.Density[Memory]
+	anaRatio := n7.Density[Analog] / n65.Density[Analog]
+	if !(logicRatio > memRatio && memRatio > anaRatio) {
+		t.Errorf("scaling ratios logic=%.1f mem=%.1f analog=%.1f: want logic > mem > analog",
+			logicRatio, memRatio, anaRatio)
+	}
+	if anaRatio > 3 {
+		t.Errorf("analog scaling ratio %.1f is too aggressive; analog barely scales", anaRatio)
+	}
+}
+
+// EPA, gas CFP rise with advanced nodes; equipment derate and Vdd trends.
+func TestPerNodeTrends(t *testing.T) {
+	db := Default()
+	sizes := db.Sizes() // ascending nm = newest first
+	for i := 1; i < len(sizes); i++ {
+		newer, older := db.MustGet(sizes[i-1]), db.MustGet(sizes[i])
+		if newer.EPA <= older.EPA {
+			t.Errorf("EPA(%d)=%g should exceed EPA(%d)=%g", newer.Nm, newer.EPA, older.Nm, older.EPA)
+		}
+		if newer.GasCFP <= older.GasCFP {
+			t.Errorf("GasCFP(%d) should exceed GasCFP(%d)", newer.Nm, older.Nm)
+		}
+		if newer.EquipEfficiency <= older.EquipEfficiency {
+			t.Errorf("eta_eq(%d) should exceed eta_eq(%d)", newer.Nm, older.Nm)
+		}
+		if newer.EDAProductivity >= older.EDAProductivity {
+			t.Errorf("eta_EDA(%d) should be below eta_EDA(%d)", newer.Nm, older.Nm)
+		}
+		if newer.Vdd >= older.Vdd {
+			t.Errorf("Vdd(%d) should be below Vdd(%d)", newer.Nm, older.Nm)
+		}
+		if newer.EPLARDL <= older.EPLARDL {
+			t.Errorf("EPLA_RDL(%d) should exceed EPLA_RDL(%d)", newer.Nm, older.Nm)
+		}
+		if newer.WaferCostUSD <= older.WaferCostUSD {
+			t.Errorf("wafer cost(%d) should exceed wafer cost(%d)", newer.Nm, older.Nm)
+		}
+	}
+}
+
+func TestAreaRoundTrip(t *testing.T) {
+	n := Default().MustGet(7)
+	const transistors = 4.5e9
+	for _, d := range DesignTypes {
+		area := n.Area(d, transistors)
+		if area <= 0 {
+			t.Fatalf("Area(%s) = %g, want > 0", d, area)
+		}
+		back := n.Transistors(d, area)
+		if math.Abs(back-transistors)/transistors > 1e-12 {
+			t.Errorf("Transistors(Area(%g)) = %g, want round trip", transistors, back)
+		}
+	}
+}
+
+func TestAreaKnownValue(t *testing.T) {
+	// 95 MTr/mm^2 at 7nm logic: 9.5e9 transistors => exactly 100 mm^2.
+	n := Default().MustGet(7)
+	got := n.Area(Logic, 9.5e9)
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("Area(Logic, 9.5e9) = %g mm^2, want 100", got)
+	}
+}
+
+func TestAreaPanicsOnMissingDensity(t *testing.T) {
+	n := &Node{Nm: 7, Density: map[DesignType]float64{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Area should panic when density is missing")
+		}
+	}()
+	n.Area(Logic, 1e9)
+}
+
+// Property: area is linear in transistor count and monotone decreasing in
+// density across design types at a fixed node.
+func TestAreaLinearity(t *testing.T) {
+	n := Default().MustGet(14)
+	f := func(raw uint32) bool {
+		nt := float64(raw%1_000_000+1) * 1e4
+		a1 := n.Area(Logic, nt)
+		a2 := n.Area(Logic, 2*nt)
+		return math.Abs(a2-2*a1) < 1e-9*a2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Area of a fixed transistor budget must grow as the node gets older.
+func TestAreaGrowsWithOlderNodes(t *testing.T) {
+	db := Default()
+	sizes := db.Sizes()
+	const nt = 1e9
+	for _, d := range DesignTypes {
+		for i := 1; i < len(sizes); i++ {
+			newer := db.MustGet(sizes[i-1]).Area(d, nt)
+			older := db.MustGet(sizes[i]).Area(d, nt)
+			if older <= newer {
+				t.Errorf("%s area at %dnm (%.2f) should exceed at %dnm (%.2f)",
+					d, sizes[i], older, sizes[i-1], newer)
+			}
+		}
+	}
+}
+
+func TestParseDesignType(t *testing.T) {
+	cases := map[string]DesignType{
+		"logic": Logic, "digital": Logic,
+		"memory": Memory, "mem": Memory, "sram": Memory,
+		"analog": Analog, "io": Analog, "analog_io": Analog,
+	}
+	for s, want := range cases {
+		got, err := ParseDesignType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDesignType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseDesignType("fpga"); err == nil {
+		t.Error("ParseDesignType(fpga) should fail")
+	}
+}
+
+func TestDesignTypeString(t *testing.T) {
+	if Logic.String() != "logic" || Memory.String() != "memory" || Analog.String() != "analog" {
+		t.Error("DesignType.String() mismatch")
+	}
+	if !strings.Contains(DesignType(42).String(), "42") {
+		t.Error("unknown DesignType should render its value")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	base := defaultNodes[0] // 7nm, valid
+	mutations := []struct {
+		name   string
+		mutate func(*Node)
+	}{
+		{"negative nm", func(n *Node) { n.Nm = -1 }},
+		{"defect density low", func(n *Node) { n.DefectDensity = 0.01 }},
+		{"defect density high", func(n *Node) { n.DefectDensity = 0.5 }},
+		{"EPA high", func(n *Node) { n.EPA = 10 }},
+		{"EPA low", func(n *Node) { n.EPA = 0.1 }},
+		{"gas high", func(n *Node) { n.GasCFP = 0.9 }},
+		{"material low", func(n *Node) { n.MaterialCFP = 0.0 }},
+		{"eta_eq high", func(n *Node) { n.EquipEfficiency = 1.5 }},
+		{"eta_EDA high", func(n *Node) { n.EDAProductivity = 2 }},
+		{"vdd low", func(n *Node) { n.Vdd = 0.3 }},
+		{"vdd high", func(n *Node) { n.Vdd = 2.5 }},
+		{"EPLA RDL high", func(n *Node) { n.EPLARDL = 0.5 }},
+		{"EPLA bridge low", func(n *Node) { n.EPLABridge = 0.01 }},
+		{"wafer cost zero", func(n *Node) { n.WaferCostUSD = 0 }},
+		{"missing logic density", func(n *Node) {
+			n.Density = map[DesignType]float64{Memory: 100, Analog: 5}
+		}},
+		{"density out of range", func(n *Node) {
+			n.Density = map[DesignType]float64{Logic: 500, Memory: 100, Analog: 5}
+		}},
+	}
+	for _, m := range mutations {
+		n := base
+		n.Density = map[DesignType]float64{}
+		for k, v := range base.Density {
+			n.Density[k] = v
+		}
+		m.mutate(&n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("Validate() should reject %s", m.name)
+		}
+	}
+}
+
+func TestNewDBRejectsDuplicates(t *testing.T) {
+	if _, err := NewDB([]Node{defaultNodes[0], defaultNodes[0]}); err == nil {
+		t.Error("NewDB should reject duplicate node sizes")
+	}
+}
+
+func TestNewDBRejectsInvalid(t *testing.T) {
+	bad := defaultNodes[0]
+	bad.EPA = 99
+	if _, err := NewDB([]Node{bad}); err == nil {
+		t.Error("NewDB should propagate Validate errors")
+	}
+}
+
+func TestAllNodesWithinTableI(t *testing.T) {
+	for _, nm := range DefaultSizes() {
+		if err := Default().MustGet(nm).Validate(); err != nil {
+			t.Errorf("node %dnm fails Table I validation: %v", nm, err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package testcases
+
+import (
+	"fmt"
+
+	"ecochip/internal/core"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// ARVRSeries selects the SRAM-die capacity of the AR/VR accelerator
+// testcase from [55]: the 1K flavor stacks 2 MB dies, the 2K flavor 4 MB
+// dies.
+type ARVRSeries int
+
+const (
+	// Series1K uses 2 MB SRAM dies.
+	Series1K ARVRSeries = iota
+	// Series2K uses 4 MB SRAM dies.
+	Series2K
+)
+
+// String names the series as in the paper ("1K" / "2K").
+func (s ARVRSeries) String() string {
+	if s == Series2K {
+		return "2K"
+	}
+	return "1K"
+}
+
+// dieMB returns the per-tier SRAM capacity in megabytes.
+func (s ARVRSeries) dieMB() int {
+	if s == Series2K {
+		return 4
+	}
+	return 2
+}
+
+// ARVR accelerator physical constants (7 nm, microbump 3D stacking per
+// Section VI). SRAM tiers are full-footprint dies — face-to-face stacking
+// needs matched die outlines, so the tile pads its array out to the
+// compute die's footprint (1K) or twice it (2K, double-capacity macro).
+const (
+	// arvrComputeMM2 is the compute-die area at 7 nm.
+	arvrComputeMM2 = 4.0
+	// arvrSRAM1KMM2 and arvrSRAM2KMM2 are the per-tier SRAM die areas.
+	arvrSRAM1KMM2 = 4.0
+	arvrSRAM2KMM2 = 8.0
+)
+
+// ARVRConfig is one accelerator design point of Fig. 13.
+type ARVRConfig struct {
+	Series ARVRSeries
+	// Tiers is the number of stacked SRAM dies (1 - 4).
+	Tiers int
+}
+
+// Name renders the paper's naming convention, e.g. "3D-1K-4MB" for two
+// stacked 2 MB tiers (single-tier points are the 2D flavor).
+func (c ARVRConfig) Name() string {
+	dim := "3D"
+	if c.Tiers == 1 {
+		dim = "2D"
+	}
+	return fmt.Sprintf("%s-%s-%dMB", dim, c.Series, c.TotalMB())
+}
+
+// TotalMB is the stacked SRAM capacity.
+func (c ARVRConfig) TotalMB() int { return c.Series.dieMB() * c.Tiers }
+
+// ARVRConfigs lists the Fig. 13 sweep: both series, 1-4 tiers.
+func ARVRConfigs() []ARVRConfig {
+	var out []ARVRConfig
+	for _, s := range []ARVRSeries{Series1K, Series2K} {
+		for tiers := 1; tiers <= 4; tiers++ {
+			out = append(out, ARVRConfig{Series: s, Tiers: tiers})
+		}
+	}
+	return out
+}
+
+// Performance is the synthetic stand-in for the latency/power table of
+// [55]. The trends are the ones Fig. 13 relies on: adding SRAM tiers cuts
+// inference latency (fewer off-chip accesses) and improves energy
+// efficiency (lower operating power), while the added silicon grows
+// embodied carbon.
+type Performance struct {
+	// LatencyMS is the inference latency in milliseconds.
+	LatencyMS float64
+	// PowerW is the average operating power in watts.
+	PowerW float64
+}
+
+// ARVRPerformance returns the synthetic performance point of a config.
+func ARVRPerformance(c ARVRConfig) Performance {
+	// Latency shrinks with diminishing returns in total capacity;
+	// the 2K series starts faster thanks to bigger tiles.
+	base := 1.00
+	if c.Series == Series2K {
+		base = 0.85
+	}
+	latency := base / (1 + 0.30*float64(c.Tiers-1))
+	// Power falls as DRAM traffic is displaced by on-stack SRAM.
+	power := (1.20 - 0.04*float64(c.Tiers-1))
+	if c.Series == Series2K {
+		power *= 1.08 // larger tiles burn slightly more leakage
+	}
+	return Performance{LatencyMS: latency, PowerW: power}
+}
+
+// ARVR builds the accelerator system: one 7 nm compute die with
+// c.Tiers SRAM dies stacked on top via microbumps. A 2-year lifetime and
+// the synthetic power draw feed the operational model (Fig. 13 estimates
+// C_tot over 2 years with E_use from [55]).
+func ARVR(db *tech.DB, c ARVRConfig) (*core.System, error) {
+	if c.Tiers < 1 || c.Tiers > 4 {
+		return nil, fmt.Errorf("testcases: AR/VR tiers %d outside [1, 4]", c.Tiers)
+	}
+	ref := refNode(db, 7)
+	chiplets := []core.Chiplet{
+		core.BlockFromArea("compute", tech.Logic, arvrComputeMM2, ref, 7),
+	}
+	sramMM2 := arvrSRAM1KMM2
+	if c.Series == Series2K {
+		sramMM2 = arvrSRAM2KMM2
+	}
+	for i := 0; i < c.Tiers; i++ {
+		tile := core.BlockFromArea(fmt.Sprintf("sram%d", i), tech.Memory, sramMM2, ref, 7)
+		tile.Reused = true // commodity SRAM tiles, pre-designed
+		chiplets = append(chiplets, tile)
+	}
+	perf := ARVRPerformance(c)
+	pkg := pkgcarbon.DefaultParams(pkgcarbon.ThreeD)
+	pkg.Bond = pkgcarbon.Microbump
+	return &core.System{
+		Name:      c.Name(),
+		Chiplets:  chiplets,
+		Packaging: pkg,
+		Mfg:       mfg.DefaultParams(),
+		Design:    defaultDesign(),
+		Operation: &opcarbon.Spec{
+			DutyCycle:       0.20,
+			LifetimeYears:   2,
+			CarbonIntensity: 0.700,
+			Elec: &opcarbon.Electrical{
+				Vdd:      0.70,
+				Activity: 0.2,
+				// Back out C from the synthetic power at 800 MHz so
+				// Eq. (14) reproduces the [55] power figure.
+				CapF:   perf.PowerW / (0.2 * 0.70 * 0.70 * 800e6),
+				FreqHz: 800e6,
+			},
+		},
+	}, nil
+}

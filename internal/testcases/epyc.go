@@ -1,0 +1,104 @@
+package testcases
+
+import (
+	"fmt"
+
+	"ecochip/internal/core"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// EPYC-class server CPU modeled after the AMD chiplet architecture the
+// paper cites as the commercial proof point of technology mix-and-match
+// (Naffziger et al. [10]): up to eight compute chiplets (CCDs) in an
+// advanced node around one IO die (IOD) in a mature node, on an organic
+// RDL substrate. This testcase exercises the many-chiplet regime the
+// GA102/A15/EMR set does not cover.
+const (
+	// EPYCCCDMM2 is one CCD's area at the 7 nm reference.
+	EPYCCCDMM2 = 74.0
+	// EPYCIODMM2 is the IO die's area at its 14 nm home node (it is
+	// IO/analog-dominated and deliberately kept on a mature node).
+	EPYCIODMM2 = 416.0
+)
+
+// EPYCOperation is a profiled server operating point: a multi-state
+// usage profile (compute-heavy days, idle nights) over a 5-year life.
+var EPYCOperation = opcarbon.Profile{Phases: []opcarbon.Phase{
+	{Name: "busy", ShareOfYear: 0.35, PowerW: 225},
+	{Name: "idle", ShareOfYear: 0.55, PowerW: 70},
+	{Name: "off", ShareOfYear: 0.10, PowerW: 0},
+}}
+
+// EPYC builds the server CPU with the given CCD count (1-8). The CCDs
+// are marked reused: the same compute die ships across the whole product
+// stack and multiple generations, which is the design style's point.
+func EPYC(db *tech.DB, ccds int) (*core.System, error) {
+	if ccds < 1 || ccds > 8 {
+		return nil, fmt.Errorf("testcases: EPYC CCD count %d outside [1, 8]", ccds)
+	}
+	ref7 := refNode(db, 7)
+	ref14 := refNode(db, 14)
+	chiplets := make([]core.Chiplet, 0, ccds+1)
+	for i := 0; i < ccds; i++ {
+		ccd := core.BlockFromArea(fmt.Sprintf("ccd%d", i), tech.Logic, EPYCCCDMM2, ref7, 7)
+		ccd.Reused = true
+		// One CCD design serves every SKU: its volume is the whole
+		// product line's CCD consumption.
+		ccd.ManufacturedParts = 8 * core.DefaultVolume
+		chiplets = append(chiplets, ccd)
+	}
+	iod := core.BlockFromArea("iod", tech.Analog, EPYCIODMM2, ref14, 14)
+	chiplets = append(chiplets, iod)
+
+	spec, err := opcarbon.SpecFromProfile(EPYCOperation, 5, 0.45)
+	if err != nil {
+		return nil, err
+	}
+	return &core.System{
+		Name:      fmt.Sprintf("EPYC-%dccd", ccds),
+		Chiplets:  chiplets,
+		Packaging: pkgcarbon.DefaultParams(pkgcarbon.RDLFanout),
+		Mfg:       mfg.DefaultParams(),
+		Design:    defaultDesign(),
+		Operation: &spec,
+	}, nil
+}
+
+// EPYCMonolith builds the hypothetical monolithic equivalent: all CCD
+// logic plus the IO die's functionality on one giant 7 nm die.
+func EPYCMonolith(db *tech.DB, ccds int) (*core.System, error) {
+	if ccds < 1 || ccds > 8 {
+		return nil, fmt.Errorf("testcases: EPYC CCD count %d outside [1, 8]", ccds)
+	}
+	ref7 := refNode(db, 7)
+	ref14 := refNode(db, 14)
+	chiplets := make([]core.Chiplet, 0, ccds+1)
+	for i := 0; i < ccds; i++ {
+		chiplets = append(chiplets,
+			core.BlockFromArea(fmt.Sprintf("ccd%d", i), tech.Logic, EPYCCCDMM2, ref7, 7))
+	}
+	// The IO block keeps its transistor budget but must now be built in
+	// the advanced node alongside the logic.
+	io := core.Chiplet{
+		Name: "io", Type: tech.Analog,
+		Transistors: ref14.Transistors(tech.Analog, EPYCIODMM2),
+		NodeNm:      7,
+	}
+	chiplets = append(chiplets, io)
+
+	spec, err := opcarbon.SpecFromProfile(EPYCOperation, 5, 0.45)
+	if err != nil {
+		return nil, err
+	}
+	return &core.System{
+		Name:       fmt.Sprintf("EPYC-monolith-%dccd", ccds),
+		Chiplets:   chiplets,
+		Monolithic: true,
+		Mfg:        mfg.DefaultParams(),
+		Design:     defaultDesign(),
+		Operation:  &spec,
+	}, nil
+}

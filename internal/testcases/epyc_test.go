@@ -1,0 +1,111 @@
+package testcases
+
+import (
+	"testing"
+)
+
+func TestEPYCErrors(t *testing.T) {
+	for _, bad := range []int{0, 9, -1} {
+		if _, err := EPYC(db(), bad); err == nil {
+			t.Errorf("EPYC(%d) should fail", bad)
+		}
+		if _, err := EPYCMonolith(db(), bad); err == nil {
+			t.Errorf("EPYCMonolith(%d) should fail", bad)
+		}
+	}
+}
+
+func TestEPYCStructure(t *testing.T) {
+	s, err := EPYC(db(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Chiplets) != 9 {
+		t.Fatalf("8-CCD EPYC should have 9 chiplets, got %d", len(s.Chiplets))
+	}
+	for i := 0; i < 8; i++ {
+		if !s.Chiplets[i].Reused {
+			t.Errorf("CCD %d should be a reused design", i)
+		}
+	}
+	if s.Chiplets[8].Name != "iod" || s.Chiplets[8].NodeNm != 14 {
+		t.Errorf("last chiplet should be the 14nm IOD, got %+v", s.Chiplets[8])
+	}
+}
+
+// The chiplet EPYC must trounce the monolithic equivalent: the 1000 mm^2
+// monolith yields terribly, and the IO block balloons no area at 7 nm
+// (analog barely scales) but burns advanced-node carbon per area.
+func TestEPYCBeatsMonolith(t *testing.T) {
+	hi, err := EPYC(db(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiRep, err := hi.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := EPYCMonolith(db(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoRep, err := mono.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiRep.EmbodiedKg() >= monoRep.EmbodiedKg() {
+		t.Errorf("EPYC HI C_emb %.1f should beat monolith %.1f",
+			hiRep.EmbodiedKg(), monoRep.EmbodiedKg())
+	}
+	// The saving should be large for this workload — well above GA102's.
+	saving := 1 - hiRep.EmbodiedKg()/monoRep.EmbodiedKg()
+	if saving < 0.3 {
+		t.Errorf("EPYC saving %.0f%% should exceed 30%% (huge monolith, reused CCDs)", saving*100)
+	}
+}
+
+// More CCDs raise carbon roughly linearly but the per-CCD cost is flat:
+// the SKU ladder shares one design.
+func TestEPYCSKULadder(t *testing.T) {
+	prev := 0.0
+	for _, ccds := range []int{2, 4, 8} {
+		s, err := EPYC(db(), ccds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Evaluate(db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.EmbodiedKg() <= prev {
+			t.Errorf("%d-CCD SKU should out-emit the smaller SKU", ccds)
+		}
+		prev = rep.EmbodiedKg()
+		// CCD design carbon is zero (reused); only the IOD and fabric
+		// carry design carbon.
+		for i := 0; i < ccds; i++ {
+			if rep.Chiplets[i].DesignKgAmortized != 0 {
+				t.Errorf("CCD %d should carry no design carbon", i)
+			}
+		}
+	}
+}
+
+func TestEPYCOperationalProfile(t *testing.T) {
+	s, err := EPYC(db(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OperationalKg <= 0 {
+		t.Fatal("server should carry operational carbon")
+	}
+	// 5 years of a mostly-busy server dominates embodied carbon.
+	if rep.OperationalKg <= rep.EmbodiedKg() {
+		t.Errorf("server C_op %.1f should dominate C_emb %.1f",
+			rep.OperationalKg, rep.EmbodiedKg())
+	}
+}

@@ -1,0 +1,212 @@
+// Package testcases provides the four industry systems the ECO-CHIP
+// paper evaluates (Section IV(2)):
+//
+//   - NVIDIA GA102 GPU (2020): a large monolithic die; disaggregated into
+//     a 3-chiplet {digital, memory, analog} system per Section V, or
+//     further into N_c digital chiplets for Figs. 9/10/15b.
+//   - Apple A15 SoC (2021): a small mobile processor, 3-chiplet split.
+//   - Intel Emerald Rapids (EMR): a 2-chiplet server CPU joined by EMIB,
+//     evaluated in its released architecture.
+//   - AR/VR 3D accelerator [55]: a compute die with 1-4 stacked SRAM
+//     tiers (1K = 2 MB per tier, 2K = 4 MB per tier), used for the
+//     carbon-delay/power/area product curves of Fig. 13.
+//
+// Die-area breakdowns are anchored at a 7 nm (EMR: 10 nm) reference node
+// from the figures quoted in the paper (e.g. the GA102's 500 mm^2 digital
+// logic block) and converted to transistor budgets via the technology
+// database, so each block can be re-targeted to any node during
+// design-space exploration. Latency/power series for the AR/VR testcase
+// are synthetic stand-ins for [55] with the properties the paper uses:
+// latency falls and energy efficiency improves as tiers are added.
+package testcases
+
+import (
+	"fmt"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// Reference block areas (mm^2) at the anchor nodes.
+const (
+	// GA102 at 7 nm: 500 mm^2 digital (Section V-B), memory and analog
+	// filling out the ~628 mm^2 die.
+	GA102DigitalMM2 = 500.0
+	GA102MemoryMM2  = 80.0
+	GA102AnalogMM2  = 48.0
+
+	// A15 at 7 nm equivalent (~125 mm^2 total).
+	A15DigitalMM2 = 75.0
+	A15MemoryMM2  = 32.0
+	A15AnalogMM2  = 18.0
+
+	// EMR: two ~763 mm^2 compute chiplets at Intel 7 (10 nm class).
+	EMRChipletMM2 = 763.0
+)
+
+// Operational profiles from Section V.
+var (
+	// GA102Operation: the paper's E_use = 228 kWh/yr for the 450 W GPU,
+	// 2-year lifetime, coal grid.
+	GA102Operation = opcarbon.Spec{
+		DutyCycle:       0.20,
+		LifetimeYears:   2,
+		CarbonIntensity: 0.700,
+		AnnualEnergyKWh: 228,
+	}
+	// EMROperation: profiled server-class CPU (~120 kWh/yr at a 15%
+	// average duty), 5-year lifetime.
+	EMROperation = opcarbon.Spec{
+		DutyCycle:       0.15,
+		LifetimeYears:   5,
+		CarbonIntensity: 0.700,
+		AnnualEnergyKWh: 120,
+	}
+	// A15Operation: battery-derived E_use (Section III-F): a 12.7 Wh
+	// battery at 85% wall efficiency, 250 SoC-attributable charge
+	// cycles per year (the SoC draws roughly two thirds of the phone's
+	// battery), charged from an average consumer grid. The resulting
+	// ~80% embodied / ~20% operational split matches the Fig. 8(b)
+	// discussion and the Apple-report sanity check of Section VII.
+	A15Operation = opcarbon.Spec{
+		DutyCycle:       0.20,
+		LifetimeYears:   2,
+		CarbonIntensity: 0.300,
+		Battery:         &opcarbon.Battery{CapacityWh: 12.7, ChargesPerYear: 250, ChargerEfficiency: 0.85},
+	}
+)
+
+func refNode(db *tech.DB, nm int) *tech.Node { return db.MustGet(nm) }
+
+// GA102 builds the 3-chiplet GA102 system with the given per-block nodes
+// (digital, memory, analog) and RDL-fanout packaging. Passing the same
+// node for all three with monolithic=true yields the paper's (7,7,7)
+// monolith baseline.
+func GA102(db *tech.DB, digitalNm, memoryNm, analogNm int, monolithic bool) *core.System {
+	ref := refNode(db, 7)
+	s := &core.System{
+		Name: fmt.Sprintf("GA102(%d,%d,%d)", digitalNm, memoryNm, analogNm),
+		Chiplets: []core.Chiplet{
+			core.BlockFromArea("digital", tech.Logic, GA102DigitalMM2, ref, digitalNm),
+			core.BlockFromArea("memory", tech.Memory, GA102MemoryMM2, ref, memoryNm),
+			core.BlockFromArea("analog", tech.Analog, GA102AnalogMM2, ref, analogNm),
+		},
+		Monolithic: monolithic,
+		Packaging:  pkgcarbon.DefaultParams(pkgcarbon.RDLFanout),
+		Mfg:        mfg.DefaultParams(),
+		Design:     defaultDesign(),
+		Operation:  specCopy(GA102Operation),
+	}
+	if monolithic {
+		s.Name = fmt.Sprintf("GA102-monolith(%d)", digitalNm)
+	}
+	return s
+}
+
+// GA102Split builds the GA102 with its 500 mm^2 digital block split into
+// nc equal chiplets (Figs. 9, 10, 15b); memory stays at memoryNm and
+// analog at analogNm. nc = 0 keeps the digital block whole.
+func GA102Split(db *tech.DB, nc int, arch pkgcarbon.Architecture) (*core.System, error) {
+	if nc < 1 {
+		return nil, fmt.Errorf("testcases: digital split count must be >= 1, got %d", nc)
+	}
+	ref := refNode(db, 7)
+	chiplets := make([]core.Chiplet, 0, nc+2)
+	for i := 0; i < nc; i++ {
+		chiplets = append(chiplets, core.BlockFromArea(
+			fmt.Sprintf("digital%d", i), tech.Logic, GA102DigitalMM2/float64(nc), ref, 7))
+	}
+	chiplets = append(chiplets,
+		core.BlockFromArea("memory", tech.Memory, GA102MemoryMM2, ref, 10),
+		core.BlockFromArea("analog", tech.Analog, GA102AnalogMM2, ref, 14),
+	)
+	return &core.System{
+		Name:      fmt.Sprintf("GA102-%dchiplet-%s", nc+2, arch),
+		Chiplets:  chiplets,
+		Packaging: pkgcarbon.DefaultParams(arch),
+		Mfg:       mfg.DefaultParams(),
+		Design:    defaultDesign(),
+		Operation: specCopy(GA102Operation),
+	}, nil
+}
+
+// GA102DigitalOnly builds just the 500 mm^2 digital block split into nc
+// chiplets under the given packaging architecture — the Fig. 9 workload.
+func GA102DigitalOnly(db *tech.DB, nc int, arch pkgcarbon.Architecture) (*core.System, error) {
+	if nc < 1 {
+		return nil, fmt.Errorf("testcases: chiplet count must be >= 1, got %d", nc)
+	}
+	ref := refNode(db, 7)
+	chiplets := make([]core.Chiplet, nc)
+	for i := 0; i < nc; i++ {
+		chiplets[i] = core.BlockFromArea(
+			fmt.Sprintf("digital%d", i), tech.Logic, GA102DigitalMM2/float64(nc), ref, 7)
+	}
+	return &core.System{
+		Name:      fmt.Sprintf("GA102-digital-%dx-%s", nc, arch),
+		Chiplets:  chiplets,
+		Packaging: pkgcarbon.DefaultParams(arch),
+		Mfg:       mfg.DefaultParams(),
+		Design:    defaultDesign(),
+	}, nil
+}
+
+// A15 builds the 3-chiplet A15 mobile SoC with RDL-fanout packaging.
+func A15(db *tech.DB, digitalNm, memoryNm, analogNm int, monolithic bool) *core.System {
+	ref := refNode(db, 7)
+	s := &core.System{
+		Name: fmt.Sprintf("A15(%d,%d,%d)", digitalNm, memoryNm, analogNm),
+		Chiplets: []core.Chiplet{
+			core.BlockFromArea("digital", tech.Logic, A15DigitalMM2, ref, digitalNm),
+			core.BlockFromArea("memory", tech.Memory, A15MemoryMM2, ref, memoryNm),
+			core.BlockFromArea("analog", tech.Analog, A15AnalogMM2, ref, analogNm),
+		},
+		Monolithic: monolithic,
+		Packaging:  pkgcarbon.DefaultParams(pkgcarbon.RDLFanout),
+		Mfg:        mfg.DefaultParams(),
+		Design:     defaultDesign(),
+		Operation:  specCopy(A15Operation),
+	}
+	if monolithic {
+		s.Name = fmt.Sprintf("A15-monolith(%d)", digitalNm)
+	}
+	return s
+}
+
+// EMR builds the Emerald Rapids 2-chiplet EMIB system at the given node
+// (the released part is Intel 7, 10 nm class). monolithic merges both
+// compute chiplets into one giant die for the Fig. 8(a) comparison.
+func EMR(db *tech.DB, nodeNm int, monolithic bool) *core.System {
+	ref := refNode(db, 10)
+	s := &core.System{
+		Name: fmt.Sprintf("EMR(%d)", nodeNm),
+		Chiplets: []core.Chiplet{
+			core.BlockFromArea("compute0", tech.Logic, EMRChipletMM2, ref, nodeNm),
+			core.BlockFromArea("compute1", tech.Logic, EMRChipletMM2, ref, nodeNm),
+		},
+		Monolithic: monolithic,
+		Packaging:  pkgcarbon.DefaultParams(pkgcarbon.SiliconBridge),
+		Mfg:        mfg.DefaultParams(),
+		Design:     defaultDesign(),
+		Operation:  specCopy(EMROperation),
+	}
+	if monolithic {
+		s.Name = fmt.Sprintf("EMR-monolith(%d)", nodeNm)
+	}
+	return s
+}
+
+func defaultDesign() descarbon.Params { return descarbon.DefaultParams() }
+
+func specCopy(s opcarbon.Spec) *opcarbon.Spec {
+	c := s
+	if s.Battery != nil {
+		b := *s.Battery
+		c.Battery = &b
+	}
+	return &c
+}

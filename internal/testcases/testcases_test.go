@@ -1,0 +1,253 @@
+package testcases
+
+import (
+	"strings"
+	"testing"
+
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+func TestGA102Shapes(t *testing.T) {
+	mono, err := GA102(db(), 7, 7, 7, true).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := GA102(db(), 7, 14, 10, false).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section V-A(5)(c): GA102 C_emb drops up to ~30% vs the monolith.
+	saving := 1 - mixed.EmbodiedKg()/mono.EmbodiedKg()
+	if saving < 0.05 || saving > 0.5 {
+		t.Errorf("GA102 HI embodied saving = %.0f%%, want a real saving in (5%%, 50%%)", saving*100)
+	}
+	// Fig. 7(d): for the GPU, operational carbon dominates (~80/20).
+	opShare := mono.OperationalKg / mono.TotalKg()
+	if opShare < 0.6 || opShare > 0.95 {
+		t.Errorf("GA102 operational share = %.2f, want ~0.8", opShare)
+	}
+	// HI total still beats the monolith over the 2-year lifetime.
+	if mixed.TotalKg() >= mono.TotalKg() {
+		t.Errorf("GA102 HI C_tot %.1f should beat monolith %.1f", mixed.TotalKg(), mono.TotalKg())
+	}
+}
+
+func TestGA102MonolithArea(t *testing.T) {
+	rep, err := GA102(db(), 7, 7, 7, true).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := rep.Chiplets[0].AreaMM2; a < 620 || a > 640 {
+		t.Errorf("GA102 monolith area = %.1f mm^2, want ~628", a)
+	}
+}
+
+func TestGA102Split(t *testing.T) {
+	if _, err := GA102Split(db(), 0, pkgcarbon.RDLFanout); err == nil {
+		t.Error("zero split should fail")
+	}
+	s, err := GA102Split(db(), 4, pkgcarbon.RDLFanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Chiplets) != 6 {
+		t.Fatalf("4-way digital split should give 6 chiplets, got %d", len(s.Chiplets))
+	}
+	rep, err := s.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HIKg <= 0 {
+		t.Error("split system must carry HI carbon")
+	}
+}
+
+// Fig. 10: C_mfg falls monotonically as the digital block is split
+// further, while C_HI grows across the sweep. C_HI is allowed small local
+// dips (the slicing floorplanner occasionally packs a particular chiplet
+// count with less whitespace) but the endpoints must order.
+func TestGA102SplitTrend(t *testing.T) {
+	his := map[int]float64{}
+	var prevMfg float64
+	for i, nc := range []int{1, 2, 4, 8} {
+		s, err := GA102Split(db(), nc, pkgcarbon.RDLFanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Evaluate(db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rep.MfgKg >= prevMfg {
+			t.Errorf("C_mfg at nc=%d (%.1f) should fall below %.1f", nc, rep.MfgKg, prevMfg)
+		}
+		prevMfg = rep.MfgKg
+		his[nc] = rep.HIKg
+	}
+	if !(his[8] > his[2] && his[2] > his[1]) {
+		t.Errorf("C_HI should grow across the split sweep: %v", his)
+	}
+}
+
+func TestGA102DigitalOnly(t *testing.T) {
+	if _, err := GA102DigitalOnly(db(), 0, pkgcarbon.RDLFanout); err == nil {
+		t.Error("zero chiplets should fail")
+	}
+	for _, arch := range pkgcarbon.Architectures {
+		s, err := GA102DigitalOnly(db(), 4, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Evaluate(db())
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if rep.HIKg <= 0 {
+			t.Errorf("%v: C_HI should be positive", arch)
+		}
+	}
+}
+
+func TestA15EmbodiedDominates(t *testing.T) {
+	mono, err := A15(db(), 7, 7, 7, true).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 8(b) / Section VII: ~80% embodied, ~20% operational for the
+	// mobile SoC.
+	share := mono.EmbodiedKg() / mono.TotalKg()
+	if share < 0.6 || share > 0.9 {
+		t.Errorf("A15 embodied share = %.2f, want ~0.8", share)
+	}
+	mixed, err := A15(db(), 7, 14, 10, false).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.EmbodiedKg() >= mono.EmbodiedKg() {
+		t.Errorf("A15 HI C_emb %.2f should beat monolith %.2f", mixed.EmbodiedKg(), mono.EmbodiedKg())
+	}
+	// Section V-A(5)(c): smaller SoCs benefit less than GA102.
+	a15Saving := 1 - mixed.EmbodiedKg()/mono.EmbodiedKg()
+	gaMono, _ := GA102(db(), 7, 7, 7, true).Evaluate(db())
+	gaMixed, _ := GA102(db(), 7, 14, 10, false).Evaluate(db())
+	gaSaving := 1 - gaMixed.EmbodiedKg()/gaMono.EmbodiedKg()
+	if a15Saving >= gaSaving {
+		t.Errorf("A15 saving %.2f should be below GA102 saving %.2f (larger SoCs benefit more)",
+			a15Saving, gaSaving)
+	}
+}
+
+func TestEMRShapes(t *testing.T) {
+	hi, err := EMR(db(), 10, false).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := EMR(db(), 10, true).Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.MfgKg >= mono.MfgKg {
+		t.Errorf("EMR 2-chiplet C_mfg %.1f should beat the %0.f mm^2 monolith %.1f",
+			hi.MfgKg, 2*EMRChipletMM2, mono.MfgKg)
+	}
+	if hi.Packaging == nil || hi.Packaging.NumBridges == 0 {
+		t.Error("EMR should use silicon bridges")
+	}
+	// Server CPU: operational carbon dominates over 5 years.
+	if hi.OperationalKg <= hi.EmbodiedKg() {
+		t.Errorf("EMR operational %.1f should dominate embodied %.1f", hi.OperationalKg, hi.EmbodiedKg())
+	}
+}
+
+func TestARVRConfigNames(t *testing.T) {
+	cases := map[string]ARVRConfig{
+		"2D-1K-2MB":  {Series1K, 1},
+		"3D-1K-4MB":  {Series1K, 2},
+		"3D-1K-8MB":  {Series1K, 4},
+		"2D-2K-4MB":  {Series2K, 1},
+		"3D-2K-16MB": {Series2K, 4},
+	}
+	for want, cfg := range cases {
+		if got := cfg.Name(); got != want {
+			t.Errorf("Name(%+v) = %q, want %q", cfg, got, want)
+		}
+	}
+	if len(ARVRConfigs()) != 8 {
+		t.Errorf("ARVRConfigs should enumerate 8 points, got %d", len(ARVRConfigs()))
+	}
+}
+
+func TestARVRPerformanceTrends(t *testing.T) {
+	for _, series := range []ARVRSeries{Series1K, Series2K} {
+		var prev Performance
+		for tiers := 1; tiers <= 4; tiers++ {
+			p := ARVRPerformance(ARVRConfig{series, tiers})
+			if tiers > 1 {
+				if p.LatencyMS >= prev.LatencyMS {
+					t.Errorf("%s tiers=%d: latency %.2f should fall below %.2f",
+						series, tiers, p.LatencyMS, prev.LatencyMS)
+				}
+				if p.PowerW >= prev.PowerW {
+					t.Errorf("%s tiers=%d: power %.2f should fall below %.2f",
+						series, tiers, p.PowerW, prev.PowerW)
+				}
+			}
+			prev = p
+		}
+	}
+}
+
+// Fig. 13: embodied carbon rises with tiers (more silicon), even though
+// delay and power improve.
+func TestARVREmbodiedRisesWithTiers(t *testing.T) {
+	var prev float64
+	for tiers := 1; tiers <= 4; tiers++ {
+		s, err := ARVR(db(), ARVRConfig{Series1K, tiers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Evaluate(db())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tiers > 1 && rep.EmbodiedKg() <= prev {
+			t.Errorf("tiers=%d: C_emb %.3f should exceed %d-tier %.3f",
+				tiers, rep.EmbodiedKg(), tiers-1, prev)
+		}
+		prev = rep.EmbodiedKg()
+	}
+}
+
+func TestARVRErrors(t *testing.T) {
+	if _, err := ARVR(db(), ARVRConfig{Series1K, 0}); err == nil {
+		t.Error("zero tiers should fail")
+	}
+	if _, err := ARVR(db(), ARVRConfig{Series1K, 5}); err == nil {
+		t.Error("five tiers should fail")
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	if name := GA102(db(), 7, 14, 10, false).Name; !strings.Contains(name, "7,14,10") {
+		t.Errorf("GA102 name %q should carry the node tuple", name)
+	}
+	if name := EMR(db(), 10, true).Name; !strings.Contains(name, "monolith") {
+		t.Errorf("EMR monolith name %q should say so", name)
+	}
+}
+
+func TestOperationSpecsAreCopies(t *testing.T) {
+	a := A15(db(), 7, 7, 7, false)
+	b := A15(db(), 7, 7, 7, false)
+	a.Operation.LifetimeYears = 10
+	if b.Operation.LifetimeYears == 10 {
+		t.Error("systems must not share operation specs")
+	}
+	a.Operation.Battery.CapacityWh = 99
+	if b.Operation.Battery.CapacityWh == 99 {
+		t.Error("systems must not share battery specs")
+	}
+}

@@ -1,0 +1,127 @@
+// Package uncertainty propagates input-parameter uncertainty through the
+// ECO-CHIP carbon model. Section VII of the paper stresses that the tool
+// "can generate numbers as accurate as the accuracy of the input
+// parameters" — defect densities, design times and energy intensities are
+// published only as ranges. This package runs a deterministic (seeded)
+// Monte Carlo over those ranges and reports the resulting C_tot / C_emb
+// distribution, so a result can be quoted with honest error bars instead
+// of a single point.
+package uncertainty
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ecochip/internal/core"
+	"ecochip/internal/tech"
+)
+
+// Spread is the relative half-width applied to each sampled parameter
+// (uniform distribution, clamped to Table I bounds).
+type Spread struct {
+	// DefectDensity, EPA, FabIntensity, DesignTime are relative
+	// half-widths in [0, 0.5].
+	DefectDensity float64
+	EPA           float64
+	FabIntensity  float64
+	DesignTime    float64
+}
+
+// DefaultSpread reflects the coarse granularity of public sustainability
+// data: +/-20% on defect density and EPA, +/-15% on energy intensity,
+// +/-30% on design effort.
+func DefaultSpread() Spread {
+	return Spread{DefectDensity: 0.20, EPA: 0.20, FabIntensity: 0.15, DesignTime: 0.30}
+}
+
+// Validate bounds the spreads.
+func (s Spread) Validate() error {
+	for name, v := range map[string]float64{
+		"defect density": s.DefectDensity, "EPA": s.EPA,
+		"fab intensity": s.FabIntensity, "design time": s.DesignTime,
+	} {
+		if v < 0 || v > 0.5 {
+			return fmt.Errorf("uncertainty: %s spread %g outside [0, 0.5]", name, v)
+		}
+	}
+	return nil
+}
+
+// Distribution summarizes the sampled carbon values.
+type Distribution struct {
+	// Samples is the number of Monte Carlo trials.
+	Samples int
+	// MeanKg and the percentile cuts of the sampled metric.
+	MeanKg, P5Kg, P50Kg, P95Kg float64
+	// MinKg and MaxKg bound the samples.
+	MinKg, MaxKg float64
+}
+
+// RelativeSpread is (P95-P5)/P50: the two-sided relative uncertainty.
+func (d Distribution) RelativeSpread() float64 {
+	if d.P50Kg == 0 {
+		return 0
+	}
+	return (d.P95Kg - d.P5Kg) / d.P50Kg
+}
+
+// Run samples the system's embodied carbon n times with parameters drawn
+// uniformly within the spread (seeded: identical inputs give identical
+// distributions).
+func Run(base *core.System, db *tech.DB, spread Spread, n int, seed int64) (Distribution, error) {
+	if n < 10 {
+		return Distribution{}, fmt.Errorf("uncertainty: need at least 10 samples, got %d", n)
+	}
+	if err := spread.Validate(); err != nil {
+		return Distribution{}, err
+	}
+	if err := base.Validate(db); err != nil {
+		return Distribution{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		draw := func(rel float64) float64 {
+			if rel == 0 {
+				return 1
+			}
+			return 1 + rel*(2*rng.Float64()-1)
+		}
+		d0Scale := draw(spread.DefectDensity)
+		epaScale := draw(spread.EPA)
+		dbi, err := db.Clone(func(node *tech.Node) {
+			node.DefectDensity = tech.Clamp(node.DefectDensity*d0Scale, 0.07, 0.3)
+			node.EPA = tech.Clamp(node.EPA*epaScale, 0.8, 3.5)
+		})
+		if err != nil {
+			return Distribution{}, err
+		}
+		s := *base
+		s.Mfg.CarbonIntensity = tech.Clamp(s.Mfg.CarbonIntensity*draw(spread.FabIntensity), 0.030, 0.700)
+		s.Design.PowerW = s.Design.PowerW * draw(spread.DesignTime)
+		rep, err := s.Evaluate(dbi)
+		if err != nil {
+			return Distribution{}, err
+		}
+		samples = append(samples, rep.EmbodiedKg())
+	}
+	sort.Float64s(samples)
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(samples)-1))
+		return samples[idx]
+	}
+	return Distribution{
+		Samples: n,
+		MeanKg:  sum / float64(n),
+		P5Kg:    pct(0.05),
+		P50Kg:   pct(0.50),
+		P95Kg:   pct(0.95),
+		MinKg:   samples[0],
+		MaxKg:   samples[len(samples)-1],
+	}, nil
+}

@@ -1,0 +1,112 @@
+package uncertainty
+
+import (
+	"testing"
+
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+func TestRunErrors(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	if _, err := Run(base, db(), DefaultSpread(), 5, 1); err == nil {
+		t.Error("too few samples should fail")
+	}
+	bad := DefaultSpread()
+	bad.EPA = 0.9
+	if _, err := Run(base, db(), bad, 100, 1); err == nil {
+		t.Error("excessive spread should fail")
+	}
+	broken := testcases.GA102(db(), 7, 14, 10, false)
+	broken.Chiplets[0].Transistors = 0
+	if _, err := Run(broken, db(), DefaultSpread(), 100, 1); err == nil {
+		t.Error("invalid system should fail")
+	}
+}
+
+func TestDistributionShape(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	d, err := Run(base, db(), DefaultSpread(), 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Samples != 200 {
+		t.Errorf("Samples = %d, want 200", d.Samples)
+	}
+	if !(d.MinKg <= d.P5Kg && d.P5Kg <= d.P50Kg && d.P50Kg <= d.P95Kg && d.P95Kg <= d.MaxKg) {
+		t.Errorf("percentiles out of order: %+v", d)
+	}
+	if d.MeanKg <= 0 {
+		t.Error("mean must be positive")
+	}
+	// The point estimate must fall inside the sampled range.
+	rep, err := base.Evaluate(db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := rep.EmbodiedKg()
+	if point < d.MinKg || point > d.MaxKg {
+		t.Errorf("point estimate %.1f outside sampled range [%.1f, %.1f]", point, d.MinKg, d.MaxKg)
+	}
+	// With ±20% input spreads the output spread should be noticeable
+	// but bounded.
+	rs := d.RelativeSpread()
+	if rs <= 0.01 || rs > 1 {
+		t.Errorf("relative spread %.3f implausible", rs)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	d1, err := Run(base, db(), DefaultSpread(), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Run(base, db(), DefaultSpread(), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("same seed must reproduce the distribution exactly")
+	}
+	d3, err := Run(base, db(), DefaultSpread(), 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d3 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestZeroSpreadCollapses(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	d, err := Run(base, db(), Spread{}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxKg-d.MinKg > 1e-9 {
+		t.Errorf("zero spread should collapse the distribution, got range %g", d.MaxKg-d.MinKg)
+	}
+	rep, _ := base.Evaluate(db())
+	if diff := d.P50Kg - rep.EmbodiedKg(); diff > 1e-9 || diff < -1e-9 {
+		t.Error("zero-spread median should equal the point estimate")
+	}
+}
+
+// The base system and shared DB must not be mutated.
+func TestRunDoesNotMutate(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	beforeCI := base.Mfg.CarbonIntensity
+	beforePower := base.Design.PowerW
+	if _, err := Run(base, db(), DefaultSpread(), 50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if base.Mfg.CarbonIntensity != beforeCI || base.Design.PowerW != beforePower {
+		t.Error("Run mutated the base system")
+	}
+	if db().MustGet(7).EPA != 3.5 {
+		t.Error("Run mutated the shared tech database")
+	}
+}

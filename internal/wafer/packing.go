@@ -1,0 +1,73 @@
+package wafer
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's Eq. (7) approximates dies-per-wafer analytically. This file
+// adds an exact row-by-row packing count for rectangular dies with scribe
+// lanes — useful both as a cross-check of the approximation and for
+// chiplets whose aspect ratio is far from square.
+
+// DefaultScribeMM is a typical scribe-lane (saw street) width.
+const DefaultScribeMM = 0.1
+
+// PackRect counts the dies of the given width x height (mm) that fit on
+// the wafer when placed on a regular grid with the given scribe-lane
+// spacing, rows scanned across the wafer circle. A die fits if all four
+// of its corners lie inside the wafer circle.
+func (w Wafer) PackRect(dieW, dieH, scribeMM float64) (int, error) {
+	if dieW <= 0 || dieH <= 0 {
+		return 0, fmt.Errorf("wafer: die dimensions must be positive, got %gx%g", dieW, dieH)
+	}
+	if scribeMM < 0 {
+		return 0, fmt.Errorf("wafer: scribe width must be non-negative, got %g", scribeMM)
+	}
+	r := w.DiameterMM / 2
+	pitchX, pitchY := dieW+scribeMM, dieH+scribeMM
+
+	count := 0
+	// Grid aligned to the wafer center; scan rows from the bottom.
+	startY := -math.Floor(r/pitchY) * pitchY
+	for y := startY; y+dieH <= r; y += pitchY {
+		// The row spans [y, y+dieH]; the tighter circle chord bounds it.
+		worstY := math.Max(math.Abs(y), math.Abs(y+dieH))
+		if worstY >= r {
+			continue
+		}
+		halfChord := math.Sqrt(r*r - worstY*worstY)
+		if 2*halfChord < dieW {
+			continue
+		}
+		// Dies centered on the chord.
+		count += int(math.Floor((2*halfChord + scribeMM) / pitchX))
+	}
+	return count, nil
+}
+
+// PackSquare is PackRect for a square die of the given area with the
+// default scribe lane.
+func (w Wafer) PackSquare(dieAreaMM2 float64) (int, error) {
+	if dieAreaMM2 <= 0 {
+		return 0, fmt.Errorf("wafer: die area must be positive, got %g", dieAreaMM2)
+	}
+	side := math.Sqrt(dieAreaMM2)
+	return w.PackRect(side, side, DefaultScribeMM)
+}
+
+// ApproximationError returns the relative difference between the Eq. (7)
+// analytical DPW and the exact packing count for a square die:
+// (analytic - packed) / packed. Positive values mean Eq. (7) is
+// optimistic.
+func (w Wafer) ApproximationError(dieAreaMM2 float64) (float64, error) {
+	packed, err := w.PackSquare(dieAreaMM2)
+	if err != nil {
+		return 0, err
+	}
+	if packed == 0 {
+		return 0, fmt.Errorf("wafer: die of %g mm^2 does not pack on the wafer", dieAreaMM2)
+	}
+	analytic := w.DiesPerWafer(dieAreaMM2)
+	return float64(analytic-packed) / float64(packed), nil
+}

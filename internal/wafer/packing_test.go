@@ -1,0 +1,121 @@
+package wafer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRectErrors(t *testing.T) {
+	w := Default()
+	if _, err := w.PackRect(0, 10, 0.1); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := w.PackRect(10, -1, 0.1); err == nil {
+		t.Error("negative height should fail")
+	}
+	if _, err := w.PackRect(10, 10, -0.1); err == nil {
+		t.Error("negative scribe should fail")
+	}
+	if _, err := w.PackSquare(0); err == nil {
+		t.Error("zero area should fail")
+	}
+}
+
+func TestPackRectTinyWafer(t *testing.T) {
+	w := Wafer{DiameterMM: 25}
+	// A 30x30 die cannot fit a 25mm wafer.
+	n, err := w.PackRect(30, 30, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("oversized die packed %d times, want 0", n)
+	}
+}
+
+func TestPackSquareMagnitude(t *testing.T) {
+	// The exact packing must land close to (and typically below) the
+	// Eq. (7) analytical count.
+	w := Default()
+	for _, area := range []float64{25, 100, 400, 900} {
+		packed, err := w.PackSquare(area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := w.DiesPerWafer(area)
+		if packed <= 0 {
+			t.Fatalf("area %g: packed 0 dies", area)
+		}
+		ratio := float64(analytic) / float64(packed)
+		if ratio < 0.7 || ratio > 1.35 {
+			t.Errorf("area %g: analytic %d vs packed %d (ratio %.2f) diverge too much",
+				area, analytic, packed, ratio)
+		}
+	}
+}
+
+// Property: packing count is monotone non-increasing in die area and in
+// scribe width.
+func TestPackMonotone(t *testing.T) {
+	w := Default()
+	f := func(a uint16) bool {
+		area := float64(a%900) + 4
+		side := math.Sqrt(area)
+		n1, err1 := w.PackRect(side, side, 0.1)
+		n2, err2 := w.PackRect(side+1, side+1, 0.1)
+		n3, err3 := w.PackRect(side, side, 0.5)
+		return err1 == nil && err2 == nil && err3 == nil && n2 <= n1 && n3 <= n1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rectangular dies of the same area pack differently from squares; an
+// extreme aspect ratio must not pack better than the square.
+func TestAspectRatioPenalty(t *testing.T) {
+	w := Default()
+	square, err := w.PackRect(20, 20, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliver, err := w.PackRect(80, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliver > square {
+		t.Errorf("80x5 sliver (%d) should not out-pack the 20x20 square (%d)", sliver, square)
+	}
+}
+
+func TestApproximationError(t *testing.T) {
+	w := Default()
+	e, err := w.ApproximationError(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e) > 0.35 {
+		t.Errorf("Eq. (7) error %.2f vs exact packing is implausibly large", e)
+	}
+	small := Wafer{DiameterMM: 25}
+	if _, err := small.ApproximationError(2500); err == nil {
+		t.Error("unpackable die should fail")
+	}
+}
+
+// Zero scribe packs at least as many dies as a positive scribe.
+func TestScribeCost(t *testing.T) {
+	w := Default()
+	tight, err := w.PackRect(10, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := w.PackRect(10, 10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose >= tight {
+		t.Errorf("1mm scribe (%d) should pack fewer dies than no scribe (%d)", loose, tight)
+	}
+}

@@ -1,0 +1,109 @@
+// Package yieldmodel implements the manufacturing-yield models ECO-CHIP
+// uses for dies, package substrates/interposers and 3D assembly.
+//
+// The primary model is the negative-binomial distribution of Eq. (4) of
+// the paper (after Cunningham [30] and Stow et al. [32]):
+//
+//	Y(A, D0) = (1 + A*D0/alpha)^(-alpha)
+//
+// with die area A in cm^2, defect density D0 in defects/cm^2 and the
+// clustering parameter alpha (Table I: alpha = 3).
+package yieldmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultAlpha is the defect-clustering parameter from Table I.
+const DefaultAlpha = 3.0
+
+// Die returns the negative-binomial yield of a die with the given area
+// (mm^2) at the given defect density (defects/cm^2) using the default
+// clustering parameter. It panics on negative inputs; zero area yields 1.
+func Die(areaMM2, defectDensity float64) float64 {
+	return DieAlpha(areaMM2, defectDensity, DefaultAlpha)
+}
+
+// DieAlpha is Die with an explicit clustering parameter alpha.
+func DieAlpha(areaMM2, defectDensity, alpha float64) float64 {
+	if areaMM2 < 0 || defectDensity < 0 {
+		panic(fmt.Sprintf("yieldmodel: negative area (%g) or defect density (%g)", areaMM2, defectDensity))
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("yieldmodel: clustering parameter must be positive, got %g", alpha))
+	}
+	areaCM2 := areaMM2 / 100
+	return math.Pow(1+areaCM2*defectDensity/alpha, -alpha)
+}
+
+// Layered returns the yield of a structure patterned with n independent
+// metal layers, each with per-layer yield y: y^n. It models the
+// compounding loss of multi-layer RDL substrates and interposer BEOL
+// stacks.
+func Layered(perLayer float64, layers int) float64 {
+	if perLayer < 0 || perLayer > 1 {
+		panic(fmt.Sprintf("yieldmodel: per-layer yield %g outside [0, 1]", perLayer))
+	}
+	if layers < 0 {
+		panic(fmt.Sprintf("yieldmodel: negative layer count %d", layers))
+	}
+	return math.Pow(perLayer, float64(layers))
+}
+
+// Assembly3D returns the yield of stacking `tiers` dies where each
+// die-to-die bond succeeds with probability bondYield and each tier's die
+// yield is given in tierYields. Per Section V-B of the paper, "the package
+// yield is the product of the yield of each tier" with an additional bond
+// term per interface (tiers-1 bonds).
+func Assembly3D(tierYields []float64, bondYield float64) float64 {
+	if bondYield < 0 || bondYield > 1 {
+		panic(fmt.Sprintf("yieldmodel: bond yield %g outside [0, 1]", bondYield))
+	}
+	y := 1.0
+	for i, ty := range tierYields {
+		if ty < 0 || ty > 1 {
+			panic(fmt.Sprintf("yieldmodel: tier %d yield %g outside [0, 1]", i, ty))
+		}
+		y *= ty
+	}
+	if n := len(tierYields); n > 1 {
+		y *= math.Pow(bondYield, float64(n-1))
+	}
+	return y
+}
+
+// BondYieldFromPitch maps a bond pitch in micrometres to a per-interface
+// bonding yield. Finer pitches are harder to align, so yield falls as the
+// pitch shrinks (Section III-D(1)(e): Y(3D, p) accounts for bump
+// misalignment). The mapping is linear between the calibration points
+// (1 um -> 0.95) and (45 um -> 0.999), clamped outside.
+func BondYieldFromPitch(pitchUM float64) float64 {
+	if pitchUM <= 0 {
+		panic(fmt.Sprintf("yieldmodel: bond pitch must be positive, got %g", pitchUM))
+	}
+	const (
+		loPitch, loYield = 1.0, 0.95
+		hiPitch, hiYield = 45.0, 0.999
+	)
+	switch {
+	case pitchUM <= loPitch:
+		return loYield
+	case pitchUM >= hiPitch:
+		return hiYield
+	}
+	frac := (pitchUM - loPitch) / (hiPitch - loPitch)
+	return loYield + frac*(hiYield-loYield)
+}
+
+// KnownGoodDies returns the expected number of good dies out of n
+// candidates with yield y.
+func KnownGoodDies(n int, y float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("yieldmodel: negative die count %d", n))
+	}
+	if y < 0 || y > 1 {
+		panic(fmt.Sprintf("yieldmodel: yield %g outside [0, 1]", y))
+	}
+	return float64(n) * y
+}
