@@ -11,6 +11,7 @@ package ecochip
 // b.Log, so benchmark runs double as a raw-data dump.
 
 import (
+	"context"
 	"testing"
 )
 
@@ -159,6 +160,111 @@ func BenchmarkNodeExploration(b *testing.B) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// sweepBenchNodes is the node-candidate list of the NodeSweep benchmark
+// pair: 5 nodes over the 3-chiplet GA102 = 125 design points.
+var sweepBenchNodes = []int{7, 10, 14, 22, 28}
+
+// BenchmarkNodeSweepSerial measures the pre-engine reference path: the
+// serial one-point-at-a-time walk the seed's explore.NodeSweep ran, with
+// the dollar-cost model re-evaluating each system (the historical
+// behavior of System.CostUSD).
+func BenchmarkNodeSweepSerial(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	cp := DefaultCostParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var points []DesignPoint
+		var walk func(assign []int, depth int) error
+		walk = func(assign []int, depth int) error {
+			if depth == len(base.Chiplets) {
+				picked := append([]int(nil), assign...)
+				s, err := base.WithNodes(picked...)
+				if err != nil {
+					return err
+				}
+				rep, err := s.Evaluate(db)
+				if err != nil {
+					return err
+				}
+				c, err := s.CostUSD(db, cp)
+				if err != nil {
+					return err
+				}
+				points = append(points, DesignPoint{
+					Nodes: picked, EmbodiedKg: rep.EmbodiedKg(), TotalKg: rep.TotalKg(),
+					CostUSD: c.TotalUSD(),
+				})
+				return nil
+			}
+			for _, nm := range sweepBenchNodes {
+				assign[depth] = nm
+				if err := walk(assign, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(make([]int, len(base.Chiplets)), 0); err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
+// BenchmarkNodeSweepParallel measures the same 125-point sweep through
+// the batch engine: worker-pool fan-out plus the shared per-die memo
+// cache and single-evaluation cost pricing.
+func BenchmarkNodeSweepParallel(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	cp := DefaultCostParams()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := NodeSweepCtx(ctx, base, db, sweepBenchNodes, cp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
+// BenchmarkEvaluateBatch measures raw batch evaluation (no cost model)
+// of the 625-system 4-chiplet x 5-node full factorial.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	db := DefaultDB()
+	base, err := GA102Split(db, 2, RDLFanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var systems []*System
+	for _, n0 := range sweepBenchNodes {
+		for _, n1 := range sweepBenchNodes {
+			for _, n2 := range sweepBenchNodes {
+				for _, n3 := range sweepBenchNodes {
+					s, err := base.WithNodes(n0, n1, n2, n3)
+					if err != nil {
+						b.Fatal(err)
+					}
+					systems = append(systems, s)
+				}
+			}
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateBatch(ctx, db, systems); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"ecochip/internal/config"
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
+	"ecochip/internal/engine"
 	"ecochip/internal/explore"
 	"ecochip/internal/report"
 	"ecochip/internal/sensitivity"
@@ -31,41 +33,56 @@ func main() {
 	rel := flag.Float64("rel", 0.25, "tornado: relative perturbation")
 	samples := flag.Int("samples", 500, "mc: Monte Carlo sample count")
 	seed := flag.Int64("seed", 2024, "mc: random seed")
+	parallel := flag.Int("parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial)")
+	progress := flag.Bool("progress", false, "print sweep progress to stderr")
 	flag.Parse()
 	if *designDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: ecodse --design_dir <dir> --mode sweep|tornado|group|mc")
 		os.Exit(2)
 	}
-	if err := run(*designDir, *mode, *rel, *samples, *seed, os.Stdout); err != nil {
+	var opts []engine.Option
+	opts = append(opts, engine.WithWorkers(*parallel))
+	if *progress {
+		opts = append(opts, engine.WithProgress(func(done, total int) {
+			if done%1000 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}))
+	}
+	if err := run(*designDir, *mode, *rel, *samples, *seed, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ecodse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(designDir, mode string, rel float64, samples int, seed int64, w io.Writer) error {
+func run(designDir, mode string, rel float64, samples int, seed int64, w io.Writer, opts []engine.Option) error {
 	db := tech.Default()
 	system, nodes, err := config.LoadSystem(designDir, db)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	switch mode {
 	case "sweep":
-		return runSweep(w, system, db, nodes)
+		return runSweep(ctx, w, system, db, nodes, opts)
 	case "tornado":
-		return runTornado(w, system, db, rel)
+		return runTornado(ctx, w, system, db, rel, opts)
 	case "group":
-		return runGroup(w, system, db)
+		return runGroup(ctx, w, system, db, opts)
 	case "mc":
-		return runMC(w, system, db, samples, seed)
+		return runMC(ctx, w, system, db, samples, seed, opts)
 	}
 	return fmt.Errorf("unknown mode %q", mode)
 }
 
-func runSweep(w io.Writer, system *core.System, db *tech.DB, nodes []int) error {
+func runSweep(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, nodes []int, opts []engine.Option) error {
 	if len(nodes) == 0 {
 		return fmt.Errorf("sweep mode needs node_list.txt in the design directory")
 	}
-	points, err := explore.NodeSweep(system, db, nodes, cost.DefaultParams())
+	points, err := explore.NodeSweepCtx(ctx, system, db, nodes, cost.DefaultParams(), opts...)
 	if err != nil {
 		return err
 	}
@@ -78,8 +95,8 @@ func runSweep(w io.Writer, system *core.System, db *tech.DB, nodes []int) error 
 	return t.Fprint(w)
 }
 
-func runTornado(w io.Writer, system *core.System, db *tech.DB, rel float64) error {
-	results, err := sensitivity.Tornado(system, db, rel)
+func runTornado(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, rel float64, opts []engine.Option) error {
+	results, err := sensitivity.TornadoCtx(ctx, system, db, rel, opts...)
 	if err != nil {
 		return err
 	}
@@ -91,8 +108,8 @@ func runTornado(w io.Writer, system *core.System, db *tech.DB, rel float64) erro
 	return t.Fprint(w)
 }
 
-func runGroup(w io.Writer, system *core.System, db *tech.DB) error {
-	plan, err := explore.Disaggregate(system, db)
+func runGroup(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, opts []engine.Option) error {
+	plan, err := explore.DisaggregateCtx(ctx, system, db, opts...)
 	if err != nil {
 		return err
 	}
@@ -108,8 +125,8 @@ func runGroup(w io.Writer, system *core.System, db *tech.DB) error {
 	return err
 }
 
-func runMC(w io.Writer, system *core.System, db *tech.DB, samples int, seed int64) error {
-	d, err := uncertainty.Run(system, db, uncertainty.DefaultSpread(), samples, seed)
+func runMC(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, samples int, seed int64, opts []engine.Option) error {
+	d, err := uncertainty.RunCtx(ctx, system, db, uncertainty.DefaultSpread(), samples, seed, opts...)
 	if err != nil {
 		return err
 	}

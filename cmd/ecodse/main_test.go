@@ -20,7 +20,7 @@ func exampleDir(t *testing.T) string {
 
 func TestRunSweepMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "sweep", 0.25, 100, 1, &out); err != nil {
+	if err := run(exampleDir(t), "sweep", 0.25, 100, 1, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Pareto front") {
@@ -30,7 +30,7 @@ func TestRunSweepMode(t *testing.T) {
 
 func TestRunTornadoMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "tornado", 0.25, 100, 1, &out); err != nil {
+	if err := run(exampleDir(t), "tornado", 0.25, 100, 1, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "swing_kg") {
@@ -40,7 +40,7 @@ func TestRunTornadoMode(t *testing.T) {
 
 func TestRunGroupMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "group", 0.25, 100, 1, &out); err != nil {
+	if err := run(exampleDir(t), "group", 0.25, 100, 1, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "embodied carbon:") {
@@ -50,7 +50,7 @@ func TestRunGroupMode(t *testing.T) {
 
 func TestRunMCMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "mc", 0.25, 50, 1, &out); err != nil {
+	if err := run(exampleDir(t), "mc", 0.25, 50, 1, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "relative_spread") {
@@ -60,14 +60,14 @@ func TestRunMCMode(t *testing.T) {
 
 func TestRunBadMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "magic", 0.25, 100, 1, &out); err == nil {
+	if err := run(exampleDir(t), "magic", 0.25, 100, 1, &out, nil); err == nil {
 		t.Error("unknown mode should fail")
 	}
 }
 
 func TestRunMissingDir(t *testing.T) {
 	var out strings.Builder
-	if err := run(t.TempDir(), "sweep", 0.25, 100, 1, &out); err == nil {
+	if err := run(t.TempDir(), "sweep", 0.25, 100, 1, &out, nil); err == nil {
 		t.Error("empty design dir should fail")
 	}
 }
@@ -79,7 +79,7 @@ func TestSweepNeedsNodeList(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(dir, "sweep", 0.25, 100, 1, &out); err == nil {
+	if err := run(dir, "sweep", 0.25, 100, 1, &out, nil); err == nil {
 		t.Error("sweep without node_list.txt should fail")
 	}
 }

@@ -24,8 +24,11 @@
 package ecochip
 
 import (
+	"context"
+
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
+	"ecochip/internal/engine"
 	"ecochip/internal/experiments"
 	"ecochip/internal/explore"
 	"ecochip/internal/pkgcarbon"
@@ -108,6 +111,9 @@ var (
 	EMR = testcases.EMR
 	// ARVR builds the 3D-stacked AR/VR accelerator of Fig. 13.
 	ARVR = testcases.ARVR
+	// GA102Split builds the GA102 with its digital block split into nc
+	// chiplets (the Figs. 9/10/15b workload).
+	GA102Split = testcases.GA102Split
 )
 
 // Experiments reproduces a figure of the paper's evaluation by id
@@ -172,4 +178,59 @@ type CarbonDistribution = uncertainty.Distribution
 // n seeded Monte Carlo samples of the system's embodied carbon.
 func Uncertainty(base *System, db *TechDB, n int, seed int64) (CarbonDistribution, error) {
 	return uncertainty.Run(base, db, uncertainty.DefaultSpread(), n, seed)
+}
+
+// Batch-evaluation engine (the parallel backend under every Section VI
+// workflow; see internal/engine).
+type (
+	// EngineOption configures a batch evaluation: worker count, shared
+	// memo cache, progress callback.
+	EngineOption = engine.Option
+	// EvalCache is the concurrency-safe memo cache of per-die sub-model
+	// results; share one across batches with WithCache.
+	EvalCache = engine.Cache
+	// EvalCacheStats reports cache hit counters.
+	EvalCacheStats = engine.Stats
+	// EvalHooks is the sub-model interception seam of a System
+	// evaluation (see System.EvaluateWith).
+	EvalHooks = core.Hooks
+)
+
+// Engine options.
+var (
+	// WithWorkers sets the worker count (0 = GOMAXPROCS, 1 = serial).
+	WithWorkers = engine.WithWorkers
+	// WithCache shares a memo cache across batch calls.
+	WithCache = engine.WithCache
+	// WithoutCache disables memoization (the uncached reference path).
+	WithoutCache = engine.WithoutCache
+	// WithProgress registers a (done, total) progress callback.
+	WithProgress = engine.WithProgress
+)
+
+// NewEvalCache returns an empty sub-model memo cache.
+func NewEvalCache() *EvalCache { return engine.NewCache() }
+
+// EvaluateBatch evaluates many systems against the database across a
+// worker pool with a shared memo cache. results[i] corresponds to
+// systems[i] and is byte-identical to systems[i].Evaluate(db) — the
+// parallelism and caching never change a float.
+func EvaluateBatch(ctx context.Context, db *TechDB, systems []*System, opts ...EngineOption) ([]*Report, error) {
+	return engine.EvaluateBatch(ctx, db, systems, opts...)
+}
+
+// NodeSweepCtx is NodeSweep with cancellation and engine options.
+func NodeSweepCtx(ctx context.Context, base *System, db *TechDB, nodes []int, cp cost.Params, opts ...EngineOption) ([]DesignPoint, error) {
+	return explore.NodeSweepCtx(ctx, base, db, nodes, cp, opts...)
+}
+
+// TornadoCtx is Tornado with cancellation and engine options.
+func TornadoCtx(ctx context.Context, base *System, db *TechDB, rel float64, opts ...EngineOption) ([]SensitivityResult, error) {
+	return sensitivity.TornadoCtx(ctx, base, db, rel, opts...)
+}
+
+// UncertaintyCtx is Uncertainty with cancellation and engine options;
+// the fixed-seed distribution is bit-identical at any worker count.
+func UncertaintyCtx(ctx context.Context, base *System, db *TechDB, n int, seed int64, opts ...EngineOption) (CarbonDistribution, error) {
+	return uncertainty.RunCtx(ctx, base, db, uncertainty.DefaultSpread(), n, seed, opts...)
 }

@@ -1,0 +1,69 @@
+package ecochip_test
+
+// Smoke coverage for examples/: every example program must keep
+// compiling, and quickstart must run end-to-end. Without this the six
+// example mains are invisible to `go build ./...`-driven refactors of
+// the internal packages they import.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goTool locates the go binary; tests fail rather than skip so example
+// rot cannot hide behind a missing toolchain in CI.
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Fatalf("go tool not found: %v", err)
+	}
+	return path
+}
+
+func TestExamplesBuild(t *testing.T) {
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found")
+	}
+	gobin := goTool(t)
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			cmd := exec.Command(gobin, "build", "-o", os.DevNull, "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s does not build: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}
+
+func TestQuickstartRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	cmd := exec.Command(goTool(t), "run", "./examples/quickstart")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	for _, want := range []string{
+		"edge-soc-monolith",
+		"edge-soc-3chiplet",
+		"embodied-carbon saving from disaggregation",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ecochip
+
+go 1.24

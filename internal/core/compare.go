@@ -56,6 +56,13 @@ func (s *System) CostUSD(db *tech.DB, cp cost.Params) (cost.Breakdown, error) {
 	if err != nil {
 		return cost.Breakdown{}, err
 	}
+	return s.CostForReport(db, rep, cp)
+}
+
+// CostForReport prices the system from an evaluation report it already
+// produced, so callers that need both carbon and cost (every sweep) pay
+// for one evaluation instead of two.
+func (s *System) CostForReport(db *tech.DB, rep *Report, cp cost.Params) (cost.Breakdown, error) {
 	dies := make([]cost.Die, len(rep.Chiplets))
 	for i, c := range rep.Chiplets {
 		dies[i] = cost.Die{Node: db.MustGet(c.NodeNm), AreaMM2: c.AreaMM2}

@@ -186,21 +186,55 @@ func (s *System) Validate(db *tech.DB) error {
 	return nil
 }
 
+// Hooks lets an evaluation engine intercept the pure, expensive
+// sub-models of an evaluation with alternative implementations —
+// in practice the memoizing cache of internal/engine, which avoids
+// recomputing identical per-die results across the thousands of
+// near-duplicate systems a design-space sweep produces. A nil *Hooks or
+// a nil field falls back to the direct model call, so Evaluate(db) and
+// EvaluateWith(db, nil) are the same computation.
+type Hooks struct {
+	// Die replaces mfg.Die.
+	Die func(n *tech.Node, d tech.DesignType, areaMM2 float64, p mfg.Params) (mfg.Result, error)
+	// ChipletKg replaces descarbon.ChipletKg.
+	ChipletKg func(gates float64, n *tech.Node, p descarbon.Params) (float64, error)
+}
+
+func (h *Hooks) die(n *tech.Node, d tech.DesignType, areaMM2 float64, p mfg.Params) (mfg.Result, error) {
+	if h != nil && h.Die != nil {
+		return h.Die(n, d, areaMM2, p)
+	}
+	return mfg.Die(n, d, areaMM2, p)
+}
+
+func (h *Hooks) chipletKg(gates float64, n *tech.Node, p descarbon.Params) (float64, error) {
+	if h != nil && h.ChipletKg != nil {
+		return h.ChipletKg(gates, n, p)
+	}
+	return descarbon.ChipletKg(gates, n, p)
+}
+
 // Evaluate runs the full ECO-CHIP carbon analysis of the system.
 func (s *System) Evaluate(db *tech.DB) (*Report, error) {
+	return s.EvaluateWith(db, nil)
+}
+
+// EvaluateWith is Evaluate with the sub-model hooks of a batch engine
+// (nil hooks reproduce Evaluate exactly).
+func (s *System) EvaluateWith(db *tech.DB, h *Hooks) (*Report, error) {
 	if err := s.Validate(db); err != nil {
 		return nil, err
 	}
 	if s.Monolithic || len(s.Chiplets) == 1 {
-		return s.evaluateMonolith(db)
+		return s.evaluateMonolith(db, h)
 	}
-	return s.evaluateHI(db)
+	return s.evaluateHI(db, h)
 }
 
 // evaluateMonolith merges all blocks onto one die: block areas are summed
 // (each block at its own density), yield applies to the merged area, and
 // there is no packaging term.
-func (s *System) evaluateMonolith(db *tech.DB) (*Report, error) {
+func (s *System) evaluateMonolith(db *tech.DB, h *Hooks) (*Report, error) {
 	node := db.MustGet(s.Chiplets[0].NodeNm)
 	var areaMM2, gates float64
 	for _, c := range s.Chiplets {
@@ -209,11 +243,11 @@ func (s *System) evaluateMonolith(db *tech.DB) (*Report, error) {
 			gates += descarbon.GatesFromTransistors(c.Transistors)
 		}
 	}
-	m, err := mfg.Die(node, tech.Logic, areaMM2, s.Mfg)
+	m, err := h.die(node, tech.Logic, areaMM2, s.Mfg)
 	if err != nil {
 		return nil, err
 	}
-	desTotal, err := descarbon.ChipletKg(gates, node, s.Design)
+	desTotal, err := h.chipletKg(gates, node, s.Design)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +291,7 @@ func (s *System) nreParams() mfg.NREParams {
 
 // evaluateHI evaluates a multi-chiplet package: per-chiplet manufacturing
 // and design carbon plus the packaging/communication overheads.
-func (s *System) evaluateHI(db *tech.DB) (*Report, error) {
+func (s *System) evaluateHI(db *tech.DB, h *Hooks) (*Report, error) {
 	rep := &Report{System: s.Name}
 
 	pkgChiplets := make([]pkgcarbon.Chiplet, len(s.Chiplets))
@@ -265,14 +299,14 @@ func (s *System) evaluateHI(db *tech.DB) (*Report, error) {
 	for i, c := range s.Chiplets {
 		node := db.MustGet(c.NodeNm)
 		areaMM2 := node.Area(c.Type, c.Transistors)
-		m, err := mfg.Die(node, c.Type, areaMM2, s.Mfg)
+		m, err := h.die(node, c.Type, areaMM2, s.Mfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: chiplet %q: %w", c.Name, err)
 		}
 		var desTotal, desAmort float64
 		if !c.Reused {
 			gates := descarbon.GatesFromTransistors(c.Transistors)
-			desTotal, err = descarbon.ChipletKg(gates, node, s.Design)
+			desTotal, err = h.chipletKg(gates, node, s.Design)
 			if err != nil {
 				return nil, err
 			}
@@ -331,7 +365,7 @@ func (s *System) evaluateHI(db *tech.DB) (*Report, error) {
 	}
 	commDesignGates = descarbon.GatesFromTransistors(routerTr * float64(len(s.Chiplets)))
 	commNode := db.MustGet(s.Chiplets[0].NodeNm)
-	commKg, err := descarbon.ChipletKg(commDesignGates, commNode, s.Design)
+	commKg, err := h.chipletKg(commDesignGates, commNode, s.Design)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+// The memo cache of the batch engine. A full-factorial node sweep
+// re-derives the same (node, design type, area) die thousands of times —
+// a 5-node sweep over a 4-chiplet system evaluates 625 systems but only
+// 20 distinct dies — and mfg.Die / descarbon.ChipletKg are pure, so the
+// results are safely shared across workers.
+
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/tech"
+)
+
+// areaQuantMask clears the low 11 bits of the float64 mantissa when
+// building die-cache keys, coalescing areas within ~5e-13 relative of
+// each other. Areas that are logically the same die always come out of
+// the identical node.Area computation and so share exact bits; the
+// quantization only guards against float jitter introduced by future
+// alternative area derivations.
+const areaQuantMask = ^uint64(0x7FF)
+
+func quantize(v float64) uint64 { return math.Float64bits(v) & areaQuantMask }
+
+// dieKey identifies one mfg.Die computation. The node is keyed by
+// pointer: tech.DB hands out stable *Node values and what-if clones
+// (sensitivity, Monte Carlo) allocate fresh nodes, so pointer identity
+// exactly partitions "same parameters" from "perturbed parameters"
+// without hashing every node field.
+type dieKey struct {
+	node   *tech.Node
+	dt     tech.DesignType
+	area   uint64
+	params mfg.Params
+}
+
+// desKey identifies one descarbon.ChipletKg computation, keyed on the
+// gate count (quantized like areas), node and design-effort parameters.
+type desKey struct {
+	node   *tech.Node
+	gates  uint64
+	params descarbon.Params
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	DieHits, DieMisses       uint64
+	DesignHits, DesignMisses uint64
+}
+
+// HitRate is the fraction of all lookups served from the cache.
+func (s Stats) HitRate() float64 {
+	hits := s.DieHits + s.DesignHits
+	total := hits + s.DieMisses + s.DesignMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Cache memoizes the pure per-die sub-models across the systems of a
+// batch (and, when shared via WithCache, across batches). All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu  sync.RWMutex
+	die map[dieKey]mfg.Result
+	des map[desKey]float64
+
+	dieHits, dieMisses atomic.Uint64
+	desHits, desMisses atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		die: make(map[dieKey]mfg.Result),
+		des: make(map[desKey]float64),
+	}
+}
+
+// Hooks adapts the cache to the core evaluation seam.
+func (c *Cache) Hooks() *core.Hooks {
+	return &core.Hooks{Die: c.Die, ChipletKg: c.ChipletKg}
+}
+
+// Die is a memoized mfg.Die. Errors are not cached: they are cheap
+// (validation rejects before any model math) and rare.
+func (c *Cache) Die(n *tech.Node, d tech.DesignType, areaMM2 float64, p mfg.Params) (mfg.Result, error) {
+	key := dieKey{node: n, dt: d, area: quantize(areaMM2), params: p}
+	c.mu.RLock()
+	res, ok := c.die[key]
+	c.mu.RUnlock()
+	if ok {
+		c.dieHits.Add(1)
+		return res, nil
+	}
+	res, err := mfg.Die(n, d, areaMM2, p)
+	if err != nil {
+		return mfg.Result{}, err
+	}
+	c.dieMisses.Add(1)
+	c.mu.Lock()
+	c.die[key] = res
+	c.mu.Unlock()
+	return res, nil
+}
+
+// ChipletKg is a memoized descarbon.ChipletKg.
+func (c *Cache) ChipletKg(gates float64, n *tech.Node, p descarbon.Params) (float64, error) {
+	key := desKey{node: n, gates: quantize(gates), params: p}
+	c.mu.RLock()
+	kg, ok := c.des[key]
+	c.mu.RUnlock()
+	if ok {
+		c.desHits.Add(1)
+		return kg, nil
+	}
+	kg, err := descarbon.ChipletKg(gates, n, p)
+	if err != nil {
+		return 0, err
+	}
+	c.desMisses.Add(1)
+	c.mu.Lock()
+	c.des[key] = kg
+	c.mu.Unlock()
+	return kg, nil
+}
+
+// Stats snapshots the hit counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		DieHits:      c.dieHits.Load(),
+		DieMisses:    c.dieMisses.Load(),
+		DesignHits:   c.desHits.Load(),
+		DesignMisses: c.desMisses.Load(),
+	}
+}
+
+// Len returns the number of memoized entries (both tables).
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.die) + len(c.des)
+}

@@ -1,0 +1,192 @@
+// Package engine is the shared parallel batch-evaluation backend of the
+// Section VI analysis workflows. Every sweep, sensitivity study, Monte
+// Carlo run and figure runner reduces to the same shape of work — "apply
+// a pure evaluation to N independent design points" — and this package
+// runs that shape across a worker pool with:
+//
+//   - index-addressed results: point i's result lands in slot i
+//     regardless of worker scheduling, so parallel output is
+//     byte-identical to the serial walk,
+//   - a concurrency-safe memo cache for the expensive pure sub-models
+//     (mfg.Die, descarbon.ChipletKg) that full-factorial sweeps would
+//     otherwise recompute thousands of times,
+//   - context cancellation with fail-fast error collection (the lowest
+//     observed failing index wins), and
+//   - an optional progress callback for long-running CLI sweeps.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ecochip/internal/core"
+	"ecochip/internal/tech"
+)
+
+// Options configures a batch run; build one from Option values.
+type Options struct {
+	workers  int
+	cache    *Cache
+	noCache  bool
+	progress func(done, total int)
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithWorkers sets the worker count. Zero or negative selects
+// GOMAXPROCS; one gives a serial run (useful as a reference in tests).
+func WithWorkers(n int) Option { return func(o *Options) { o.workers = n } }
+
+// WithCache shares a memo cache across batch calls — e.g. the steps of a
+// greedy search, or the generations of a roadmap, which revisit the same
+// dies. A nil cache is ignored.
+func WithCache(c *Cache) Option { return func(o *Options) { o.cache = c } }
+
+// WithoutCache disables memoization entirely, making every task compute
+// its sub-models directly. Used to produce the uncached serial reference
+// path in equivalence tests and benchmarks.
+func WithoutCache() Option { return func(o *Options) { o.noCache = true } }
+
+// WithProgress registers a callback invoked after every completed point
+// with (completed, total). Calls are serialized; done is monotonically
+// increasing.
+func WithProgress(fn func(done, total int)) Option { return func(o *Options) { o.progress = fn } }
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+func (o *Options) workerCount(n int) int {
+	w := o.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// hooks resolves the memoization hooks for this run: the shared cache if
+// one was provided, a fresh private cache by default, or nil direct
+// calls under WithoutCache.
+func (o *Options) hooks() *core.Hooks {
+	if o.noCache {
+		return nil
+	}
+	c := o.cache
+	if c == nil {
+		c = NewCache()
+	}
+	return c.Hooks()
+}
+
+// indexedErr pairs a task error with its point index so fail-fast error
+// reporting prefers the earliest failure observed: among the errors
+// that actually surfaced before cancellation stopped the batch, the
+// lowest index wins.
+type indexedErr struct {
+	index int
+	err   error
+}
+
+// Run evaluates fn(ctx, i, hooks) for i in [0, n) across the worker
+// pool and returns the results index-addressed. On the first task error
+// the context handed to the tasks is cancelled and the batch fails
+// fast, returning the lowest-index error observed (cancellation may
+// skip a lower-index point that would also have failed, so which error
+// surfaces can depend on scheduling — only successful results are
+// guaranteed scheduling-independent); a cancelled parent context
+// returns ctx.Err(). The hooks argument carries the run's memo cache
+// (nil when caching is disabled) for forwarding to
+// core.System.EvaluateWith.
+func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int, h *core.Hooks) (T, error), opts ...Option) ([]T, error) {
+	o := buildOptions(opts)
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	h := o.hooks()
+	workers := o.workerCount(n)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next unclaimed index
+		mu       sync.Mutex   // guards firstErr and progress
+		firstErr *indexedErr
+		done     int
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstErr.index {
+			firstErr = &indexedErr{i, err}
+		}
+		mu.Unlock()
+		cancel()
+	}
+	step := func() {
+		if o.progress == nil {
+			return
+		}
+		// The callback runs under the mutex so invocations are
+		// serialized and done is strictly increasing, as WithProgress
+		// promises.
+		mu.Lock()
+		done++
+		o.progress(done, n)
+		mu.Unlock()
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					return
+				}
+				res, err := fn(ctx, i, h)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = res
+				step()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// EvaluateBatch evaluates every system against the database across the
+// worker pool, sharing one memo cache so identical per-die sub-results
+// (the bulk of a full-factorial sweep) are computed once. results[i] is
+// systems[i]'s report; the output is byte-identical to calling
+// systems[i].Evaluate(db) in order.
+func EvaluateBatch(ctx context.Context, db *tech.DB, systems []*core.System, opts ...Option) ([]*core.Report, error) {
+	return Run(ctx, len(systems), func(ctx context.Context, i int, h *core.Hooks) (*core.Report, error) {
+		return systems[i].EvaluateWith(db, h)
+	}, opts...)
+}

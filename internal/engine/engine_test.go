@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+func db() *tech.DB { return tech.Default() }
+
+func TestRunIndexAddressing(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Run(context.Background(), 100, func(_ context.Context, i int, _ *core.Hooks) (int, error) {
+			return i * i, nil
+		}, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run(context.Background(), 0, func(_ context.Context, i int, _ *core.Hooks) (int, error) {
+		t.Error("task ran for empty batch")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: got %v, %v", got, err)
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 1000, func(_ context.Context, i int, _ *core.Hooks) (int, error) {
+		if i == 3 || i == 500 {
+			return 0, fmt.Errorf("task %d: %w", i, boom)
+		}
+		return i, nil
+	}, WithWorkers(4))
+	if !errors.Is(err, boom) {
+		t.Fatalf("want task error, got %v", err)
+	}
+}
+
+func TestRunSerialErrorIsLowestIndex(t *testing.T) {
+	// With one worker the walk is strictly ordered, so the error must be
+	// the first failing index — same as the old serial loops.
+	_, err := Run(context.Background(), 100, func(_ context.Context, i int, _ *core.Hooks) (int, error) {
+		if i >= 10 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	}, WithWorkers(1))
+	if err == nil || err.Error() != "task 10 failed" {
+		t.Fatalf("serial error = %v, want task 10 failed", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	_, err := Run(ctx, 10000, func(_ context.Context, i int, _ *core.Hooks) (int, error) {
+		mu.Lock()
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return i, nil
+	}, WithWorkers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= 10000 {
+		t.Error("cancellation did not stop the batch early")
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	_, err := Run(context.Background(), 50, func(_ context.Context, i int, _ *core.Hooks) (int, error) {
+		return i, nil
+	}, WithWorkers(4), WithProgress(func(done, total int) {
+		if total != 50 {
+			t.Errorf("total = %d, want 50", total)
+		}
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("progress called %d times, want 50", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress out of order at call %d: done = %d", i, d)
+		}
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	c := NewCache()
+	n := db().MustGet(7)
+	p := mfg.DefaultParams()
+	r1, err := c.Die(n, tech.Logic, 100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Die(n, tech.Logic, 100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("cached die result differs from first computation")
+	}
+	direct, err := mfg.Die(n, tech.Logic, 100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != direct {
+		t.Error("cached die result differs from the direct model call")
+	}
+	s := c.Stats()
+	if s.DieMisses != 1 || s.DieHits != 1 {
+		t.Errorf("die stats = %+v, want 1 miss / 1 hit", s)
+	}
+
+	kg1, err := c.ChipletKg(1e6, n, descarbon.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg2, err := c.ChipletKg(1e6, n, descarbon.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	directKg, err := descarbon.ChipletKg(1e6, n, descarbon.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg1 != kg2 || kg2 != directKg {
+		t.Error("cached design carbon differs from the direct model call")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", hr)
+	}
+}
+
+func TestCacheDistinguishesParameters(t *testing.T) {
+	c := NewCache()
+	d := db()
+	n7, n14 := d.MustGet(7), d.MustGet(14)
+	p := mfg.DefaultParams()
+	greener := p
+	greener.CarbonIntensity = mfg.IntensityRenewable
+
+	r7, _ := c.Die(n7, tech.Logic, 100, p)
+	r14, _ := c.Die(n14, tech.Logic, 100, p)
+	rGreen, _ := c.Die(n7, tech.Logic, 100, greener)
+	rSmall, _ := c.Die(n7, tech.Logic, 50, p)
+	if r7 == r14 || r7 == rGreen || r7 == rSmall {
+		t.Error("distinct parameters must not collide in the cache")
+	}
+	// A cloned DB allocates fresh nodes, so perturbed what-if nodes never
+	// alias the base entries.
+	d2, err := d.Clone(func(n *tech.Node) { n.DefectDensity = tech.Clamp(n.DefectDensity*1.5, 0.07, 0.3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rClone, _ := c.Die(d2.MustGet(7), tech.Logic, 100, p)
+	if rClone == r7 {
+		t.Error("perturbed clone node must not share the base node's cache entry")
+	}
+	if c.Stats().DieMisses != 5 {
+		t.Errorf("die misses = %d, want 5", c.Stats().DieMisses)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache()
+	n := db().MustGet(7)
+	if _, err := c.Die(n, tech.Logic, -1, mfg.DefaultParams()); err == nil {
+		t.Fatal("negative area should error")
+	}
+	if c.Len() != 0 {
+		t.Error("errors must not be cached")
+	}
+}
+
+func TestEvaluateBatchMatchesSerial(t *testing.T) {
+	d := db()
+	systems := []*core.System{
+		testcases.GA102(d, 7, 14, 10, false),
+		testcases.GA102(d, 7, 7, 7, true),
+		testcases.A15(d, 7, 14, 10, false),
+		testcases.EMR(d, 10, false),
+	}
+	want := make([]*core.Report, len(systems))
+	for i, s := range systems {
+		rep, err := s.Evaluate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := EvaluateBatch(context.Background(), d, systems, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range systems {
+			assertReportsEqual(t, fmt.Sprintf("workers=%d system=%d", workers, i), want[i], got[i])
+		}
+	}
+}
+
+func TestEvaluateBatchError(t *testing.T) {
+	d := db()
+	bad := testcases.GA102(d, 7, 14, 10, false)
+	bad.Chiplets[0].Transistors = -1
+	_, err := EvaluateBatch(context.Background(), d,
+		[]*core.System{testcases.GA102(d, 7, 14, 10, false), bad})
+	if err == nil {
+		t.Fatal("invalid system must fail the batch")
+	}
+}
+
+// assertReportsEqual requires exact float equality on every exported
+// carbon figure — the byte-identical guarantee of the engine.
+func assertReportsEqual(t *testing.T, label string, want, got *core.Report) {
+	t.Helper()
+	if want.MfgKg != got.MfgKg || want.DesignKg != got.DesignKg ||
+		want.HIKg != got.HIKg || want.NREKg != got.NREKg ||
+		want.OperationalKg != got.OperationalKg {
+		t.Fatalf("%s: report differs from serial path:\nwant %+v\ngot  %+v", label, want, got)
+	}
+	if len(want.Chiplets) != len(got.Chiplets) {
+		t.Fatalf("%s: chiplet count differs", label)
+	}
+	for i := range want.Chiplets {
+		if want.Chiplets[i] != got.Chiplets[i] {
+			t.Fatalf("%s: chiplet %d differs:\nwant %+v\ngot  %+v", label, i, want.Chiplets[i], got.Chiplets[i])
+		}
+	}
+	if (want.Packaging == nil) != (got.Packaging == nil) {
+		t.Fatalf("%s: packaging presence differs", label)
+	}
+	if want.Packaging != nil {
+		// Compare scalar packaging fields; Floorplan is a pointer to a
+		// freshly allocated placement each run.
+		wp, gp := *want.Packaging, *got.Packaging
+		wp.Floorplan, gp.Floorplan = nil, nil
+		if wp != gp {
+			t.Fatalf("%s: packaging result differs:\nwant %+v\ngot  %+v", label, wp, gp)
+		}
+	}
+}

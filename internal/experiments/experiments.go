@@ -9,9 +9,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"ecochip/internal/core"
+	"ecochip/internal/engine"
 	"ecochip/internal/report"
 	"ecochip/internal/tech"
 )
@@ -47,17 +50,35 @@ func Run(id string, db *tech.DB) (*report.Table, error) {
 	return r(db)
 }
 
-// RunAll executes every registered experiment in id order.
+// RunAll executes every registered experiment and returns the tables in
+// id order.
 func RunAll(db *tech.DB) ([]*report.Table, error) {
-	var out []*report.Table
-	for _, id := range IDs() {
-		t, err := Run(id, db)
+	return RunAllCtx(context.Background(), db)
+}
+
+// RunAllCtx is RunAll with cancellation and engine options. The figure
+// runners are independent of each other (each builds its own systems
+// against the shared read-only database), so they fan out across the
+// batch engine while the output order stays the sorted id order. The
+// options and cancellation apply to this fan-out across figures — a
+// cancelled context stops figures that have not started; figures
+// already running manage their own inner evaluation engines and run to
+// completion.
+func RunAllCtx(ctx context.Context, db *tech.DB, opts ...engine.Option) ([]*report.Table, error) {
+	ids := IDs()
+	return engine.Run(ctx, len(ids), func(_ context.Context, i int, _ *core.Hooks) (*report.Table, error) {
+		t, err := Run(ids[i], db)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			return nil, fmt.Errorf("experiments: %s: %w", ids[i], err)
 		}
-		out = append(out, t)
-	}
-	return out, nil
+		return t, nil
+	}, opts...)
+}
+
+// evaluateAll batch-evaluates a slice of systems with the shared memo
+// cache — the common inner loop of the per-figure tuple sweeps.
+func evaluateAll(db *tech.DB, systems []*core.System) ([]*core.Report, error) {
+	return engine.EvaluateBatch(context.Background(), db, systems)
 }
 
 // nodeTuples is the technology-combination sweep of Fig. 7: the first

@@ -21,16 +21,26 @@ func ga102ForTuple(db *tech.DB, nt nodeTuple) *core.System {
 	return testcases.GA102(db, nt.digital, nt.memory, nt.analog, nt.monolithic)
 }
 
+// fig7Systems builds the tuple-sweep systems in figure order.
+func fig7Systems(db *tech.DB) []*core.System {
+	systems := make([]*core.System, len(fig7Tuples))
+	for i, nt := range fig7Tuples {
+		systems[i] = ga102ForTuple(db, nt)
+	}
+	return systems
+}
+
 // Fig7a reports C_mfg and C_HI of the GA102 3-chiplet system with RDL
 // fanout for each technology-node tuple (Fig. 7(a)).
 func Fig7a(db *tech.DB) (*report.Table, error) {
 	t := report.New("fig7a", "GA102 manufacturing + HI CFP per (digital,memory,analog) node tuple",
 		"config", "cmfg_kg", "chi_kg", "cmfg_plus_chi_kg")
-	for _, nt := range fig7Tuples {
-		rep, err := ga102ForTuple(db, nt).Evaluate(db)
-		if err != nil {
-			return nil, err
-		}
+	reports, err := evaluateAll(db, fig7Systems(db))
+	if err != nil {
+		return nil, err
+	}
+	for i, nt := range fig7Tuples {
+		rep := reports[i]
 		t.AddRow(nt.label(), report.F(rep.MfgKg), report.F(rep.HIKg), report.F(rep.MfgKg+rep.HIKg))
 	}
 	return t, nil
@@ -65,13 +75,14 @@ func Fig7b(db *tech.DB) (*report.Table, error) {
 func Fig7c(db *tech.DB) (*report.Table, error) {
 	t := report.New("fig7c", "GA102 embodied CFP per tuple vs ACT baseline",
 		"config", "cemb_kg", "act_kg", "act_underestimate_kg")
-	for _, nt := range fig7Tuples {
-		s := ga102ForTuple(db, nt)
-		rep, err := s.Evaluate(db)
-		if err != nil {
-			return nil, err
-		}
-		actKg, err := s.ACTEmbodiedKg(db)
+	systems := fig7Systems(db)
+	reports, err := evaluateAll(db, systems)
+	if err != nil {
+		return nil, err
+	}
+	for i, nt := range fig7Tuples {
+		rep := reports[i]
+		actKg, err := systems[i].ACTEmbodiedKg(db)
 		if err != nil {
 			return nil, err
 		}
@@ -85,11 +96,12 @@ func Fig7c(db *tech.DB) (*report.Table, error) {
 func Fig7d(db *tech.DB) (*report.Table, error) {
 	t := report.New("fig7d", "GA102 total CFP split per tuple, 2-year lifetime",
 		"config", "cemb_kg", "cop_kg", "ctot_kg", "emb_share")
-	for _, nt := range fig7Tuples {
-		rep, err := ga102ForTuple(db, nt).Evaluate(db)
-		if err != nil {
-			return nil, err
-		}
+	reports, err := evaluateAll(db, fig7Systems(db))
+	if err != nil {
+		return nil, err
+	}
+	for i, nt := range fig7Tuples {
+		rep := reports[i]
 		t.AddRow(nt.label(), report.F(rep.EmbodiedKg()), report.F(rep.OperationalKg),
 			report.F(rep.TotalKg()), report.F(rep.EmbodiedKg()/rep.TotalKg()))
 	}

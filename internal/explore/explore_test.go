@@ -1,9 +1,13 @@
 package explore
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"ecochip/internal/core"
 	"ecochip/internal/cost"
+	"ecochip/internal/engine"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 )
@@ -143,5 +147,166 @@ func TestByAreaMetric(t *testing.T) {
 	// All-advanced nodes minimize area.
 	if best.Label != "[7 7 7]" {
 		t.Errorf("smallest-area point = %s, want [7 7 7]", best.Label)
+	}
+}
+
+// nodeSweepSerialReference is the pre-engine implementation: a recursive
+// walk evaluating one point at a time on one goroutine, pricing cost with
+// a second evaluation. It is the byte-identity oracle for the engine path.
+func nodeSweepSerialReference(base *core.System, d *tech.DB, nodes []int, cp cost.Params) ([]Point, error) {
+	nc := len(base.Chiplets)
+	var points []Point
+	assign := make([]int, nc)
+	var walk func(int) error
+	walk = func(i int) error {
+		if i == nc {
+			picked := make([]int, nc)
+			copy(picked, assign)
+			s, err := base.WithNodes(picked...)
+			if err != nil {
+				return err
+			}
+			rep, err := s.Evaluate(d)
+			if err != nil {
+				return err
+			}
+			c, err := s.CostUSD(d, cp)
+			if err != nil {
+				return err
+			}
+			area := rep.Chiplets[0].AreaMM2
+			if rep.Packaging != nil {
+				area = rep.Packaging.PackageAreaMM2
+			}
+			points = append(points, Point{
+				Label:          fmt.Sprint(picked),
+				Nodes:          picked,
+				EmbodiedKg:     rep.EmbodiedKg(),
+				TotalKg:        rep.TotalKg(),
+				CostUSD:        c.TotalUSD(),
+				PackageAreaMM2: area,
+			})
+			return nil
+		}
+		for _, nm := range nodes {
+			assign[i] = nm
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// The engine-backed sweep must return byte-identical points — same
+// order, same floats — to the historical serial walk, at any worker
+// count.
+func TestNodeSweepMatchesSerialReference(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	nodes := []int{7, 10, 14, 22}
+	cp := cost.DefaultParams()
+	want, err := nodeSweepSerialReference(base, d, nodes, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := NodeSweepCtx(context.Background(), base, d, nodes, cp, engine.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Label != want[i].Label ||
+				got[i].EmbodiedKg != want[i].EmbodiedKg ||
+				got[i].TotalKg != want[i].TotalKg ||
+				got[i].CostUSD != want[i].CostUSD ||
+				got[i].PackageAreaMM2 != want[i].PackageAreaMM2 {
+				t.Fatalf("workers=%d: point %d differs\nwant %+v\ngot  %+v", workers, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestComboStreaming(t *testing.T) {
+	// Decode order must be the recursive-walk order: chiplet 0 outermost.
+	nodes := []int{7, 10}
+	want := [][]int{{7, 7}, {7, 10}, {10, 7}, {10, 10}}
+	for i, w := range want {
+		got := combo(i, nodes, 2)
+		if fmt.Sprint(got) != fmt.Sprint(w) {
+			t.Errorf("combo(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if n, err := comboCount(10, 6); err != nil || n != 1_000_000 {
+		t.Errorf("comboCount(10, 6) = %d, %v; want exactly the 1M cap", n, err)
+	}
+	if _, err := comboCount(10, 7); err == nil {
+		t.Error("comboCount beyond the cap must error")
+	}
+	// 7 nodes over 6 chiplets (117,649 combos) exceeded the old 100k cap
+	// and must now be admissible.
+	if n, err := comboCount(7, 6); err != nil || n != 117_649 {
+		t.Errorf("comboCount(7, 6) = %d, %v; want 117649 admissible", n, err)
+	}
+}
+
+// generalScan is the O(n^2) dominance filter, kept as the oracle for the
+// two-objective skyline path.
+func generalScan(points []Point, objectives ...Metric) map[string]bool {
+	kept := map[string]bool{}
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && dominates(q, p, objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept[fmt.Sprintf("%s|%g|%g", p.Label, objectives[0](p), objectives[1](p))] = true
+		}
+	}
+	return kept
+}
+
+func TestSkylineMatchesGeneralScan(t *testing.T) {
+	points := sweep(t)
+	// Add adversarial shapes: exact duplicates, equal-x ties and an
+	// equal-y tie chain.
+	points = append(points, points[0], points[3])
+	points = append(points,
+		Point{Label: "tie-a", EmbodiedKg: points[1].EmbodiedKg, CostUSD: points[1].CostUSD / 2},
+		Point{Label: "tie-b", EmbodiedKg: points[1].EmbodiedKg, CostUSD: points[1].CostUSD / 2},
+		Point{Label: "tie-c", EmbodiedKg: points[1].EmbodiedKg * 2, CostUSD: points[1].CostUSD / 2},
+	)
+	front := ParetoFront(points, ByEmbodied, ByCost)
+	want := generalScan(points, ByEmbodied, ByCost)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	got := map[string]bool{}
+	for i, p := range front {
+		got[fmt.Sprintf("%s|%g|%g", p.Label, p.EmbodiedKg, p.CostUSD)] = true
+		if i > 0 && front[i].EmbodiedKg < front[i-1].EmbodiedKg {
+			t.Error("skyline front not sorted by first objective")
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("skyline kept %d distinct points, general scan kept %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("general-scan survivor %s missing from skyline front", k)
+		}
+	}
+	if ParetoFront(nil, ByEmbodied, ByCost) != nil {
+		t.Error("empty input should give empty front")
 	}
 }

@@ -1,11 +1,13 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"ecochip/internal/core"
+	"ecochip/internal/engine"
 	"ecochip/internal/tech"
 )
 
@@ -64,12 +66,31 @@ func merge(a, b core.Chiplet) core.Chiplet {
 // Disaggregate runs the greedy merge search on the system's blocks and
 // returns the best grouping found.
 func Disaggregate(base *core.System, db *tech.DB) (*Plan, error) {
+	return DisaggregateCtx(context.Background(), base, db)
+}
+
+// mergeCandidate is one (i, j) pairwise merge considered in a greedy
+// step, with its evaluated system and embodied carbon.
+type mergeCandidate struct {
+	i, j int
+	sys  *core.System
+	kg   float64
+}
+
+// DisaggregateCtx is Disaggregate with cancellation and engine options.
+// Each greedy step evaluates all O(n^2) candidate merges through the
+// batch engine; one memo cache is shared across all steps because
+// successive steps re-price mostly unchanged die sets.
+func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts ...engine.Option) (*Plan, error) {
 	if err := base.Validate(db); err != nil {
 		return nil, err
 	}
 	if base.Monolithic {
 		return nil, fmt.Errorf("explore: disaggregation needs a chiplet-form system, not a monolith")
 	}
+	// Share one cache across every step unless the caller provided their
+	// own engine configuration.
+	opts = append([]engine.Option{engine.WithCache(engine.NewCache())}, opts...)
 
 	current := cloneSystem(base)
 	groups := make([][]string, len(current.Chiplets))
@@ -84,22 +105,36 @@ func Disaggregate(base *core.System, db *tech.DB) (*Plan, error) {
 
 	steps := 0
 	for len(current.Chiplets) > 1 {
+		var pairs []mergeCandidate
+		for i := 0; i < len(current.Chiplets); i++ {
+			for j := i + 1; j < len(current.Chiplets); j++ {
+				if mergeable(current.Chiplets[i], current.Chiplets[j]) {
+					pairs = append(pairs, mergeCandidate{i: i, j: j})
+				}
+			}
+		}
+		evaluated, err := engine.Run(ctx, len(pairs), func(_ context.Context, k int, h *core.Hooks) (mergeCandidate, error) {
+			c := pairs[k]
+			c.sys = applyMerge(current, c.i, c.j)
+			rep, err := c.sys.EvaluateWith(db, h)
+			if err != nil {
+				return mergeCandidate{}, err
+			}
+			c.kg = rep.EmbodiedKg()
+			return c, nil
+		}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		// The pick is a serial scan in (i, j) order, so parallel
+		// candidate evaluation reproduces the serial search exactly:
+		// only a strictly lower carbon displaces the incumbent.
 		bestKg := currentKg
 		bestI, bestJ := -1, -1
 		var bestSys *core.System
-		for i := 0; i < len(current.Chiplets); i++ {
-			for j := i + 1; j < len(current.Chiplets); j++ {
-				if !mergeable(current.Chiplets[i], current.Chiplets[j]) {
-					continue
-				}
-				candidate := applyMerge(current, i, j)
-				kg, err := embodied(candidate, db)
-				if err != nil {
-					return nil, err
-				}
-				if kg < bestKg {
-					bestKg, bestI, bestJ, bestSys = kg, i, j, candidate
-				}
+		for _, c := range evaluated {
+			if c.kg < bestKg {
+				bestKg, bestI, bestJ, bestSys = c.kg, c.i, c.j, c.sys
 			}
 		}
 		if bestI < 0 {

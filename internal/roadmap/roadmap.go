@@ -13,9 +13,11 @@
 package roadmap
 
 import (
+	"context"
 	"fmt"
 
 	"ecochip/internal/core"
+	"ecochip/internal/engine"
 	"ecochip/internal/tech"
 )
 
@@ -93,9 +95,20 @@ type chipletKey struct {
 // over from earlier generations as reused (zero incremental design
 // carbon) and accumulating fleet totals.
 func Evaluate(db *tech.DB, generations []Generation) (*Report, error) {
+	return EvaluateCtx(context.Background(), db, generations)
+}
+
+// EvaluateCtx is Evaluate with cancellation and engine options. The
+// generation walk itself is inherently sequential (which chiplets count
+// as reused depends on every earlier generation), but each generation's
+// reuse-aware and naive variants evaluate concurrently, and one memo
+// cache spans the whole roadmap — carried-over chiplets are exactly the
+// ones whose die results repeat generation after generation.
+func EvaluateCtx(ctx context.Context, db *tech.DB, generations []Generation, opts ...engine.Option) (*Report, error) {
 	if len(generations) == 0 {
 		return nil, fmt.Errorf("roadmap: no generations")
 	}
+	opts = append([]engine.Option{engine.WithCache(engine.NewCache())}, opts...)
 	seen := map[chipletKey]bool{}
 	rep := &Report{}
 	for gi, gen := range generations {
@@ -123,10 +136,6 @@ func Evaluate(db *tech.DB, generations []Generation) (*Report, error) {
 				carried = append(carried, c.Name)
 			}
 		}
-		reuseRep, err := reuseSys.Evaluate(db)
-		if err != nil {
-			return nil, fmt.Errorf("roadmap: generation %s: %w", gen.Name, err)
-		}
 
 		// Naive variant: everything redesigned.
 		naiveSys := *gen.System
@@ -135,10 +144,12 @@ func Evaluate(db *tech.DB, generations []Generation) (*Report, error) {
 		for i := range naiveSys.Chiplets {
 			naiveSys.Chiplets[i].Reused = false
 		}
-		naiveRep, err := naiveSys.Evaluate(db)
+
+		reports, err := engine.EvaluateBatch(ctx, db, []*core.System{&reuseSys, &naiveSys}, opts...)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("roadmap: generation %s: %w", gen.Name, err)
 		}
+		reuseRep, naiveRep := reports[0], reports[1]
 
 		for i := range gen.System.Chiplets {
 			c := gen.System.Chiplets[i]

@@ -7,10 +7,12 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"ecochip/internal/core"
+	"ecochip/internal/engine"
 	"ecochip/internal/tech"
 )
 
@@ -116,37 +118,60 @@ func factors() []factor {
 // Tornado perturbs each factor by ±rel (e.g. 0.25 for ±25%) and returns
 // the results sorted by descending swing.
 func Tornado(base *core.System, db *tech.DB, rel float64) ([]Result, error) {
+	return TornadoCtx(context.Background(), base, db, rel)
+}
+
+// TornadoCtx is Tornado with cancellation and engine options. The base
+// point and both perturbed points of every factor (2F+1 evaluations)
+// fan out across the batch engine; factors that leave the tech database
+// untouched share memoized per-die results with the base point.
+func TornadoCtx(ctx context.Context, base *core.System, db *tech.DB, rel float64, opts ...engine.Option) ([]Result, error) {
 	if rel <= 0 || rel >= 1 {
 		return nil, fmt.Errorf("sensitivity: relative perturbation %g outside (0, 1)", rel)
 	}
-	baseRep, err := base.Evaluate(db)
+	fs := factors()
+	// Task 0 is the base point; tasks 1+2k and 2+2k are factor k's low
+	// and high perturbations.
+	kgs, err := engine.Run(ctx, 1+2*len(fs), func(_ context.Context, i int, h *core.Hooks) (float64, error) {
+		if i == 0 {
+			rep, err := base.EvaluateWith(db, h)
+			if err != nil {
+				return 0, err
+			}
+			return rep.TotalKg(), nil
+		}
+		f := fs[(i-1)/2]
+		scale := 1 - rel
+		side := "low"
+		if (i-1)%2 == 1 {
+			scale = 1 + rel
+			side = "high"
+		}
+		kg, err := evalScaled(base, db, f, scale, h)
+		if err != nil {
+			return 0, fmt.Errorf("sensitivity: factor %q %s: %w", f.name, side, err)
+		}
+		return kg, nil
+	}, opts...)
 	if err != nil {
 		return nil, err
 	}
-	baseKg := baseRep.TotalKg()
 
-	var results []Result
-	for _, f := range factors() {
-		lowKg, err := evalScaled(base, db, f, 1-rel)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: factor %q low: %w", f.name, err)
-		}
-		highKg, err := evalScaled(base, db, f, 1+rel)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: factor %q high: %w", f.name, err)
-		}
-		results = append(results, Result{Factor: f.name, BaseKg: baseKg, LowKg: lowKg, HighKg: highKg})
+	baseKg := kgs[0]
+	results := make([]Result, len(fs))
+	for k, f := range fs {
+		results[k] = Result{Factor: f.name, BaseKg: baseKg, LowKg: kgs[1+2*k], HighKg: kgs[2+2*k]}
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Swing() > results[j].Swing() })
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Swing() > results[j].Swing() })
 	return results, nil
 }
 
-func evalScaled(base *core.System, db *tech.DB, f factor, scale float64) (float64, error) {
+func evalScaled(base *core.System, db *tech.DB, f factor, scale float64, h *core.Hooks) (float64, error) {
 	s, db2, err := f.apply(*base, db, scale)
 	if err != nil {
 		return 0, err
 	}
-	rep, err := s.Evaluate(db2)
+	rep, err := s.EvaluateWith(db2, h)
 	if err != nil {
 		return 0, err
 	}

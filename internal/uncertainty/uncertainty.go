@@ -9,11 +9,13 @@
 package uncertainty
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"ecochip/internal/core"
+	"ecochip/internal/engine"
 	"ecochip/internal/tech"
 )
 
@@ -66,10 +68,29 @@ func (d Distribution) RelativeSpread() float64 {
 	return (d.P95Kg - d.P5Kg) / d.P50Kg
 }
 
+// sampleSeed derives sample i's private RNG stream from the run seed
+// with a splitmix64 finalizer. Each Monte Carlo trial owns an
+// independent, index-addressed stream, so the sampled values do not
+// depend on which worker draws them or in what order — the whole run is
+// bit-reproducible at any parallelism.
+func sampleSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // Run samples the system's embodied carbon n times with parameters drawn
 // uniformly within the spread (seeded: identical inputs give identical
 // distributions).
 func Run(base *core.System, db *tech.DB, spread Spread, n int, seed int64) (Distribution, error) {
+	return RunCtx(context.Background(), base, db, spread, n, seed)
+}
+
+// RunCtx is Run with cancellation and engine options. Samples fan out
+// across the batch engine; results are identical for any worker count
+// because every sample draws from its own seed-derived RNG stream.
+func RunCtx(ctx context.Context, base *core.System, db *tech.DB, spread Spread, n int, seed int64, opts ...engine.Option) (Distribution, error) {
 	if n < 10 {
 		return Distribution{}, fmt.Errorf("uncertainty: need at least 10 samples, got %d", n)
 	}
@@ -79,9 +100,8 @@ func Run(base *core.System, db *tech.DB, spread Spread, n int, seed int64) (Dist
 	if err := base.Validate(db); err != nil {
 		return Distribution{}, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	samples, err := engine.Run(ctx, n, func(_ context.Context, i int, h *core.Hooks) (float64, error) {
+		rng := rand.New(rand.NewSource(sampleSeed(seed, i)))
 		draw := func(rel float64) float64 {
 			if rel == 0 {
 				return 1
@@ -95,16 +115,19 @@ func Run(base *core.System, db *tech.DB, spread Spread, n int, seed int64) (Dist
 			node.EPA = tech.Clamp(node.EPA*epaScale, 0.8, 3.5)
 		})
 		if err != nil {
-			return Distribution{}, err
+			return 0, err
 		}
 		s := *base
 		s.Mfg.CarbonIntensity = tech.Clamp(s.Mfg.CarbonIntensity*draw(spread.FabIntensity), 0.030, 0.700)
 		s.Design.PowerW = s.Design.PowerW * draw(spread.DesignTime)
-		rep, err := s.Evaluate(dbi)
+		rep, err := s.EvaluateWith(dbi, h)
 		if err != nil {
-			return Distribution{}, err
+			return 0, err
 		}
-		samples = append(samples, rep.EmbodiedKg())
+		return rep.EmbodiedKg(), nil
+	}, opts...)
+	if err != nil {
+		return Distribution{}, err
 	}
 	sort.Float64s(samples)
 	var sum float64

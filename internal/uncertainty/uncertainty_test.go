@@ -1,8 +1,10 @@
 package uncertainty
 
 import (
+	"context"
 	"testing"
 
+	"ecochip/internal/engine"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 )
@@ -108,5 +110,39 @@ func TestRunDoesNotMutate(t *testing.T) {
 	}
 	if db().MustGet(7).EPA != 3.5 {
 		t.Error("Run mutated the shared tech database")
+	}
+}
+
+// The fixed-seed distribution must be bit-identical at any worker count:
+// every sample owns a seed-derived RNG stream, so scheduling cannot leak
+// into the draws.
+func TestWorkerCountInvariance(t *testing.T) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	var ref Distribution
+	for i, workers := range []int{1, 2, 5, 16} {
+		d, err := RunCtx(context.Background(), base, db(), DefaultSpread(), 120, 99,
+			engine.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = d
+		} else if d != ref {
+			t.Fatalf("workers=%d changed the distribution:\nref %+v\ngot %+v", workers, ref, d)
+		}
+	}
+}
+
+func TestSampleSeedStreamsDiffer(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := sampleSeed(2024, i)
+		if seen[s] {
+			t.Fatalf("duplicate per-sample seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	if sampleSeed(1, 0) == sampleSeed(2, 0) {
+		t.Error("different run seeds must give different streams")
 	}
 }
