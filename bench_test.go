@@ -219,8 +219,9 @@ func BenchmarkNodeSweepSerial(b *testing.B) {
 }
 
 // BenchmarkNodeSweepParallel measures the same 125-point sweep through
-// the batch engine: worker-pool fan-out plus the shared per-die memo
-// cache and single-evaluation cost pricing.
+// the uncompiled batch-engine path: worker-pool fan-out plus the shared
+// per-die memo cache and single-evaluation cost pricing (the PR 1
+// baseline the compiled plan is measured against).
 func BenchmarkNodeSweepParallel(b *testing.B) {
 	db := DefaultDB()
 	base := GA102(db, 7, 14, 10, false)
@@ -228,7 +229,51 @@ func BenchmarkNodeSweepParallel(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		points, err := NodeSweepReference(ctx, base, db, sweepBenchNodes, cp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
+// BenchmarkNodeSweepCompiled measures the 125-point sweep through the
+// compiled plan — the NodeSweepCtx production path — including the
+// per-call Compile cost, at the same worker count as the parallel
+// baseline.
+func BenchmarkNodeSweepCompiled(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	cp := DefaultCostParams()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		points, err := NodeSweepCtx(ctx, base, db, sweepBenchNodes, cp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
+// BenchmarkNodeSweepCompiledReuse measures sweep re-execution on an
+// already-compiled plan (the repeated-run shape of interactive tools and
+// servers: compile once, run per request).
+func BenchmarkNodeSweepCompiledReuse(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	plan, err := CompileNodeSweep(base, db, sweepBenchNodes, DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := plan.RunCtx(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ecochip
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNodeSweepSerial        	      20	    622767 ns/op	  534032 B/op	    5009 allocs/op
+BenchmarkNodeSweepParallel-8    	      20	    367330 ns/op	  316616 B/op	    2779 allocs/op
+BenchmarkNodeSweepCompiled-8    	      20	     39974 ns/op	   14675 B/op	     159 allocs/op
+BenchmarkNodeSweepCompiled-8    	      20	     40111 ns/op	   14680 B/op	     159 allocs/op
+BenchmarkNoMem-4                	     100	      1234 ns/op
+PASS
+ok  	ecochip	0.026s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "ecochip" {
+		t.Errorf("header mismatch: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkNodeSweepSerial" || b.Procs != 1 || b.Runs != 20 || b.NsPerOp != 622767 {
+		t.Errorf("serial line mismatch: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 534032 || b.AllocsPerOp == nil || *b.AllocsPerOp != 5009 {
+		t.Errorf("benchmem fields mismatch: %+v", b)
+	}
+	p := rep.Benchmarks[1]
+	if p.Name != "BenchmarkNodeSweepParallel" || p.Procs != 8 {
+		t.Errorf("procs suffix not split: %+v", p)
+	}
+	// -count repetitions stay separate entries.
+	if rep.Benchmarks[2].Name != rep.Benchmarks[3].Name {
+		t.Error("repeated runs should keep the same name")
+	}
+	nm := rep.Benchmarks[4]
+	if nm.BytesPerOp != nil || nm.AllocsPerOp != nil {
+		t.Errorf("line without -benchmem should omit memory fields: %+v", nm)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("input without benchmark lines should fail")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX-y", "BenchmarkX-y", 1},
+		{"Benchmark-Sub-16", "Benchmark-Sub", 16},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

@@ -6,7 +6,11 @@
 //	ecodse --design_dir testcases/GA102 --mode group    # block-grouping optimizer
 //	ecodse --design_dir testcases/GA102 --mode mc       # Monte Carlo uncertainty
 //
-// The sweep mode needs a node_list.txt in the design directory.
+// The sweep mode needs a node_list.txt in the design directory. Sweeps
+// run on a compiled plan (precomputed die tables + Gray-code walk)
+// unless -uncompiled forces the per-point reference path. -cpuprofile /
+// -memprofile write pprof profiles of the run, and -progress reports
+// compiled-table or memo-cache statistics after the result.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ecochip/internal/config"
 	"ecochip/internal/core"
@@ -34,65 +40,161 @@ func main() {
 	samples := flag.Int("samples", 500, "mc: Monte Carlo sample count")
 	seed := flag.Int64("seed", 2024, "mc: random seed")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial)")
-	progress := flag.Bool("progress", false, "print sweep progress to stderr")
+	progress := flag.Bool("progress", false, "print sweep progress and evaluation statistics to stderr")
+	uncompiled := flag.Bool("uncompiled", false, "sweep: force the per-point reference path instead of the compiled plan")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *designDir == "" {
 		fmt.Fprintln(os.Stderr, "usage: ecodse --design_dir <dir> --mode sweep|tornado|group|mc")
 		os.Exit(2)
 	}
-	var opts []engine.Option
-	opts = append(opts, engine.WithWorkers(*parallel))
-	if *progress {
-		opts = append(opts, engine.WithProgress(func(done, total int) {
-			if done%1000 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}))
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecodse:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ecodse:", err)
+			os.Exit(1)
+		}
 	}
-	if err := run(*designDir, *mode, *rel, *samples, *seed, os.Stdout, opts); err != nil {
+
+	cfg := runConfig{
+		mode:       *mode,
+		rel:        *rel,
+		samples:    *samples,
+		seed:       *seed,
+		workers:    *parallel,
+		progress:   *progress,
+		uncompiled: *uncompiled,
+	}
+	err := run(*designDir, cfg, os.Stdout, os.Stderr)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if perr := writeHeapProfile(*memprofile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecodse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(designDir, mode string, rel float64, samples int, seed int64, w io.Writer, opts []engine.Option) error {
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	return pprof.WriteHeapProfile(f)
+}
+
+// runConfig bundles the CLI knobs of one invocation.
+type runConfig struct {
+	mode       string
+	rel        float64
+	samples    int
+	seed       int64
+	workers    int
+	progress   bool
+	uncompiled bool
+}
+
+func run(designDir string, cfg runConfig, w, statsW io.Writer) error {
 	db := tech.Default()
 	system, nodes, err := config.LoadSystem(designDir, db)
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	switch mode {
-	case "sweep":
-		return runSweep(ctx, w, system, db, nodes, opts)
-	case "tornado":
-		return runTornado(ctx, w, system, db, rel, opts)
-	case "group":
-		return runGroup(ctx, w, system, db, opts)
-	case "mc":
-		return runMC(ctx, w, system, db, samples, seed, opts)
-	}
-	return fmt.Errorf("unknown mode %q", mode)
-}
 
-func runSweep(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, nodes []int, opts []engine.Option) error {
-	if len(nodes) == 0 {
-		return fmt.Errorf("sweep mode needs node_list.txt in the design directory")
+	// The cache is created here (not inside the engine) so its hit
+	// statistics can be reported after the run.
+	cache := engine.NewCache()
+	opts := []engine.Option{engine.WithWorkers(cfg.workers), engine.WithCache(cache)}
+	if cfg.progress {
+		opts = append(opts, engine.WithProgress(func(done, total int) {
+			if done%1000 == 0 || done == total {
+				fmt.Fprintf(statsW, "\r%d/%d points", done, total)
+				if done == total {
+					fmt.Fprintln(statsW)
+				}
+			}
+		}))
 	}
-	points, err := explore.NodeSweepCtx(ctx, system, db, nodes, cost.DefaultParams(), opts...)
+
+	ctx := context.Background()
+	switch cfg.mode {
+	case "sweep":
+		return runSweep(ctx, w, statsW, system, db, nodes, cfg, cache, opts)
+	case "tornado":
+		err = runTornado(ctx, w, system, db, cfg.rel, opts)
+	case "group":
+		err = runGroup(ctx, w, system, db, opts)
+	case "mc":
+		err = runMC(ctx, w, system, db, cfg.samples, cfg.seed, opts)
+	default:
+		return fmt.Errorf("unknown mode %q", cfg.mode)
+	}
 	if err != nil {
 		return err
 	}
+	if cfg.progress {
+		printCacheStats(statsW, cache)
+	}
+	return nil
+}
+
+func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db *tech.DB, nodes []int, cfg runConfig, cache *engine.Cache, opts []engine.Option) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("sweep mode needs node_list.txt in the design directory")
+	}
+	cp := cost.DefaultParams()
+
+	var points []explore.Point
+	var plan *explore.CompiledPlan
+	var err error
+	if cfg.uncompiled {
+		points, err = explore.NodeSweepReference(ctx, system, db, nodes, cp, opts...)
+	} else {
+		points, plan, err = explore.NodeSweepPlanned(ctx, system, db, nodes, cp, opts...)
+	}
+	if err != nil {
+		return err
+	}
+
 	front := explore.ParetoFront(points, explore.ByEmbodied, explore.ByCost)
 	t := report.New(fmt.Sprintf("carbon-cost Pareto front (%d of %d candidates)", len(front), len(points)), "",
 		"nodes", "cemb_kg", "ctot_kg", "cost_usd", "area_mm2")
 	for _, p := range front {
-		t.AddRow(p.Label, report.F(p.EmbodiedKg), report.F(p.TotalKg), report.F(p.CostUSD), report.F(p.PackageAreaMM2))
+		t.AddRow(p.Label(), report.F(p.EmbodiedKg), report.F(p.TotalKg), report.F(p.CostUSD), report.F(p.PackageAreaMM2))
 	}
-	return t.Fprint(w)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	if cfg.progress {
+		if plan != nil {
+			s := plan.Stats()
+			fmt.Fprintf(statsW, "compiled plan: %d points from %d table cells, %d gray steps, %d block inits\n",
+				s.Points, s.TableCells, s.GraySteps, s.BlockInits)
+		} else {
+			printCacheStats(statsW, cache)
+		}
+	}
+	return nil
+}
+
+func printCacheStats(w io.Writer, cache *engine.Cache) {
+	s := cache.Stats()
+	fmt.Fprintf(w, "memo cache: %d die hits / %d misses, %d design hits / %d misses (%.1f%% hit rate)\n",
+		s.DieHits, s.DieMisses, s.DesignHits, s.DesignMisses, 100*s.HitRate())
 }
 
 func runTornado(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, rel float64, opts []engine.Option) error {

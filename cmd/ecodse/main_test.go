@@ -18,9 +18,13 @@ func exampleDir(t *testing.T) string {
 	return dir
 }
 
+func cfgFor(mode string) runConfig {
+	return runConfig{mode: mode, rel: 0.25, samples: 50, seed: 1, workers: 1}
+}
+
 func TestRunSweepMode(t *testing.T) {
-	var out strings.Builder
-	if err := run(exampleDir(t), "sweep", 0.25, 100, 1, &out, nil); err != nil {
+	var out, stats strings.Builder
+	if err := run(exampleDir(t), cfgFor("sweep"), &out, &stats); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Pareto front") {
@@ -28,9 +32,48 @@ func TestRunSweepMode(t *testing.T) {
 	}
 }
 
+// The compiled and reference sweep paths must print identical tables.
+func TestRunSweepUncompiledMatchesCompiled(t *testing.T) {
+	dir := exampleDir(t)
+	var compiled, reference strings.Builder
+	if err := run(dir, cfgFor("sweep"), &compiled, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgFor("sweep")
+	cfg.uncompiled = true
+	if err := run(dir, cfg, &reference, nil); err != nil {
+		t.Fatal(err)
+	}
+	if compiled.String() != reference.String() {
+		t.Errorf("compiled and uncompiled sweeps diverge:\n%s\nvs\n%s", compiled.String(), reference.String())
+	}
+}
+
+func TestRunSweepProgressStats(t *testing.T) {
+	dir := exampleDir(t)
+	cfg := cfgFor("sweep")
+	cfg.progress = true
+	var out, stats strings.Builder
+	if err := run(dir, cfg, &out, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), "compiled plan:") {
+		t.Errorf("progress run missing compiled-plan statistics:\n%s", stats.String())
+	}
+
+	cfg.uncompiled = true
+	var out2, stats2 strings.Builder
+	if err := run(dir, cfg, &out2, &stats2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats2.String(), "memo cache:") {
+		t.Errorf("uncompiled progress run missing cache statistics:\n%s", stats2.String())
+	}
+}
+
 func TestRunTornadoMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "tornado", 0.25, 100, 1, &out, nil); err != nil {
+	if err := run(exampleDir(t), cfgFor("tornado"), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "swing_kg") {
@@ -38,9 +81,21 @@ func TestRunTornadoMode(t *testing.T) {
 	}
 }
 
+func TestRunTornadoProgressStats(t *testing.T) {
+	cfg := cfgFor("tornado")
+	cfg.progress = true
+	var out, stats strings.Builder
+	if err := run(exampleDir(t), cfg, &out, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), "memo cache:") {
+		t.Errorf("tornado progress run missing cache statistics:\n%s", stats.String())
+	}
+}
+
 func TestRunGroupMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "group", 0.25, 100, 1, &out, nil); err != nil {
+	if err := run(exampleDir(t), cfgFor("group"), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "embodied carbon:") {
@@ -50,7 +105,7 @@ func TestRunGroupMode(t *testing.T) {
 
 func TestRunMCMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "mc", 0.25, 50, 1, &out, nil); err != nil {
+	if err := run(exampleDir(t), cfgFor("mc"), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "relative_spread") {
@@ -60,14 +115,14 @@ func TestRunMCMode(t *testing.T) {
 
 func TestRunBadMode(t *testing.T) {
 	var out strings.Builder
-	if err := run(exampleDir(t), "magic", 0.25, 100, 1, &out, nil); err == nil {
+	if err := run(exampleDir(t), cfgFor("magic"), &out, nil); err == nil {
 		t.Error("unknown mode should fail")
 	}
 }
 
 func TestRunMissingDir(t *testing.T) {
 	var out strings.Builder
-	if err := run(t.TempDir(), "sweep", 0.25, 100, 1, &out, nil); err == nil {
+	if err := run(t.TempDir(), cfgFor("sweep"), &out, nil); err == nil {
 		t.Error("empty design dir should fail")
 	}
 }
@@ -79,8 +134,22 @@ func TestSweepNeedsNodeList(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run(dir, "sweep", 0.25, 100, 1, &out, nil); err == nil {
+	if err := run(dir, cfgFor("sweep"), &out, nil); err == nil {
 		t.Error("sweep without node_list.txt should fail")
+	}
+}
+
+func TestWriteHeapProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := writeHeapProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("heap profile is empty")
 	}
 }
 

@@ -144,8 +144,23 @@ func NodeSweep(base *System, db *TechDB, nodes []int, cp cost.Params) ([]DesignP
 	return explore.NodeSweep(base, db, nodes, cp)
 }
 
+// SweepMetric extracts one minimized objective from a design point.
+type SweepMetric = explore.Metric
+
+// Standard sweep objectives.
+var (
+	// SweepByEmbodied minimizes embodied carbon.
+	SweepByEmbodied = explore.ByEmbodied
+	// SweepByTotal minimizes total (lifetime) carbon.
+	SweepByTotal = explore.ByTotal
+	// SweepByCost minimizes dollar cost.
+	SweepByCost = explore.ByCost
+	// SweepByArea minimizes package footprint.
+	SweepByArea = explore.ByArea
+)
+
 // ParetoFront filters design points to the non-dominated set.
-func ParetoFront(points []DesignPoint, objectives ...explore.Metric) []DesignPoint {
+func ParetoFront(points []DesignPoint, objectives ...SweepMetric) []DesignPoint {
 	return explore.ParetoFront(points, objectives...)
 }
 
@@ -219,9 +234,43 @@ func EvaluateBatch(ctx context.Context, db *TechDB, systems []*System, opts ...E
 	return engine.EvaluateBatch(ctx, db, systems, opts...)
 }
 
-// NodeSweepCtx is NodeSweep with cancellation and engine options.
+// NodeSweepCtx is NodeSweep with cancellation and engine options. It
+// compiles the sweep into a dense per-(chiplet, node) table first (see
+// CompileNodeSweep); systems without a compiled fast path fall back to
+// NodeSweepReference. Both paths return bit-identical points.
 func NodeSweepCtx(ctx context.Context, base *System, db *TechDB, nodes []int, cp cost.Params, opts ...EngineOption) ([]DesignPoint, error) {
 	return explore.NodeSweepCtx(ctx, base, db, nodes, cp, opts...)
+}
+
+// Compiled sweep plans (the near-zero-allocation sweep hot path).
+type (
+	// SweepPlan is a compiled node sweep: the base system validated
+	// once and every per-(chiplet, node) invariant — area, die
+	// manufacturing result, design carbon, NRE share, die dollar cost —
+	// precomputed into a dense table. Run it any number of times; it is
+	// immutable and safe for concurrent use.
+	SweepPlan = explore.CompiledPlan
+	// SweepPlanStats counts the work a compiled plan performed.
+	SweepPlanStats = explore.SweepStats
+)
+
+// ErrNoSweepFastPath reports that a system cannot be compiled into a
+// dense sweep plan (multi-chiplet monolithic bases); use
+// NodeSweepReference instead.
+var ErrNoSweepFastPath = explore.ErrNoFastPath
+
+// CompileNodeSweep builds the compiled sweep plan for evaluating base
+// under every combination of the candidate nodes. Compile once, then
+// plan.RunCtx / plan.ParetoFrontCtx per run.
+func CompileNodeSweep(base *System, db *TechDB, nodes []int, cp cost.Params) (*SweepPlan, error) {
+	return explore.Compile(base, db, nodes, cp)
+}
+
+// NodeSweepReference is the uncompiled per-point sweep (clone, validate,
+// memo-cached sub-models for every point): the oracle and baseline the
+// compiled plan is tested and benchmarked against.
+func NodeSweepReference(ctx context.Context, base *System, db *TechDB, nodes []int, cp cost.Params, opts ...EngineOption) ([]DesignPoint, error) {
+	return explore.NodeSweepReference(ctx, base, db, nodes, cp, opts...)
 }
 
 // TornadoCtx is Tornado with cancellation and engine options.

@@ -68,7 +68,7 @@ func TestFacadeNodeSweepCtxMatchesNodeSweep(t *testing.T) {
 		t.Fatalf("point counts differ: %d vs %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i].Label != parallel[i].Label || serial[i].EmbodiedKg != parallel[i].EmbodiedKg ||
+		if serial[i].Label() != parallel[i].Label() || serial[i].EmbodiedKg != parallel[i].EmbodiedKg ||
 			serial[i].CostUSD != parallel[i].CostUSD {
 			t.Errorf("point %d differs between serial and parallel sweep", i)
 		}

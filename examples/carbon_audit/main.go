@@ -66,6 +66,6 @@ func main() {
 	fmt.Printf("%d of %d candidates survive domination:\n", len(front), len(points))
 	for _, p := range front {
 		fmt.Printf("  %-12s C_emb %6.1f kg   $%7.0f   %6.0f mm^2\n",
-			p.Label, p.EmbodiedKg, p.CostUSD, p.PackageAreaMM2)
+			p.Label(), p.EmbodiedKg, p.CostUSD, p.PackageAreaMM2)
 	}
 }

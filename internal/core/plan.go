@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/tech"
+)
+
+// This file is the compile seam of the evaluation: the per-(chiplet,
+// node) slice of an evaluation is factored into a DieCell so that batch
+// engines can precompute a dense table of cells once and assemble whole
+// design points from table lookups. Evaluate itself is built from the
+// same cells (evaluateHI and evaluateMonolith below call CellFor and
+// MonolithCell), so a compiled sweep and a one-off evaluation share
+// every float operation and produce bit-identical results by
+// construction. Like Hooks, the seam only exposes pure sub-computations;
+// all policy (summation order, packaging, operation) stays in one place.
+
+// DieCell bundles every evaluation invariant of one chiplet at one
+// technology node: the area the node's scaling model assigns, the
+// manufacturing result, the design carbon (total and amortized over the
+// chiplet's volume), and the amortized mask-set NRE share (zero unless
+// the system enables the NRE extension and the chiplet is not reused).
+type DieCell struct {
+	Node              *tech.Node
+	AreaMM2           float64
+	Yield             float64
+	MfgKg             float64
+	WastageKg         float64
+	DesignKgTotal     float64
+	DesignKgAmortized float64
+	NREKg             float64
+}
+
+// CellFor computes the cell of one chiplet retargeted to nodeNm under
+// this system's manufacturing/design/NRE configuration. The chiplet does
+// not need to be a member of s.Chiplets (disaggregation probes merged
+// chiplets that exist only as candidates).
+func (s *System) CellFor(db *tech.DB, c Chiplet, nodeNm int, h *Hooks) (DieCell, error) {
+	node := db.MustGet(nodeNm)
+	areaMM2 := node.Area(c.Type, c.Transistors)
+	m, err := h.die(node, c.Type, areaMM2, s.Mfg)
+	if err != nil {
+		return DieCell{}, fmt.Errorf("core: chiplet %q: %w", c.Name, err)
+	}
+	cell := DieCell{
+		Node:      node,
+		AreaMM2:   areaMM2,
+		Yield:     m.Yield,
+		MfgKg:     m.TotalKg(),
+		WastageKg: m.WastageKg,
+	}
+	if c.Reused {
+		return cell, nil
+	}
+	gates := descarbon.GatesFromTransistors(c.Transistors)
+	desTotal, err := h.chipletKg(gates, node, s.Design)
+	if err != nil {
+		return DieCell{}, err
+	}
+	parts := c.ManufacturedParts
+	if parts == 0 {
+		parts = DefaultVolume
+	}
+	desAmort, err := descarbon.AmortizedKg(desTotal, parts)
+	if err != nil {
+		return DieCell{}, err
+	}
+	cell.DesignKgTotal = desTotal
+	cell.DesignKgAmortized = desAmort
+	if s.IncludeNRE {
+		nre, err := mfg.AmortizedNREKg(node, parts, s.nreParams())
+		if err != nil {
+			return DieCell{}, err
+		}
+		cell.NREKg = nre
+	}
+	return cell, nil
+}
+
+// MonolithCell computes the merged-die cell of the whole system at
+// nodeNm: block areas are summed (each block at its own density), yield
+// applies to the merged area, design carbon covers the non-reused gates
+// and amortizes over the system volume.
+func (s *System) MonolithCell(db *tech.DB, nodeNm int, h *Hooks) (DieCell, error) {
+	node := db.MustGet(nodeNm)
+	var areaMM2, gates float64
+	for _, c := range s.Chiplets {
+		areaMM2 += node.Area(c.Type, c.Transistors)
+		if !c.Reused {
+			gates += descarbon.GatesFromTransistors(c.Transistors)
+		}
+	}
+	m, err := h.die(node, tech.Logic, areaMM2, s.Mfg)
+	if err != nil {
+		return DieCell{}, err
+	}
+	desTotal, err := h.chipletKg(gates, node, s.Design)
+	if err != nil {
+		return DieCell{}, err
+	}
+	vol := s.volume()
+	desAmort, err := descarbon.AmortizedKg(desTotal, vol)
+	if err != nil {
+		return DieCell{}, err
+	}
+	cell := DieCell{
+		Node:              node,
+		AreaMM2:           areaMM2,
+		Yield:             m.Yield,
+		MfgKg:             m.TotalKg(),
+		WastageKg:         m.WastageKg,
+		DesignKgTotal:     desTotal,
+		DesignKgAmortized: desAmort,
+	}
+	if s.IncludeNRE {
+		nre, err := mfg.AmortizedNREKg(node, vol, s.nreParams())
+		if err != nil {
+			return DieCell{}, err
+		}
+		cell.NREKg = nre
+	}
+	return cell, nil
+}
+
+// CommDesignShareKg returns the per-part design-carbon share of the
+// inter-die communication fabric (routers / PHYs) when the fabric's host
+// chiplet sits in nodeNm and the package holds chipletCount endpoints.
+// The fabric is synthesized once per system design and amortizes over
+// the system volume per Eq. (12).
+func (s *System) CommDesignShareKg(db *tech.DB, nodeNm, chipletCount int, h *Hooks) (float64, error) {
+	routerTr, err := routerTransistors(s.Packaging)
+	if err != nil {
+		return 0, err
+	}
+	gates := descarbon.GatesFromTransistors(routerTr * float64(chipletCount))
+	commKg, err := h.chipletKg(gates, db.MustGet(nodeNm), s.Design)
+	if err != nil {
+		return 0, err
+	}
+	return commKg / float64(s.volume()), nil
+}
+
+// Volume returns N_S, the system manufacturing volume (DefaultVolume
+// when unset) — the amortization base compiled sweep plans need.
+func (s *System) Volume() int { return s.volume() }

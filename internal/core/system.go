@@ -235,24 +235,7 @@ func (s *System) EvaluateWith(db *tech.DB, h *Hooks) (*Report, error) {
 // (each block at its own density), yield applies to the merged area, and
 // there is no packaging term.
 func (s *System) evaluateMonolith(db *tech.DB, h *Hooks) (*Report, error) {
-	node := db.MustGet(s.Chiplets[0].NodeNm)
-	var areaMM2, gates float64
-	for _, c := range s.Chiplets {
-		areaMM2 += node.Area(c.Type, c.Transistors)
-		if !c.Reused {
-			gates += descarbon.GatesFromTransistors(c.Transistors)
-		}
-	}
-	m, err := h.die(node, tech.Logic, areaMM2, s.Mfg)
-	if err != nil {
-		return nil, err
-	}
-	desTotal, err := h.chipletKg(gates, node, s.Design)
-	if err != nil {
-		return nil, err
-	}
-	vol := s.volume()
-	desAmort, err := descarbon.AmortizedKg(desTotal, vol)
+	cell, err := s.MonolithCell(db, s.Chiplets[0].NodeNm, h)
 	if err != nil {
 		return nil, err
 	}
@@ -261,23 +244,17 @@ func (s *System) evaluateMonolith(db *tech.DB, h *Hooks) (*Report, error) {
 		Chiplets: []ChipletReport{{
 			Name:              s.Name + "-monolith",
 			Type:              tech.Logic,
-			NodeNm:            node.Nm,
-			AreaMM2:           areaMM2,
-			Yield:             m.Yield,
-			MfgKg:             m.TotalKg(),
-			WastageKg:         m.WastageKg,
-			DesignKgTotal:     desTotal,
-			DesignKgAmortized: desAmort,
+			NodeNm:            cell.Node.Nm,
+			AreaMM2:           cell.AreaMM2,
+			Yield:             cell.Yield,
+			MfgKg:             cell.MfgKg,
+			WastageKg:         cell.WastageKg,
+			DesignKgTotal:     cell.DesignKgTotal,
+			DesignKgAmortized: cell.DesignKgAmortized,
 		}},
-		MfgKg:    m.TotalKg(),
-		DesignKg: desAmort,
-	}
-	if s.IncludeNRE {
-		nre, err := mfg.AmortizedNREKg(node, vol, s.nreParams())
-		if err != nil {
-			return nil, err
-		}
-		rep.NREKg = nre
+		MfgKg:    cell.MfgKg,
+		DesignKg: cell.DesignKgAmortized,
+		NREKg:    cell.NREKg,
 	}
 	return s.finish(rep)
 }
@@ -290,62 +267,37 @@ func (s *System) nreParams() mfg.NREParams {
 }
 
 // evaluateHI evaluates a multi-chiplet package: per-chiplet manufacturing
-// and design carbon plus the packaging/communication overheads.
+// and design carbon plus the packaging/communication overheads. The
+// per-chiplet work is one DieCell each (the unit compiled sweep plans
+// tabulate); this function owns only the accumulation order and the
+// whole-package terms.
 func (s *System) evaluateHI(db *tech.DB, h *Hooks) (*Report, error) {
 	rep := &Report{System: s.Name}
 
 	pkgChiplets := make([]pkgcarbon.Chiplet, len(s.Chiplets))
-	var commDesignGates float64
 	for i, c := range s.Chiplets {
-		node := db.MustGet(c.NodeNm)
-		areaMM2 := node.Area(c.Type, c.Transistors)
-		m, err := h.die(node, c.Type, areaMM2, s.Mfg)
+		cell, err := s.CellFor(db, c, c.NodeNm, h)
 		if err != nil {
-			return nil, fmt.Errorf("core: chiplet %q: %w", c.Name, err)
-		}
-		var desTotal, desAmort float64
-		if !c.Reused {
-			gates := descarbon.GatesFromTransistors(c.Transistors)
-			desTotal, err = h.chipletKg(gates, node, s.Design)
-			if err != nil {
-				return nil, err
-			}
-			parts := c.ManufacturedParts
-			if parts == 0 {
-				parts = DefaultVolume
-			}
-			desAmort, err = descarbon.AmortizedKg(desTotal, parts)
-			if err != nil {
-				return nil, err
-			}
+			return nil, err
 		}
 		rep.Chiplets = append(rep.Chiplets, ChipletReport{
 			Name:              c.Name,
 			Type:              c.Type,
-			NodeNm:            node.Nm,
-			AreaMM2:           areaMM2,
-			Yield:             m.Yield,
-			MfgKg:             m.TotalKg(),
-			WastageKg:         m.WastageKg,
-			DesignKgTotal:     desTotal,
-			DesignKgAmortized: desAmort,
+			NodeNm:            cell.Node.Nm,
+			AreaMM2:           cell.AreaMM2,
+			Yield:             cell.Yield,
+			MfgKg:             cell.MfgKg,
+			WastageKg:         cell.WastageKg,
+			DesignKgTotal:     cell.DesignKgTotal,
+			DesignKgAmortized: cell.DesignKgAmortized,
 		})
-		rep.MfgKg += m.TotalKg()
-		rep.DesignKg += desAmort
+		rep.MfgKg += cell.MfgKg
+		rep.DesignKg += cell.DesignKgAmortized
 		// Reused (pre-designed, silicon-proven) chiplets already have a
-		// mask set; like design carbon, their NRE share is zero.
-		if s.IncludeNRE && !c.Reused {
-			parts := c.ManufacturedParts
-			if parts == 0 {
-				parts = DefaultVolume
-			}
-			nre, err := mfg.AmortizedNREKg(node, parts, s.nreParams())
-			if err != nil {
-				return nil, err
-			}
-			rep.NREKg += nre
-		}
-		pkgChiplets[i] = pkgcarbon.Chiplet{Name: c.Name, AreaMM2: areaMM2, Node: node}
+		// mask set; like design carbon, their NRE share is zero in the
+		// cell.
+		rep.NREKg += cell.NREKg
+		pkgChiplets[i] = pkgcarbon.Chiplet{Name: c.Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
 	}
 
 	pkg, err := pkgcarbon.Estimate(pkgChiplets, s.Packaging)
@@ -359,17 +311,11 @@ func (s *System) evaluateHI(db *tech.DB, h *Hooks) (*Report, error) {
 	// Design carbon of the inter-die communication fabric (routers /
 	// PHYs), amortized over the system volume per Eq. (12). The fabric
 	// is synthesized once per system design.
-	routerTr, err := routerTransistors(s.Packaging)
+	share, err := s.CommDesignShareKg(db, s.Chiplets[0].NodeNm, len(s.Chiplets), h)
 	if err != nil {
 		return nil, err
 	}
-	commDesignGates = descarbon.GatesFromTransistors(routerTr * float64(len(s.Chiplets)))
-	commNode := db.MustGet(s.Chiplets[0].NodeNm)
-	commKg, err := h.chipletKg(commDesignGates, commNode, s.Design)
-	if err != nil {
-		return nil, err
-	}
-	rep.DesignKg += commKg / float64(s.volume())
+	rep.DesignKg += share
 
 	return s.finish(rep)
 }

@@ -94,17 +94,49 @@ func AssemblyUSD(archName string, packageAreaMM2 float64, numChiplets int, assem
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
+	a, err := NewAssembler(archName, numChiplets, p)
+	if err != nil {
+		return 0, err
+	}
+	return a.USD(packageAreaMM2, assemblyYield)
+}
+
+// Assembler prices assembly for one fixed (architecture, chiplet count)
+// pair with the parameters resolved and validated once at construction,
+// so a compiled sweep's hot loop pays only the Eq. arithmetic per point
+// instead of re-validating an unchanged Params and re-resolving the same
+// substrate-rate map entry. USD is bit-identical to AssemblyUSD.
+type Assembler struct {
+	rate        float64
+	bondUSD     float64
+	numChiplets int
+}
+
+// NewAssembler resolves the substrate rate for the architecture and
+// freezes the per-chiplet bond cost. Unlike AssemblyUSD it does NOT
+// validate p as a whole; callers construct it from an already-validated
+// parameter set.
+func NewAssembler(archName string, numChiplets int, p Params) (Assembler, error) {
 	rate, ok := p.SubstrateUSDPerCM2[archName]
 	if !ok {
-		return 0, fmt.Errorf("cost: no substrate cost for architecture %q", archName)
+		return Assembler{}, fmt.Errorf("cost: no substrate cost for architecture %q", archName)
 	}
-	if packageAreaMM2 < 0 || numChiplets < 1 {
-		return 0, fmt.Errorf("cost: invalid package area %g or chiplet count %d", packageAreaMM2, numChiplets)
+	if numChiplets < 1 {
+		return Assembler{}, fmt.Errorf("cost: invalid chiplet count %d", numChiplets)
+	}
+	return Assembler{rate: rate, bondUSD: p.BondUSDPerChiplet, numChiplets: numChiplets}, nil
+}
+
+// USD returns the assembly cost of one package of the given area and
+// assembly yield.
+func (a Assembler) USD(packageAreaMM2, assemblyYield float64) (float64, error) {
+	if packageAreaMM2 < 0 {
+		return 0, fmt.Errorf("cost: invalid package area %g or chiplet count %d", packageAreaMM2, a.numChiplets)
 	}
 	if assemblyYield <= 0 || assemblyYield > 1 {
 		return 0, fmt.Errorf("cost: assembly yield %g outside (0, 1]", assemblyYield)
 	}
-	return (rate*packageAreaMM2/100 + p.BondUSDPerChiplet*float64(numChiplets)) / assemblyYield, nil
+	return (a.rate*packageAreaMM2/100 + a.bondUSD*float64(a.numChiplets)) / assemblyYield, nil
 }
 
 // NREUSDPerPart returns the per-part share of mask-set NRE for a chiplet

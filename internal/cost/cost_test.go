@@ -185,3 +185,54 @@ func TestVolumeAmortizesNRE(t *testing.T) {
 		t.Error("die cost should be volume-independent in this model")
 	}
 }
+
+// The pre-validated Assembler must be bit-identical to AssemblyUSD.
+func TestAssemblerMatchesAssemblyUSD(t *testing.T) {
+	p := DefaultParams()
+	for _, arch := range []string{"RDL", "EMIB", "passive-interposer", "active-interposer", "3D", "monolithic"} {
+		for _, nc := range []int{1, 2, 5} {
+			a, err := NewAssembler(arch, nc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, area := range []float64{10, 123.456, 900} {
+				for _, y := range []float64{0.3, 0.75, 1} {
+					want, err := AssemblyUSD(arch, area, nc, y, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := a.USD(area, y)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Float64bits(want) != math.Float64bits(got) {
+						t.Errorf("%s nc=%d area=%g y=%g: Assembler %v != AssemblyUSD %v", arch, nc, area, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := NewAssembler("warp-core", 2, p); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+	if _, err := NewAssembler("RDL", 0, p); err == nil {
+		t.Error("zero chiplets should fail")
+	}
+	a, err := NewAssembler("RDL", 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.USD(-1, 0.9); err == nil {
+		t.Error("negative area should fail")
+	}
+	if _, err := a.USD(100, 0); err == nil {
+		t.Error("zero yield should fail")
+	}
+	if _, err := a.USD(100, 1.5); err == nil {
+		t.Error("yield above 1 should fail")
+	}
+}

@@ -17,6 +17,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,20 @@ type indexedErr struct {
 // (nil when caching is disabled) for forwarding to
 // core.System.EvaluateWith.
 func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int, h *core.Hooks) (T, error), opts ...Option) ([]T, error) {
+	return RunScratch(ctx, n,
+		func(h *core.Hooks) (*core.Hooks, error) { return h, nil },
+		func(ctx context.Context, i int, h *core.Hooks) (T, error) { return fn(ctx, i, h) },
+		opts...)
+}
+
+// RunScratch is Run for evaluators that carry per-worker scratch state —
+// reusable report buffers, packaging estimators, floorplan arenas — that
+// is too expensive to rebuild per point and must not be shared across
+// goroutines. newScratch runs once on each worker goroutine before it
+// claims work, receiving the run's memo hooks (nil when caching is
+// disabled) so the scratch can capture them; fn then receives the
+// worker's scratch for every point it evaluates.
+func RunScratch[T, S any](ctx context.Context, n int, newScratch func(h *core.Hooks) (S, error), fn func(ctx context.Context, i int, scratch S) (T, error), opts ...Option) ([]T, error) {
 	o := buildOptions(opts)
 	results := make([]T, n)
 	if n == 0 {
@@ -119,38 +134,20 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int, 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var (
-		next     atomic.Int64 // next unclaimed index
-		mu       sync.Mutex   // guards firstErr and progress
-		firstErr *indexedErr
-		done     int
-		wg       sync.WaitGroup
-	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		if firstErr == nil || i < firstErr.index {
-			firstErr = &indexedErr{i, err}
-		}
-		mu.Unlock()
-		cancel()
-	}
-	step := func() {
-		if o.progress == nil {
-			return
-		}
-		// The callback runs under the mutex so invocations are
-		// serialized and done is strictly increasing, as WithProgress
-		// promises.
-		mu.Lock()
-		done++
-		o.progress(done, n)
-		mu.Unlock()
-	}
+	pool := newPool(cancel, o.progress, n)
+	var next atomic.Int64 // next unclaimed index
 
-	wg.Add(workers)
+	pool.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			defer wg.Done()
+			defer pool.wg.Done()
+			scratch, err := newScratch(h)
+			if err != nil {
+				// A scratch failure poisons the whole run: report it
+				// ahead of any task error.
+				pool.fail(-1, err)
+				return
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -159,25 +156,110 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int, 
 				if err := ctx.Err(); err != nil {
 					return
 				}
-				res, err := fn(ctx, i, h)
+				res, err := fn(ctx, i, scratch)
 				if err != nil {
-					fail(i, err)
+					pool.fail(i, err)
 					return
 				}
 				results[i] = res
-				step()
+				pool.step()
 			}
 		}()
 	}
-	wg.Wait()
+	pool.wg.Wait()
 
-	if firstErr != nil {
-		return nil, firstErr.err
-	}
-	if err := ctx.Err(); err != nil {
+	if err := pool.err(ctx); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// RunBlocks partitions [0, n) into one contiguous block per worker and
+// invokes fn once per block. It exists for evaluators whose cost
+// structure rewards locality — a Gray-code sweep walk is cheap only
+// while successive indices stay adjacent, which per-index work stealing
+// would destroy. fn must call tick() once per completed point (it feeds
+// the WithProgress callback) and should poll ctx between points. A
+// block error cancels the run; the error of the lowest-starting failed
+// block wins, and fn returns of the cancellation cause itself (the
+// derived ctx's Err) are not recorded as failures.
+func RunBlocks(ctx context.Context, n int, fn func(ctx context.Context, lo, hi int, tick func()) error, opts ...Option) error {
+	o := buildOptions(opts)
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := o.workerCount(n)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	pool := newPool(cancel, o.progress, n)
+	pool.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func() {
+			defer pool.wg.Done()
+			if err := fn(ctx, lo, hi, pool.step); err != nil {
+				// Only this run's own cancellation is benign to swallow
+				// (another block already failed, or the parent was
+				// cancelled — pool.err reports the cause). An error that
+				// merely wraps a context sentinel from elsewhere (e.g. an
+				// evaluator's inner timeout) must still fail the run, or
+				// it would return success with unfilled result slots.
+				if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+					return
+				}
+				pool.fail(lo, err)
+			}
+		}()
+	}
+	pool.wg.Wait()
+	return pool.err(ctx)
+}
+
+// pool is the shared bookkeeping of one batch run: fail-fast error
+// selection and serialized progress.
+type pool struct {
+	cancel   context.CancelFunc
+	progress func(done, total int)
+	total    int
+
+	mu       sync.Mutex // guards firstErr and done
+	firstErr *indexedErr
+	done     int
+	wg       sync.WaitGroup
+}
+
+func newPool(cancel context.CancelFunc, progress func(done, total int), total int) *pool {
+	return &pool{cancel: cancel, progress: progress, total: total}
+}
+
+func (p *pool) fail(i int, err error) {
+	p.mu.Lock()
+	if p.firstErr == nil || i < p.firstErr.index {
+		p.firstErr = &indexedErr{i, err}
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+func (p *pool) step() {
+	if p.progress == nil {
+		return
+	}
+	// The callback runs under the mutex so invocations are serialized
+	// and done is strictly increasing, as WithProgress promises.
+	p.mu.Lock()
+	p.done++
+	p.progress(p.done, p.total)
+	p.mu.Unlock()
+}
+
+func (p *pool) err(ctx context.Context) error {
+	if p.firstErr != nil {
+		return p.firstErr.err
+	}
+	return ctx.Err()
 }
 
 // EvaluateBatch evaluates every system against the database across the

@@ -81,7 +81,7 @@ func ExtPareto(db *tech.DB) (*report.Table, error) {
 	}
 	front := explore.ParetoFront(points, explore.ByEmbodied, explore.ByCost)
 	for _, p := range front {
-		t.AddRow(p.Label, report.F(p.EmbodiedKg), report.F(p.CostUSD), report.F(p.PackageAreaMM2))
+		t.AddRow(p.Label(), report.F(p.EmbodiedKg), report.F(p.CostUSD), report.F(p.PackageAreaMM2))
 	}
 	return t, nil
 }

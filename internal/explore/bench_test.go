@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"testing"
 
 	"ecochip/internal/cost"
@@ -13,6 +14,34 @@ func BenchmarkNodeSweep27(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NodeSweep(base, db(), []int{7, 10, 14}, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNodeSweepReference27 is the same sweep on the uncompiled
+// per-point path (the PR 1 engine baseline).
+func BenchmarkNodeSweepReference27(b *testing.B) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	cp := cost.DefaultParams()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NodeSweepReference(ctx, base, db(), []int{7, 10, 14}, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile isolates the one-time plan construction cost the
+// compiled sweep amortizes over its points.
+func BenchmarkCompile(b *testing.B) {
+	base := testcases.GA102(db(), 7, 14, 10, false)
+	cp := cost.DefaultParams()
+	d := db()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(base, d, []int{7, 10, 14, 22, 28}, cp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -31,10 +31,10 @@ func TestNodeSweepEnumerates(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, p := range points {
-		if seen[p.Label] {
-			t.Errorf("duplicate point %s", p.Label)
+		if seen[p.Label()] {
+			t.Errorf("duplicate point %s", p.Label())
 		}
-		seen[p.Label] = true
+		seen[p.Label()] = true
 		if p.EmbodiedKg <= 0 || p.TotalKg <= p.EmbodiedKg || p.CostUSD <= 0 || p.PackageAreaMM2 <= 0 {
 			t.Errorf("implausible point %+v", p)
 		}
@@ -65,8 +65,8 @@ func TestNodeSweepErrors(t *testing.T) {
 func TestBestMatchesPaper(t *testing.T) {
 	points := sweep(t)
 	best := Best(points, ByEmbodied)
-	if best.Label != "[7 14 10]" {
-		t.Errorf("best embodied point = %s, want [7 14 10]", best.Label)
+	if best.Label() != "[7 14 10]" {
+		t.Errorf("best embodied point = %s, want [7 14 10]", best.Label())
 	}
 }
 
@@ -88,12 +88,12 @@ func TestParetoFrontProperties(t *testing.T) {
 	// No point in the front is dominated by any sweep point.
 	for _, p := range front {
 		for _, q := range points {
-			if q.Label == p.Label {
+			if q.Label() == p.Label() {
 				continue
 			}
 			if q.EmbodiedKg <= p.EmbodiedKg && q.CostUSD <= p.CostUSD &&
 				(q.EmbodiedKg < p.EmbodiedKg || q.CostUSD < p.CostUSD) {
-				t.Errorf("front point %s is dominated by %s", p.Label, q.Label)
+				t.Errorf("front point %s is dominated by %s", p.Label(), q.Label())
 			}
 		}
 	}
@@ -108,10 +108,10 @@ func TestParetoFrontProperties(t *testing.T) {
 	bestCost := Best(points, ByCost)
 	var foundEmb, foundCost bool
 	for _, p := range front {
-		if p.Label == bestEmb.Label {
+		if p.Label() == bestEmb.Label() {
 			foundEmb = true
 		}
-		if p.Label == bestCost.Label {
+		if p.Label() == bestCost.Label() {
 			foundCost = true
 		}
 	}
@@ -127,7 +127,7 @@ func TestParetoSingleObjective(t *testing.T) {
 	best := Best(points, ByTotal)
 	for _, p := range front {
 		if p.TotalKg != best.TotalKg {
-			t.Errorf("single-objective front contains non-minimal point %s", p.Label)
+			t.Errorf("single-objective front contains non-minimal point %s", p.Label())
 		}
 	}
 }
@@ -145,8 +145,8 @@ func TestByAreaMetric(t *testing.T) {
 	points := sweep(t)
 	best := Best(points, ByArea)
 	// All-advanced nodes minimize area.
-	if best.Label != "[7 7 7]" {
-		t.Errorf("smallest-area point = %s, want [7 7 7]", best.Label)
+	if best.Label() != "[7 7 7]" {
+		t.Errorf("smallest-area point = %s, want [7 7 7]", best.Label())
 	}
 }
 
@@ -179,7 +179,6 @@ func nodeSweepSerialReference(base *core.System, d *tech.DB, nodes []int, cp cos
 				area = rep.Packaging.PackageAreaMM2
 			}
 			points = append(points, Point{
-				Label:          fmt.Sprint(picked),
 				Nodes:          picked,
 				EmbodiedKg:     rep.EmbodiedKg(),
 				TotalKg:        rep.TotalKg(),
@@ -223,7 +222,7 @@ func TestNodeSweepMatchesSerialReference(t *testing.T) {
 			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
 		}
 		for i := range want {
-			if got[i].Label != want[i].Label ||
+			if got[i].Label() != want[i].Label() ||
 				got[i].EmbodiedKg != want[i].EmbodiedKg ||
 				got[i].TotalKg != want[i].TotalKg ||
 				got[i].CostUSD != want[i].CostUSD ||
@@ -270,7 +269,7 @@ func generalScan(points []Point, objectives ...Metric) map[string]bool {
 			}
 		}
 		if !dominated {
-			kept[fmt.Sprintf("%s|%g|%g", p.Label, objectives[0](p), objectives[1](p))] = true
+			kept[fmt.Sprintf("%s|%g|%g", p.Label(), objectives[0](p), objectives[1](p))] = true
 		}
 	}
 	return kept
@@ -282,9 +281,9 @@ func TestSkylineMatchesGeneralScan(t *testing.T) {
 	// equal-y tie chain.
 	points = append(points, points[0], points[3])
 	points = append(points,
-		Point{Label: "tie-a", EmbodiedKg: points[1].EmbodiedKg, CostUSD: points[1].CostUSD / 2},
-		Point{Label: "tie-b", EmbodiedKg: points[1].EmbodiedKg, CostUSD: points[1].CostUSD / 2},
-		Point{Label: "tie-c", EmbodiedKg: points[1].EmbodiedKg * 2, CostUSD: points[1].CostUSD / 2},
+		Point{Nodes: []int{901}, EmbodiedKg: points[1].EmbodiedKg, CostUSD: points[1].CostUSD / 2},
+		Point{Nodes: []int{902}, EmbodiedKg: points[1].EmbodiedKg, CostUSD: points[1].CostUSD / 2},
+		Point{Nodes: []int{903}, EmbodiedKg: points[1].EmbodiedKg * 2, CostUSD: points[1].CostUSD / 2},
 	)
 	front := ParetoFront(points, ByEmbodied, ByCost)
 	want := generalScan(points, ByEmbodied, ByCost)
@@ -293,7 +292,7 @@ func TestSkylineMatchesGeneralScan(t *testing.T) {
 	}
 	got := map[string]bool{}
 	for i, p := range front {
-		got[fmt.Sprintf("%s|%g|%g", p.Label, p.EmbodiedKg, p.CostUSD)] = true
+		got[fmt.Sprintf("%s|%g|%g", p.Label(), p.EmbodiedKg, p.CostUSD)] = true
 		if i > 0 && front[i].EmbodiedKg < front[i-1].EmbodiedKg {
 			t.Error("skyline front not sorted by first objective")
 		}

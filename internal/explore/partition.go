@@ -8,6 +8,7 @@ import (
 
 	"ecochip/internal/core"
 	"ecochip/internal/engine"
+	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
 )
 
@@ -70,17 +71,34 @@ func Disaggregate(base *core.System, db *tech.DB) (*Plan, error) {
 }
 
 // mergeCandidate is one (i, j) pairwise merge considered in a greedy
-// step, with its evaluated system and embodied carbon.
+// step, with its evaluated embodied carbon.
 type mergeCandidate struct {
 	i, j int
-	sys  *core.System
 	kg   float64
+}
+
+// candScratch is one worker's reusable state for candidate evaluation:
+// the run's memo hooks, a packaging estimator (floorplan scratch +
+// validated params) and the packaging descriptor buffer.
+type candScratch struct {
+	h     *core.Hooks
+	est   *pkgcarbon.Estimator
+	pkgCh []pkgcarbon.Chiplet
 }
 
 // DisaggregateCtx is Disaggregate with cancellation and engine options.
 // Each greedy step evaluates all O(n^2) candidate merges through the
 // batch engine; one memo cache is shared across all steps because
 // successive steps re-price mostly unchanged die sets.
+//
+// Candidates are evaluated on the DieCell compile seam rather than
+// through full System evaluations: the cells of the n unchanged chiplets
+// are computed once per step, so each candidate pays only for its merged
+// die, an in-order reduction of the cell table, and a scratch-backed
+// packaging estimate — no clone, no re-validation, no report
+// allocation. The greedy trajectory is bit-identical to the evaluate-
+// per-candidate implementation because both reduce the same cells in
+// the same order (guarded by the equivalence test).
 func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts ...engine.Option) (*Plan, error) {
 	if err := base.Validate(db); err != nil {
 		return nil, err
@@ -89,8 +107,11 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 		return nil, fmt.Errorf("explore: disaggregation needs a chiplet-form system, not a monolith")
 	}
 	// Share one cache across every step unless the caller provided their
-	// own engine configuration.
-	opts = append([]engine.Option{engine.WithCache(engine.NewCache())}, opts...)
+	// own engine configuration. The same cache backs the per-step cell
+	// tables so steps re-price mostly warm dies.
+	cache := engine.NewCache()
+	hooks := cache.Hooks()
+	opts = append([]engine.Option{engine.WithCache(cache)}, opts...)
 
 	current := cloneSystem(base)
 	groups := make([][]string, len(current.Chiplets))
@@ -113,14 +134,30 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 				}
 			}
 		}
-		evaluated, err := engine.Run(ctx, len(pairs), func(_ context.Context, k int, h *core.Hooks) (mergeCandidate, error) {
+		// The unchanged-chiplet cells of this step, shared by every
+		// candidate.
+		stepCells := make([]core.DieCell, len(current.Chiplets))
+		for i, c := range current.Chiplets {
+			cell, err := current.CellFor(db, c, c.NodeNm, hooks)
+			if err != nil {
+				return nil, err
+			}
+			stepCells[i] = cell
+		}
+		newScratch := func(h *core.Hooks) (*candScratch, error) {
+			est, err := pkgcarbon.NewEstimator(current.Packaging)
+			if err != nil {
+				return nil, err
+			}
+			return &candScratch{h: h, est: est, pkgCh: make([]pkgcarbon.Chiplet, 0, len(current.Chiplets))}, nil
+		}
+		evaluated, err := engine.RunScratch(ctx, len(pairs), newScratch, func(_ context.Context, k int, sc *candScratch) (mergeCandidate, error) {
 			c := pairs[k]
-			c.sys = applyMerge(current, c.i, c.j)
-			rep, err := c.sys.EvaluateWith(db, h)
+			kg, err := evalMergeCandidate(current, db, stepCells, c.i, c.j, sc)
 			if err != nil {
 				return mergeCandidate{}, err
 			}
-			c.kg = rep.EmbodiedKg()
+			c.kg = kg
 			return c, nil
 		}, opts...)
 		if err != nil {
@@ -131,10 +168,9 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 		// only a strictly lower carbon displaces the incumbent.
 		bestKg := currentKg
 		bestI, bestJ := -1, -1
-		var bestSys *core.System
 		for _, c := range evaluated {
 			if c.kg < bestKg {
-				bestKg, bestI, bestJ, bestSys = c.kg, c.i, c.j, c.sys
+				bestKg, bestI, bestJ = c.kg, c.i, c.j
 			}
 		}
 		if bestI < 0 {
@@ -148,7 +184,7 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 			}
 		}
 		groups = append(nextGroups, mergedGroup)
-		current, currentKg = bestSys, bestKg
+		current, currentKg = applyMerge(current, bestI, bestJ), bestKg
 		steps++
 	}
 
@@ -165,6 +201,60 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 		InitialKg:  initialKg,
 		Steps:      steps,
 	}, nil
+}
+
+// evalMergeCandidate returns the embodied carbon of s with chiplets i
+// and j merged (i < j), without materializing the candidate system. The
+// candidate's chiplet order is that of applyMerge — survivors in order,
+// the merged die last — and the reduction follows evaluateHI's
+// accumulation order exactly, so the result is bit-identical to
+// applyMerge(s, i, j).EvaluateWith(db, h).EmbodiedKg().
+func evalMergeCandidate(s *core.System, db *tech.DB, stepCells []core.DieCell, i, j int, sc *candScratch) (float64, error) {
+	if len(s.Chiplets) == 2 {
+		// The final merge collapses to a single die, which evaluates
+		// down the monolith path; take the reference route for it.
+		rep, err := applyMerge(s, i, j).EvaluateWith(db, sc.h)
+		if err != nil {
+			return 0, err
+		}
+		return rep.EmbodiedKg(), nil
+	}
+	merged := merge(s.Chiplets[i], s.Chiplets[j])
+	mergedCell, err := s.CellFor(db, merged, merged.NodeNm, sc.h)
+	if err != nil {
+		return 0, err
+	}
+
+	var mfgKg, desKg, nreKg float64
+	sc.pkgCh = sc.pkgCh[:0]
+	firstNodeNm := -1
+	for k, cell := range stepCells {
+		if k == i || k == j {
+			continue
+		}
+		mfgKg += cell.MfgKg
+		desKg += cell.DesignKgAmortized
+		nreKg += cell.NREKg
+		sc.pkgCh = append(sc.pkgCh, pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: cell.AreaMM2, Node: cell.Node})
+		if firstNodeNm < 0 {
+			firstNodeNm = s.Chiplets[k].NodeNm
+		}
+	}
+	mfgKg += mergedCell.MfgKg
+	desKg += mergedCell.DesignKgAmortized
+	nreKg += mergedCell.NREKg
+	sc.pkgCh = append(sc.pkgCh, pkgcarbon.Chiplet{Name: merged.Name, AreaMM2: mergedCell.AreaMM2, Node: mergedCell.Node})
+
+	pkg, err := sc.est.Estimate(sc.pkgCh)
+	if err != nil {
+		return 0, err
+	}
+	share, err := s.CommDesignShareKg(db, firstNodeNm, len(sc.pkgCh), sc.h)
+	if err != nil {
+		return 0, err
+	}
+	desKg += share
+	return mfgKg + desKg + pkg.TotalKg() + nreKg, nil
 }
 
 // applyMerge returns a copy of s with chiplets i and j merged (i < j).

@@ -1,0 +1,405 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/engine"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// This file implements compiled sweep plans: the "compile once, stream
+// cheap per-point deltas" evaluation of a full-factorial node sweep.
+//
+// Compile validates the base system once and precomputes a dense
+// nc × len(nodes) table of per-(chiplet, node) invariants — area,
+// manufacturing result, design carbon, NRE share, die dollar cost — so
+// the hot loop replaces per-point cloning, re-validation, mutex-guarded
+// memo lookups and sub-model calls with array indexing. Combinations are
+// then enumerated in mixed-radix reflected Gray-code order, so
+// successive points differ in exactly one chiplet: each step refreshes
+// only the changed chiplet's scratch state (its packaging descriptor and
+// table row), and the result is written into the point's mixed-radix
+// output slot so the point order is identical to the historical
+// recursive walk.
+//
+// One deliberate deviation from a textbook incremental evaluator: the
+// per-point metric totals are NOT maintained as running sums patched by
+// "new − old" deltas. Floating-point addition is not associative, so a
+// patched running sum drifts from the in-order sum the uncompiled path
+// computes, and the contract here is bit-identical output (guarded by
+// the randomized equivalence test). Instead each point re-reduces its
+// nc table cells in chiplet order — an O(nc) handful of adds that is
+// noise next to the per-point floorplan — which preserves exact float
+// parity while the Gray walk keeps every other per-point cost flat.
+
+// ErrNoFastPath reports that a system cannot be compiled into a dense
+// sweep plan and callers should fall back to the per-point reference
+// path. Today this only covers multi-chiplet monolithic bases, whose
+// sweeps are degenerate (every mixed-node combination fails validation).
+var ErrNoFastPath = errors.New("explore: system has no compiled fast path")
+
+// SweepStats counts the work a compiled plan performed; the CLI surfaces
+// it under -progress next to the engine cache statistics.
+type SweepStats struct {
+	// Points is the number of design points evaluated from the table.
+	Points uint64
+	// BlockInits is the number of Gray walks started (one per worker
+	// block): points whose full scratch state was built from scratch.
+	BlockInits uint64
+	// GraySteps is the number of incremental single-chiplet steps; all
+	// other scratch state was reused from the previous point.
+	GraySteps uint64
+	// TableCells is the size of the precomputed die table.
+	TableCells int
+}
+
+// CompiledPlan is a compiled node sweep: the dense per-(chiplet, node)
+// invariant table plus everything point evaluation needs. Compile it
+// once, run it any number of times; a plan is immutable after Compile
+// and safe for concurrent use.
+type CompiledPlan struct {
+	base  *core.System
+	db    *tech.DB
+	nodes []int
+	nc    int // chiplets in the base system
+	r     int // candidate nodes (the mixed radix)
+
+	combos int
+	weight []int // weight[i] = r^(nc-1-i): chiplet 0 is the most significant digit
+
+	// monolith selects the single-die evaluation path (single-chiplet or
+	// monolithic bases): no packaging, no communication fabric.
+	monolith bool
+
+	// The dense tables. cells and dieUSD are indexed [chiplet][node];
+	// monolith plans hold one row of merged-die cells. nreUSD and
+	// commShare depend only on the node (and for commShare, the fixed
+	// chiplet count), so they are single rows.
+	cells     [][]core.DieCell
+	dieUSD    [][]float64
+	nreUSD    []float64
+	commShare []float64 // nil for monolith plans
+
+	asm   cost.Assembler
+	hasOp bool
+	names []string // chiplet names for packaging descriptors
+
+	points, blockInits, graySteps atomic.Uint64
+}
+
+// Compile builds the sweep plan for evaluating base under every
+// combination of the candidate nodes. It performs every node-independent
+// computation and every per-(chiplet, node) sub-model call exactly once;
+// errors any point of the sweep would hit (invalid base description,
+// unsupported candidate node, sub-model domain violations, missing cost
+// table entries) surface here instead of mid-sweep.
+func Compile(base *core.System, db *tech.DB, nodes []int, cp cost.Params) (*CompiledPlan, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("explore: no candidate nodes")
+	}
+	nc := len(base.Chiplets)
+	combos, err := comboCount(len(nodes), nc)
+	if err != nil {
+		return nil, err
+	}
+	if err := base.Validate(db); err != nil {
+		return nil, err
+	}
+	if base.Monolithic && nc > 1 {
+		return nil, ErrNoFastPath
+	}
+	for _, nm := range nodes {
+		if !db.Has(nm) {
+			return nil, fmt.Errorf("explore: candidate node %dnm is not in the technology database", nm)
+		}
+	}
+
+	p := &CompiledPlan{
+		base:     base,
+		db:       db,
+		nodes:    append([]int(nil), nodes...),
+		nc:       nc,
+		r:        len(nodes),
+		combos:   combos,
+		monolith: base.Monolithic || nc == 1,
+		hasOp:    base.Operation != nil,
+		nreUSD:   make([]float64, len(nodes)),
+	}
+	p.weight = make([]int, nc)
+	w := 1
+	for i := nc - 1; i >= 0; i-- {
+		p.weight[i] = w
+		w *= p.r
+	}
+
+	vol := base.Volume()
+	rows := nc
+	archName := base.Packaging.Arch.String()
+	if p.monolith {
+		rows = 1
+		archName = "monolithic"
+	}
+	p.cells = make([][]core.DieCell, rows)
+	p.dieUSD = make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		p.cells[i] = make([]core.DieCell, p.r)
+		p.dieUSD[i] = make([]float64, p.r)
+		for j, nm := range nodes {
+			var cell core.DieCell
+			if p.monolith {
+				cell, err = base.MonolithCell(db, nm, nil)
+			} else {
+				cell, err = base.CellFor(db, base.Chiplets[i], nm, nil)
+			}
+			if err != nil {
+				return nil, err
+			}
+			p.cells[i][j] = cell
+			usd, err := cost.DieUSD(cell.Node, cell.AreaMM2, cp)
+			if err != nil {
+				return nil, err
+			}
+			p.dieUSD[i][j] = usd
+		}
+	}
+	for j, nm := range nodes {
+		usd, err := cost.NREUSDPerPart(db.MustGet(nm), vol, cp)
+		if err != nil {
+			return nil, err
+		}
+		p.nreUSD[j] = usd
+	}
+	if !p.monolith {
+		p.commShare = make([]float64, p.r)
+		for j, nm := range nodes {
+			share, err := base.CommDesignShareKg(db, nm, nc, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.commShare[j] = share
+		}
+		p.names = make([]string, nc)
+		for i, c := range base.Chiplets {
+			p.names[i] = c.Name
+		}
+	}
+	// rows is the die count of every point: nc chiplets, or one merged
+	// die for monolith plans — exactly what assembly charges per.
+	p.asm, err = cost.NewAssembler(archName, rows, cp)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Combos returns the number of design points the plan enumerates.
+func (p *CompiledPlan) Combos() int { return p.combos }
+
+// Nodes returns the candidate node list the plan was compiled for.
+func (p *CompiledPlan) Nodes() []int { return append([]int(nil), p.nodes...) }
+
+// Stats snapshots the plan's work counters (cumulative across runs).
+func (p *CompiledPlan) Stats() SweepStats {
+	return SweepStats{
+		Points:     p.points.Load(),
+		BlockInits: p.blockInits.Load(),
+		GraySteps:  p.graySteps.Load(),
+		TableCells: len(p.cells) * p.r,
+	}
+}
+
+// Run evaluates every point of the plan with default engine options.
+func (p *CompiledPlan) Run() ([]Point, error) {
+	return p.RunCtx(context.Background())
+}
+
+// RunCtx evaluates every point of the plan: workers walk contiguous
+// Gray-code blocks of the combination sequence and write each point into
+// its mixed-radix slot, so the output order (and every float in it) is
+// identical to NodeSweepReference at any worker count.
+func (p *CompiledPlan) RunCtx(ctx context.Context, opts ...engine.Option) ([]Point, error) {
+	results := make([]Point, p.combos)
+	err := engine.RunBlocks(ctx, p.combos, func(ctx context.Context, lo, hi int, tick func()) error {
+		return p.runBlock(ctx, lo, hi, results, tick)
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ParetoFrontCtx runs the plan and reduces the sweep to its Pareto front
+// under the given objectives, returning the front and the total number
+// of evaluated points.
+func (p *CompiledPlan) ParetoFrontCtx(ctx context.Context, objectives []Metric, opts ...engine.Option) ([]Point, int, error) {
+	points, err := p.RunCtx(ctx, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ParetoFront(points, objectives...), len(points), nil
+}
+
+// blockScratch is one worker's reusable per-point state.
+type blockScratch struct {
+	digits []int // current Gray digits (indices into plan.nodes)
+	next   []int // decode buffer for the following index
+	pkgCh  []pkgcarbon.Chiplet
+	est    *pkgcarbon.Estimator
+
+	// Last-value memo for the operational term: its input (router power)
+	// is constant across the whole sweep for RDL/EMIB/monolith/active-
+	// interposer systems and piecewise-constant otherwise.
+	opValid          bool
+	lastPowerW, opKg float64
+}
+
+// runBlock walks the Gray-code segment [lo, hi) of the combination
+// sequence.
+func (p *CompiledPlan) runBlock(ctx context.Context, lo, hi int, results []Point, tick func()) error {
+	sc := &blockScratch{
+		digits: make([]int, p.nc),
+		next:   make([]int, p.nc),
+	}
+	if !p.monolith {
+		est, err := pkgcarbon.NewEstimator(p.base.Packaging)
+		if err != nil {
+			return err
+		}
+		sc.est = est
+		sc.pkgCh = make([]pkgcarbon.Chiplet, p.nc)
+	}
+
+	p.grayDigits(lo, sc.digits)
+	out := 0
+	for i, d := range sc.digits {
+		out += d * p.weight[i]
+		if !p.monolith {
+			cell := &p.cells[i][d]
+			sc.pkgCh[i] = pkgcarbon.Chiplet{Name: p.names[i], AreaMM2: cell.AreaMM2, Node: cell.Node}
+		}
+	}
+	p.blockInits.Add(1)
+	steps := uint64(0)
+
+	for k := lo; k < hi; k++ {
+		if k > lo {
+			// Successive Gray codes differ in exactly one digit: refresh
+			// only that chiplet's scratch state and output weight.
+			p.grayDigits(k, sc.next)
+			for i := range sc.next {
+				if d := sc.next[i]; d != sc.digits[i] {
+					out += (d - sc.digits[i]) * p.weight[i]
+					sc.digits[i] = d
+					if !p.monolith {
+						cell := &p.cells[i][d]
+						sc.pkgCh[i].AreaMM2, sc.pkgCh[i].Node = cell.AreaMM2, cell.Node
+					}
+					break
+				}
+			}
+			steps++
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pt, err := p.evalPoint(sc)
+		if err != nil {
+			return err
+		}
+		results[out] = pt
+		tick()
+	}
+	p.graySteps.Add(steps)
+	p.points.Add(uint64(hi - lo))
+	return nil
+}
+
+// evalPoint assembles one design point from the table. Per-chiplet
+// contributions are reduced in chiplet order (see the file comment on
+// why the totals are not running sums), whole-package terms come from
+// the scratch estimator, and the only allocation is the point's Nodes
+// slice.
+func (p *CompiledPlan) evalPoint(sc *blockScratch) (Point, error) {
+	var mfgKg, desKg, nreKg, diesUSD, nreUSD float64
+	for i, d := range sc.digits {
+		cell := &p.cells[i][d]
+		mfgKg += cell.MfgKg
+		desKg += cell.DesignKgAmortized
+		nreKg += cell.NREKg
+		diesUSD += p.dieUSD[i][d]
+		nreUSD += p.nreUSD[d]
+	}
+
+	var hiKg, area, powerW float64
+	assemblyYield := 1.0
+	if p.monolith {
+		area = p.cells[0][sc.digits[0]].AreaMM2
+	} else {
+		pkg, err := sc.est.Estimate(sc.pkgCh)
+		if err != nil {
+			return Point{}, err
+		}
+		desKg += p.commShare[sc.digits[0]]
+		hiKg = pkg.TotalKg()
+		area = pkg.PackageAreaMM2
+		assemblyYield = pkg.AssemblyYield
+		powerW = pkg.RouterTotalPowerW
+	}
+
+	var opKg float64
+	if p.hasOp {
+		if sc.opValid && sc.lastPowerW == powerW {
+			opKg = sc.opKg
+		} else {
+			v, err := p.base.Operation.LifetimeKg(powerW)
+			if err != nil {
+				return Point{}, err
+			}
+			sc.lastPowerW, sc.opKg, sc.opValid = powerW, v, true
+			opKg = v
+		}
+	}
+
+	asmUSD, err := p.asm.USD(area, assemblyYield)
+	if err != nil {
+		return Point{}, err
+	}
+
+	picked := make([]int, p.nc)
+	for i, d := range sc.digits {
+		picked[i] = p.nodes[d]
+	}
+	embodied := mfgKg + desKg + hiKg + nreKg
+	return Point{
+		Nodes:          picked,
+		EmbodiedKg:     embodied,
+		TotalKg:        embodied + opKg,
+		CostUSD:        diesUSD + asmUSD + nreUSD,
+		PackageAreaMM2: area,
+	}, nil
+}
+
+// grayDigits writes the reflected mixed-radix Gray code of sequence
+// index k into digits (most significant digit first, uniform radix r).
+// Digit i runs its 0..r-1 sweep forward or reflected depending on the
+// parity of the standard mixed-radix value of the digits above it, which
+// makes consecutive codes differ in exactly one digit by ±1 while the
+// map from k to codes stays a bijection onto the full factorial space.
+func (p *CompiledPlan) grayDigits(k int, digits []int) {
+	b := 0 // standard value of the more significant digits (parity is what matters)
+	for i := 0; i < p.nc; i++ {
+		a := k / p.weight[i] % p.r
+		if b%2 == 0 {
+			digits[i] = a
+		} else {
+			digits[i] = p.r - 1 - a
+		}
+		b = b*p.r + a
+	}
+}

@@ -1,0 +1,453 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/engine"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+// --- Gray-code enumeration properties ---------------------------------
+
+func TestGrayDigitsProperties(t *testing.T) {
+	for _, tc := range []struct{ nc, r int }{
+		{1, 2}, {1, 5}, {2, 3}, {3, 2}, {3, 5}, {4, 3}, {5, 2},
+	} {
+		p := &CompiledPlan{nc: tc.nc, r: tc.r}
+		p.weight = make([]int, tc.nc)
+		w := 1
+		for i := tc.nc - 1; i >= 0; i-- {
+			p.weight[i] = w
+			w *= tc.r
+		}
+		combos := w
+
+		seen := make(map[int]bool, combos)
+		prev := make([]int, tc.nc)
+		digits := make([]int, tc.nc)
+		for k := 0; k < combos; k++ {
+			p.grayDigits(k, digits)
+			// Every digit in range.
+			idx := 0
+			for i, d := range digits {
+				if d < 0 || d >= tc.r {
+					t.Fatalf("nc=%d r=%d k=%d: digit %d out of range: %v", tc.nc, tc.r, k, i, digits)
+				}
+				idx += d * p.weight[i]
+			}
+			// Bijection onto the full factorial space.
+			if seen[idx] {
+				t.Fatalf("nc=%d r=%d k=%d: index %d visited twice", tc.nc, tc.r, k, idx)
+			}
+			seen[idx] = true
+			// Consecutive codes differ in exactly one digit by ±1.
+			if k > 0 {
+				changed := 0
+				for i := range digits {
+					if digits[i] != prev[i] {
+						changed++
+						if d := digits[i] - prev[i]; d != 1 && d != -1 {
+							t.Fatalf("nc=%d r=%d k=%d: digit %d stepped by %d", tc.nc, tc.r, k, i, d)
+						}
+					}
+				}
+				if changed != 1 {
+					t.Fatalf("nc=%d r=%d k=%d: %d digits changed (want 1): %v -> %v", tc.nc, tc.r, k, changed, prev, digits)
+				}
+			}
+			copy(prev, digits)
+		}
+		if len(seen) != combos {
+			t.Fatalf("nc=%d r=%d: visited %d of %d combos", tc.nc, tc.r, len(seen), combos)
+		}
+	}
+}
+
+// --- randomized compiled-vs-reference byte identity -------------------
+
+// maskNodes are candidate nodes present in both the technology database
+// and the default cost model's mask-set table.
+var maskNodes = []int{7, 10, 14, 22, 28, 40, 65}
+
+// randomSystem builds a random but structurally valid multi- or
+// single-chiplet system spanning the model's feature space: packaging
+// archetypes, reuse flags, per-chiplet volumes, the NRE extension, and
+// operational specs.
+func randomSystem(rng *rand.Rand, db *tech.DB) *core.System {
+	ref := db.MustGet(7)
+	nc := 1 + rng.Intn(4)
+	types := []tech.DesignType{tech.Logic, tech.Memory, tech.Analog}
+	chiplets := make([]core.Chiplet, nc)
+	for i := range chiplets {
+		c := core.BlockFromArea(
+			fmt.Sprintf("blk%d", i),
+			types[rng.Intn(len(types))],
+			20+rng.Float64()*180, // 20 - 200 mm^2 at the reference node
+			ref,
+			maskNodes[rng.Intn(len(maskNodes))],
+		)
+		c.Reused = rng.Intn(4) == 0
+		switch rng.Intn(3) {
+		case 0:
+			c.ManufacturedParts = 0 // DefaultVolume
+		case 1:
+			c.ManufacturedParts = 50_000
+		case 2:
+			c.ManufacturedParts = 250_000
+		}
+		chiplets[i] = c
+	}
+	arch := pkgcarbon.Architectures[rng.Intn(len(pkgcarbon.Architectures))]
+	s := &core.System{
+		Name:       fmt.Sprintf("rand-%d", rng.Int63()),
+		Chiplets:   chiplets,
+		Packaging:  pkgcarbon.DefaultParams(arch),
+		Mfg:        mfg.DefaultParams(),
+		Design:     descarbon.DefaultParams(),
+		IncludeNRE: rng.Intn(2) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		s.SystemVolume = 150_000
+	}
+	if rng.Intn(3) > 0 {
+		s.Operation = &opcarbon.Spec{
+			DutyCycle:       0.15,
+			LifetimeYears:   2 + float64(rng.Intn(3)),
+			CarbonIntensity: 0.3 + 0.4*rng.Float64(),
+			AnnualEnergyKWh: 50 + 200*rng.Float64(),
+		}
+	}
+	return s
+}
+
+func randomNodeSet(rng *rand.Rand) []int {
+	n := 1 + rng.Intn(3)
+	perm := rng.Perm(len(maskNodes))
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = maskNodes[perm[i]]
+	}
+	return nodes
+}
+
+func pointsBitIdentical(a, b Point) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return math.Float64bits(a.EmbodiedKg) == math.Float64bits(b.EmbodiedKg) &&
+		math.Float64bits(a.TotalKg) == math.Float64bits(b.TotalKg) &&
+		math.Float64bits(a.CostUSD) == math.Float64bits(b.CostUSD) &&
+		math.Float64bits(a.PackageAreaMM2) == math.Float64bits(b.PackageAreaMM2)
+}
+
+// The compiled/incremental sweep must be byte-identical — same order,
+// same float bits — to the per-point EvaluateWith path across random
+// systems, node sets, packaging archetypes and NRE/reuse flags, at any
+// worker count.
+func TestCompiledSweepMatchesReferenceRandomized(t *testing.T) {
+	d := db()
+	cp := cost.DefaultParams()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20240731))
+
+	evaluated := 0
+	for trial := 0; trial < 40; trial++ {
+		base := randomSystem(rng, d)
+		nodes := randomNodeSet(rng)
+		label := fmt.Sprintf("trial %d (arch %v, %d chiplets, nodes %v, nre=%v)",
+			trial, base.Packaging.Arch, len(base.Chiplets), nodes, base.IncludeNRE)
+
+		want, refErr := NodeSweepReference(ctx, base, d, nodes, cp, engine.WithWorkers(2))
+		for _, workers := range []int{1, 3} {
+			got, err := NodeSweepCtx(ctx, base, d, nodes, cp, engine.WithWorkers(workers))
+			if refErr != nil {
+				if err == nil {
+					t.Fatalf("%s: reference failed (%v) but compiled sweep succeeded", label, refErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: compiled sweep failed: %v", label, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d points, want %d", label, len(got), len(want))
+			}
+			for i := range want {
+				if !pointsBitIdentical(got[i], want[i]) {
+					t.Fatalf("%s: workers=%d point %d differs\nwant %+v\ngot  %+v", label, workers, i, want[i], got[i])
+				}
+			}
+		}
+		if refErr == nil {
+			evaluated++
+		}
+	}
+	if evaluated < 20 {
+		t.Fatalf("only %d of 40 random trials evaluated cleanly; generator too error-prone", evaluated)
+	}
+}
+
+// Reused chiplets must survive the compiled path with zero design and
+// NRE shares, exactly like the reference.
+func TestCompiledSweepAllReused(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	for i := range base.Chiplets {
+		base.Chiplets[i].Reused = true
+	}
+	base.IncludeNRE = true
+	nodes := []int{7, 14}
+	want, err := NodeSweepReference(context.Background(), base, d, nodes, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NodeSweepCtx(context.Background(), base, d, nodes, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !pointsBitIdentical(got[i], want[i]) {
+			t.Fatalf("point %d differs\nwant %+v\ngot  %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// A single-chiplet system sweeps down the monolith path of the plan.
+func TestCompiledSweepSingleChiplet(t *testing.T) {
+	d := db()
+	ref := d.MustGet(7)
+	base := &core.System{
+		Name:     "uni",
+		Chiplets: []core.Chiplet{core.BlockFromArea("die", tech.Logic, 120, ref, 7)},
+		Mfg:      mfg.DefaultParams(),
+		Design:   descarbon.DefaultParams(),
+	}
+	nodes := []int{7, 10, 14, 22}
+	want, err := NodeSweepReference(context.Background(), base, d, nodes, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NodeSweepCtx(context.Background(), base, d, nodes, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(nodes) {
+		t.Fatalf("%d points, want %d", len(got), len(nodes))
+	}
+	for i := range want {
+		if !pointsBitIdentical(got[i], want[i]) {
+			t.Fatalf("point %d differs\nwant %+v\ngot  %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// Multi-chiplet monolithic bases have no fast path; NodeSweepCtx must
+// fall back to the reference and still produce its exact output.
+func TestCompiledSweepMonolithicFallback(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 7, 7, true)
+	if _, err := Compile(base, d, []int{7}, cost.DefaultParams()); !errors.Is(err, ErrNoFastPath) {
+		t.Fatalf("Compile(monolithic) = %v, want ErrNoFastPath", err)
+	}
+	want, err := NodeSweepReference(context.Background(), base, d, []int{7}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NodeSweepCtx(context.Background(), base, d, []int{7}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !pointsBitIdentical(got[0], want[0]) {
+		t.Fatalf("fallback output differs: %+v vs %+v", got, want)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	cp := cost.DefaultParams()
+	if _, err := Compile(base, d, nil, cp); err == nil {
+		t.Error("empty node list should fail")
+	}
+	if _, err := Compile(base, d, []int{7, 3}, cp); err == nil {
+		t.Error("unsupported candidate node should fail")
+	}
+	bad := *base
+	bad.SystemVolume = -1
+	if _, err := Compile(&bad, d, []int{7}, cp); err == nil {
+		t.Error("invalid base system should fail at compile time")
+	}
+}
+
+func TestPlanStatsAndReuse(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := Compile(base, d, []int{7, 10, 14}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Combos() != 27 {
+		t.Fatalf("Combos() = %d, want 27", plan.Combos())
+	}
+	first, err := plan.RunCtx(context.Background(), engine.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats()
+	if s.Points != 27 {
+		t.Errorf("Stats().Points = %d, want 27", s.Points)
+	}
+	if s.BlockInits+s.GraySteps != 27 {
+		t.Errorf("block inits (%d) + gray steps (%d) should cover all 27 points", s.BlockInits, s.GraySteps)
+	}
+	if s.TableCells != 9 {
+		t.Errorf("TableCells = %d, want 3 chiplets x 3 nodes = 9", s.TableCells)
+	}
+	// A plan is reusable: a second run returns identical points.
+	second, err := plan.RunCtx(context.Background(), engine.WithWorkers(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if !pointsBitIdentical(first[i], second[i]) {
+			t.Fatalf("rerun point %d differs", i)
+		}
+	}
+}
+
+func TestPlanParetoFrontCtx(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := Compile(base, d, []int{7, 10, 14}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, total, err := plan.ParetoFrontCtx(context.Background(), []Metric{ByEmbodied, ByCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 27 {
+		t.Fatalf("total = %d, want 27", total)
+	}
+	points, err := plan.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ParetoFront(points, ByEmbodied, ByCost)
+	if len(front) != len(want) {
+		t.Fatalf("front size %d, want %d", len(front), len(want))
+	}
+	for i := range want {
+		if !pointsBitIdentical(front[i], want[i]) {
+			t.Fatalf("front point %d differs", i)
+		}
+	}
+}
+
+// The compiled path must respect cancellation.
+func TestPlanRunCtxCancelled(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := Compile(base, d, []int{7, 10, 14, 22, 28}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// --- Disaggregate equivalence -----------------------------------------
+
+// disaggregateReference is the evaluate-per-candidate greedy search the
+// cell-table implementation replaced, kept as its oracle.
+func disaggregateReference(base *core.System, d *tech.DB) (*core.System, float64, int, error) {
+	current := cloneSystem(base)
+	rep, err := current.Evaluate(d)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	currentKg := rep.EmbodiedKg()
+	steps := 0
+	for len(current.Chiplets) > 1 {
+		bestKg := currentKg
+		bestI, bestJ := -1, -1
+		for i := 0; i < len(current.Chiplets); i++ {
+			for j := i + 1; j < len(current.Chiplets); j++ {
+				if !mergeable(current.Chiplets[i], current.Chiplets[j]) {
+					continue
+				}
+				sys := applyMerge(current, i, j)
+				rep, err := sys.Evaluate(d)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				if kg := rep.EmbodiedKg(); kg < bestKg {
+					bestKg, bestI, bestJ = kg, i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		current, currentKg = applyMerge(current, bestI, bestJ), bestKg
+		steps++
+	}
+	return current, currentKg, steps, nil
+}
+
+// The cell-table candidate evaluation must reproduce the greedy
+// trajectory of the evaluate-per-candidate search bit for bit.
+func TestDisaggregateMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sys  *core.System
+	}{
+		{"tiny-blocks", fineGrained(6, 2)},
+		{"mid-blocks", fineGrained(4, 30)},
+		{"coarse", fineGrained(2, 120)},
+	} {
+		wantSys, wantKg, wantSteps, err := disaggregateReference(tc.sys, db())
+		if err != nil {
+			t.Fatalf("%s: reference: %v", tc.name, err)
+		}
+		plan, err := Disaggregate(tc.sys, db())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if plan.Steps != wantSteps {
+			t.Errorf("%s: %d steps, want %d", tc.name, plan.Steps, wantSteps)
+		}
+		if math.Float64bits(plan.EmbodiedKg) != math.Float64bits(wantKg) {
+			t.Errorf("%s: embodied %v, want %v (bit-exact)", tc.name, plan.EmbodiedKg, wantKg)
+		}
+		if len(plan.System.Chiplets) != len(wantSys.Chiplets) {
+			t.Fatalf("%s: %d result chiplets, want %d", tc.name, len(plan.System.Chiplets), len(wantSys.Chiplets))
+		}
+		for i := range wantSys.Chiplets {
+			if plan.System.Chiplets[i].Name != wantSys.Chiplets[i].Name ||
+				plan.System.Chiplets[i].NodeNm != wantSys.Chiplets[i].NodeNm {
+				t.Errorf("%s: chiplet %d = %+v, want %+v", tc.name, i, plan.System.Chiplets[i], wantSys.Chiplets[i])
+			}
+		}
+	}
+}

@@ -24,7 +24,6 @@ package floorplan
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // DefaultSpacingMM is the default chiplet-to-chiplet spacing constraint
@@ -98,47 +97,31 @@ type node struct {
 	left, right *node  // internal
 }
 
-type box struct {
-	w, h       float64
-	placements []Placement
-}
-
 // Plan floorplans the blocks with the given chiplet spacing (mm). It
 // returns an error for an empty block list, non-positive areas, or a
 // spacing outside the Table I range [0.1, 1] mm (0 selects the default).
 func Plan(blocks []Block, spacingMM float64) (*Result, error) {
-	if len(blocks) == 0 {
-		return nil, fmt.Errorf("floorplan: no blocks to place")
+	// A fresh scratch per call keeps the returned Result independent;
+	// hot loops use Scratch.Plan to amortize the buffers.
+	var sc Scratch
+	res, err := sc.Plan(blocks, spacingMM)
+	if err != nil {
+		return nil, err
 	}
-	if spacingMM == 0 {
-		spacingMM = DefaultSpacingMM
-	}
-	if spacingMM < 0.1 || spacingMM > 1 {
-		return nil, fmt.Errorf("floorplan: spacing %g mm outside Table I range [0.1, 1]", spacingMM)
-	}
-	total := 0.0
-	for _, b := range blocks {
-		if b.AreaMM2 <= 0 {
-			return nil, fmt.Errorf("floorplan: block %q has non-positive area %g", b.Name, b.AreaMM2)
-		}
-		total += b.AreaMM2
-	}
+	out := *res
+	return &out, nil
+}
 
-	sorted := make([]Block, len(blocks))
-	copy(sorted, blocks)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].AreaMM2 > sorted[j].AreaMM2 })
+func errNoBlocks() error {
+	return fmt.Errorf("floorplan: no blocks to place")
+}
 
-	root := buildTree(sorted)
-	b := layout(root, spacingMM)
+func errSpacing(spacingMM float64) error {
+	return fmt.Errorf("floorplan: spacing %g mm outside Table I range [0.1, 1]", spacingMM)
+}
 
-	res := &Result{
-		WidthMM:        b.w,
-		HeightMM:       b.h,
-		Placements:     b.placements,
-		ChipletAreaMM2: total,
-	}
-	res.Adjacencies = findAdjacencies(b.placements, spacingMM)
-	return res, nil
+func errBlockArea(b Block) error {
+	return fmt.Errorf("floorplan: block %q has non-positive area %g", b.Name, b.AreaMM2)
 }
 
 // buildTree performs the recursive area-balanced bi-partition. blocks must
@@ -162,64 +145,11 @@ func buildTree(blocks []Block) *node {
 	return &node{left: buildTree(partA), right: buildTree(partB)}
 }
 
-// layout computes the placed bounding box of a subtree, choosing at each
-// internal node the side-by-side orientation (horizontal or vertical cut)
-// that minimizes the combined bounding-box area.
-func layout(n *node, spacing float64) box {
-	if n.block != nil {
-		w, h := n.block.dims()
-		return box{w: w, h: h, placements: []Placement{{Name: n.block.Name, Width: w, Height: h}}}
-	}
-	l := layout(n.left, spacing)
-	r := layout(n.right, spacing)
-
-	// Horizontal composition: children side by side along x.
-	hw := l.w + spacing + r.w
-	hh := math.Max(l.h, r.h)
-	// Vertical composition: children stacked along y.
-	vw := math.Max(l.w, r.w)
-	vh := l.h + spacing + r.h
-
-	if hw*hh <= vw*vh {
-		out := box{w: hw, h: hh}
-		out.placements = append(out.placements, l.placements...)
-		for _, p := range r.placements {
-			p.X += l.w + spacing
-			out.placements = append(out.placements, p)
-		}
-		return out
-	}
-	out := box{w: vw, h: vh}
-	out.placements = append(out.placements, l.placements...)
-	for _, p := range r.placements {
-		p.Y += l.h + spacing
-		out.placements = append(out.placements, p)
-	}
-	return out
-}
-
 // findAdjacencies scans placed rectangles pairwise for facing edges
 // separated by at most the spacing gap (with slack for bounding-box
 // whitespace up to one spacing unit) and a positive overlap.
 func findAdjacencies(ps []Placement, spacing float64) []Adjacency {
-	const eps = 1e-9
-	maxGap := spacing + eps
-	var out []Adjacency
-	for i := 0; i < len(ps); i++ {
-		for j := i + 1; j < len(ps); j++ {
-			a, b := ps[i], ps[j]
-			if adj, ok := facing(a, b, maxGap); ok {
-				out = append(out, adj)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	return out
+	return appendAdjacencies(nil, ps, spacing)
 }
 
 func facing(a, b Placement, maxGap float64) (Adjacency, bool) {

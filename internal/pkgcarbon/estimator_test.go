@@ -1,0 +1,98 @@
+package pkgcarbon
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/tech"
+)
+
+// randChiplets builds a random chiplet set over the default node DB.
+func randChiplets(rng *rand.Rand, db *tech.DB) []Chiplet {
+	sizes := db.Sizes()
+	n := 1 + rng.Intn(5)
+	out := make([]Chiplet, n)
+	for i := range out {
+		out[i] = Chiplet{
+			Name:    fmt.Sprintf("c%d", i),
+			AreaMM2: 5 + rng.Float64()*300,
+			Node:    db.MustGet(sizes[rng.Intn(len(sizes))]),
+		}
+	}
+	return out
+}
+
+func resultsBitIdentical(a, b *Result) bool {
+	return a.Arch == b.Arch &&
+		math.Float64bits(a.PackageAreaMM2) == math.Float64bits(b.PackageAreaMM2) &&
+		math.Float64bits(a.WhitespaceMM2) == math.Float64bits(b.WhitespaceMM2) &&
+		a.NumBridges == b.NumBridges &&
+		math.Float64bits(a.NumBonds) == math.Float64bits(b.NumBonds) &&
+		math.Float64bits(a.AssemblyYield) == math.Float64bits(b.AssemblyYield) &&
+		math.Float64bits(a.PackageKg) == math.Float64bits(b.PackageKg) &&
+		math.Float64bits(a.RoutingKg) == math.Float64bits(b.RoutingKg) &&
+		math.Float64bits(a.RouterAreaPerChipletMM2) == math.Float64bits(b.RouterAreaPerChipletMM2) &&
+		math.Float64bits(a.RouterTotalPowerW) == math.Float64bits(b.RouterTotalPowerW)
+}
+
+// The scratch-backed Estimator must reproduce Estimate bit for bit for
+// every architecture, including across repeated reuse of one scratch.
+func TestEstimatorMatchesEstimate(t *testing.T) {
+	db := tech.Default()
+	rng := rand.New(rand.NewSource(7))
+	for _, arch := range Architectures {
+		p := DefaultParams(arch)
+		est, err := NewEstimator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			chiplets := randChiplets(rng, db)
+			want, wantErr := Estimate(chiplets, p)
+			got, gotErr := est.Estimate(chiplets)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%v trial %d: error mismatch: %v vs %v", arch, trial, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !resultsBitIdentical(want, got) {
+				t.Fatalf("%v trial %d: results differ\nwant %+v\ngot  %+v", arch, trial, want, got)
+			}
+		}
+	}
+}
+
+func TestNewEstimatorValidates(t *testing.T) {
+	p := DefaultParams(RDLFanout)
+	p.RDLLayers = 99
+	if _, err := NewEstimator(p); err == nil {
+		t.Error("invalid params should fail at construction")
+	}
+}
+
+func TestEstimatorResultIsReused(t *testing.T) {
+	db := tech.Default()
+	p := DefaultParams(RDLFanout)
+	est, err := NewEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := est.Estimate([]Chiplet{{Name: "a", AreaMM2: 100, Node: db.MustGet(7)}, {Name: "b", AreaMM2: 50, Node: db.MustGet(14)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := *a
+	b, err := est.Estimate([]Chiplet{{Name: "a", AreaMM2: 10, Node: db.MustGet(7)}, {Name: "b", AreaMM2: 5, Node: db.MustGet(14)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("estimator should return its scratch Result on every call")
+	}
+	if math.Float64bits(first.PackageKg) == math.Float64bits(b.PackageKg) {
+		t.Error("second call should have overwritten the scratch result")
+	}
+}

@@ -319,6 +319,60 @@ func Estimate(chiplets []Chiplet, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return estimateWith(chiplets, p, nil)
+}
+
+// Estimator evaluates many chiplet sets under one fixed parameter set
+// with the parameters validated once at construction and every reusable
+// buffer — the floorplan scratch, the Result, and a per-node memo of the
+// pure communication sub-results (PHY/router area, carbon, power) —
+// retained across calls. It is the packaging backend of compiled
+// design-space sweep plans, whose hot loop would otherwise spend most of
+// its time re-validating an unchanged Params and re-allocating
+// identical intermediate storage.
+//
+// An Estimator is NOT safe for concurrent use; give each worker its own.
+// The Result returned by Estimate (including its Floorplan) is owned by
+// the Estimator and overwritten by the next call; for non-bridge
+// architectures the Floorplan omits the adjacency scan, which no
+// non-bridge model consumes.
+type Estimator struct {
+	p  Params
+	sc scratch
+}
+
+// NewEstimator validates the parameters once and returns a reusable
+// estimator for them.
+func NewEstimator(p Params) (*Estimator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{p: p, sc: scratch{comm: make(map[*tech.Node]commCell)}}, nil
+}
+
+// Estimate is pkgcarbon.Estimate under the estimator's pre-validated
+// parameters; the result is bit-identical to the package-level call.
+func (e *Estimator) Estimate(chiplets []Chiplet) (*Result, error) {
+	return estimateWith(chiplets, e.p, &e.sc)
+}
+
+// commCell is a memoized per-node communication contribution.
+type commCell struct {
+	areaMM2 float64
+	kg      float64
+	powerW  float64
+}
+
+// scratch carries the reusable state of an Estimator. A nil *scratch
+// selects the allocate-fresh behavior of the package-level Estimate.
+type scratch struct {
+	blocks []floorplan.Block
+	fp     floorplan.Scratch
+	res    Result
+	comm   map[*tech.Node]commCell
+}
+
+func estimateWith(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
 	if len(chiplets) == 0 {
 		return nil, fmt.Errorf("pkgcarbon: no chiplets")
 	}
@@ -331,29 +385,43 @@ func Estimate(chiplets []Chiplet, p Params) (*Result, error) {
 		}
 	}
 	if p.Arch == ThreeD {
-		return estimate3D(chiplets, p)
+		return estimate3D(chiplets, p, sc)
 	}
 
-	blocks := make([]floorplan.Block, len(chiplets))
+	var blocks []floorplan.Block
+	if sc != nil {
+		if cap(sc.blocks) < len(chiplets) {
+			sc.blocks = make([]floorplan.Block, len(chiplets))
+		}
+		blocks = sc.blocks[:len(chiplets)]
+	} else {
+		blocks = make([]floorplan.Block, len(chiplets))
+	}
 	for i, c := range chiplets {
 		blocks[i] = floorplan.Block{Name: c.Name, AreaMM2: c.AreaMM2}
 	}
 	var fp *floorplan.Result
 	var err error
-	if p.FlexibleFloorplan {
+	switch {
+	case p.FlexibleFloorplan:
 		fp, err = floorplan.PlanFlexible(blocks, p.SpacingMM, nil)
-	} else {
+	case sc != nil && p.Arch != SiliconBridge:
+		// Only the bridge model reads adjacencies; skipping the pairwise
+		// scan keeps the scratch path flat in the chiplet count.
+		fp, err = sc.fp.PlanNoAdjacencies(blocks, p.SpacingMM)
+	case sc != nil:
+		fp, err = sc.fp.Plan(blocks, p.SpacingMM)
+	default:
 		fp, err = floorplan.Plan(blocks, p.SpacingMM)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Arch:           p.Arch,
-		PackageAreaMM2: fp.AreaMM2(),
-		WhitespaceMM2:  fp.WhitespaceMM2(),
-		Floorplan:      fp,
-	}
+	res := newResult(sc)
+	res.Arch = p.Arch
+	res.PackageAreaMM2 = fp.AreaMM2()
+	res.WhitespaceMM2 = fp.WhitespaceMM2()
+	res.Floorplan = fp
 	switch p.Arch {
 	case RDLFanout:
 		err = estimateRDL(res, p)
@@ -371,10 +439,19 @@ func Estimate(chiplets []Chiplet, p Params) (*Result, error) {
 	// failed assemblies are borne by the good ones.
 	res.PackageKg += float64(len(chiplets)) * p.AttachEnergyKWhPerChiplet *
 		p.CarbonIntensity / res.AssemblyYield
-	if err := addCommunication(res, chiplets, p); err != nil {
+	if err := addCommunication(res, chiplets, p, sc); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// newResult returns the scratch-owned Result (zeroed) or a fresh one.
+func newResult(sc *scratch) *Result {
+	if sc == nil {
+		return &Result{}
+	}
+	sc.res = Result{}
+	return &sc.res
 }
 
 // estimateRDL implements Eq. (9): per-layer patterning energy over the
@@ -467,12 +544,14 @@ func estimateInterposer(res *Result, chiplets []Chiplet, p Params, active bool) 
 // bond grid is a single vertical stack network across all tiers (the
 // footprint shrinks as logic is split across more tiers, so the bond
 // count falls even though the assembly yield degrades with tier count).
-func estimate3D(chiplets []Chiplet, p Params) (*Result, error) {
+func estimate3D(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
 	footprint := 0.0
 	for _, c := range chiplets {
 		footprint = math.Max(footprint, c.AreaMM2)
 	}
-	res := &Result{Arch: ThreeD, PackageAreaMM2: footprint}
+	res := newResult(sc)
+	res.Arch = ThreeD
+	res.PackageAreaMM2 = footprint
 
 	pitchMM := p.BondPitchUM / 1000
 	bonds := footprint / (pitchMM * pitchMM)
@@ -484,7 +563,7 @@ func estimate3D(chiplets []Chiplet, p Params) (*Result, error) {
 	res.AssemblyYield = y
 	res.PackageKg = bonds * p.energyPerBond() * p.CarbonIntensity / y
 
-	if err := addCommunication(res, chiplets, p); err != nil {
+	if err := addCommunication(res, chiplets, p, sc); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -501,18 +580,23 @@ func estimate3D(chiplets []Chiplet, p Params) (*Result, error) {
 // Router/PHY silicon is charged at the carbon of its host node using the
 // same CFPA formulation as Eq. (6) (without wafer wastage: the blocks are
 // tiny IP regions, not separate dies).
-func addCommunication(res *Result, chiplets []Chiplet, p Params) error {
+//
+// All three per-node contributions are pure in (Router config, node,
+// carbon intensity), so a scratch memoizes them per *tech.Node — a full
+// factorial sweep revisits the same handful of nodes for every point —
+// without changing a single bit of the summation.
+func addCommunication(res *Result, chiplets []Chiplet, p Params, sc *scratch) error {
 	switch res.Arch {
 	case RDLFanout, SiliconBridge:
 		var total float64
 		var areaSum float64
 		for _, c := range chiplets {
-			a, err := noc.PHYAreaMM2(p.Router, c.Node)
+			cc, err := commFor(sc, c.Node, p, false)
 			if err != nil {
 				return err
 			}
-			total += chipletLogicCarbon(c.Node, a, p.CarbonIntensity)
-			areaSum += a
+			total += cc.kg
+			areaSum += cc.areaMM2
 		}
 		res.RoutingKg = total
 		res.RouterAreaPerChipletMM2 = areaSum / float64(len(chiplets))
@@ -524,17 +608,13 @@ func addCommunication(res *Result, chiplets []Chiplet, p Params) error {
 		var total float64
 		var areaSum, powerSum float64
 		for _, c := range chiplets {
-			a, err := noc.AreaMM2(p.Router, c.Node)
+			cc, err := commFor(sc, c.Node, p, true)
 			if err != nil {
 				return err
 			}
-			w, err := noc.PowerW(p.Router, c.Node, p.RouterPower)
-			if err != nil {
-				return err
-			}
-			total += chipletLogicCarbon(c.Node, a, p.CarbonIntensity)
-			areaSum += a
-			powerSum += w
+			total += cc.kg
+			areaSum += cc.areaMM2
+			powerSum += cc.powerW
 		}
 		res.RoutingKg = total
 		res.RouterAreaPerChipletMM2 = areaSum / float64(len(chiplets))
@@ -542,20 +622,52 @@ func addCommunication(res *Result, chiplets []Chiplet, p Params) error {
 		return nil
 
 	case ActiveInterposer:
-		a, err := noc.AreaMM2(p.Router, p.PackagingNode)
-		if err != nil {
-			return err
-		}
-		w, err := noc.PowerW(p.Router, p.PackagingNode, p.RouterPower)
+		cc, err := commFor(sc, p.PackagingNode, p, true)
 		if err != nil {
 			return err
 		}
 		n := float64(len(chiplets))
-		res.RoutingKg = n * chipletLogicCarbon(p.PackagingNode, a, p.CarbonIntensity)
-		res.RouterTotalPowerW = n * w
+		res.RoutingKg = n * cc.kg
+		res.RouterTotalPowerW = n * cc.powerW
 		return nil
 	}
 	return fmt.Errorf("pkgcarbon: unknown architecture %v", res.Arch)
+}
+
+// commFor computes (or recalls) one node's communication contribution.
+// fullRouter selects a complete NoC router (interposer/3D architectures);
+// otherwise the node carries only a PHY IP. The memo key is the node
+// pointer — tech.DB hands out stable *Node values — and an Estimator's
+// architecture is fixed, so the router/PHY distinction never changes
+// within one scratch.
+func commFor(sc *scratch, n *tech.Node, p Params, fullRouter bool) (commCell, error) {
+	if sc != nil {
+		if cc, ok := sc.comm[n]; ok {
+			return cc, nil
+		}
+	}
+	var cc commCell
+	if fullRouter {
+		a, err := noc.AreaMM2(p.Router, n)
+		if err != nil {
+			return commCell{}, err
+		}
+		w, err := noc.PowerW(p.Router, n, p.RouterPower)
+		if err != nil {
+			return commCell{}, err
+		}
+		cc = commCell{areaMM2: a, kg: chipletLogicCarbon(n, a, p.CarbonIntensity), powerW: w}
+	} else {
+		a, err := noc.PHYAreaMM2(p.Router, n)
+		if err != nil {
+			return commCell{}, err
+		}
+		cc = commCell{areaMM2: a, kg: chipletLogicCarbon(n, a, p.CarbonIntensity)}
+	}
+	if sc != nil {
+		sc.comm[n] = cc
+	}
+	return cc, nil
 }
 
 // chipletLogicCarbon is the Eq. (6) CFPA (without wastage) applied to a
