@@ -283,6 +283,125 @@ func BenchmarkNodeSweepCompiledReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkNodeSweepWalkFront measures the streaming-front path on an
+// already-compiled plan: the 125-point sweep folded to its carbon-cost
+// Pareto front inside the walk, never materializing the point slice (the
+// serving shape of front-only queries).
+func BenchmarkNodeSweepWalkFront(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	plan, err := CompileNodeSweep(base, db, sweepBenchNodes, DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		front, total, err := plan.ParetoFrontCtx(ctx, []SweepMetric{SweepByEmbodied, SweepByCost})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if total != 125 || len(front) == 0 {
+			b.Fatalf("unexpected front: %d of %d", len(front), total)
+		}
+	}
+}
+
+// benchServerSystem builds the 9-die EPYC-class server testcase the
+// tornado / Monte Carlo benchmark pairs analyze — the multi-chiplet
+// shape where sensitivity and uncertainty studies are actually run, and
+// where the per-evaluation floorplan the compiled plans avoid dominates
+// the uncompiled cost.
+func benchServerSystem(b *testing.B, db *TechDB) *System {
+	b.Helper()
+	s, err := EPYC(db, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTornadoUncompiled measures the tornado sensitivity analysis
+// through the PR 1 memo-cache path: a full evaluation per perturbed
+// point (the baseline the compiled parameter plan is measured against).
+func BenchmarkTornadoUncompiled(b *testing.B) {
+	db := DefaultDB()
+	base := benchServerSystem(b, db)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := TornadoReference(ctx, base, db, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 7 {
+			b.Fatalf("expected 7 factors, got %d", len(results))
+		}
+	}
+}
+
+// BenchmarkTornadoCompiled measures the same analysis on a compiled
+// parameter plan — the TornadoCtx production path — including the
+// per-call compile cost, at the same worker count.
+func BenchmarkTornadoCompiled(b *testing.B) {
+	db := DefaultDB()
+	base := benchServerSystem(b, db)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := TornadoCtx(ctx, base, db, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 7 {
+			b.Fatalf("expected 7 factors, got %d", len(results))
+		}
+	}
+}
+
+// mcBenchSamples sizes the Monte Carlo benchmark pair: enough samples
+// that per-sample costs dominate the fixed setup.
+const mcBenchSamples = 200
+
+// BenchmarkMonteCarloUncompiled measures the uncertainty analysis
+// through the PR 1 memo-cache path: every sample clones the technology
+// database and runs a full evaluation (the cache cannot help across
+// samples — cloned nodes never repeat as keys).
+func BenchmarkMonteCarloUncompiled(b *testing.B) {
+	db := DefaultDB()
+	base := benchServerSystem(b, db)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := UncertaintyReference(ctx, base, db, mcBenchSamples, 2024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Samples != mcBenchSamples {
+			b.Fatalf("expected %d samples, got %d", mcBenchSamples, d.Samples)
+		}
+	}
+}
+
+// BenchmarkMonteCarloCompiled measures the same sampling on a compiled
+// parameter plan — the UncertaintyCtx production path — including the
+// per-call compile cost, at the same worker count.
+func BenchmarkMonteCarloCompiled(b *testing.B) {
+	db := DefaultDB()
+	base := benchServerSystem(b, db)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := UncertaintyCtx(ctx, base, db, mcBenchSamples, 2024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Samples != mcBenchSamples {
+			b.Fatalf("expected %d samples, got %d", mcBenchSamples, d.Samples)
+		}
+	}
+}
+
 // BenchmarkEvaluateBatch measures raw batch evaluation (no cost model)
 // of the 625-system 4-chiplet x 5-node full factorial.
 func BenchmarkEvaluateBatch(b *testing.B) {

@@ -7,14 +7,28 @@
 //
 // Repeated -count runs of the same benchmark are kept as separate
 // entries; downstream tooling picks its own aggregation.
+//
+// The compare subcommand is that downstream tooling for CI's regression
+// gate: it diffs two converted artifacts and fails when any benchmark of
+// the selected family regressed beyond the threshold:
+//
+//	benchjson compare -threshold 0.20 -family NodeSweep BENCH_base.json BENCH_head.json
+//
+// Repeated -count entries are aggregated by minimum ns/op (the standard
+// noise floor for shared CI runners), and a family benchmark present in
+// the base artifact but missing from the head fails the gate — a deleted
+// benchmark must not read as a passed one.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,6 +58,14 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		code, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -55,6 +77,114 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare implements the compare subcommand: exit code 0 when no
+// family benchmark regressed beyond the threshold, 1 when one did (or a
+// family benchmark disappeared), and an error for usage/parse problems.
+func runCompare(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.20, "maximum tolerated relative ns/op regression (0.20 = +20%)")
+	family := fs.String("family", "", "regexp selecting the gated benchmark family (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("usage: benchjson compare [-threshold 0.20] [-family NodeSweep] base.json head.json")
+	}
+	var famRE *regexp.Regexp
+	if *family != "" {
+		re, err := regexp.Compile(*family)
+		if err != nil {
+			return 0, fmt.Errorf("bad -family: %w", err)
+		}
+		famRE = re
+	}
+	base, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	head, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+	return compare(w, base, head, famRE, *threshold), nil
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies one logical benchmark across artifacts.
+type benchKey struct {
+	Name  string
+	Procs int
+}
+
+// minNs aggregates repeated -count entries to their minimum ns/op.
+func minNs(rep *Report) map[benchKey]float64 {
+	m := make(map[benchKey]float64)
+	for _, b := range rep.Benchmarks {
+		k := benchKey{b.Name, b.Procs}
+		if v, ok := m[k]; !ok || b.NsPerOp < v {
+			m[k] = b.NsPerOp
+		}
+	}
+	return m
+}
+
+// compare prints a per-benchmark delta table and returns the gate's exit
+// code. Benchmarks new in head pass (there is no baseline to regress
+// from); family benchmarks missing from head fail the gate.
+func compare(w io.Writer, base, head *Report, family *regexp.Regexp, threshold float64) int {
+	baseNs, headNs := minNs(base), minNs(head)
+	keys := make([]benchKey, 0, len(baseNs))
+	for k := range baseNs {
+		if family == nil || family.MatchString(k.Name) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Procs < keys[j].Procs
+	})
+
+	code := 0
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, k := range keys {
+		b := baseNs[k]
+		h, ok := headNs[k]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %8s  MISSING from head\n", k.Name, b, "-", "-")
+			code = 1
+			continue
+		}
+		delta := (h - b) / b
+		verdict := ""
+		if delta > threshold {
+			verdict = fmt.Sprintf("  REGRESSION (> %+.0f%%)", threshold*100)
+			code = 1
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+7.1f%%%s\n", k.Name, b, h, delta*100, verdict)
+	}
+	if len(keys) == 0 {
+		// An empty gate is a broken gate: a failed or mis-filtered base
+		// run must not read as "no regressions".
+		fmt.Fprintln(w, "no base benchmarks matched the family; failing the gate (a vacuous comparison proves nothing)")
+		return 1
+	}
+	return code
 }
 
 func parse(r io.Reader) (*Report, error) {

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -71,5 +75,100 @@ func TestSplitProcs(t *testing.T) {
 		if name != tc.name || procs != tc.procs {
 			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
 		}
+	}
+}
+
+func reportOf(entries ...Result) *Report { return &Report{Benchmarks: entries} }
+
+func TestCompareGate(t *testing.T) {
+	base := reportOf(
+		Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 100, NsPerOp: 1000},
+		Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 100, NsPerOp: 1100}, // -count repeat, min wins
+		Result{Name: "BenchmarkNodeSweepParallel", Procs: 8, Runs: 100, NsPerOp: 5000},
+		Result{Name: "BenchmarkOther", Procs: 8, Runs: 100, NsPerOp: 10},
+	)
+	fam := regexp.MustCompile("NodeSweep")
+
+	// Within threshold: +15% on the min aggregate passes at 20%.
+	head := reportOf(
+		Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 100, NsPerOp: 1150},
+		Result{Name: "BenchmarkNodeSweepParallel", Procs: 8, Runs: 100, NsPerOp: 5100},
+		Result{Name: "BenchmarkOther", Procs: 8, Runs: 100, NsPerOp: 1000}, // outside family: ignored
+	)
+	var out strings.Builder
+	if code := compare(&out, base, head, fam, 0.20); code != 0 {
+		t.Fatalf("within-threshold head failed the gate:\n%s", out.String())
+	}
+
+	// Beyond threshold: +30% fails.
+	head = reportOf(
+		Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 100, NsPerOp: 1300},
+		Result{Name: "BenchmarkNodeSweepParallel", Procs: 8, Runs: 100, NsPerOp: 5000},
+	)
+	out.Reset()
+	if code := compare(&out, base, head, fam, 0.20); code != 1 {
+		t.Fatalf("+30%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("gate output missing REGRESSION marker:\n%s", out.String())
+	}
+
+	// A family benchmark deleted from head must fail, not silently pass.
+	head = reportOf(Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 100, NsPerOp: 1000})
+	out.Reset()
+	if code := compare(&out, base, head, fam, 0.20); code != 1 {
+		t.Fatalf("missing family benchmark passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("gate output missing MISSING marker:\n%s", out.String())
+	}
+
+	// Benchmarks new in head have no baseline and pass.
+	head = reportOf(
+		Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 100, NsPerOp: 900},
+		Result{Name: "BenchmarkNodeSweepParallel", Procs: 8, Runs: 100, NsPerOp: 4000},
+		Result{Name: "BenchmarkNodeSweepWalkFront", Procs: 8, Runs: 100, NsPerOp: 1},
+	)
+	out.Reset()
+	if code := compare(&out, base, head, fam, 0.20); code != 0 {
+		t.Fatalf("new head benchmark failed the gate:\n%s", out.String())
+	}
+
+	// A family matching nothing in base is a vacuous gate and must fail.
+	out.Reset()
+	if code := compare(&out, base, head, regexp.MustCompile("NoSuchFamily"), 0.20); code != 1 {
+		t.Fatalf("vacuous comparison passed the gate:\n%s", out.String())
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", reportOf(Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 1, NsPerOp: 1000}))
+	head := write("head.json", reportOf(Result{Name: "BenchmarkNodeSweepCompiled", Procs: 8, Runs: 1, NsPerOp: 1500}))
+
+	var out strings.Builder
+	code, err := runCompare([]string{"-threshold", "0.20", "-family", "NodeSweep", base, head}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("50%% regression returned code %d, want 1:\n%s", code, out.String())
+	}
+	if _, err := runCompare([]string{base}, &out); err == nil {
+		t.Error("one-file usage should error")
+	}
+	if _, err := runCompare([]string{"-family", "(", base, head}, &out); err == nil {
+		t.Error("bad family regexp should error")
 	}
 }

@@ -7,10 +7,13 @@
 //	ecodse --design_dir testcases/GA102 --mode mc       # Monte Carlo uncertainty
 //
 // The sweep mode needs a node_list.txt in the design directory. Sweeps
-// run on a compiled plan (precomputed die tables + Gray-code walk)
-// unless -uncompiled forces the per-point reference path. -cpuprofile /
-// -memprofile write pprof profiles of the run, and -progress reports
-// compiled-table or memo-cache statistics after the result.
+// run on a compiled plan (precomputed die tables + Gray-code walk) and
+// the tornado/mc analyses run on a compiled parameter plan (base point
+// tabulated once, perturbations recomputing only their dirty
+// sub-models), unless -uncompiled forces the per-evaluation reference
+// path. -cpuprofile / -memprofile write pprof profiles of the run, and
+// -progress reports compiled-plan or memo-cache statistics after the
+// result.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"ecochip/internal/cost"
 	"ecochip/internal/engine"
 	"ecochip/internal/explore"
+	"ecochip/internal/kernel"
 	"ecochip/internal/report"
 	"ecochip/internal/sensitivity"
 	"ecochip/internal/tech"
@@ -41,7 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 2024, "mc: random seed")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "print sweep progress and evaluation statistics to stderr")
-	uncompiled := flag.Bool("uncompiled", false, "sweep: force the per-point reference path instead of the compiled plan")
+	uncompiled := flag.Bool("uncompiled", false, "sweep/tornado/mc: force the per-evaluation reference path instead of the compiled plan")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -135,11 +139,11 @@ func run(designDir string, cfg runConfig, w, statsW io.Writer) error {
 	case "sweep":
 		return runSweep(ctx, w, statsW, system, db, nodes, cfg, cache, opts)
 	case "tornado":
-		err = runTornado(ctx, w, system, db, cfg.rel, opts)
+		return runTornado(ctx, w, statsW, system, db, cfg, cache, opts)
+	case "mc":
+		return runMC(ctx, w, statsW, system, db, cfg, cache, opts)
 	case "group":
 		err = runGroup(ctx, w, system, db, opts)
-	case "mc":
-		err = runMC(ctx, w, system, db, cfg.samples, cfg.seed, opts)
 	default:
 		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
@@ -197,17 +201,38 @@ func printCacheStats(w io.Writer, cache *engine.Cache) {
 		s.DieHits, s.DieMisses, s.DesignHits, s.DesignMisses, 100*s.HitRate())
 }
 
-func runTornado(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, rel float64, opts []engine.Option) error {
-	results, err := sensitivity.TornadoCtx(ctx, system, db, rel, opts...)
+func printParamStats(w io.Writer, plan *kernel.ParamPlan) {
+	fmt.Fprintln(w, plan.Stats())
+}
+
+func runTornado(ctx context.Context, w, statsW io.Writer, system *core.System, db *tech.DB, cfg runConfig, cache *engine.Cache, opts []engine.Option) error {
+	var results []sensitivity.Result
+	var plan *kernel.ParamPlan
+	var err error
+	if cfg.uncompiled {
+		results, err = sensitivity.TornadoReference(ctx, system, db, cfg.rel, opts...)
+	} else {
+		results, plan, err = sensitivity.TornadoPlanned(ctx, system, db, cfg.rel, opts...)
+	}
 	if err != nil {
 		return err
 	}
-	t := report.New(fmt.Sprintf("sensitivity tornado (+/-%.0f%%)", rel*100), "",
+	t := report.New(fmt.Sprintf("sensitivity tornado (+/-%.0f%%)", cfg.rel*100), "",
 		"factor", "low_kg", "base_kg", "high_kg", "swing_kg")
 	for _, r := range results {
 		t.AddRow(r.Factor, report.F(r.LowKg), report.F(r.BaseKg), report.F(r.HighKg), report.F(r.Swing()))
 	}
-	return t.Fprint(w)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	if cfg.progress {
+		if plan != nil {
+			printParamStats(statsW, plan)
+		} else {
+			printCacheStats(statsW, cache)
+		}
+	}
+	return nil
 }
 
 func runGroup(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, opts []engine.Option) error {
@@ -227,13 +252,30 @@ func runGroup(ctx context.Context, w io.Writer, system *core.System, db *tech.DB
 	return err
 }
 
-func runMC(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, samples int, seed int64, opts []engine.Option) error {
-	d, err := uncertainty.RunCtx(ctx, system, db, uncertainty.DefaultSpread(), samples, seed, opts...)
+func runMC(ctx context.Context, w, statsW io.Writer, system *core.System, db *tech.DB, cfg runConfig, cache *engine.Cache, opts []engine.Option) error {
+	var d uncertainty.Distribution
+	var plan *kernel.ParamPlan
+	var err error
+	if cfg.uncompiled {
+		d, err = uncertainty.RunReference(ctx, system, db, uncertainty.DefaultSpread(), cfg.samples, cfg.seed, opts...)
+	} else {
+		d, plan, err = uncertainty.RunPlanned(ctx, system, db, uncertainty.DefaultSpread(), cfg.samples, cfg.seed, opts...)
+	}
 	if err != nil {
 		return err
 	}
-	t := report.New(fmt.Sprintf("embodied-carbon uncertainty (%d samples, seed %d)", samples, seed), "",
+	t := report.New(fmt.Sprintf("embodied-carbon uncertainty (%d samples, seed %d)", cfg.samples, cfg.seed), "",
 		"p5_kg", "p50_kg", "mean_kg", "p95_kg", "relative_spread")
 	t.AddRow(report.F(d.P5Kg), report.F(d.P50Kg), report.F(d.MeanKg), report.F(d.P95Kg), report.F(d.RelativeSpread()))
-	return t.Fprint(w)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	if cfg.progress {
+		if plan != nil {
+			printParamStats(statsW, plan)
+		} else {
+			printCacheStats(statsW, cache)
+		}
+	}
+	return nil
 }

@@ -82,14 +82,56 @@ func TestRunTornadoMode(t *testing.T) {
 }
 
 func TestRunTornadoProgressStats(t *testing.T) {
+	dir := exampleDir(t)
 	cfg := cfgFor("tornado")
+	cfg.progress = true
+	var out, stats strings.Builder
+	if err := run(dir, cfg, &out, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), "param plan:") {
+		t.Errorf("tornado progress run missing parameter-plan statistics:\n%s", stats.String())
+	}
+
+	cfg.uncompiled = true
+	var out2, stats2 strings.Builder
+	if err := run(dir, cfg, &out2, &stats2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats2.String(), "memo cache:") {
+		t.Errorf("uncompiled tornado progress run missing cache statistics:\n%s", stats2.String())
+	}
+}
+
+// The compiled and reference tornado / Monte Carlo paths must print
+// identical tables (they are bit-identical underneath).
+func TestRunAnalysisUncompiledMatchesCompiled(t *testing.T) {
+	dir := exampleDir(t)
+	for _, mode := range []string{"tornado", "mc"} {
+		var compiled, reference strings.Builder
+		if err := run(dir, cfgFor(mode), &compiled, nil); err != nil {
+			t.Fatal(err)
+		}
+		cfg := cfgFor(mode)
+		cfg.uncompiled = true
+		if err := run(dir, cfg, &reference, nil); err != nil {
+			t.Fatal(err)
+		}
+		if compiled.String() != reference.String() {
+			t.Errorf("%s: compiled and uncompiled outputs diverge:\n%s\nvs\n%s", mode, compiled.String(), reference.String())
+		}
+	}
+}
+
+func TestRunMCProgressStats(t *testing.T) {
+	cfg := cfgFor("mc")
 	cfg.progress = true
 	var out, stats strings.Builder
 	if err := run(exampleDir(t), cfg, &out, &stats); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(stats.String(), "memo cache:") {
-		t.Errorf("tornado progress run missing cache statistics:\n%s", stats.String())
+	if !strings.Contains(stats.String(), "param plan:") {
+		t.Errorf("mc progress run missing parameter-plan statistics:\n%s", stats.String())
 	}
 }
 

@@ -5,6 +5,11 @@
 //	ecoexp                  # print every experiment table
 //	ecoexp -exp fig7a       # one experiment
 //	ecoexp -csv results/    # also write one CSV per experiment
+//
+// Analysis-backed experiments (ext-tornado, ext-uncertainty) run on
+// compiled parameter plans; -uncompiled forces their per-evaluation
+// reference path, and -progress reports evaluation ticks and
+// compiled-plan statistics to stderr.
 package main
 
 import (
@@ -23,6 +28,8 @@ func main() {
 	exp := flag.String("exp", "", "run a single experiment id (default: all)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	uncompiled := flag.Bool("uncompiled", false, "analysis experiments: force the per-evaluation reference path instead of compiled parameter plans")
+	progress := flag.Bool("progress", false, "print analysis progress and compiled-plan statistics to stderr")
 	flag.Parse()
 
 	if *list {
@@ -32,22 +39,46 @@ func main() {
 		return
 	}
 
-	if err := run(*exp, *csvDir, os.Stdout); err != nil {
+	opt := experiments.Options{Uncompiled: *uncompiled}
+	if *progress {
+		opt.StatsTo = os.Stderr
+		opt.Progress = func(done, total int) {
+			if done%100 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d evaluations", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	if err := run(*exp, *csvDir, opt, os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
 // run executes one or all experiments, printing tables to w and
-// optionally writing CSVs into csvDir.
-func run(exp, csvDir string, w io.Writer) error {
+// optionally writing CSVs into csvDir. A zero Options runs every
+// experiment exactly as experiments.Run would; analysis knobs
+// (uncompiled path, progress) are honored by the experiments that
+// support them, which also forces the run-all fan-out serial so the
+// progress stream stays readable.
+func run(exp, csvDir string, opt experiments.Options, w io.Writer) error {
 	db := tech.Default()
 	var tables []*report.Table
 	if exp != "" {
-		t, err := experiments.Run(exp, db)
+		t, err := experiments.RunWith(exp, db, opt)
 		if err != nil {
 			return err
 		}
 		tables = []*report.Table{t}
+	} else if opt.Uncompiled || opt.Progress != nil || opt.StatsTo != nil {
+		for _, id := range experiments.IDs() {
+			t, err := experiments.RunWith(id, db, opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			tables = append(tables, t)
+		}
 	} else {
 		var err error
 		tables, err = experiments.RunAll(db)

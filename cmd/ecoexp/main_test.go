@@ -11,7 +11,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run("fig7a", "", &out); err != nil {
+	if err := run("fig7a", "", experiments.Options{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "== fig7a ==") {
@@ -21,7 +21,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run("fig99", "", &out); err == nil {
+	if err := run("fig99", "", experiments.Options{}, &out); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -29,7 +29,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunAllWritesCSVs(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run("", dir, &out); err != nil {
+	if err := run("", dir, experiments.Options{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range experiments.IDs() {
@@ -46,5 +46,28 @@ func TestRunAllWritesCSVs(t *testing.T) {
 	// Every table printed.
 	if got := strings.Count(out.String(), "== "); got < len(experiments.IDs()) {
 		t.Errorf("printed %d tables, want %d", got, len(experiments.IDs()))
+	}
+}
+
+// The uncompiled path and compiled default must print identical
+// analysis tables, and -progress must surface compiled-plan statistics.
+func TestRunAnalysisOptions(t *testing.T) {
+	var compiled, reference strings.Builder
+	if err := run("ext-tornado", "", experiments.Options{}, &compiled); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ext-tornado", "", experiments.Options{Uncompiled: true, Workers: 1}, &reference); err != nil {
+		t.Fatal(err)
+	}
+	if compiled.String() != reference.String() {
+		t.Errorf("compiled and uncompiled ext-tornado tables diverge:\n%s\nvs\n%s", compiled.String(), reference.String())
+	}
+
+	var out, stats strings.Builder
+	if err := run("ext-tornado", "", experiments.Options{StatsTo: &stats}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), "param plan:") {
+		t.Errorf("stats output missing parameter-plan statistics:\n%s", stats.String())
 	}
 }

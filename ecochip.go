@@ -31,6 +31,7 @@ import (
 	"ecochip/internal/engine"
 	"ecochip/internal/experiments"
 	"ecochip/internal/explore"
+	"ecochip/internal/kernel"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/report"
 	"ecochip/internal/roadmap"
@@ -261,7 +262,9 @@ var ErrNoSweepFastPath = explore.ErrNoFastPath
 
 // CompileNodeSweep builds the compiled sweep plan for evaluating base
 // under every combination of the candidate nodes. Compile once, then
-// plan.RunCtx / plan.ParetoFrontCtx per run.
+// plan.RunCtx per run, plan.Walk to stream points without materializing
+// the result slice, or plan.ParetoFrontCtx for a front folded into the
+// sweep walk (front-only callers never allocate the full point slice).
 func CompileNodeSweep(base *System, db *TechDB, nodes []int, cp cost.Params) (*SweepPlan, error) {
 	return explore.Compile(base, db, nodes, cp)
 }
@@ -273,13 +276,77 @@ func NodeSweepReference(ctx context.Context, base *System, db *TechDB, nodes []i
 	return explore.NodeSweepReference(ctx, base, db, nodes, cp, opts...)
 }
 
-// TornadoCtx is Tornado with cancellation and engine options.
+// TornadoCtx is Tornado with cancellation and engine options. It runs on
+// a compiled parameter plan (see ParamPlan) and is bit-identical to
+// TornadoReference.
 func TornadoCtx(ctx context.Context, base *System, db *TechDB, rel float64, opts ...EngineOption) ([]SensitivityResult, error) {
 	return sensitivity.TornadoCtx(ctx, base, db, rel, opts...)
 }
 
+// TornadoReference is the uncompiled tornado (a full memo-cached
+// evaluation per perturbed point): the oracle and baseline the compiled
+// path is tested and benchmarked against.
+func TornadoReference(ctx context.Context, base *System, db *TechDB, rel float64, opts ...EngineOption) ([]SensitivityResult, error) {
+	return sensitivity.TornadoReference(ctx, base, db, rel, opts...)
+}
+
 // UncertaintyCtx is Uncertainty with cancellation and engine options;
-// the fixed-seed distribution is bit-identical at any worker count.
+// the fixed-seed distribution is bit-identical at any worker count. It
+// runs on a compiled parameter plan and is bit-identical to
+// UncertaintyReference.
 func UncertaintyCtx(ctx context.Context, base *System, db *TechDB, n int, seed int64, opts ...EngineOption) (CarbonDistribution, error) {
 	return uncertainty.RunCtx(ctx, base, db, uncertainty.DefaultSpread(), n, seed, opts...)
+}
+
+// UncertaintyReference is the uncompiled Monte Carlo (per-sample
+// database clone and full memo-cached evaluation): the oracle and
+// baseline the compiled path is tested and benchmarked against.
+func UncertaintyReference(ctx context.Context, base *System, db *TechDB, n int, seed int64, opts ...EngineOption) (CarbonDistribution, error) {
+	return uncertainty.RunReference(ctx, base, db, uncertainty.DefaultSpread(), n, seed, opts...)
+}
+
+// Compiled parameter plans (the kernel under sensitivity/uncertainty;
+// see internal/kernel for the full evaluation-kernel architecture).
+type (
+	// ParamPlan is a compiled parameter-perturbation plan: the base
+	// system validated and tabulated once, perturbed evaluations
+	// recomputing only the sub-models their dirty set invalidates.
+	// Compile once with CompileParamPlan, evaluate any number of times;
+	// a plan is immutable and safe for concurrent use.
+	ParamPlan = kernel.ParamPlan
+	// ParamPlanStats counts the work a parameter plan performed
+	// (table hits vs recomputes, packaging re-estimates).
+	ParamPlanStats = kernel.ParamStats
+	// ParamScratch is one worker's reusable evaluation arena for a
+	// parameter plan (build with ParamPlan.NewScratch; not safe for
+	// concurrent use).
+	ParamScratch = kernel.Scratch
+	// ParamDirty flags the parameter groups a perturbed evaluation
+	// touched (the fourth argument of ParamPlan.Eval).
+	ParamDirty = kernel.Dirty
+)
+
+// ParamDirty flags (see kernel.Dirty for the recompute semantics).
+const (
+	// ParamDirtyNodes marks a perturbed technology database.
+	ParamDirtyNodes = kernel.DirtyNodes
+	// ParamDirtyMfg marks a changed System.Mfg.
+	ParamDirtyMfg = kernel.DirtyMfg
+	// ParamDirtyDesign marks a changed System.Design.
+	ParamDirtyDesign = kernel.DirtyDesign
+	// ParamDirtyPackaging marks a changed System.Packaging.
+	ParamDirtyPackaging = kernel.DirtyPackaging
+	// ParamDirtyOperation marks a changed (possibly in-place mutated)
+	// System.Operation.
+	ParamDirtyOperation = kernel.DirtyOperation
+	// ParamDirtyVolume marks changed amortization volumes.
+	ParamDirtyVolume = kernel.DirtyVolume
+)
+
+// CompileParamPlan builds the compiled parameter-perturbation plan of a
+// base (system, database) pair — the shared fast path under TornadoCtx
+// and UncertaintyCtx, exposed for servers that evaluate many what-if
+// perturbations of one design.
+func CompileParamPlan(base *System, db *TechDB) (*ParamPlan, error) {
+	return kernel.CompileParams(base, db)
 }

@@ -13,6 +13,12 @@
 //   - context cancellation with fail-fast error collection (the lowest
 //     observed failing index wins), and
 //   - an optional progress callback for long-running CLI sweeps.
+//
+// Compiled plans (internal/kernel, internal/explore) run on top of this
+// pool: RunScratch carries their per-worker scratch arenas (packaging
+// estimators, sandbox databases, operational-term memos) and RunBlocks
+// hands Gray-code walkers the contiguous index ranges their incremental
+// evaluation depends on.
 package engine
 
 import (

@@ -11,6 +11,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"ecochip/internal/core"
@@ -48,6 +49,53 @@ func Run(id string, db *tech.DB) (*report.Table, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
 	return r(db)
+}
+
+// Options tunes how analysis-engine-backed experiments evaluate; the
+// zero value reproduces Run exactly.
+type Options struct {
+	// Uncompiled forces the per-evaluation reference path instead of the
+	// compiled parameter plans the analyses default to.
+	Uncompiled bool
+	// Workers caps the evaluation workers (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives (done, total) evaluation ticks.
+	Progress func(done, total int)
+	// StatsTo, when non-nil, receives one line of compiled-plan (or, for
+	// uncompiled runs, memo-cache) statistics after each analysis run.
+	StatsTo io.Writer
+}
+
+// engineOpts translates the options into batch-engine options.
+func (o Options) engineOpts() []engine.Option {
+	opts := []engine.Option{engine.WithWorkers(o.Workers)}
+	if o.Progress != nil {
+		opts = append(opts, engine.WithProgress(o.Progress))
+	}
+	return opts
+}
+
+// OptRunner is a Runner that honors analysis Options. Experiments whose
+// inner loops run on the batch engine register one in addition to their
+// plain Runner; everything else is served by Run's registry.
+type OptRunner func(db *tech.DB, o Options) (*report.Table, error)
+
+var optRegistry = map[string]OptRunner{}
+
+func registerOpt(id string, r OptRunner) {
+	if _, dup := optRegistry[id]; dup {
+		panic("experiments: duplicate opt id " + id)
+	}
+	optRegistry[id] = r
+}
+
+// RunWith executes the experiment honoring o where the experiment
+// supports it; experiments without analysis knobs ignore o.
+func RunWith(id string, db *tech.DB, o Options) (*report.Table, error) {
+	if r, ok := optRegistry[id]; ok {
+		return r(db, o)
+	}
+	return Run(id, db)
 }
 
 // RunAll executes every registered experiment and returns the tables in

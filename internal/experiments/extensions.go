@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
 	"ecochip/internal/explore"
+	"ecochip/internal/kernel"
 	"ecochip/internal/mfg"
 	"ecochip/internal/noc"
 	"ecochip/internal/report"
@@ -21,17 +23,21 @@ import (
 // communication overheads, and the NRE mask-carbon future-work study.
 
 func init() {
-	register("ext-tornado", ExtTornado)
+	register("ext-tornado", func(db *tech.DB) (*report.Table, error) { return ExtTornado(db, Options{}) })
 	register("ext-pareto", ExtPareto)
 	register("ext-noc", ExtNoC)
 	register("ext-nre", ExtNRE)
-	register("ext-uncertainty", ExtUncertainty)
+	register("ext-uncertainty", func(db *tech.DB) (*report.Table, error) { return ExtUncertainty(db, Options{}) })
+	registerOpt("ext-tornado", ExtTornado)
+	registerOpt("ext-uncertainty", ExtUncertainty)
 }
 
 // ExtUncertainty propagates Table I input uncertainty through the model
 // (Section VII discussion): embodied-carbon percentiles for the three
-// main testcases under the default parameter spreads.
-func ExtUncertainty(db *tech.DB) (*report.Table, error) {
+// main testcases under the default parameter spreads. The options select
+// the evaluation path (compiled parameter plan vs per-sample reference)
+// and receive progress/statistics; the table is identical either way.
+func ExtUncertainty(db *tech.DB, o Options) (*report.Table, error) {
 	t := report.New("ext-uncertainty",
 		"embodied-carbon distribution under +/-20% input uncertainty (500 Monte Carlo samples)",
 		"testcase", "p5_kg", "p50_kg", "p95_kg", "relative_spread")
@@ -43,8 +49,19 @@ func ExtUncertainty(db *tech.DB) (*report.Table, error) {
 		{"A15(7,14,10)", testcases.A15(db, 7, 14, 10, false)},
 		{"EMR(10)", testcases.EMR(db, 10, false)},
 	}
+	ctx := context.Background()
 	for _, c := range cases {
-		d, err := uncertainty.Run(c.sys, db, uncertainty.DefaultSpread(), 500, 2024)
+		var d uncertainty.Distribution
+		var err error
+		if o.Uncompiled {
+			d, err = uncertainty.RunReference(ctx, c.sys, db, uncertainty.DefaultSpread(), 500, 2024, o.engineOpts()...)
+		} else {
+			var plan *kernel.ParamPlan
+			d, plan, err = uncertainty.RunPlanned(ctx, c.sys, db, uncertainty.DefaultSpread(), 500, 2024, o.engineOpts()...)
+			if err == nil && o.StatsTo != nil {
+				fmt.Fprintf(o.StatsTo, "ext-uncertainty %s: %v\n", c.name, plan.Stats())
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -54,12 +71,24 @@ func ExtUncertainty(db *tech.DB) (*report.Table, error) {
 }
 
 // ExtTornado ranks the model inputs by their command over the GA102's
-// total carbon under a ±25% perturbation.
-func ExtTornado(db *tech.DB) (*report.Table, error) {
+// total carbon under a ±25% perturbation. The options select the
+// evaluation path and receive progress/statistics.
+func ExtTornado(db *tech.DB, o Options) (*report.Table, error) {
 	t := report.New("ext-tornado", "GA102 (7,14,10) C_tot sensitivity, +/-25% per factor",
 		"factor", "low_kg", "base_kg", "high_kg", "swing_kg")
 	base := testcases.GA102(db, 7, 14, 10, false)
-	results, err := sensitivity.Tornado(base, db, 0.25)
+	ctx := context.Background()
+	var results []sensitivity.Result
+	var err error
+	if o.Uncompiled {
+		results, err = sensitivity.TornadoReference(ctx, base, db, 0.25, o.engineOpts()...)
+	} else {
+		var plan *kernel.ParamPlan
+		results, plan, err = sensitivity.TornadoPlanned(ctx, base, db, 0.25, o.engineOpts()...)
+		if err == nil && o.StatsTo != nil {
+			fmt.Fprintf(o.StatsTo, "ext-tornado: %v\n", plan.Stats())
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -3,12 +3,14 @@ package explore
 import (
 	"context"
 	"errors"
-	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
 	"ecochip/internal/engine"
+	"ecochip/internal/kernel"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
 )
@@ -16,17 +18,19 @@ import (
 // This file implements compiled sweep plans: the "compile once, stream
 // cheap per-point deltas" evaluation of a full-factorial node sweep.
 //
-// Compile validates the base system once and precomputes a dense
-// nc × len(nodes) table of per-(chiplet, node) invariants — area,
-// manufacturing result, design carbon, NRE share, die dollar cost — so
-// the hot loop replaces per-point cloning, re-validation, mutex-guarded
-// memo lookups and sub-model calls with array indexing. Combinations are
-// then enumerated in mixed-radix reflected Gray-code order, so
-// successive points differ in exactly one chiplet: each step refreshes
-// only the changed chiplet's scratch state (its packaging descriptor and
-// table row), and the result is written into the point's mixed-radix
-// output slot so the point order is identical to the historical
-// recursive walk.
+// The heavy lifting lives in internal/kernel: kernel.BuildTable
+// precomputes the dense nc × len(nodes) table of per-(chiplet, node)
+// invariants — area, manufacturing result, design carbon, NRE share, die
+// dollar cost — so the hot loop replaces per-point cloning,
+// re-validation, mutex-guarded memo lookups and sub-model calls with
+// array indexing, and kernel.Scratch carries each worker's reusable
+// arena (packaging estimator, chiplet descriptors, operational-term
+// memo). This file owns the sweep-specific parts: combinations are
+// enumerated in mixed-radix reflected Gray-code order, so successive
+// points differ in exactly one chiplet — each step refreshes only the
+// changed chiplet's scratch state — and the result is addressed by the
+// point's mixed-radix output slot so the point order is identical to the
+// historical recursive walk.
 //
 // One deliberate deviation from a textbook incremental evaluator: the
 // per-point metric totals are NOT maintained as running sums patched by
@@ -64,8 +68,8 @@ type SweepStats struct {
 // once, run it any number of times; a plan is immutable after Compile
 // and safe for concurrent use.
 type CompiledPlan struct {
-	base  *core.System
-	db    *tech.DB
+	tbl *kernel.Table
+
 	nodes []int
 	nc    int // chiplets in the base system
 	r     int // candidate nodes (the mixed radix)
@@ -77,123 +81,46 @@ type CompiledPlan struct {
 	// monolithic bases): no packaging, no communication fabric.
 	monolith bool
 
-	// The dense tables. cells and dieUSD are indexed [chiplet][node];
-	// monolith plans hold one row of merged-die cells. nreUSD and
-	// commShare depend only on the node (and for commShare, the fixed
-	// chiplet count), so they are single rows.
-	cells     [][]core.DieCell
-	dieUSD    [][]float64
-	nreUSD    []float64
-	commShare []float64 // nil for monolith plans
-
-	asm   cost.Assembler
-	hasOp bool
-	names []string // chiplet names for packaging descriptors
-
 	points, blockInits, graySteps atomic.Uint64
 }
 
 // Compile builds the sweep plan for evaluating base under every
 // combination of the candidate nodes. It performs every node-independent
-// computation and every per-(chiplet, node) sub-model call exactly once;
-// errors any point of the sweep would hit (invalid base description,
-// unsupported candidate node, sub-model domain violations, missing cost
-// table entries) surface here instead of mid-sweep.
+// computation and every per-(chiplet, node) sub-model call exactly once
+// (see kernel.BuildTable); errors any point of the sweep would hit
+// (invalid base description, unsupported candidate node, sub-model
+// domain violations, missing cost table entries) surface here instead of
+// mid-sweep.
 func Compile(base *core.System, db *tech.DB, nodes []int, cp cost.Params) (*CompiledPlan, error) {
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("explore: no candidate nodes")
-	}
+	// BuildTable owns the shared preconditions (non-empty node list,
+	// system validation, node membership); Compile adds only the
+	// sweep-specific ones.
 	nc := len(base.Chiplets)
 	combos, err := comboCount(len(nodes), nc)
 	if err != nil {
 		return nil, err
 	}
-	if err := base.Validate(db); err != nil {
-		return nil, err
-	}
 	if base.Monolithic && nc > 1 {
 		return nil, ErrNoFastPath
 	}
-	for _, nm := range nodes {
-		if !db.Has(nm) {
-			return nil, fmt.Errorf("explore: candidate node %dnm is not in the technology database", nm)
-		}
+	tbl, err := kernel.BuildTable(base, db, nodes, cp)
+	if err != nil {
+		return nil, err
 	}
 
 	p := &CompiledPlan{
-		base:     base,
-		db:       db,
-		nodes:    append([]int(nil), nodes...),
+		tbl:      tbl,
+		nodes:    tbl.Nodes,
 		nc:       nc,
 		r:        len(nodes),
 		combos:   combos,
-		monolith: base.Monolithic || nc == 1,
-		hasOp:    base.Operation != nil,
-		nreUSD:   make([]float64, len(nodes)),
+		monolith: tbl.Monolith,
 	}
 	p.weight = make([]int, nc)
 	w := 1
 	for i := nc - 1; i >= 0; i-- {
 		p.weight[i] = w
 		w *= p.r
-	}
-
-	vol := base.Volume()
-	rows := nc
-	archName := base.Packaging.Arch.String()
-	if p.monolith {
-		rows = 1
-		archName = "monolithic"
-	}
-	p.cells = make([][]core.DieCell, rows)
-	p.dieUSD = make([][]float64, rows)
-	for i := 0; i < rows; i++ {
-		p.cells[i] = make([]core.DieCell, p.r)
-		p.dieUSD[i] = make([]float64, p.r)
-		for j, nm := range nodes {
-			var cell core.DieCell
-			if p.monolith {
-				cell, err = base.MonolithCell(db, nm, nil)
-			} else {
-				cell, err = base.CellFor(db, base.Chiplets[i], nm, nil)
-			}
-			if err != nil {
-				return nil, err
-			}
-			p.cells[i][j] = cell
-			usd, err := cost.DieUSD(cell.Node, cell.AreaMM2, cp)
-			if err != nil {
-				return nil, err
-			}
-			p.dieUSD[i][j] = usd
-		}
-	}
-	for j, nm := range nodes {
-		usd, err := cost.NREUSDPerPart(db.MustGet(nm), vol, cp)
-		if err != nil {
-			return nil, err
-		}
-		p.nreUSD[j] = usd
-	}
-	if !p.monolith {
-		p.commShare = make([]float64, p.r)
-		for j, nm := range nodes {
-			share, err := base.CommDesignShareKg(db, nm, nc, nil)
-			if err != nil {
-				return nil, err
-			}
-			p.commShare[j] = share
-		}
-		p.names = make([]string, nc)
-		for i, c := range base.Chiplets {
-			p.names[i] = c.Name
-		}
-	}
-	// rows is the die count of every point: nc chiplets, or one merged
-	// die for monolith plans — exactly what assembly charges per.
-	p.asm, err = cost.NewAssembler(archName, rows, cp)
-	if err != nil {
-		return nil, err
 	}
 	return p, nil
 }
@@ -210,7 +137,7 @@ func (p *CompiledPlan) Stats() SweepStats {
 		Points:     p.points.Load(),
 		BlockInits: p.blockInits.Load(),
 		GraySteps:  p.graySteps.Load(),
-		TableCells: len(p.cells) * p.r,
+		TableCells: len(p.tbl.Cells) * p.r,
 	}
 }
 
@@ -226,7 +153,12 @@ func (p *CompiledPlan) Run() ([]Point, error) {
 func (p *CompiledPlan) RunCtx(ctx context.Context, opts ...engine.Option) ([]Point, error) {
 	results := make([]Point, p.combos)
 	err := engine.RunBlocks(ctx, p.combos, func(ctx context.Context, lo, hi int, tick func()) error {
-		return p.runBlock(ctx, lo, hi, results, tick)
+		return p.walkBlock(ctx, lo, hi, func(idx int, pt *Point) error {
+			cp := *pt
+			cp.Nodes = append([]int(nil), pt.Nodes...)
+			results[idx] = cp
+			return nil
+		}, tick)
 	}, opts...)
 	if err != nil {
 		return nil, err
@@ -234,54 +166,174 @@ func (p *CompiledPlan) RunCtx(ctx context.Context, opts ...engine.Option) ([]Poi
 	return results, nil
 }
 
+// Walk evaluates every point of the plan and streams each to visit
+// without materializing a result slice — the batch shape of
+// million-point serving scenarios, where the caller folds points into a
+// running reduction (a Pareto front, a histogram, a wire encoder) as
+// they are produced. visit is called concurrently from the worker
+// goroutines (one walker per contiguous Gray-code block); within a block
+// calls arrive in walk order, and idx is the point's mixed-radix output
+// slot — its index in the RunCtx result slice. The *Point (including its
+// Nodes slice) is owned by the walker and reused after visit returns:
+// copy what must be retained. A visit error cancels the walk.
+func (p *CompiledPlan) Walk(ctx context.Context, visit func(idx int, pt *Point) error, opts ...engine.Option) error {
+	return engine.RunBlocks(ctx, p.combos, func(ctx context.Context, lo, hi int, tick func()) error {
+		return p.walkBlock(ctx, lo, hi, visit, tick)
+	}, opts...)
+}
+
 // ParetoFrontCtx runs the plan and reduces the sweep to its Pareto front
 // under the given objectives, returning the front and the total number
-// of evaluated points.
+// of evaluated points. The reduction is folded into the sweep walk: each
+// worker block maintains its own skyline front over the points it
+// streams (storing objective values and output slots, not points), the
+// block fronts are merged at the barrier, and only then are the
+// surviving points materialized — front-only callers never allocate the
+// full point slice. The returned front is identical to
+// ParetoFront(RunCtx(...), objectives...).
 func (p *CompiledPlan) ParetoFrontCtx(ctx context.Context, objectives []Metric, opts ...engine.Option) ([]Point, int, error) {
-	points, err := p.RunCtx(ctx, opts...)
-	if err != nil {
-		return nil, 0, err
+	if len(objectives) == 0 {
+		panic("explore: ParetoFront needs at least one objective")
 	}
-	return ParetoFront(points, objectives...), len(points), nil
-}
-
-// blockScratch is one worker's reusable per-point state.
-type blockScratch struct {
-	digits []int // current Gray digits (indices into plan.nodes)
-	next   []int // decode buffer for the following index
-	pkgCh  []pkgcarbon.Chiplet
-	est    *pkgcarbon.Estimator
-
-	// Last-value memo for the operational term: its input (router power)
-	// is constant across the whole sweep for RDL/EMIB/monolith/active-
-	// interposer systems and piecewise-constant otherwise.
-	opValid          bool
-	lastPowerW, opKg float64
-}
-
-// runBlock walks the Gray-code segment [lo, hi) of the combination
-// sequence.
-func (p *CompiledPlan) runBlock(ctx context.Context, lo, hi int, results []Point, tick func()) error {
-	sc := &blockScratch{
-		digits: make([]int, p.nc),
-		next:   make([]int, p.nc),
-	}
-	if !p.monolith {
-		est, err := pkgcarbon.NewEstimator(p.base.Packaging)
+	var mu sync.Mutex
+	var merged []frontEntry
+	err := engine.RunBlocks(ctx, p.combos, func(ctx context.Context, lo, hi int, tick func()) error {
+		local := newBlockFront(len(objectives))
+		err := p.walkBlock(ctx, lo, hi, func(idx int, pt *Point) error {
+			local.add(idx, pt, objectives)
+			return nil
+		}, tick)
 		if err != nil {
 			return err
 		}
-		sc.est = est
-		sc.pkgCh = make([]pkgcarbon.Chiplet, p.nc)
+		mu.Lock()
+		merged = append(merged, local.entries...)
+		mu.Unlock()
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Globally dominated survivors of one block are eliminated by the
+	// final ParetoFront pass; restoring output-slot order first makes the
+	// pass see candidates exactly as the materializing path would, so
+	// ties and duplicates resolve identically.
+	sort.Slice(merged, func(a, b int) bool { return merged[a].idx < merged[b].idx })
+	points := make([]Point, len(merged))
+	for i, e := range merged {
+		points[i] = e.pt
+		points[i].Nodes = p.nodesFor(e.idx)
+	}
+	return ParetoFront(points, objectives...), p.combos, nil
+}
+
+// frontEntry is one block-front survivor: the point's scalar fields plus
+// its output slot, from which the Nodes slice is reconstructed only if
+// the point survives the final merge.
+type frontEntry struct {
+	idx int
+	pt  Point // Nodes nil until materialized
+}
+
+// blockFront is one worker block's incremental skyline: the mutually
+// non-dominated subset of the points streamed so far. Objective values
+// are computed once per point and stored in a flat arena, so membership
+// checks are branch-light float compares and the only growth is the
+// entry/value slices themselves — no per-point allocations.
+type blockFront struct {
+	k       int
+	entries []frontEntry
+	objs    []float64 // len(entries)*k objective values
+	vals    []float64 // candidate scratch, len k
+}
+
+func newBlockFront(k int) *blockFront {
+	return &blockFront{k: k, vals: make([]float64, k)}
+}
+
+// add folds one point into the front: rejected if any member dominates
+// it, otherwise inserted after evicting the members it dominates. Equal
+// points do not dominate each other (matching ParetoFront), so exact
+// duplicates coexist. The front invariant (mutual non-dominance) makes
+// the two outcomes exclusive, so a single pass suffices.
+func (f *blockFront) add(idx int, pt *Point, objectives []Metric) {
+	vals := f.vals
+	for j, m := range objectives {
+		vals[j] = m(*pt)
+	}
+	for e := 0; e < len(f.entries); {
+		ov := f.objs[e*f.k : (e+1)*f.k]
+		memberBetter, candidateBetter := false, false
+		for j := 0; j < f.k; j++ {
+			switch {
+			case ov[j] < vals[j]:
+				memberBetter = true
+			case ov[j] > vals[j]:
+				candidateBetter = true
+			}
+		}
+		if memberBetter && !candidateBetter {
+			return // dominated by a member
+		}
+		if candidateBetter && !memberBetter {
+			// Candidate dominates the member: swap-delete (order is
+			// restored by the merge sort).
+			last := len(f.entries) - 1
+			f.entries[e] = f.entries[last]
+			f.entries = f.entries[:last]
+			copy(f.objs[e*f.k:(e+1)*f.k], f.objs[last*f.k:(last+1)*f.k])
+			f.objs = f.objs[:last*f.k]
+			continue
+		}
+		e++
+	}
+	cp := *pt
+	cp.Nodes = nil
+	f.entries = append(f.entries, frontEntry{idx: idx, pt: cp})
+	f.objs = append(f.objs, vals...)
+}
+
+// nodesFor decodes an output slot back into its per-chiplet node
+// assignment, sharing the standard mixed-radix decode with the
+// reference path so the two can never order nodes differently.
+func (p *CompiledPlan) nodesFor(idx int) []int {
+	return combo(idx, p.nodes, p.nc)
+}
+
+// blockScratch is one worker's reusable per-point state: the Gray-code
+// digit buffers, the reusable output point, and the kernel arena
+// (packaging estimator, chiplet descriptors, operational-term memo).
+type blockScratch struct {
+	digits []int // current Gray digits (indices into plan.nodes)
+	next   []int // decode buffer for the following index
+	picked []int // reusable Point.Nodes buffer
+	pt     Point
+	sc     *kernel.Scratch
+}
+
+// walkBlock walks the Gray-code segment [lo, hi) of the combination
+// sequence, streaming each evaluated point (and its output slot) to
+// visit from a block-local scratch.
+func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx int, pt *Point) error, tick func()) error {
+	ksc, err := p.tbl.NewScratch()
+	if err != nil {
+		return err
+	}
+	sc := &blockScratch{
+		digits: make([]int, p.nc),
+		next:   make([]int, p.nc),
+		picked: make([]int, p.nc),
+		sc:     ksc,
 	}
 
 	p.grayDigits(lo, sc.digits)
+	pkgCh := ksc.Chiplets()
 	out := 0
 	for i, d := range sc.digits {
 		out += d * p.weight[i]
 		if !p.monolith {
-			cell := &p.cells[i][d]
-			sc.pkgCh[i] = pkgcarbon.Chiplet{Name: p.names[i], AreaMM2: cell.AreaMM2, Node: cell.Node}
+			cell := &p.tbl.Cells[i][d]
+			pkgCh[i] = pkgcarbon.Chiplet{Name: p.tbl.Names[i], AreaMM2: cell.AreaMM2, Node: cell.Node}
 		}
 	}
 	p.blockInits.Add(1)
@@ -297,8 +349,8 @@ func (p *CompiledPlan) runBlock(ctx context.Context, lo, hi int, results []Point
 					out += (d - sc.digits[i]) * p.weight[i]
 					sc.digits[i] = d
 					if !p.monolith {
-						cell := &p.cells[i][d]
-						sc.pkgCh[i].AreaMM2, sc.pkgCh[i].Node = cell.AreaMM2, cell.Node
+						cell := &p.tbl.Cells[i][d]
+						pkgCh[i].AreaMM2, pkgCh[i].Node = cell.AreaMM2, cell.Node
 					}
 					break
 				}
@@ -308,11 +360,12 @@ func (p *CompiledPlan) runBlock(ctx context.Context, lo, hi int, results []Point
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		pt, err := p.evalPoint(sc)
-		if err != nil {
+		if err := p.evalInto(sc, &sc.pt); err != nil {
 			return err
 		}
-		results[out] = pt
+		if err := visit(out, &sc.pt); err != nil {
+			return err
+		}
 		tick()
 	}
 	p.graySteps.Add(steps)
@@ -320,32 +373,33 @@ func (p *CompiledPlan) runBlock(ctx context.Context, lo, hi int, results []Point
 	return nil
 }
 
-// evalPoint assembles one design point from the table. Per-chiplet
-// contributions are reduced in chiplet order (see the file comment on
-// why the totals are not running sums), whole-package terms come from
-// the scratch estimator, and the only allocation is the point's Nodes
-// slice.
-func (p *CompiledPlan) evalPoint(sc *blockScratch) (Point, error) {
+// evalInto assembles one design point from the table into out.
+// Per-chiplet contributions are reduced in chiplet order (see the file
+// comment on why the totals are not running sums), whole-package terms
+// come from the scratch estimator, and out.Nodes aliases the scratch's
+// reusable buffer — callers that retain the point must copy it.
+func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point) error {
+	t := p.tbl
 	var mfgKg, desKg, nreKg, diesUSD, nreUSD float64
 	for i, d := range sc.digits {
-		cell := &p.cells[i][d]
+		cell := &t.Cells[i][d]
 		mfgKg += cell.MfgKg
 		desKg += cell.DesignKgAmortized
 		nreKg += cell.NREKg
-		diesUSD += p.dieUSD[i][d]
-		nreUSD += p.nreUSD[d]
+		diesUSD += t.DieUSD[i][d]
+		nreUSD += t.NREUSD[d]
 	}
 
 	var hiKg, area, powerW float64
 	assemblyYield := 1.0
 	if p.monolith {
-		area = p.cells[0][sc.digits[0]].AreaMM2
+		area = t.Cells[0][sc.digits[0]].AreaMM2
 	} else {
-		pkg, err := sc.est.Estimate(sc.pkgCh)
+		pkg, err := sc.sc.EstimatePackage()
 		if err != nil {
-			return Point{}, err
+			return err
 		}
-		desKg += p.commShare[sc.digits[0]]
+		desKg += t.CommShare[sc.digits[0]]
 		hiKg = pkg.TotalKg()
 		area = pkg.PackageAreaMM2
 		assemblyYield = pkg.AssemblyYield
@@ -353,36 +407,31 @@ func (p *CompiledPlan) evalPoint(sc *blockScratch) (Point, error) {
 	}
 
 	var opKg float64
-	if p.hasOp {
-		if sc.opValid && sc.lastPowerW == powerW {
-			opKg = sc.opKg
-		} else {
-			v, err := p.base.Operation.LifetimeKg(powerW)
-			if err != nil {
-				return Point{}, err
-			}
-			sc.lastPowerW, sc.opKg, sc.opValid = powerW, v, true
-			opKg = v
+	if t.HasOp {
+		v, err := sc.sc.OperationKg(t.Base.Operation, powerW)
+		if err != nil {
+			return err
 		}
+		opKg = v
 	}
 
-	asmUSD, err := p.asm.USD(area, assemblyYield)
+	asmUSD, err := t.Asm.USD(area, assemblyYield)
 	if err != nil {
-		return Point{}, err
+		return err
 	}
 
-	picked := make([]int, p.nc)
 	for i, d := range sc.digits {
-		picked[i] = p.nodes[d]
+		sc.picked[i] = p.nodes[d]
 	}
 	embodied := mfgKg + desKg + hiKg + nreKg
-	return Point{
-		Nodes:          picked,
+	*out = Point{
+		Nodes:          sc.picked,
 		EmbodiedKg:     embodied,
 		TotalKg:        embodied + opKg,
 		CostUSD:        diesUSD + asmUSD + nreUSD,
 		PackageAreaMM2: area,
-	}, nil
+	}
+	return nil
 }
 
 // grayDigits writes the reflected mixed-radix Gray code of sequence

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"ecochip/internal/core"
@@ -13,8 +14,6 @@ import (
 	"ecochip/internal/descarbon"
 	"ecochip/internal/engine"
 	"ecochip/internal/mfg"
-	"ecochip/internal/opcarbon"
-	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 )
@@ -77,70 +76,12 @@ func TestGrayDigitsProperties(t *testing.T) {
 
 // --- randomized compiled-vs-reference byte identity -------------------
 
-// maskNodes are candidate nodes present in both the technology database
-// and the default cost model's mask-set table.
-var maskNodes = []int{7, 10, 14, 22, 28, 40, 65}
+// randomSystem and randomNodeSet delegate to the shared generator in
+// internal/testcases so every compiled-path equivalence suite draws from
+// the same feature space.
+func randomSystem(rng *rand.Rand, db *tech.DB) *core.System { return testcases.Random(rng, db) }
 
-// randomSystem builds a random but structurally valid multi- or
-// single-chiplet system spanning the model's feature space: packaging
-// archetypes, reuse flags, per-chiplet volumes, the NRE extension, and
-// operational specs.
-func randomSystem(rng *rand.Rand, db *tech.DB) *core.System {
-	ref := db.MustGet(7)
-	nc := 1 + rng.Intn(4)
-	types := []tech.DesignType{tech.Logic, tech.Memory, tech.Analog}
-	chiplets := make([]core.Chiplet, nc)
-	for i := range chiplets {
-		c := core.BlockFromArea(
-			fmt.Sprintf("blk%d", i),
-			types[rng.Intn(len(types))],
-			20+rng.Float64()*180, // 20 - 200 mm^2 at the reference node
-			ref,
-			maskNodes[rng.Intn(len(maskNodes))],
-		)
-		c.Reused = rng.Intn(4) == 0
-		switch rng.Intn(3) {
-		case 0:
-			c.ManufacturedParts = 0 // DefaultVolume
-		case 1:
-			c.ManufacturedParts = 50_000
-		case 2:
-			c.ManufacturedParts = 250_000
-		}
-		chiplets[i] = c
-	}
-	arch := pkgcarbon.Architectures[rng.Intn(len(pkgcarbon.Architectures))]
-	s := &core.System{
-		Name:       fmt.Sprintf("rand-%d", rng.Int63()),
-		Chiplets:   chiplets,
-		Packaging:  pkgcarbon.DefaultParams(arch),
-		Mfg:        mfg.DefaultParams(),
-		Design:     descarbon.DefaultParams(),
-		IncludeNRE: rng.Intn(2) == 0,
-	}
-	if rng.Intn(2) == 0 {
-		s.SystemVolume = 150_000
-	}
-	if rng.Intn(3) > 0 {
-		s.Operation = &opcarbon.Spec{
-			DutyCycle:       0.15,
-			LifetimeYears:   2 + float64(rng.Intn(3)),
-			CarbonIntensity: 0.3 + 0.4*rng.Float64(),
-			AnnualEnergyKWh: 50 + 200*rng.Float64(),
-		}
-	}
-	return s
-}
-
-func randomNodeSet(rng *rand.Rand) []int {
-	n := 1 + rng.Intn(3)
-	perm := rng.Perm(len(maskNodes))
-	nodes := make([]int, n)
-	for i := 0; i < n; i++ {
-		nodes[i] = maskNodes[perm[i]]
-	}
-	return nodes
-}
+func randomNodeSet(rng *rand.Rand) []int { return testcases.RandomNodes(rng) }
 
 func pointsBitIdentical(a, b Point) bool {
 	if len(a.Nodes) != len(b.Nodes) {
@@ -449,5 +390,160 @@ func TestDisaggregateMatchesReference(t *testing.T) {
 				t.Errorf("%s: chiplet %d = %+v, want %+v", tc.name, i, plan.System.Chiplets[i], wantSys.Chiplets[i])
 			}
 		}
+	}
+}
+
+// --- Walk: streaming visitor ------------------------------------------
+
+// Walk must stream every point of the sweep exactly once, with the same
+// slot addressing and float bits as the materializing RunCtx path.
+func TestWalkStreamsAllPoints(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := Compile(base, d, []int{7, 10, 14}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got := make([]Point, plan.Combos())
+		seen := make([]bool, plan.Combos())
+		var mu sync.Mutex
+		err = plan.Walk(context.Background(), func(idx int, pt *Point) error {
+			cp := *pt
+			cp.Nodes = append([]int(nil), pt.Nodes...)
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[idx] {
+				return fmt.Errorf("slot %d visited twice", idx)
+			}
+			seen[idx] = true
+			got[idx] = cp
+			return nil
+		}, engine.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !seen[i] {
+				t.Fatalf("workers=%d: slot %d never visited", workers, i)
+			}
+			if !pointsBitIdentical(got[i], want[i]) {
+				t.Fatalf("workers=%d: point %d differs\nwant %+v\ngot  %+v", workers, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// A visit error must cancel the walk and surface to the caller.
+func TestWalkVisitError(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := Compile(base, d, []int{7, 10, 14}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	err = plan.Walk(context.Background(), func(idx int, pt *Point) error {
+		if idx == 5 {
+			return sentinel
+		}
+		return nil
+	}, engine.WithWorkers(1))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Walk error = %v, want the visitor's sentinel", err)
+	}
+}
+
+// Walk's result allocations must scale with the block count, not the
+// point count: the visited *Point (including Nodes) is scratch-owned, so
+// a full 125-point sweep stays within a fixed per-block scratch budget.
+func TestWalkAllocationsPerBlock(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := Compile(base, d, []int{7, 10, 14, 22, 28}, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Combos() != 125 {
+		t.Fatalf("combos = %d, want 125", plan.Combos())
+	}
+	ctx := context.Background()
+	count := 0
+	allocs := testing.AllocsPerRun(5, func() {
+		count = 0
+		if err := plan.Walk(ctx, func(int, *Point) error { count++; return nil }, engine.WithWorkers(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if count != 125 {
+		t.Fatalf("visited %d points, want 125", count)
+	}
+	// One single-block walk costs a handful of scratch allocations
+	// (digit buffers, estimator, floorplan arena); 125 retained points
+	// would cost at least 125.
+	if allocs > 60 {
+		t.Errorf("Walk allocated %.0f times for a 125-point sweep; result allocations must be O(blocks), not O(points)", allocs)
+	}
+}
+
+// --- ParetoFrontCtx: folded skyline reduction -------------------------
+
+// The fold must return byte-identical fronts to the materializing
+// ParetoFront(RunCtx(...)) path across random systems, node sets, worker
+// counts and objective mixes — including a quantized objective that
+// forces exact ties and duplicates.
+func TestParetoFrontCtxMatchesMaterializedRandomized(t *testing.T) {
+	d := db()
+	cp := cost.DefaultParams()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260728))
+	quantCost := func(p Point) float64 { return math.Floor(p.CostUSD/50) * 50 }
+	objectiveSets := [][]Metric{
+		{ByEmbodied, ByCost},
+		{ByTotal, ByArea},
+		{quantCost, ByEmbodied},
+		{ByEmbodied, ByCost, ByArea},
+	}
+
+	evaluated := 0
+	for trial := 0; trial < 25; trial++ {
+		base := testcases.Random(rng, d)
+		nodes := testcases.RandomNodes(rng)
+		objectives := objectiveSets[trial%len(objectiveSets)]
+		plan, err := Compile(base, d, nodes, cp)
+		if err != nil {
+			continue
+		}
+		points, err := plan.RunCtx(ctx)
+		if err != nil {
+			continue
+		}
+		want := ParetoFront(points, objectives...)
+		for _, workers := range []int{1, 3} {
+			got, total, err := plan.ParetoFrontCtx(ctx, objectives, engine.WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("trial %d: fold failed: %v", trial, err)
+			}
+			if total != len(points) {
+				t.Fatalf("trial %d: total = %d, want %d", trial, total, len(points))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers=%d: front size %d, want %d", trial, workers, len(got), len(want))
+			}
+			for i := range want {
+				if !pointsBitIdentical(got[i], want[i]) {
+					t.Fatalf("trial %d workers=%d front point %d differs\nwant %+v\ngot  %+v",
+						trial, workers, i, want[i], got[i])
+				}
+			}
+		}
+		evaluated++
+	}
+	if evaluated < 15 {
+		t.Fatalf("only %d of 25 random trials evaluated cleanly", evaluated)
 	}
 }

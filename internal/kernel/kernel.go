@@ -1,0 +1,139 @@
+// Package kernel is the compiled-evaluation core shared by every
+// design-space workflow: node sweeps (internal/explore), tornado
+// sensitivity (internal/sensitivity) and Monte Carlo uncertainty
+// (internal/uncertainty) all reduce to "evaluate many systems that differ
+// from a compiled base in a known, small way", and this package owns the
+// machinery that makes those evaluations allocation-free and
+// bit-identical to the one-off core.System.Evaluate path:
+//
+//   - Table: the dense per-(chiplet, node) invariant table of a node
+//     sweep — core.DieCell rows plus die dollar cost, NRE cost and the
+//     communication design share — built through the same core seam
+//     (CellFor / MonolithCell) that Evaluate itself uses, so bit-identity
+//     holds by construction.
+//   - Scratch: one worker's reusable arena — the packaging estimator
+//     (pkgcarbon.Estimator with its fused floorplan scratch), chiplet
+//     descriptor buffer, operational-term memo and the tech.Sandbox for
+//     per-sample node perturbation.
+//   - ParamPlan: a compiled plan keyed by perturbed *tech.Node / system
+//     parameters. It tabulates every sub-result of the base point once
+//     and re-evaluates perturbations by recomputing only the sub-models
+//     a Dirty set names, serving everything else from the table through
+//     the core.Hooks seam.
+//
+// The contract everywhere is bit-identity: a compiled evaluation returns
+// the exact float bits of the uncompiled reference path (guarded by
+// randomized equivalence tests in the client packages), so callers can
+// switch paths freely for speed without perturbing a single result.
+package kernel
+
+import (
+	"fmt"
+
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// Totals is one design point reduced in the canonical core.Report order;
+// the field and expression order mirror Report exactly so the sums carry
+// the same float bits.
+type Totals struct {
+	// MfgKg, DesignKg, HIKg, NREKg, OperationalKg are the Report terms.
+	MfgKg, DesignKg, HIKg, NREKg, OperationalKg float64
+	// PackageAreaMM2 is the substrate/die footprint.
+	PackageAreaMM2 float64
+	// AssemblyYield is the package-level yield divisor (1 for monoliths).
+	AssemblyYield float64
+	// RouterPowerW is the communication power fed to the operational model.
+	RouterPowerW float64
+}
+
+// EmbodiedKg returns C_emb exactly as core.Report.EmbodiedKg computes it.
+func (t Totals) EmbodiedKg() float64 { return t.MfgKg + t.DesignKg + t.HIKg + t.NREKg }
+
+// TotalKg returns C_tot exactly as core.Report.TotalKg computes it.
+func (t Totals) TotalKg() float64 { return t.EmbodiedKg() + t.OperationalKg }
+
+// Scratch is one worker's reusable evaluation arena. It is NOT safe for
+// concurrent use: batch engines build one per worker goroutine
+// (engine.RunScratch / engine.RunBlocks) and reuse it across every point
+// the worker evaluates.
+type Scratch struct {
+	pkgCh []pkgcarbon.Chiplet
+	est   *pkgcarbon.Estimator // sweep scratches only; nil for param plans
+
+	hooks paramHooks    // param-plan scratches only
+	sb    *tech.Sandbox // lazy; built on first PerturbNodes
+	db    *tech.DB      // sandbox source (the plan's database)
+
+	// Last-value memo for the operational term: its input (spec, router
+	// power) is constant across whole sweeps and across all samples /
+	// node-side factors of a parameter plan.
+	opSpec   *opcarbon.Spec
+	opValid  bool
+	opPowerW float64
+	opKg     float64
+}
+
+// NewSweepScratch builds the per-worker arena of a compiled node sweep:
+// a chiplet descriptor buffer for nc dies and, when pkg is non-nil (the
+// multi-chiplet path), a packaging estimator over the fixed parameters.
+func NewSweepScratch(pkg *pkgcarbon.Params, nc int) (*Scratch, error) {
+	sc := &Scratch{}
+	if pkg != nil {
+		est, err := pkgcarbon.NewEstimator(*pkg)
+		if err != nil {
+			return nil, err
+		}
+		sc.est = est
+		sc.pkgCh = make([]pkgcarbon.Chiplet, nc)
+	}
+	return sc, nil
+}
+
+// Chiplets returns the scratch-owned packaging descriptor buffer; sweep
+// walkers refresh only the entries their Gray step changed.
+func (sc *Scratch) Chiplets() []pkgcarbon.Chiplet { return sc.pkgCh }
+
+// EstimatePackage runs the scratch estimator over the current chiplet
+// descriptors. The result is owned by the estimator and overwritten by
+// the next call. Only multi-chiplet sweep scratches carry an estimator;
+// calling this on a param-plan or monolith scratch is a usage error.
+func (sc *Scratch) EstimatePackage() (*pkgcarbon.Result, error) {
+	if sc.est == nil {
+		return nil, fmt.Errorf("kernel: EstimatePackage on a scratch without a packaging estimator (param-plan or monolith scratch)")
+	}
+	return sc.est.Estimate(sc.pkgCh)
+}
+
+// OperationKg returns spec.LifetimeKg(powerW) through the last-value
+// memo: the operational term's inputs are piecewise-constant across the
+// points a worker evaluates, so the memo collapses almost every call.
+func (sc *Scratch) OperationKg(spec *opcarbon.Spec, powerW float64) (float64, error) {
+	if sc.opValid && sc.opSpec == spec && sc.opPowerW == powerW {
+		return sc.opKg, nil
+	}
+	kg, err := spec.LifetimeKg(powerW)
+	if err != nil {
+		return 0, err
+	}
+	sc.opSpec, sc.opPowerW, sc.opKg, sc.opValid = spec, powerW, kg, true
+	return kg, nil
+}
+
+// PerturbNodes returns a perturbed database for one evaluation: the
+// scratch's private sandbox copy of the plan's database with every node
+// reset to its base parameters and mutate applied — the allocation-free
+// equivalent of db.Clone(mutate) for per-sample Monte Carlo
+// perturbation. The returned DB is only valid until the next
+// PerturbNodes call on this scratch.
+func (sc *Scratch) PerturbNodes(mutate func(*tech.Node)) *tech.DB {
+	if sc.db == nil {
+		panic("kernel: PerturbNodes on a sweep scratch; build one with ParamPlan.NewScratch")
+	}
+	if sc.sb == nil {
+		sc.sb = sc.db.NewSandbox()
+	}
+	return sc.sb.Reset(mutate)
+}

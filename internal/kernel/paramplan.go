@@ -1,0 +1,388 @@
+package kernel
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// This file implements compiled parameter plans: the "tabulate the base
+// point once, re-evaluate perturbations by recomputing only what they
+// touched" backend of the tornado sensitivity and Monte Carlo
+// uncertainty analyses.
+//
+// Both analyses evaluate one fixed system under small parameter
+// perturbations — a cloned tech database with scaled defect density, a
+// scaled design-effort knob, a different lifetime. The uncompiled path
+// pays a full evaluation per perturbation: clone, re-validate,
+// re-floorplan, re-run every sub-model (the engine memo cache cannot
+// help across Monte Carlo samples, whose cloned *tech.Node keys never
+// repeat). But each perturbation leaves most sub-model inputs untouched:
+//
+//   - chiplet areas read only the node density table, which no supported
+//     perturbation touches, so areas — and therefore the floorplan and
+//     all package carbon — are invariant under node/mfg/design/volume
+//     perturbations;
+//   - mfg.Die reads the node's fab parameters and System.Mfg;
+//   - descarbon.ChipletKg reads only the node's EDA productivity and
+//     System.Design;
+//   - the packaging communication cells read the chiplets' node fab
+//     parameters; the rest of C_HI reads areas and System.Packaging;
+//   - amortizations are cheap divisions, recomputed unconditionally.
+//
+// A Dirty set names the parameter groups a perturbation touched, and
+// Eval recomputes exactly the sub-models those groups feed, serving
+// everything else from the base tabulation through the core.Hooks seam —
+// the same seam the engine memo cache uses, so the assembly order (and
+// every float bit) of the result is the uncompiled path's by
+// construction. The randomized equivalence tests in internal/sensitivity
+// and internal/uncertainty guard the dirty-set mapping itself: if a new
+// sub-model dependency ever violates an invariance assumed here, those
+// tests break before any analysis result can drift.
+
+// Dirty flags name the parameter groups one perturbed evaluation
+// touched relative to the plan's base point. An empty set re-derives the
+// base point entirely from the tabulation.
+type Dirty uint8
+
+const (
+	// DirtyNodes marks perturbed per-node FAB parameters (defect
+	// density, EPA, gas/material CFP, equipment efficiency),
+	// invalidating die manufacturing results and the packaging
+	// communication cells. It does NOT cover a node's EDAProductivity,
+	// which only the design-carbon model reads: a perturbation touching
+	// it must also set DirtyDesign, exactly as one touching a node's
+	// Density table (which nothing supports — areas, and with them the
+	// floorplan, are assumed invariant) is out of contract entirely.
+	DirtyNodes Dirty = 1 << iota
+	// DirtyMfg marks a changed System.Mfg (fab carbon intensity, wafer,
+	// alpha), invalidating die manufacturing results.
+	DirtyMfg
+	// DirtyDesign marks a changed System.Design (iterations, design
+	// power, ...), invalidating per-chiplet design carbon and the
+	// communication-fabric design share.
+	DirtyDesign
+	// DirtyPackaging marks a changed System.Packaging, invalidating the
+	// whole C_HI estimate (package carbon, assembly yield, routing).
+	DirtyPackaging
+	// DirtyOperation marks a changed System.Operation. It invalidates
+	// the scratch's operational-term memo, which otherwise trusts spec
+	// pointer identity — required when a caller mutates one Spec in
+	// place between evaluations (perturbers that allocate a fresh Spec
+	// per evaluation, like the tornado factors, miss the memo anyway).
+	DirtyOperation
+	// DirtyVolume marks changed amortization volumes (SystemVolume,
+	// ManufacturedParts). Amortizations are recomputed unconditionally —
+	// they are single divisions — so this flag is documentary too.
+	DirtyVolume
+)
+
+// ParamStats counts the work a parameter plan performed; CLIs surface it
+// under -progress next to the engine cache statistics.
+type ParamStats struct {
+	// Evals is the number of perturbed points evaluated.
+	Evals uint64
+	// DieRecomputes / DieTableHits split mfg.Die calls into recomputed
+	// (dirty) and served-from-table.
+	DieRecomputes, DieTableHits uint64
+	// DesignRecomputes / DesignTableHits split descarbon.ChipletKg calls.
+	DesignRecomputes, DesignTableHits uint64
+	// PackageEstimates counts full packaging re-estimates (floorplan and
+	// all); RoutingRefreshes counts communication-only refreshes over the
+	// tabulated package carbon.
+	PackageEstimates, RoutingRefreshes uint64
+}
+
+// String renders the stats as the one-line summary CLIs print under
+// -progress (the single source of the format, so surfaces cannot drift).
+func (s ParamStats) String() string {
+	return fmt.Sprintf("param plan: %d evals; die %d recomputed / %d from table, design %d recomputed / %d from table, %d package re-estimates, %d routing refreshes",
+		s.Evals, s.DieRecomputes, s.DieTableHits, s.DesignRecomputes, s.DesignTableHits, s.PackageEstimates, s.RoutingRefreshes)
+}
+
+// ParamPlan is a compiled parameter-perturbation plan: the base system
+// validated once and every expensive pure sub-result of its evaluation —
+// per-chiplet manufacturing results and design carbon, the packaging
+// estimate, the communication-fabric design carbon — tabulated for reuse
+// across perturbed evaluations. A plan is immutable after CompileParams
+// and safe for concurrent use; per-worker mutable state lives in the
+// Scratch.
+type ParamPlan struct {
+	base     *core.System
+	db       *tech.DB
+	nc       int
+	monolith bool
+
+	// The base tabulation, served through the Hooks seam when a
+	// perturbation's dirty set leaves the sub-model's inputs untouched.
+	die    []mfg.Result // per chiplet (monolith: one merged row)
+	des    []float64    // descarbon.ChipletKg per chiplet
+	commKg float64      // ChipletKg of the communication fabric
+	pkg    pkgSnapshot
+
+	evals                          atomic.Uint64
+	dieCalls, dieHits              atomic.Uint64
+	desCalls, desHits              atomic.Uint64
+	pkgEstimates, routingRefreshes atomic.Uint64
+}
+
+// pkgSnapshot is the tabulated base packaging result: every field of the
+// estimate a perturbed evaluation may serve without re-floorplanning.
+type pkgSnapshot struct {
+	packageKg     float64
+	hiKg          float64 // PackageKg + RoutingKg, summed once
+	areaMM2       float64
+	assemblyYield float64
+	routerPowerW  float64
+}
+
+// capture returns hooks that compute sub-models directly while recording
+// each result into the plan's base tabulation at *row.
+func (p *ParamPlan) capture(row *int) *core.Hooks {
+	return &core.Hooks{
+		Die: func(n *tech.Node, d tech.DesignType, areaMM2 float64, mp mfg.Params) (mfg.Result, error) {
+			m, err := mfg.Die(n, d, areaMM2, mp)
+			if err == nil {
+				p.die[*row] = m
+			}
+			return m, err
+		},
+		ChipletKg: func(gates float64, n *tech.Node, dp descarbon.Params) (float64, error) {
+			kg, err := descarbon.ChipletKg(gates, n, dp)
+			if err != nil {
+				return 0, err
+			}
+			if *row == commRow {
+				p.commKg = kg
+			} else {
+				p.des[*row] = kg
+			}
+			return kg, nil
+		},
+	}
+}
+
+// CompileParams validates the base (system, database) pair once and
+// tabulates every expensive pure sub-result of its evaluation. Errors a
+// base evaluation would hit surface here.
+func CompileParams(base *core.System, db *tech.DB) (*ParamPlan, error) {
+	if err := base.Validate(db); err != nil {
+		return nil, err
+	}
+	nc := len(base.Chiplets)
+	p := &ParamPlan{base: base, db: db, nc: nc, monolith: base.Monolithic || nc == 1}
+	rows := nc
+	if p.monolith {
+		rows = 1
+	}
+	p.die = make([]mfg.Result, rows)
+	p.des = make([]float64, rows)
+
+	row := 0
+	rec := p.capture(&row)
+	if p.monolith {
+		if _, err := base.MonolithCell(db, base.Chiplets[0].NodeNm, rec); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	chiplets := make([]pkgcarbon.Chiplet, nc)
+	for i := range base.Chiplets {
+		row = i
+		cell, err := base.CellFor(db, base.Chiplets[i], base.Chiplets[i].NodeNm, rec)
+		if err != nil {
+			return nil, err
+		}
+		chiplets[i] = pkgcarbon.Chiplet{Name: base.Chiplets[i].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+	}
+	pkg, err := pkgcarbon.Estimate(chiplets, base.Packaging)
+	if err != nil {
+		return nil, err
+	}
+	p.pkg = pkgSnapshot{
+		packageKg:     pkg.PackageKg,
+		hiKg:          pkg.TotalKg(),
+		areaMM2:       pkg.PackageAreaMM2,
+		assemblyYield: pkg.AssemblyYield,
+		routerPowerW:  pkg.RouterTotalPowerW,
+	}
+	row = commRow
+	if _, err := base.CommDesignShareKg(db, base.Chiplets[0].NodeNm, nc, rec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Base returns the compiled base system.
+func (p *ParamPlan) Base() *core.System { return p.base }
+
+// DB returns the compiled base database.
+func (p *ParamPlan) DB() *tech.DB { return p.db }
+
+// Stats snapshots the plan's work counters (cumulative across runs).
+func (p *ParamPlan) Stats() ParamStats {
+	return ParamStats{
+		Evals:            p.evals.Load(),
+		DieRecomputes:    p.dieCalls.Load(),
+		DieTableHits:     p.dieHits.Load(),
+		DesignRecomputes: p.desCalls.Load(),
+		DesignTableHits:  p.desHits.Load(),
+		PackageEstimates: p.pkgEstimates.Load(),
+		RoutingRefreshes: p.routingRefreshes.Load(),
+	}
+}
+
+// NewScratch builds a per-worker arena for evaluating this plan.
+func (p *ParamPlan) NewScratch() (*Scratch, error) {
+	sc := &Scratch{db: p.db}
+	sc.hooks.init(p)
+	if !p.monolith {
+		sc.pkgCh = make([]pkgcarbon.Chiplet, p.nc)
+	}
+	return sc, nil
+}
+
+// commRow is the hooks row of the communication-fabric design carbon.
+const commRow = -1
+
+// paramHooks serves the plan's base tabulation through the core.Hooks
+// seam, recomputing a sub-model only when the current evaluation's dirty
+// set invalidates it. row tracks which chiplet (or commRow) the enclosing
+// CellFor / CommDesignShareKg call is evaluating.
+type paramHooks struct {
+	plan               *ParamPlan
+	row                int
+	dieDirty, desDirty bool
+	h                  core.Hooks
+}
+
+func (ph *paramHooks) init(plan *ParamPlan) {
+	ph.plan = plan
+	ph.h = core.Hooks{Die: ph.die, ChipletKg: ph.chipletKg}
+}
+
+func (ph *paramHooks) die(n *tech.Node, d tech.DesignType, areaMM2 float64, p mfg.Params) (mfg.Result, error) {
+	if ph.dieDirty {
+		ph.plan.dieCalls.Add(1)
+		return mfg.Die(n, d, areaMM2, p)
+	}
+	ph.plan.dieHits.Add(1)
+	return ph.plan.die[ph.row], nil
+}
+
+func (ph *paramHooks) chipletKg(gates float64, n *tech.Node, p descarbon.Params) (float64, error) {
+	if ph.desDirty {
+		ph.plan.desCalls.Add(1)
+		return descarbon.ChipletKg(gates, n, p)
+	}
+	ph.plan.desHits.Add(1)
+	if ph.row == commRow {
+		return ph.plan.commKg, nil
+	}
+	return ph.plan.des[ph.row], nil
+}
+
+// Eval evaluates one perturbed (system, database) pair against the plan:
+// s and db are the perturbed descriptors (for untouched groups, pass the
+// base values), and dirty names the parameter groups the perturbation
+// touched. The result carries the exact float bits of
+// s.EvaluateWith(db, nil) — sub-models whose inputs the dirty set leaves
+// untouched are served from the base tabulation, everything else is
+// recomputed through the same code paths the direct evaluation runs.
+// The contract is only as good as the dirty declaration: an under-declared
+// set (see the flag docs for which node fields belong to which group)
+// silently serves stale sub-results, so new perturbation kinds need a
+// parity test against the direct evaluation, like the ones guarding the
+// tornado factors and Monte Carlo sampling.
+func (p *ParamPlan) Eval(sc *Scratch, s *core.System, db *tech.DB, dirty Dirty) (Totals, error) {
+	if err := s.Validate(db); err != nil {
+		return Totals{}, err
+	}
+	p.evals.Add(1)
+	ph := &sc.hooks
+	ph.dieDirty = dirty&(DirtyNodes|DirtyMfg) != 0
+	ph.desDirty = dirty&DirtyDesign != 0
+
+	var t Totals
+	t.AssemblyYield = 1
+	if p.monolith {
+		ph.row = 0
+		cell, err := s.MonolithCell(db, s.Chiplets[0].NodeNm, &ph.h)
+		if err != nil {
+			return Totals{}, err
+		}
+		t.MfgKg = cell.MfgKg
+		t.DesignKg = cell.DesignKgAmortized
+		t.NREKg = cell.NREKg
+		t.PackageAreaMM2 = cell.AreaMM2
+	} else {
+		for i := range s.Chiplets {
+			ph.row = i
+			cell, err := s.CellFor(db, s.Chiplets[i], s.Chiplets[i].NodeNm, &ph.h)
+			if err != nil {
+				return Totals{}, err
+			}
+			t.MfgKg += cell.MfgKg
+			t.DesignKg += cell.DesignKgAmortized
+			t.NREKg += cell.NREKg
+			sc.pkgCh[i] = pkgcarbon.Chiplet{Name: s.Chiplets[i].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+		}
+		switch {
+		case dirty&DirtyPackaging != 0:
+			// Packaging parameters changed: nothing of the tabulated
+			// estimate survives; run the full model like the uncompiled
+			// path does.
+			p.pkgEstimates.Add(1)
+			pkg, err := pkgcarbon.Estimate(sc.pkgCh, s.Packaging)
+			if err != nil {
+				return Totals{}, err
+			}
+			t.HIKg = pkg.TotalKg()
+			t.PackageAreaMM2 = pkg.PackageAreaMM2
+			t.AssemblyYield = pkg.AssemblyYield
+			t.RouterPowerW = pkg.RouterTotalPowerW
+		case dirty&DirtyNodes != 0:
+			// Only node parameters changed: areas — and with them the
+			// floorplan, package carbon and assembly yield — are intact;
+			// refresh just the node-dependent communication cells.
+			p.routingRefreshes.Add(1)
+			r, err := pkgcarbon.EstimateRouting(sc.pkgCh, s.Packaging)
+			if err != nil {
+				return Totals{}, err
+			}
+			t.HIKg = p.pkg.packageKg + r.RoutingKg
+			t.PackageAreaMM2 = p.pkg.areaMM2
+			t.AssemblyYield = p.pkg.assemblyYield
+			t.RouterPowerW = r.RouterTotalPowerW
+		default:
+			t.HIKg = p.pkg.hiKg
+			t.PackageAreaMM2 = p.pkg.areaMM2
+			t.AssemblyYield = p.pkg.assemblyYield
+			t.RouterPowerW = p.pkg.routerPowerW
+		}
+		ph.row = commRow
+		share, err := s.CommDesignShareKg(db, s.Chiplets[0].NodeNm, len(s.Chiplets), &ph.h)
+		if err != nil {
+			return Totals{}, err
+		}
+		t.DesignKg += share
+	}
+	if s.Operation != nil {
+		if dirty&DirtyOperation != 0 {
+			// The caller may have mutated the spec in place; pointer
+			// identity no longer proves the memo is current.
+			sc.opValid = false
+		}
+		op, err := sc.OperationKg(s.Operation, t.RouterPowerW)
+		if err != nil {
+			return Totals{}, err
+		}
+		t.OperationalKg = op
+	}
+	return t, nil
+}

@@ -96,3 +96,35 @@ func TestEstimatorResultIsReused(t *testing.T) {
 		t.Error("second call should have overwritten the scratch result")
 	}
 }
+
+// EstimateRouting must reproduce the communication fields of a full
+// Estimate bit-for-bit for every architecture — it is the seam compiled
+// parameter plans use to refresh the node-dependent slice of a tabulated
+// packaging result.
+func TestEstimateRoutingMatchesEstimate(t *testing.T) {
+	db := tech.Default()
+	chiplets := []Chiplet{
+		{Name: "a", AreaMM2: 120, Node: db.MustGet(7)},
+		{Name: "b", AreaMM2: 60, Node: db.MustGet(14)},
+		{Name: "c", AreaMM2: 30, Node: db.MustGet(10)},
+	}
+	for _, arch := range Architectures {
+		p := DefaultParams(arch)
+		full, err := Estimate(chiplets, p)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		r, err := EstimateRouting(chiplets, p)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if math.Float64bits(r.RoutingKg) != math.Float64bits(full.RoutingKg) ||
+			math.Float64bits(r.RouterAreaPerChipletMM2) != math.Float64bits(full.RouterAreaPerChipletMM2) ||
+			math.Float64bits(r.RouterTotalPowerW) != math.Float64bits(full.RouterTotalPowerW) {
+			t.Errorf("%v: routing slice diverges from full estimate:\nfull %+v\ngot  %+v", arch, full, r)
+		}
+	}
+	if _, err := EstimateRouting(nil, DefaultParams(RDLFanout)); err == nil {
+		t.Error("empty chiplet set should fail")
+	}
+}

@@ -356,6 +356,44 @@ func (e *Estimator) Estimate(chiplets []Chiplet) (*Result, error) {
 	return estimateWith(chiplets, e.p, &e.sc)
 }
 
+// Routing is the communication slice of a packaging Result: the only
+// C_HI terms that read the chiplets' own technology-node parameters
+// (the router/PHY silicon is charged at its host node's CFPA).
+type Routing struct {
+	// RoutingKg is C_mfg,comm.
+	RoutingKg float64
+	// RouterAreaPerChipletMM2 is the per-chiplet NoC/PHY area.
+	RouterAreaPerChipletMM2 float64
+	// RouterTotalPowerW is the added inter-die communication power.
+	RouterTotalPowerW float64
+}
+
+// EstimateRouting computes only the communication terms of Estimate for
+// the chiplet set — bit-identical to the corresponding fields of the full
+// estimate, with no floorplanning and no package-carbon work. Compiled
+// parameter plans use it to refresh the node-dependent slice of a
+// tabulated packaging result when only tech-node parameters (defect
+// density, EPA, ...) were perturbed: the floorplan and package carbon
+// depend on areas and the packaging node alone and stay valid.
+func EstimateRouting(chiplets []Chiplet, p Params) (Routing, error) {
+	if len(chiplets) == 0 {
+		return Routing{}, fmt.Errorf("pkgcarbon: no chiplets")
+	}
+	if err := p.Validate(); err != nil {
+		return Routing{}, err
+	}
+	var res Result
+	res.Arch = p.Arch
+	if err := addCommunication(&res, chiplets, p, nil); err != nil {
+		return Routing{}, err
+	}
+	return Routing{
+		RoutingKg:               res.RoutingKg,
+		RouterAreaPerChipletMM2: res.RouterAreaPerChipletMM2,
+		RouterTotalPowerW:       res.RouterTotalPowerW,
+	}, nil
+}
+
 // commCell is a memoized per-node communication contribution.
 type commCell struct {
 	areaMM2 float64

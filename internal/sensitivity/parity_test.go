@@ -1,0 +1,98 @@
+package sensitivity
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/engine"
+	"ecochip/internal/testcases"
+)
+
+// The compiled tornado must be bit-identical — same factor order, same
+// float bits in every column — to the per-evaluation reference path
+// across random systems (all packaging archetypes, reuse flags, NRE,
+// operational specs), perturbation magnitudes and worker counts. This
+// test is the guard on the per-factor dirty-set declarations: a factor
+// reaching a sub-model its dirty set does not name shows up here as a
+// bit mismatch.
+func TestCompiledTornadoMatchesReferenceRandomized(t *testing.T) {
+	d := db()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260726))
+	rels := []float64{0.1, 0.25, 0.4}
+
+	evaluated := 0
+	for trial := 0; trial < 30; trial++ {
+		base := testcases.Random(rng, d)
+		rel := rels[trial%len(rels)]
+
+		want, refErr := TornadoReference(ctx, base, d, rel, engine.WithWorkers(2))
+		for _, workers := range []int{1, 3} {
+			got, err := TornadoCtx(ctx, base, d, rel, engine.WithWorkers(workers))
+			if refErr != nil {
+				if err == nil {
+					t.Fatalf("trial %d (%s): reference failed (%v) but compiled tornado succeeded", trial, base.Name, refErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d (%s, %d chiplets, arch %v, rel %g): compiled tornado failed: %v",
+					trial, base.Name, len(base.Chiplets), base.Packaging.Arch, rel, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d factors, want %d", trial, len(got), len(want))
+			}
+			for k := range want {
+				if got[k].Factor != want[k].Factor {
+					t.Fatalf("trial %d factor %d: %q, want %q (ranking diverged)", trial, k, got[k].Factor, want[k].Factor)
+				}
+				if math.Float64bits(got[k].BaseKg) != math.Float64bits(want[k].BaseKg) ||
+					math.Float64bits(got[k].LowKg) != math.Float64bits(want[k].LowKg) ||
+					math.Float64bits(got[k].HighKg) != math.Float64bits(want[k].HighKg) {
+					t.Fatalf("trial %d (%d chiplets, arch %v, nre=%v, op=%v, rel %g) workers=%d factor %q differs\nwant %+v\ngot  %+v",
+						trial, len(base.Chiplets), base.Packaging.Arch, base.IncludeNRE, base.Operation != nil, rel,
+						workers, want[k].Factor, want[k], got[k])
+				}
+			}
+		}
+		if refErr == nil {
+			evaluated++
+		}
+	}
+	if evaluated < 15 {
+		t.Fatalf("only %d of 30 random trials evaluated cleanly; generator too error-prone", evaluated)
+	}
+}
+
+// The compiled path must reproduce the reference's error behavior for
+// out-of-domain perturbations (a lifetime scaled past the model's bound
+// fails validation on both paths).
+func TestCompiledTornadoErrorParity(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	op := *base.Operation
+	op.LifetimeYears = 28 // 28 * 1.25 = 35 > the model's 30-year bound
+	base.Operation = &op
+	ctx := context.Background()
+	if _, err := TornadoReference(ctx, base, d, 0.25); err == nil {
+		t.Fatal("reference accepted an out-of-domain lifetime perturbation")
+	}
+	if _, err := TornadoCtx(ctx, base, d, 0.25); err == nil {
+		t.Fatal("compiled tornado accepted an out-of-domain lifetime perturbation")
+	}
+}
+
+func TestTornadoRelBounds(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	for _, rel := range []float64{0, -0.2, 1, 1.5} {
+		if _, err := Tornado(base, d, rel); err == nil {
+			t.Errorf("rel=%g should fail", rel)
+		}
+		if _, err := TornadoReference(context.Background(), base, d, rel); err == nil {
+			t.Errorf("reference rel=%g should fail", rel)
+		}
+	}
+}

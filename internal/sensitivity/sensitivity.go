@@ -4,6 +4,15 @@
 // study. Each factor is scaled down and up by a relative amount (with
 // Table I clamping) while everything else is held at its base value, and
 // the swing in C_tot ranks the factors.
+//
+// Evaluation runs on a compiled parameter plan (kernel.ParamPlan): the
+// base point is tabulated once, and each factor-side evaluation
+// recomputes only the sub-models its declared dirty set invalidates —
+// the defect-density sides re-run die manufacturing and the packaging
+// communication cells but reuse the design carbon and floorplan, the
+// lifetime sides touch nothing but the operational term, and so on. The
+// results are bit-identical to the per-evaluation reference path
+// (TornadoReference), which the randomized parity test enforces.
 package sensitivity
 
 import (
@@ -13,6 +22,7 @@ import (
 
 	"ecochip/internal/core"
 	"ecochip/internal/engine"
+	"ecochip/internal/kernel"
 	"ecochip/internal/tech"
 )
 
@@ -35,32 +45,36 @@ func (r Result) Swing() float64 {
 }
 
 // factor applies a scale (e.g. 0.8 or 1.2) to one input of a
-// (system, db) pair, returning the perturbed pair.
+// (system, db) pair, returning the perturbed pair. dirty declares which
+// parameter groups apply touches, so the compiled plan recomputes
+// exactly the sub-models the perturbation can reach (the randomized
+// parity test against the reference path guards the declaration).
 type factor struct {
 	name  string
+	dirty kernel.Dirty
 	apply func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error)
 }
 
 func factors() []factor {
 	return []factor{
-		{"defect density D0", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"defect density D0", kernel.DirtyNodes, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			db2, err := db.Clone(func(n *tech.Node) {
 				n.DefectDensity = tech.Clamp(n.DefectDensity*scale, 0.07, 0.3)
 			})
 			return &s, db2, err
 		}},
-		{"manufacturing energy EPA", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"manufacturing energy EPA", kernel.DirtyNodes, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			db2, err := db.Clone(func(n *tech.Node) {
 				n.EPA = tech.Clamp(n.EPA*scale, 0.8, 3.5)
 			})
 			return &s, db2, err
 		}},
-		{"fab carbon intensity", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"fab carbon intensity", kernel.DirtyMfg | kernel.DirtyPackaging, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			s.Mfg.CarbonIntensity = tech.Clamp(s.Mfg.CarbonIntensity*scale, 0.030, 0.700)
 			s.Packaging.CarbonIntensity = tech.Clamp(s.Packaging.CarbonIntensity*scale, 0.030, 0.700)
 			return &s, db, nil
 		}},
-		{"design iterations N_des", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"design iterations N_des", kernel.DirtyDesign, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			iters := int(float64(s.Design.Iterations)*scale + 0.5)
 			if iters < 1 {
 				iters = 1
@@ -68,7 +82,7 @@ func factors() []factor {
 			s.Design.Iterations = iters
 			return &s, db, nil
 		}},
-		{"use-phase carbon intensity", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"use-phase carbon intensity", kernel.DirtyOperation, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			if s.Operation == nil {
 				return &s, db, nil
 			}
@@ -77,7 +91,7 @@ func factors() []factor {
 			s.Operation = &op
 			return &s, db, nil
 		}},
-		{"lifetime", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"lifetime", kernel.DirtyOperation, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			if s.Operation == nil {
 				return &s, db, nil
 			}
@@ -86,7 +100,7 @@ func factors() []factor {
 			s.Operation = &op
 			return &s, db, nil
 		}},
-		{"manufacturing volume", func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
+		{"manufacturing volume", kernel.DirtyVolume, func(s core.System, db *tech.DB, scale float64) (*core.System, *tech.DB, error) {
 			vol := s.SystemVolume
 			if vol == 0 {
 				vol = core.DefaultVolume
@@ -121,17 +135,69 @@ func Tornado(base *core.System, db *tech.DB, rel float64) ([]Result, error) {
 	return TornadoCtx(context.Background(), base, db, rel)
 }
 
-// TornadoCtx is Tornado with cancellation and engine options. The base
-// point and both perturbed points of every factor (2F+1 evaluations)
-// fan out across the batch engine; factors that leave the tech database
-// untouched share memoized per-die results with the base point.
+// TornadoCtx is Tornado with cancellation and engine options. It runs on
+// a compiled parameter plan and is bit-identical to TornadoReference.
 func TornadoCtx(ctx context.Context, base *core.System, db *tech.DB, rel float64, opts ...engine.Option) ([]Result, error) {
+	results, _, err := TornadoPlanned(ctx, base, db, rel, opts...)
+	return results, err
+}
+
+// TornadoPlanned is TornadoCtx also returning the compiled parameter
+// plan the analysis ran on, so callers can surface plan statistics.
+func TornadoPlanned(ctx context.Context, base *core.System, db *tech.DB, rel float64, opts ...engine.Option) ([]Result, *kernel.ParamPlan, error) {
 	if rel <= 0 || rel >= 1 {
-		return nil, fmt.Errorf("sensitivity: relative perturbation %g outside (0, 1)", rel)
+		return nil, nil, fmt.Errorf("sensitivity: relative perturbation %g outside (0, 1)", rel)
+	}
+	plan, err := kernel.CompileParams(base, db)
+	if err != nil {
+		return nil, nil, err
 	}
 	fs := factors()
 	// Task 0 is the base point; tasks 1+2k and 2+2k are factor k's low
 	// and high perturbations.
+	kgs, err := engine.RunScratch(ctx, 1+2*len(fs),
+		func(*core.Hooks) (*kernel.Scratch, error) { return plan.NewScratch() },
+		func(_ context.Context, i int, sc *kernel.Scratch) (float64, error) {
+			if i == 0 {
+				t, err := plan.Eval(sc, base, db, 0)
+				if err != nil {
+					return 0, err
+				}
+				return t.TotalKg(), nil
+			}
+			f := fs[(i-1)/2]
+			scale := 1 - rel
+			side := "low"
+			if (i-1)%2 == 1 {
+				scale = 1 + rel
+				side = "high"
+			}
+			s, db2, err := f.apply(*base, db, scale)
+			if err != nil {
+				return 0, fmt.Errorf("sensitivity: factor %q %s: %w", f.name, side, err)
+			}
+			t, err := plan.Eval(sc, s, db2, f.dirty)
+			if err != nil {
+				return 0, fmt.Errorf("sensitivity: factor %q %s: %w", f.name, side, err)
+			}
+			return t.TotalKg(), nil
+		}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return assemble(fs, kgs), plan, nil
+}
+
+// TornadoReference is the uncompiled tornado: the base point and both
+// perturbed points of every factor (2F+1 evaluations) fan out across the
+// batch engine, each as a full EvaluateWith through the engine's memo
+// cache. It is the oracle the compiled path is tested against and the
+// baseline its speedup is measured against.
+func TornadoReference(ctx context.Context, base *core.System, db *tech.DB, rel float64, opts ...engine.Option) ([]Result, error) {
+	if rel <= 0 || rel >= 1 {
+		return nil, fmt.Errorf("sensitivity: relative perturbation %g outside (0, 1)", rel)
+	}
+	fs := factors()
 	kgs, err := engine.Run(ctx, 1+2*len(fs), func(_ context.Context, i int, h *core.Hooks) (float64, error) {
 		if i == 0 {
 			rep, err := base.EvaluateWith(db, h)
@@ -156,14 +222,20 @@ func TornadoCtx(ctx context.Context, base *core.System, db *tech.DB, rel float64
 	if err != nil {
 		return nil, err
 	}
+	return assemble(fs, kgs), nil
+}
 
+// assemble pairs the task results back into per-factor rows sorted by
+// descending swing (shared by both evaluation paths so the output shape
+// cannot diverge).
+func assemble(fs []factor, kgs []float64) []Result {
 	baseKg := kgs[0]
 	results := make([]Result, len(fs))
 	for k, f := range fs {
 		results[k] = Result{Factor: f.name, BaseKg: baseKg, LowKg: kgs[1+2*k], HighKg: kgs[2+2*k]}
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Swing() > results[j].Swing() })
-	return results, nil
+	return results
 }
 
 func evalScaled(base *core.System, db *tech.DB, f factor, scale float64, h *core.Hooks) (float64, error) {

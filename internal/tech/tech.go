@@ -294,6 +294,59 @@ func (db *DB) Clone(mutate func(*Node)) (*DB, error) {
 	return NewDB(nodes)
 }
 
+// Sandbox is a private, reusable deep copy of a database for repeated
+// what-if perturbation. Clone allocates a fresh database (and re-validates
+// every node) per call, which is fine for a handful of tornado factors but
+// dominates the per-sample cost of a compiled Monte Carlo run; a Sandbox
+// is cloned once and then Reset per sample.
+//
+// A Sandbox is NOT safe for concurrent use; give each worker its own.
+type Sandbox struct {
+	src *DB
+	db  *DB
+}
+
+// NewSandbox returns a sandbox over a deep copy of the database.
+func (db *DB) NewSandbox() *Sandbox {
+	clone, err := db.Clone(nil)
+	if err != nil {
+		// A database that validated at construction re-validates cleanly
+		// under the identity mutation.
+		panic(err)
+	}
+	return &Sandbox{src: db, db: clone}
+}
+
+// Reset restores every node to the source database's parameters, applies
+// mutate to each (exactly as Clone would), and returns the sandbox
+// database. Unlike Clone it allocates nothing and skips re-validation —
+// it is the per-sample hot path of compiled Monte Carlo evaluation — so
+// the caller's mutate owns keeping parameters in range (see Clamp). The
+// returned DB aliases the sandbox's private nodes and is only valid
+// until the next Reset.
+func (sb *Sandbox) Reset(mutate func(*Node)) *DB {
+	for nm, dst := range sb.db.nodes {
+		src := sb.src.nodes[nm]
+		density := dst.Density
+		*dst = *src
+		// Density keys a previous mutate added must not leak into this
+		// sample: restore the map to exactly the source's key set.
+		for k := range density {
+			if _, ok := src.Density[k]; !ok {
+				delete(density, k)
+			}
+		}
+		for k, v := range src.Density {
+			density[k] = v
+		}
+		dst.Density = density
+		if mutate != nil {
+			mutate(dst)
+		}
+	}
+	return sb.db
+}
+
 // Clamp bounds v into [lo, hi]; a convenience for Clone mutate functions
 // that scale Table I parameters.
 func Clamp(v, lo, hi float64) float64 {

@@ -259,3 +259,68 @@ func TestAllNodesWithinTableI(t *testing.T) {
 		}
 	}
 }
+
+func TestSandboxResetRestoresAndMutates(t *testing.T) {
+	src := Default()
+	sb := src.NewSandbox()
+	base := src.MustGet(7).DefectDensity
+
+	db := sb.Reset(func(n *Node) { n.DefectDensity = 0.29 })
+	if got := db.MustGet(7).DefectDensity; got != 0.29 {
+		t.Fatalf("Reset mutation not applied: %g", got)
+	}
+	if src.MustGet(7).DefectDensity != base {
+		t.Fatal("Reset mutated the source database")
+	}
+	// A second Reset must start from base values again, and density maps
+	// must be private copies.
+	db = sb.Reset(func(n *Node) {
+		n.DefectDensity *= 1.0
+		n.Density[Logic] = n.Density[Logic] * 2
+	})
+	if got := db.MustGet(7).DefectDensity; got != base {
+		t.Fatalf("Reset did not restore base values: %g, want %g", got, base)
+	}
+	if src.MustGet(7).Density[Logic] == db.MustGet(7).Density[Logic] {
+		t.Fatal("sandbox density map aliases the source database")
+	}
+	if db = sb.Reset(nil); db.MustGet(7).Density[Logic] != src.MustGet(7).Density[Logic] {
+		t.Fatal("Reset did not restore density values")
+	}
+}
+
+// Sandbox resets must reproduce Clone bit-for-bit under the same mutation.
+func TestSandboxMatchesClone(t *testing.T) {
+	src := Default()
+	mutate := func(n *Node) {
+		n.DefectDensity = Clamp(n.DefectDensity*1.17, 0.07, 0.3)
+		n.EPA = Clamp(n.EPA*0.9, 0.8, 3.5)
+	}
+	cloned, err := src.Clone(mutate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sandboxed := src.NewSandbox().Reset(mutate)
+	for _, nm := range src.Sizes() {
+		c, s := cloned.MustGet(nm), sandboxed.MustGet(nm)
+		if c.DefectDensity != s.DefectDensity || c.EPA != s.EPA || c.EDAProductivity != s.EDAProductivity {
+			t.Fatalf("node %dnm: sandbox %+v diverges from clone %+v", nm, s, c)
+		}
+	}
+}
+
+// Density keys added by one Reset's mutate must not leak into later
+// resets: the sandbox must hand back exactly Clone's key set each time.
+func TestSandboxResetClearsAddedDensityKeys(t *testing.T) {
+	src := Default()
+	sb := src.NewSandbox()
+	phantom := DesignType(99)
+	db := sb.Reset(func(n *Node) { n.Density[phantom] = 1 })
+	if _, ok := db.MustGet(7).Density[phantom]; !ok {
+		t.Fatal("mutate-added density key missing from the mutated sandbox")
+	}
+	db = sb.Reset(nil)
+	if _, ok := db.MustGet(7).Density[phantom]; ok {
+		t.Fatal("density key added by a previous Reset leaked into the next sample")
+	}
+}

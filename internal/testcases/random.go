@@ -1,0 +1,89 @@
+package testcases
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecochip/internal/core"
+	"ecochip/internal/descarbon"
+	"ecochip/internal/mfg"
+	"ecochip/internal/opcarbon"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+// Randomized system generation for equivalence testing. Every compiled
+// fast path in this repository (sweep plans, parameter plans) carries a
+// bit-identity contract against its uncompiled reference, and the suites
+// guarding those contracts must draw from the same structurally-valid
+// slice of the model's feature space: packaging archetypes, reuse flags,
+// per-chiplet volumes, the NRE extension, operational specs. This
+// generator is that shared slice; it lives here (not in a _test.go file)
+// so the explore, sensitivity and uncertainty suites can all import it.
+
+// MaskNodes are candidate nodes present in both the technology database
+// and the default cost model's mask-set table, so randomized systems
+// evaluate cleanly under the carbon and dollar models alike.
+var MaskNodes = []int{7, 10, 14, 22, 28, 40, 65}
+
+// Random builds a random but structurally valid multi- or single-chiplet
+// system spanning the model's feature space. Callers own the rng, so a
+// fixed seed reproduces the exact system sequence.
+func Random(rng *rand.Rand, db *tech.DB) *core.System {
+	ref := db.MustGet(7)
+	nc := 1 + rng.Intn(4)
+	types := []tech.DesignType{tech.Logic, tech.Memory, tech.Analog}
+	chiplets := make([]core.Chiplet, nc)
+	for i := range chiplets {
+		c := core.BlockFromArea(
+			fmt.Sprintf("blk%d", i),
+			types[rng.Intn(len(types))],
+			20+rng.Float64()*180, // 20 - 200 mm^2 at the reference node
+			ref,
+			MaskNodes[rng.Intn(len(MaskNodes))],
+		)
+		c.Reused = rng.Intn(4) == 0
+		switch rng.Intn(3) {
+		case 0:
+			c.ManufacturedParts = 0 // DefaultVolume
+		case 1:
+			c.ManufacturedParts = 50_000
+		case 2:
+			c.ManufacturedParts = 250_000
+		}
+		chiplets[i] = c
+	}
+	arch := pkgcarbon.Architectures[rng.Intn(len(pkgcarbon.Architectures))]
+	s := &core.System{
+		Name:       fmt.Sprintf("rand-%d", rng.Int63()),
+		Chiplets:   chiplets,
+		Packaging:  pkgcarbon.DefaultParams(arch),
+		Mfg:        mfg.DefaultParams(),
+		Design:     descarbon.DefaultParams(),
+		IncludeNRE: rng.Intn(2) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		s.SystemVolume = 150_000
+	}
+	if rng.Intn(3) > 0 {
+		s.Operation = &opcarbon.Spec{
+			DutyCycle:       0.15,
+			LifetimeYears:   2 + float64(rng.Intn(3)),
+			CarbonIntensity: 0.3 + 0.4*rng.Float64(),
+			AnnualEnergyKWh: 50 + 200*rng.Float64(),
+		}
+	}
+	return s
+}
+
+// RandomNodes returns a random 1-3 element candidate node set drawn from
+// MaskNodes without repetition.
+func RandomNodes(rng *rand.Rand) []int {
+	n := 1 + rng.Intn(3)
+	perm := rng.Perm(len(MaskNodes))
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = MaskNodes[perm[i]]
+	}
+	return nodes
+}

@@ -133,16 +133,47 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 }
 
-func TestSampleSeedStreamsDiffer(t *testing.T) {
-	seen := map[int64]bool{}
-	for i := 0; i < 1000; i++ {
-		s := sampleSeed(2024, i)
-		if seen[s] {
-			t.Fatalf("duplicate per-sample seed at index %d", i)
+// Per-sample streams must be pairwise disjoint across every draw a
+// sample can make, not just their first draws: a run of n samples draws
+// up to 4n uniforms and all of them must be distinct values. (This
+// catches the overlapping-counter construction where sample i's draw k
+// equals sample i+1's draw k-1 because adjacent base states sit one
+// stream stride apart.)
+func TestSampleStreamsDisjoint(t *testing.T) {
+	const samples, draws = 1000, 4
+	seen := make(map[uint64][2]int, samples*draws)
+	for i := 0; i < samples; i++ {
+		rng := newSampleStream(2024, i)
+		for k := 0; k < draws; k++ {
+			v := rng.next()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("sample %d draw %d collides with sample %d draw %d", i, k, prev[0], prev[1])
+			}
+			seen[v] = [2]int{i, k}
 		}
-		seen[s] = true
 	}
-	if sampleSeed(1, 0) == sampleSeed(2, 0) {
+	a, b := newSampleStream(1, 0), newSampleStream(2, 0)
+	if a.next() == b.next() {
 		t.Error("different run seeds must give different streams")
+	}
+}
+
+// Draws must be uniform in [0, 1): a coarse histogram over many draws
+// catches a broken mixing or scaling constant.
+func TestSampleStreamUniform(t *testing.T) {
+	const draws, bins = 100_000, 10
+	var hist [bins]int
+	rng := newSampleStream(7, 0)
+	for i := 0; i < draws; i++ {
+		v := rng.float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %g outside [0, 1)", v)
+		}
+		hist[int(v*bins)]++
+	}
+	for b, n := range hist {
+		if n < draws/bins*8/10 || n > draws/bins*12/10 {
+			t.Fatalf("bin %d holds %d of %d draws; stream is not plausibly uniform", b, n, draws)
+		}
 	}
 }
