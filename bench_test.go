@@ -12,7 +12,10 @@ package ecochip
 
 import (
 	"context"
+	"fmt"
 	"testing"
+
+	"ecochip/internal/floorplan"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -304,6 +307,74 @@ func BenchmarkNodeSweepWalkFront(b *testing.B) {
 		if total != 125 || len(front) == 0 {
 			b.Fatalf("unexpected front: %d of %d", len(front), total)
 		}
+	}
+}
+
+// BenchmarkNodeSweepIncremental measures the full streaming walk of an
+// already-compiled plan (no front reduction, no point slice): the raw
+// per-point cost of the incremental evaluation stack — Gray odometer,
+// retained-tree floorplan delta, communication slot cache — on the
+// 4-chiplet × 5-node (625-point) GA102 split.
+func BenchmarkNodeSweepIncremental(b *testing.B) {
+	db := DefaultDB()
+	base, err := GA102Split(db, 2, RDLFanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := CompileNodeSweep(base, db, sweepBenchNodes, DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := 0
+		err := plan.Walk(ctx, func(idx int, pt *DesignPoint) error {
+			points++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points != 625 {
+			b.Fatalf("expected 625 points, got %d", points)
+		}
+	}
+	b.StopTimer()
+	s := plan.Stats()
+	if s.Floorplan.FastPath+s.Floorplan.Unchanged == 0 {
+		b.Fatal("incremental sweep never hit the retained-tree fast path")
+	}
+}
+
+// BenchmarkFloorplanIncremental measures the retained slicing tree's
+// single-area update against re-planning from scratch, at the EPYC
+// chiplet count (9 dies): the per-Gray-step floorplan cost a compiled
+// sweep pays after this PR versus before it.
+func BenchmarkFloorplanIncremental(b *testing.B) {
+	areas := []float64{512, 300, 200, 140, 100, 70, 50, 35, 25}
+	blocks := make([]floorplan.Block, len(areas))
+	for i, a := range areas {
+		blocks[i] = floorplan.Block{Name: fmt.Sprintf("d%d", i), AreaMM2: a}
+	}
+	var tr floorplan.Tree
+	if _, err := tr.PlanNoAdjacencies(blocks, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	// Perturbing the smallest block keeps the sorted order and every
+	// partition decision provably stable (it is last in each decision
+	// sequence), so each iteration measures the incremental relayout.
+	last := len(areas) - 1
+	base := areas[last]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Update(last, base+float64(i&1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := tr.Stats(); s.Fallbacks > 0 {
+		b.Fatalf("update benchmark fell back to rebuilds: %+v", s)
 	}
 }
 

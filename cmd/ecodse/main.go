@@ -188,6 +188,9 @@ func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db 
 			s := plan.Stats()
 			fmt.Fprintf(statsW, "compiled plan: %d points from %d table cells, %d gray steps, %d block inits\n",
 				s.Points, s.TableCells, s.GraySteps, s.BlockInits)
+			if fp := s.Floorplan; fp.FastPath+fp.Unchanged+fp.Fallbacks+fp.Rebuilds > 0 {
+				fmt.Fprintln(statsW, fp)
+			}
 		} else {
 			printCacheStats(statsW, cache)
 		}

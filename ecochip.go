@@ -31,6 +31,7 @@ import (
 	"ecochip/internal/engine"
 	"ecochip/internal/experiments"
 	"ecochip/internal/explore"
+	"ecochip/internal/floorplan"
 	"ecochip/internal/kernel"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/report"
@@ -251,8 +252,14 @@ type (
 	// precomputed into a dense table. Run it any number of times; it is
 	// immutable and safe for concurrent use.
 	SweepPlan = explore.CompiledPlan
-	// SweepPlanStats counts the work a compiled plan performed.
+	// SweepPlanStats counts the work a compiled plan performed,
+	// including the incremental-floorplan reuse counters in its
+	// Floorplan field.
 	SweepPlanStats = explore.SweepStats
+	// FloorplanTreeStats counts the work of a retained incremental
+	// floorplan tree: fast-path relayouts vs full rebuilds, topology
+	// fallbacks, and the mean relayout depth.
+	FloorplanTreeStats = floorplan.TreeStats
 )
 
 // ErrNoSweepFastPath reports that a system cannot be compiled into a
@@ -334,8 +341,14 @@ const (
 	ParamDirtyMfg = kernel.DirtyMfg
 	// ParamDirtyDesign marks a changed System.Design.
 	ParamDirtyDesign = kernel.DirtyDesign
-	// ParamDirtyPackaging marks a changed System.Packaging.
+	// ParamDirtyPackaging marks a changed System.Packaging; when the
+	// floorplan-shaping inputs (spacing, flexible shapes) are untouched
+	// the evaluation reuses the base point's floorplan.
 	ParamDirtyPackaging = kernel.DirtyPackaging
+	// ParamDirtyAreas marks changed chiplet areas (transistor budgets or
+	// node density tables): every per-chiplet sub-model and the whole
+	// packaging estimate, floorplan included, recompute.
+	ParamDirtyAreas = kernel.DirtyAreas
 	// ParamDirtyOperation marks a changed (possibly in-place mutated)
 	// System.Operation.
 	ParamDirtyOperation = kernel.DirtyOperation

@@ -10,6 +10,7 @@ import (
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
 	"ecochip/internal/engine"
+	"ecochip/internal/floorplan"
 	"ecochip/internal/kernel"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
@@ -61,6 +62,10 @@ type SweepStats struct {
 	GraySteps uint64
 	// TableCells is the size of the precomputed die table.
 	TableCells int
+	// Floorplan aggregates the per-worker incremental-floorplan
+	// counters: how many packaging estimates were served by a retained-
+	// tree fast path versus a full rebuild, and the mean relayout depth.
+	Floorplan floorplan.TreeStats
 }
 
 // CompiledPlan is a compiled node sweep: the dense per-(chiplet, node)
@@ -81,7 +86,18 @@ type CompiledPlan struct {
 	// monolithic bases): no packaging, no communication fabric.
 	monolith bool
 
+	// scratches pools per-worker evaluation arenas across runs of this
+	// plan, so retained state — the estimator's floorplan tree, its
+	// communication cells and package-term memo — survives from one
+	// request to the next. A re-walk of the same block then starts on a
+	// warm tree (often the Unchanged fast path) instead of rebuilding
+	// it. Safe because the plan is immutable and every retained cache
+	// verifies or is keyed by its exact inputs.
+	scratches sync.Pool
+
 	points, blockInits, graySteps atomic.Uint64
+	// Folded floorplan.TreeStats of the per-block estimator trees.
+	fpRebuilds, fpFastPath, fpFallbacks, fpUnchanged, fpRelayout atomic.Uint64
 }
 
 // Compile builds the sweep plan for evaluating base under every
@@ -138,7 +154,24 @@ func (p *CompiledPlan) Stats() SweepStats {
 		BlockInits: p.blockInits.Load(),
 		GraySteps:  p.graySteps.Load(),
 		TableCells: len(p.tbl.Cells) * p.r,
+		Floorplan: floorplan.TreeStats{
+			Rebuilds:        p.fpRebuilds.Load(),
+			FastPath:        p.fpFastPath.Load(),
+			Fallbacks:       p.fpFallbacks.Load(),
+			Unchanged:       p.fpUnchanged.Load(),
+			RelayoutNodeSum: p.fpRelayout.Load(),
+		},
 	}
+}
+
+// foldFloorplanStats accumulates one worker scratch's retained-tree
+// counters into the plan's totals.
+func (p *CompiledPlan) foldFloorplanStats(s floorplan.TreeStats) {
+	p.fpRebuilds.Add(s.Rebuilds)
+	p.fpFastPath.Add(s.FastPath)
+	p.fpFallbacks.Add(s.Fallbacks)
+	p.fpUnchanged.Add(s.Unchanged)
+	p.fpRelayout.Add(s.RelayoutNodeSum)
 }
 
 // Run evaluates every point of the plan with default engine options.
@@ -301,33 +334,66 @@ func (p *CompiledPlan) nodesFor(idx int) []int {
 }
 
 // blockScratch is one worker's reusable per-point state: the Gray-code
-// digit buffers, the reusable output point, and the kernel arena
-// (packaging estimator, chiplet descriptors, operational-term memo).
+// odometer buffers, the reusable output point, and the kernel arena
+// (packaging estimator with its retained floorplan tree, chiplet
+// descriptors, operational-term memo). Scratches are pooled on the plan
+// and survive across runs; folded records the floorplan counters
+// already folded into the plan totals, so each release folds only the
+// increment.
 type blockScratch struct {
 	digits []int // current Gray digits (indices into plan.nodes)
-	next   []int // decode buffer for the following index
+	std    []int // standard mixed-radix digits of the current index
+	par    []int // parity of the standard value of the digits above i
 	picked []int // reusable Point.Nodes buffer
 	pt     Point
 	sc     *kernel.Scratch
+	folded floorplan.TreeStats
+}
+
+// getScratch takes a pooled worker scratch or builds a fresh one.
+func (p *CompiledPlan) getScratch() (*blockScratch, error) {
+	if v := p.scratches.Get(); v != nil {
+		return v.(*blockScratch), nil
+	}
+	ksc, err := p.tbl.NewScratch()
+	if err != nil {
+		return nil, err
+	}
+	return &blockScratch{
+		digits: make([]int, p.nc),
+		std:    make([]int, p.nc),
+		par:    make([]int, p.nc),
+		picked: make([]int, p.nc),
+		sc:     ksc,
+	}, nil
+}
+
+// putScratch folds the scratch's new floorplan work into the plan
+// totals and returns it to the pool.
+func (p *CompiledPlan) putScratch(sc *blockScratch) {
+	if !p.monolith {
+		cur := sc.sc.FloorplanStats()
+		p.foldFloorplanStats(cur.Delta(sc.folded))
+		sc.folded = cur
+	}
+	p.scratches.Put(sc)
 }
 
 // walkBlock walks the Gray-code segment [lo, hi) of the combination
 // sequence, streaming each evaluated point (and its output slot) to
-// visit from a block-local scratch.
+// visit from a block-local scratch. Each Gray step names the single
+// changed chiplet, and the packaging estimate for the point runs
+// through the kernel scratch's delta path: the retained floorplan tree
+// relayouts only that chiplet's dirty path instead of re-planning.
 func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx int, pt *Point) error, tick func()) error {
-	ksc, err := p.tbl.NewScratch()
+	sc, err := p.getScratch()
 	if err != nil {
 		return err
 	}
-	sc := &blockScratch{
-		digits: make([]int, p.nc),
-		next:   make([]int, p.nc),
-		picked: make([]int, p.nc),
-		sc:     ksc,
-	}
+	defer p.putScratch(sc)
 
-	p.grayDigits(lo, sc.digits)
-	pkgCh := ksc.Chiplets()
+	p.grayInit(lo, sc)
+	pkgCh := sc.sc.Chiplets()
 	out := 0
 	for i, d := range sc.digits {
 		out += d * p.weight[i]
@@ -340,27 +406,28 @@ func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx
 	steps := uint64(0)
 
 	for k := lo; k < hi; k++ {
+		// The first point of a block builds its full scratch state.
+		changed := -1
 		if k > lo {
 			// Successive Gray codes differ in exactly one digit: refresh
 			// only that chiplet's scratch state and output weight.
-			p.grayDigits(k, sc.next)
-			for i := range sc.next {
-				if d := sc.next[i]; d != sc.digits[i] {
-					out += (d - sc.digits[i]) * p.weight[i]
-					sc.digits[i] = d
-					if !p.monolith {
-						cell := &p.tbl.Cells[i][d]
-						pkgCh[i].AreaMM2, pkgCh[i].Node = cell.AreaMM2, cell.Node
-					}
-					break
-				}
+			j, old, d := p.grayStep(sc)
+			out += (d - old) * p.weight[j]
+			if !p.monolith {
+				cell := &p.tbl.Cells[j][d]
+				pkgCh[j].AreaMM2, pkgCh[j].Node = cell.AreaMM2, cell.Node
 			}
+			changed = j
 			steps++
 		}
-		if err := ctx.Err(); err != nil {
-			return err
+		// Cancellation is polled every 64 points: a context check per
+		// point was measurable against the delta-path evaluation cost.
+		if (k-lo)&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
-		if err := p.evalInto(sc, &sc.pt); err != nil {
+		if err := p.evalInto(sc, &sc.pt, changed); err != nil {
 			return err
 		}
 		if err := visit(out, &sc.pt); err != nil {
@@ -376,9 +443,11 @@ func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx
 // evalInto assembles one design point from the table into out.
 // Per-chiplet contributions are reduced in chiplet order (see the file
 // comment on why the totals are not running sums), whole-package terms
-// come from the scratch estimator, and out.Nodes aliases the scratch's
-// reusable buffer — callers that retain the point must copy it.
-func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point) error {
+// come from the scratch estimator — through its single-changed-chiplet
+// delta path when changed names the Gray step's chiplet (changed < 0
+// runs the full estimate) — and out.Nodes aliases the scratch's
+// reusable buffer: callers that retain the point must copy it.
+func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point, changed int) error {
 	t := p.tbl
 	var mfgKg, desKg, nreKg, diesUSD, nreUSD float64
 	for i, d := range sc.digits {
@@ -395,7 +464,13 @@ func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point) error {
 	if p.monolith {
 		area = t.Cells[0][sc.digits[0]].AreaMM2
 	} else {
-		pkg, err := sc.sc.EstimatePackage()
+		var pkg *pkgcarbon.Result
+		var err error
+		if changed >= 0 {
+			pkg, err = sc.sc.EstimatePackageDelta(changed)
+		} else {
+			pkg, err = sc.sc.EstimatePackage()
+		}
 		if err != nil {
 			return err
 		}
@@ -434,21 +509,55 @@ func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point) error {
 	return nil
 }
 
-// grayDigits writes the reflected mixed-radix Gray code of sequence
-// index k into digits (most significant digit first, uniform radix r).
-// Digit i runs its 0..r-1 sweep forward or reflected depending on the
-// parity of the standard mixed-radix value of the digits above it, which
-// makes consecutive codes differ in exactly one digit by ±1 while the
-// map from k to codes stays a bijection onto the full factorial space.
-func (p *CompiledPlan) grayDigits(k int, digits []int) {
+// grayInit seeds the scratch's odometer at sequence index k: the
+// standard mixed-radix digits (most significant first, uniform radix
+// r), the parity of the standard value above each digit, and the
+// reflected Gray digits. Digit i runs its 0..r-1 sweep forward or
+// reflected depending on that parity, which makes consecutive codes
+// differ in exactly one digit by ±1 while the map from k to codes stays
+// a bijection onto the full factorial space.
+func (p *CompiledPlan) grayInit(k int, sc *blockScratch) {
 	b := 0 // standard value of the more significant digits (parity is what matters)
 	for i := 0; i < p.nc; i++ {
 		a := k / p.weight[i] % p.r
-		if b%2 == 0 {
-			digits[i] = a
+		sc.std[i] = a
+		sc.par[i] = b & 1
+		if b&1 == 0 {
+			sc.digits[i] = a
 		} else {
-			digits[i] = p.r - 1 - a
+			sc.digits[i] = p.r - 1 - a
 		}
 		b = b*p.r + a
 	}
+}
+
+// grayStep advances the odometer one sequence index and returns the
+// single changed Gray digit (its position, old and new value). The
+// standard digits carry like a counter; the changed Gray position is
+// where the carry chain ends, and only the parities below it need a
+// refresh — amortized O(1) work per step, against the O(nc) div/mod
+// decode of re-deriving the code from the index.
+func (p *CompiledPlan) grayStep(sc *blockScratch) (j, old, d int) {
+	j = p.nc - 1
+	for sc.std[j] == p.r-1 {
+		sc.std[j] = 0
+		j--
+	}
+	sc.std[j]++
+	// Digits above j are untouched, so par[0..j] stand; the zeroed
+	// trailing digits' parities refresh from j+1 down. Their Gray
+	// digits do not change (the reflection flips in step with the
+	// parity — the Gray property), so only position j is reported.
+	rodd := p.r & 1
+	for i := j + 1; i < p.nc; i++ {
+		sc.par[i] = (sc.par[i-1] & rodd) ^ (sc.std[i-1] & 1)
+	}
+	old = sc.digits[j]
+	if sc.par[j] == 0 {
+		d = sc.std[j]
+	} else {
+		d = p.r - 1 - sc.std[j]
+	}
+	sc.digits[j] = d
+	return j, old, d
 }

@@ -20,7 +20,11 @@ import (
 
 // --- Gray-code enumeration properties ---------------------------------
 
-func TestGrayDigitsProperties(t *testing.T) {
+func newGrayScratch(nc int) *blockScratch {
+	return &blockScratch{digits: make([]int, nc), std: make([]int, nc), par: make([]int, nc)}
+}
+
+func TestGrayOdometerProperties(t *testing.T) {
 	for _, tc := range []struct{ nc, r int }{
 		{1, 2}, {1, 5}, {2, 3}, {3, 2}, {3, 5}, {4, 3}, {5, 2},
 	} {
@@ -35,14 +39,38 @@ func TestGrayDigitsProperties(t *testing.T) {
 
 		seen := make(map[int]bool, combos)
 		prev := make([]int, tc.nc)
-		digits := make([]int, tc.nc)
+		sc := newGrayScratch(tc.nc)
+		ref := newGrayScratch(tc.nc)
+		p.grayInit(0, sc)
 		for k := 0; k < combos; k++ {
-			p.grayDigits(k, digits)
-			// Every digit in range.
+			if k > 0 {
+				j, old, d := p.grayStep(sc)
+				// The reported change must be the only change, by ±1.
+				if j < 0 || j >= tc.nc || old != prev[j] || d != sc.digits[j] {
+					t.Fatalf("nc=%d r=%d k=%d: bogus step report (%d, %d, %d)", tc.nc, tc.r, k, j, old, d)
+				}
+				if diff := d - old; diff != 1 && diff != -1 {
+					t.Fatalf("nc=%d r=%d k=%d: digit %d stepped by %d", tc.nc, tc.r, k, j, diff)
+				}
+				for i := range sc.digits {
+					if i != j && sc.digits[i] != prev[i] {
+						t.Fatalf("nc=%d r=%d k=%d: unreported change at digit %d: %v -> %v", tc.nc, tc.r, k, i, prev, sc.digits)
+					}
+				}
+			}
+			// The odometer must agree with a fresh decode at every k —
+			// digits, standard digits and parities alike (a mid-sequence
+			// block start initializes with grayInit, so the two must be
+			// interchangeable at any index).
+			p.grayInit(k, ref)
 			idx := 0
-			for i, d := range digits {
+			for i, d := range sc.digits {
 				if d < 0 || d >= tc.r {
-					t.Fatalf("nc=%d r=%d k=%d: digit %d out of range: %v", tc.nc, tc.r, k, i, digits)
+					t.Fatalf("nc=%d r=%d k=%d: digit %d out of range: %v", tc.nc, tc.r, k, i, sc.digits)
+				}
+				if d != ref.digits[i] || sc.std[i] != ref.std[i] || sc.par[i] != ref.par[i] {
+					t.Fatalf("nc=%d r=%d k=%d: odometer diverges from decode:\nstep %v / %v / %v\ninit %v / %v / %v",
+						tc.nc, tc.r, k, sc.digits, sc.std, sc.par, ref.digits, ref.std, ref.par)
 				}
 				idx += d * p.weight[i]
 			}
@@ -51,22 +79,7 @@ func TestGrayDigitsProperties(t *testing.T) {
 				t.Fatalf("nc=%d r=%d k=%d: index %d visited twice", tc.nc, tc.r, k, idx)
 			}
 			seen[idx] = true
-			// Consecutive codes differ in exactly one digit by ±1.
-			if k > 0 {
-				changed := 0
-				for i := range digits {
-					if digits[i] != prev[i] {
-						changed++
-						if d := digits[i] - prev[i]; d != 1 && d != -1 {
-							t.Fatalf("nc=%d r=%d k=%d: digit %d stepped by %d", tc.nc, tc.r, k, i, d)
-						}
-					}
-				}
-				if changed != 1 {
-					t.Fatalf("nc=%d r=%d k=%d: %d digits changed (want 1): %v -> %v", tc.nc, tc.r, k, changed, prev, digits)
-				}
-			}
-			copy(prev, digits)
+			copy(prev, sc.digits)
 		}
 		if len(seen) != combos {
 			t.Fatalf("nc=%d r=%d: visited %d of %d combos", tc.nc, tc.r, len(seen), combos)

@@ -42,3 +42,38 @@ func BenchmarkPlanFlexible8(b *testing.B) {
 		}
 	}
 }
+
+// benchTreeUpdate measures the retained-tree single-area fast path: the
+// per-Gray-step floorplan cost of a compiled sweep. Perturbing the
+// globally smallest block keeps the topology provably stable — it is
+// last in every partition sequence, so every decision depends only on
+// the unchanged predecessors — and the benchmark asserts no rebuild
+// sneaked in.
+func benchTreeUpdate(b *testing.B, n int) {
+	b.Helper()
+	blocks := benchBlocks(n)
+	smallest := 0
+	for i, blk := range blocks {
+		if blk.AreaMM2 < blocks[smallest].AreaMM2 {
+			smallest = i
+		}
+	}
+	var tr Tree
+	if _, err := tr.PlanNoAdjacencies(blocks, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	base := blocks[smallest].AreaMM2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Update(smallest, base-float64(i&1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := tr.Stats(); s.Fallbacks > 0 {
+		b.Fatalf("update benchmark fell back to rebuilds: %+v", s)
+	}
+}
+
+func BenchmarkTreeUpdate8(b *testing.B)  { benchTreeUpdate(b, 8) }
+func BenchmarkTreeUpdate32(b *testing.B) { benchTreeUpdate(b, 32) }

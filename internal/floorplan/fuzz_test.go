@@ -1,0 +1,177 @@
+package floorplan_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ecochip/internal/floorplan"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+// Fuzz target for the floorplanner's structural invariants and the
+// incremental planner's parity, seeded with the chiplet areas of the
+// EPYC and GA102 testcases (the external test package avoids the
+// floorplan -> testcases import cycle).
+//
+// Invariants checked for every accepted input, on the from-scratch plan
+// and again after an incremental single-area update:
+//
+//  1. no two placed rectangles overlap,
+//  2. the bounding box contains every rectangle,
+//  3. ChipletAreaMM2 is conserved (it carries the exact bits of the
+//     in-order block-area sum),
+//  4. Tree results are bit-identical to Scratch.Plan.
+
+// chipletAreas extracts the per-chiplet die areas of a testcase system.
+func chipletAreas(t interface{ Fatal(...any) }, ccds int) (epyc, ga102 []float64) {
+	db := tech.Default()
+	sys, err := testcases.EPYC(db, ccds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sys.Chiplets {
+		epyc = append(epyc, db.MustGet(c.NodeNm).Area(c.Type, c.Transistors))
+	}
+	ga := testcases.GA102(db, 7, 14, 10, false)
+	for _, c := range ga.Chiplets {
+		ga102 = append(ga102, db.MustGet(c.NodeNm).Area(c.Type, c.Transistors))
+	}
+	return epyc, ga102
+}
+
+func pad8(areas []float64) (out [8]float64) {
+	for i := 0; i < len(areas) && i < 8; i++ {
+		out[i] = areas[i]
+	}
+	return out
+}
+
+func FuzzFloorplanInvariants(f *testing.F) {
+	epyc, ga102 := chipletAreas(f, 7)
+	e := pad8(epyc)
+	g := pad8(ga102)
+	f.Add(uint8(len(epyc)), 0.5, e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7], uint8(0), 2*e[0])
+	f.Add(uint8(len(epyc)), 0.1, e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7], uint8(7), e[7]/3)
+	f.Add(uint8(len(ga102)), 0.5, g[0], g[1], g[2], 0.0, 0.0, 0.0, 0.0, 0.0, uint8(1), g[2])
+	f.Add(uint8(len(ga102)), 1.0, g[0], g[1], g[2], 0.0, 0.0, 0.0, 0.0, 0.0, uint8(2), g[0])
+	f.Add(uint8(2), 0.5, 100.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 100.0)
+	f.Add(uint8(1), 0.3, 42.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 7.0)
+
+	f.Fuzz(func(t *testing.T, n uint8, spacing float64,
+		a0, a1, a2, a3, a4, a5, a6, a7 float64, idx uint8, newArea float64) {
+		areas := [8]float64{a0, a1, a2, a3, a4, a5, a6, a7}
+		if n < 1 || n > 8 {
+			return
+		}
+		if spacing < 0.1 || spacing > 1 || math.IsNaN(spacing) {
+			return
+		}
+		blocks := make([]floorplan.Block, n)
+		for i := range blocks {
+			a := areas[i]
+			if !(a > 0) || a > 1e8 || math.IsInf(a, 0) {
+				return
+			}
+			blocks[i] = floorplan.Block{Name: fmt.Sprintf("b%d", i), AreaMM2: a}
+		}
+
+		res, err := floorplan.Plan(blocks, spacing)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		checkInvariants(t, "plan", blocks, res, spacing)
+
+		var tr floorplan.Tree
+		tres, err := tr.Plan(blocks, spacing)
+		if err != nil {
+			t.Fatalf("tree rejected input the planner accepted: %v", err)
+		}
+		comparePlans(t, "tree build", res, tres)
+
+		// Incremental step: perturb one block and require both the
+		// invariants and bit-parity with a fresh plan.
+		j := int(idx) % int(n)
+		if !(newArea > 0) || newArea > 1e8 || math.IsInf(newArea, 0) {
+			return
+		}
+		blocks[j].AreaMM2 = newArea
+		want, err := floorplan.Plan(blocks, spacing)
+		if err != nil {
+			t.Fatalf("perturbed input rejected: %v", err)
+		}
+		got, err := tr.Update(j, newArea)
+		if err != nil {
+			t.Fatalf("tree update rejected a valid perturbation: %v", err)
+		}
+		checkInvariants(t, "update", blocks, got, spacing)
+		comparePlans(t, "tree update", want, got)
+	})
+}
+
+func checkInvariants(t *testing.T, label string, blocks []floorplan.Block, res *floorplan.Result, spacing float64) {
+	t.Helper()
+	if len(res.Placements) != len(blocks) {
+		t.Fatalf("%s: placed %d of %d blocks", label, len(res.Placements), len(blocks))
+	}
+	// ChipletAreaMM2 conserved: the exact in-order sum.
+	sum := 0.0
+	for _, b := range blocks {
+		sum += b.AreaMM2
+	}
+	if math.Float64bits(sum) != math.Float64bits(res.ChipletAreaMM2) {
+		t.Fatalf("%s: ChipletAreaMM2 = %g, want in-order sum %g", label, res.ChipletAreaMM2, sum)
+	}
+	// Bounding box contains all rectangles.
+	for _, p := range res.Placements {
+		if p.X < -1e-9 || p.Y < -1e-9 ||
+			p.X+p.Width > res.WidthMM+1e-9 || p.Y+p.Height > res.HeightMM+1e-9 {
+			t.Fatalf("%s: placement %s (%g,%g %gx%g) escapes package %gx%g",
+				label, p.Name, p.X, p.Y, p.Width, p.Height, res.WidthMM, res.HeightMM)
+		}
+	}
+	// No overlapping placements. The spacing constraint makes the
+	// no-overlap tolerance scale-free: rectangles either touch across a
+	// gap >= spacing or share a bounding-box edge.
+	for i := 0; i < len(res.Placements); i++ {
+		for j := i + 1; j < len(res.Placements); j++ {
+			a, b := res.Placements[i], res.Placements[j]
+			ox := math.Min(a.X+a.Width, b.X+b.Width) - math.Max(a.X, b.X)
+			oy := math.Min(a.Y+a.Height, b.Y+b.Height) - math.Max(a.Y, b.Y)
+			if ox > 1e-9 && oy > 1e-9 {
+				t.Fatalf("%s: placements %s and %s overlap by %g x %g", label, a.Name, b.Name, ox, oy)
+			}
+		}
+	}
+}
+
+func comparePlans(t *testing.T, label string, want, got *floorplan.Result) {
+	t.Helper()
+	if math.Float64bits(want.WidthMM) != math.Float64bits(got.WidthMM) ||
+		math.Float64bits(want.HeightMM) != math.Float64bits(got.HeightMM) ||
+		math.Float64bits(want.ChipletAreaMM2) != math.Float64bits(got.ChipletAreaMM2) {
+		t.Fatalf("%s: bounding box differs: want %+v, got %+v", label, want, got)
+	}
+	if len(want.Placements) != len(got.Placements) {
+		t.Fatalf("%s: placement counts differ", label)
+	}
+	for i := range want.Placements {
+		a, b := want.Placements[i], got.Placements[i]
+		if a.Name != b.Name ||
+			math.Float64bits(a.X) != math.Float64bits(b.X) ||
+			math.Float64bits(a.Y) != math.Float64bits(b.Y) ||
+			math.Float64bits(a.Width) != math.Float64bits(b.Width) ||
+			math.Float64bits(a.Height) != math.Float64bits(b.Height) {
+			t.Fatalf("%s: placement %d differs: %+v vs %+v", label, i, a, b)
+		}
+	}
+	if len(want.Adjacencies) != len(got.Adjacencies) {
+		t.Fatalf("%s: adjacency counts differ: %+v vs %+v", label, want.Adjacencies, got.Adjacencies)
+	}
+	for i := range want.Adjacencies {
+		if want.Adjacencies[i] != got.Adjacencies[i] {
+			t.Fatalf("%s: adjacency %d differs: %+v vs %+v", label, i, want.Adjacencies[i], got.Adjacencies[i])
+		}
+	}
+}

@@ -191,6 +191,13 @@ func appendAdjacencies(out []Adjacency, ps []Placement, spacing float64) []Adjac
 			}
 		}
 	}
+	return sortAdjacencies(out)
+}
+
+// sortAdjacencies orders an adjacency list by (A, B) name — the single
+// comparator shared by the full scan and the Tree's restricted rescan,
+// so the two paths cannot order their (identical) pair sets differently.
+func sortAdjacencies(out []Adjacency) []Adjacency {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A

@@ -1,0 +1,689 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the retained-mode incremental planner. A Tree caches the
+// outcome of one fixed-shape plan — the sorted order, the recursive
+// area-balanced partition and every subtree's composed dimensions,
+// orientation and sibling shift — so that re-planning after a small
+// area change costs a cheap O(n) topology guard plus a relayout of the
+// dirty leaf-to-root path instead of a full sort + partition + layout +
+// adjacency scan.
+//
+// The contract is bit-identity with Scratch.Plan on the same blocks, by
+// construction:
+//
+//   - The guard proves the sorted permutation and every partition
+//     decision are unchanged, so the slicing topology (and with it the
+//     leaf order) is exactly what a fresh plan would rebuild.
+//   - A leaf's final coordinates in layoutSeg are a fold of its
+//     ancestors' right-subtree shifts, applied leaf-to-root, each shift
+//     being the single addition (lw + spacing) or (lh + spacing). The
+//     tree caches exactly those shift values per node and replays the
+//     fold per leaf, so every coordinate is produced by the same float
+//     additions in the same order as the from-scratch layout.
+//   - The adjacency rescan re-runs facing() only for pairs where a
+//     rectangle moved; facing is pure per pair, so unmoved pairs keep
+//     verdicts a full scan would reproduce, and the shared final sort
+//     restores the full-scan output order (block names must be unique
+//     for that order to be well defined — the same caveat the full
+//     scan's sort carries).
+//
+// Any guard failure falls back to a full rebuild, which is the
+// from-scratch algorithm itself, so no input can make the incremental
+// path diverge: it can only decline.
+
+// TreeStats counts the work a retained tree performed across Plan and
+// Update calls.
+type TreeStats struct {
+	// Rebuilds counts full from-scratch builds: the first plan and any
+	// plan whose shape (count, names, aspect ratios, spacing, adjacency
+	// mode) changed.
+	Rebuilds uint64
+	// FastPath counts plans served by an incremental relayout of the
+	// dirty paths with the retained topology.
+	FastPath uint64
+	// Fallbacks counts incremental attempts that hit a sort-order or
+	// partition flip and rebuilt from scratch instead.
+	Fallbacks uint64
+	// Unchanged counts plans served entirely from the retained result
+	// (no area differed).
+	Unchanged uint64
+	// RelayoutNodeSum is the total number of tree nodes recomposed by
+	// fast-path plans; RelayoutNodeSum / FastPath is the mean relayout
+	// depth.
+	RelayoutNodeSum uint64
+}
+
+// MeanRelayoutDepth is the mean number of recomposed tree nodes per
+// fast-path plan.
+func (s TreeStats) MeanRelayoutDepth() float64 {
+	if s.FastPath == 0 {
+		return 0
+	}
+	return float64(s.RelayoutNodeSum) / float64(s.FastPath)
+}
+
+// Add folds another counter snapshot into s (for aggregating per-worker
+// trees).
+func (s *TreeStats) Add(o TreeStats) {
+	s.Rebuilds += o.Rebuilds
+	s.FastPath += o.FastPath
+	s.Fallbacks += o.Fallbacks
+	s.Unchanged += o.Unchanged
+	s.RelayoutNodeSum += o.RelayoutNodeSum
+}
+
+// String renders the one-line summary CLIs print under -progress (the
+// single source of the format, so surfaces cannot drift).
+func (s TreeStats) String() string {
+	plans := s.FastPath + s.Unchanged + s.Fallbacks + s.Rebuilds
+	hitRate := 0.0
+	if plans > 0 {
+		hitRate = 100 * float64(s.FastPath+s.Unchanged) / float64(plans)
+	}
+	return fmt.Sprintf("incremental floorplan: %d fast-path / %d unchanged / %d fallbacks / %d rebuilds (%.1f%% reuse), mean relayout depth %.1f",
+		s.FastPath, s.Unchanged, s.Fallbacks, s.Rebuilds, hitRate, s.MeanRelayoutDepth())
+}
+
+// Delta returns the counter increments since prev, an earlier snapshot
+// of the same tree — how pooled scratches fold per-run work into an
+// aggregate without double counting their history.
+func (s TreeStats) Delta(prev TreeStats) TreeStats {
+	return TreeStats{
+		Rebuilds:        s.Rebuilds - prev.Rebuilds,
+		FastPath:        s.FastPath - prev.FastPath,
+		Fallbacks:       s.Fallbacks - prev.Fallbacks,
+		Unchanged:       s.Unchanged - prev.Unchanged,
+		RelayoutNodeSum: s.RelayoutNodeSum - prev.RelayoutNodeSum,
+	}
+}
+
+// tnode is one slicing-tree node. Leaves hold a single block; internal
+// nodes compose their two children either side by side (horiz) or
+// stacked, separated by the spacing constraint. Placements are not
+// stored per node: a leaf's coordinates are replayed from the shift
+// chain on demand.
+type tnode struct {
+	parent, left, right int // node indices; left/right are -1 for leaves
+	lo, hi              int // leaf-order segment [lo, hi) of the subtree
+	w, h                float64
+	horiz               bool    // orientation of the chosen composition
+	shift               float64 // lw+spacing (horiz) or lh+spacing (vert), applied to the right subtree
+}
+
+// Tree is a retained-mode incremental floorplanner. The zero value is
+// ready to use: the first Plan call builds the retained state, and
+// subsequent Plan or Update calls reuse every part of it the new areas
+// leave valid. A Tree is NOT safe for concurrent use, and the Result it
+// returns (including Placements and Adjacencies) is owned by the Tree
+// and overwritten by the next call.
+type Tree struct {
+	spacing float64
+	needAdj bool
+	built   bool
+
+	blocks []Block // caller order, current areas
+	sorted []Block // sorted (pre-partition) order
+	srcIdx []int   // sorted position -> caller index
+	posOf  []int   // caller index -> sorted position
+
+	// nodes[:nused] is the slicing tree; slots are recycled across
+	// rebuilds.
+	nodes   []tnode
+	nused   int
+	root    int
+	leafOf  []int       // sorted position -> leaf node index
+	leafPos []int       // sorted position -> leaf-order position
+	areas   []float64   // current areas in sorted order (flat guard-loop copy)
+	place   []Placement // final placements in leaf order (the replayed fold)
+	path    []int       // dirty root-to-leaf path of the last update
+	changed []int       // sorted positions whose area changed this round
+
+	// Scratch buffers of the partition walks (build and guard share
+	// them; both consume a buffer fully before recursing or descending,
+	// the layoutSeg discipline).
+	walkOrder []int // members as sorted positions, partitioned in place
+	walkTmp   []int
+	walkToA   []bool
+
+	// Adjacency state (needAdj mode only): the final placements of the
+	// previous plan, per-leaf moved flags, and the pairwise verdict
+	// cache indexed i*n+j in leaf order (i < j).
+	prevPlace []Placement
+	moved     []bool
+	pairOK    []bool
+	pairVal   []Adjacency
+	adj       []Adjacency
+
+	res   Result
+	stats TreeStats
+}
+
+// Stats snapshots the tree's work counters.
+func (t *Tree) Stats() TreeStats { return t.stats }
+
+// Plan floorplans the blocks, reusing the retained tree when only block
+// areas changed since the previous call (same count, names, aspect
+// ratios, spacing). It is bit-identical to Scratch.Plan on every input.
+func (t *Tree) Plan(blocks []Block, spacingMM float64) (*Result, error) {
+	return t.plan(blocks, spacingMM, true)
+}
+
+// PlanNoAdjacencies is Plan skipping the adjacency scan (the returned
+// Result has nil Adjacencies), mirroring Scratch.PlanNoAdjacencies.
+func (t *Tree) PlanNoAdjacencies(blocks []Block, spacingMM float64) (*Result, error) {
+	return t.plan(blocks, spacingMM, false)
+}
+
+func (t *Tree) plan(blocks []Block, spacingMM float64, needAdj bool) (*Result, error) {
+	if spacingMM == 0 {
+		spacingMM = DefaultSpacingMM
+	}
+	total, err := validateBlocks(blocks, spacingMM)
+	if err != nil {
+		return nil, err
+	}
+	if !t.built || t.spacing != spacingMM || t.needAdj != needAdj || !t.sameShape(blocks) {
+		t.stats.Rebuilds++
+		t.rebuild(blocks, spacingMM, needAdj, total)
+		return &t.res, nil
+	}
+	t.changed = t.changed[:0]
+	for i, b := range blocks {
+		if t.blocks[i].AreaMM2 != b.AreaMM2 {
+			t.blocks[i].AreaMM2 = b.AreaMM2
+			sp := t.posOf[i]
+			t.sorted[sp].AreaMM2 = b.AreaMM2
+			t.areas[sp] = b.AreaMM2
+			t.changed = append(t.changed, sp)
+		}
+	}
+	if len(t.changed) == 0 {
+		t.stats.Unchanged++
+		return &t.res, nil
+	}
+	if t.update(total) {
+		return &t.res, nil
+	}
+	t.stats.Fallbacks++
+	t.rebuild(t.blocks, spacingMM, needAdj, total)
+	return &t.res, nil
+}
+
+// Update re-plans after a single block's area change — the Gray-step
+// shape of a compiled sweep walk. blockIdx indexes the caller-order
+// block list of the last Plan call. It verifies the retained topology
+// still holds (falling back to a full rebuild when the new area flips
+// the sorted order or a partition decision) and otherwise relayouts
+// only the dirty leaf-to-root path.
+func (t *Tree) Update(blockIdx int, areaMM2 float64) (*Result, error) {
+	if !t.built {
+		return nil, fmt.Errorf("floorplan: Tree.Update before Plan")
+	}
+	if blockIdx < 0 || blockIdx >= len(t.blocks) {
+		return nil, fmt.Errorf("floorplan: Tree.Update block index %d outside [0, %d)", blockIdx, len(t.blocks))
+	}
+	if areaMM2 <= 0 {
+		b := t.blocks[blockIdx]
+		b.AreaMM2 = areaMM2
+		return nil, errBlockArea(b)
+	}
+	if t.blocks[blockIdx].AreaMM2 == areaMM2 {
+		t.stats.Unchanged++
+		return &t.res, nil
+	}
+	t.blocks[blockIdx].AreaMM2 = areaMM2
+	sp := t.posOf[blockIdx]
+	t.sorted[sp].AreaMM2 = areaMM2
+	t.areas[sp] = areaMM2
+	// Re-sum the total in caller order: patching it by the area delta
+	// would not carry the bits of the fresh in-order sum.
+	total := 0.0
+	for i := range t.blocks {
+		total += t.blocks[i].AreaMM2
+	}
+	if t.updateOne(sp, total) {
+		return &t.res, nil
+	}
+	t.stats.Fallbacks++
+	t.rebuild(t.blocks, t.spacing, t.needAdj, total)
+	return &t.res, nil
+}
+
+// sameShape reports whether blocks matches the retained set in
+// everything but areas.
+func (t *Tree) sameShape(blocks []Block) bool {
+	if len(blocks) != len(t.blocks) {
+		return false
+	}
+	for i, b := range blocks {
+		if b.Name != t.blocks[i].Name || b.AspectRatio != t.blocks[i].AspectRatio {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedOrderOK reports whether the retained permutation is still what
+// the stable sort by decreasing area would produce at positions
+// [lo, hi): ties must order by ascending caller index.
+func (t *Tree) sortedOrderOK(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.sorted)-1 {
+		hi = len(t.sorted) - 1
+	}
+	for k := lo; k < hi; k++ {
+		a, b := t.areas[k], t.areas[k+1]
+		if a < b || (a == b && t.srcIdx[k] > t.srcIdx[k+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// updateOne is the single-changed-block incremental re-plan: an O(1)
+// sorted-order check around the changed position, one partition-guard
+// descent along the dirty root-to-leaf path, a bottom-up recompose of
+// that path, and the placement replay. Returns false on any flip.
+func (t *Tree) updateOne(sp int, total float64) bool {
+	if !t.sortedOrderOK(sp-1, sp+1) {
+		return false
+	}
+	if t.needAdj {
+		t.prevPlace = append(t.prevPlace[:0], t.place...)
+	}
+	n := len(t.sorted)
+	members := t.walkOrder[:n]
+	for i := range members {
+		members[i] = i
+	}
+	dirtyLeaf := t.leafOf[sp]
+	dirtyPos := t.leafPos[sp]
+	t.path = t.path[:0]
+	ni := t.root
+	for t.nodes[ni].left >= 0 {
+		nd := &t.nodes[ni]
+		split := t.nodes[nd.left].hi
+		inLeft := dirtyPos < split
+		var areaA, areaB float64
+		keep := t.walkTmp[:0]
+		for _, m := range members {
+			goesA := areaA <= areaB
+			mLeft := t.leafPos[m] < split
+			if goesA != mLeft {
+				return false
+			}
+			if goesA {
+				areaA += t.areas[m]
+			} else {
+				areaB += t.areas[m]
+			}
+			if mLeft == inLeft {
+				keep = append(keep, m)
+			}
+		}
+		t.walkTmp, t.walkOrder = t.walkOrder, t.walkTmp
+		members = keep
+		t.path = append(t.path, ni)
+		if inLeft {
+			ni = nd.left
+		} else {
+			ni = nd.right
+		}
+	}
+	// The guard passed: refresh the leaf dims and recompose the path
+	// bottom-up.
+	b := &t.sorted[sp]
+	w, h := b.dims()
+	leaf := &t.nodes[dirtyLeaf]
+	leaf.w, leaf.h = w, h
+	for i := len(t.path) - 1; i >= 0; i-- {
+		t.compose(t.path[i])
+	}
+	t.stats.FastPath++
+	t.stats.RelayoutNodeSum += uint64(len(t.path))
+	t.finishResult(total)
+	return true
+}
+
+// update is the general multi-change incremental re-plan used by the
+// Plan diff: a full sorted-order check and a recursive guard walk over
+// the union of dirty paths.
+func (t *Tree) update(total float64) bool {
+	if !t.sortedOrderOK(0, len(t.sorted)-1) {
+		return false
+	}
+	if t.needAdj {
+		t.prevPlace = append(t.prevPlace[:0], t.place...)
+	}
+	order := t.walkOrder[:len(t.sorted)]
+	for i := range order {
+		order[i] = i
+	}
+	relayouts := 0
+	if !t.incrementalNode(t.root, order, &relayouts) {
+		return false
+	}
+	t.stats.FastPath++
+	t.stats.RelayoutNodeSum += uint64(relayouts)
+	t.finishResult(total)
+	return true
+}
+
+// incrementalNode verifies node ni's cached partition over seg — the
+// subtree's members as sorted positions in ascending order, which IS
+// the pre-partition order (every partition is stable, so each node
+// receives its members in the globally sorted order) — recurses into
+// dirty children, and recomposes the node. It returns false on any
+// partition flip.
+func (t *Tree) incrementalNode(ni int, seg []int, relayouts *int) bool {
+	nd := &t.nodes[ni]
+	if nd.left < 0 {
+		b := &t.sorted[seg[0]]
+		nd.w, nd.h = b.dims()
+		return true
+	}
+	split := t.nodes[nd.left].hi
+	na := 0
+	var areaA, areaB float64
+	toA := t.walkToA[:len(seg)]
+	for i, sp := range seg {
+		goesA := areaA <= areaB
+		if goesA != (t.leafPos[sp] < split) {
+			return false
+		}
+		toA[i] = goesA
+		if goesA {
+			areaA += t.areas[sp]
+			na++
+		} else {
+			areaB += t.areas[sp]
+		}
+	}
+	// Stable in-place partition of seg (the layoutSeg trick), so the
+	// children see their members in ascending sorted order too.
+	tmp := t.walkTmp[:len(seg)]
+	copy(tmp, seg)
+	ia, ib := 0, na
+	for i, sp := range tmp {
+		if toA[i] {
+			seg[ia] = sp
+			ia++
+		} else {
+			seg[ib] = sp
+			ib++
+		}
+	}
+	if t.rangeDirty(nd.lo, split) && !t.incrementalNode(nd.left, seg[:na], relayouts) {
+		return false
+	}
+	if t.rangeDirty(split, nd.hi) && !t.incrementalNode(nd.right, seg[na:], relayouts) {
+		return false
+	}
+	t.compose(ni)
+	*relayouts++
+	return true
+}
+
+// rangeDirty reports whether any changed block's leaf-order position
+// falls in [lo, hi).
+func (t *Tree) rangeDirty(lo, hi int) bool {
+	for _, sp := range t.changed {
+		if p := t.leafPos[sp]; p >= lo && p < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// compose recomputes an internal node's dimensions, orientation and
+// shift from its children — the exact float expressions of layoutSeg's
+// composition step, in the same order.
+func (t *Tree) compose(ni int) {
+	nd := &t.nodes[ni]
+	l, r := &t.nodes[nd.left], &t.nodes[nd.right]
+	lw, lh := l.w, l.h
+	rw, rh := r.w, r.h
+	hw := lw + t.spacing + rw
+	// Inline max: dims are positive reals (validated areas), so the
+	// branch picks the same bits math.Max would without its NaN/±0
+	// prologue.
+	hh := lh
+	if rh > hh {
+		hh = rh
+	}
+	vw := lw
+	if rw > vw {
+		vw = rw
+	}
+	vh := lh + t.spacing + rh
+	if hw*hh <= vw*vh {
+		nd.horiz = true
+		nd.shift = lw + t.spacing
+		nd.w, nd.h = hw, hh
+	} else {
+		nd.horiz = false
+		nd.shift = lh + t.spacing
+		nd.w, nd.h = vw, vh
+	}
+}
+
+// replayPlacements derives every leaf's final placement by folding its
+// ancestors' shifts in leaf-to-root order — the exact addition sequence
+// the in-place layout applies as its recursion unwinds. Names are
+// pre-filled at rebuild (the leaf order is fixed until then), so the
+// hot path writes only the four coordinate fields.
+func (t *Tree) replayPlacements() {
+	for sp := range t.sorted {
+		li := t.leafOf[sp]
+		nd := &t.nodes[li]
+		x, y := 0.0, 0.0
+		cur := li
+		for a := nd.parent; a >= 0; a = t.nodes[a].parent {
+			pa := &t.nodes[a]
+			if pa.right == cur {
+				if pa.horiz {
+					x += pa.shift
+				} else {
+					y += pa.shift
+				}
+			}
+			cur = a
+		}
+		pl := &t.place[t.leafPos[sp]]
+		pl.X, pl.Y, pl.Width, pl.Height = x, y, nd.w, nd.h
+	}
+}
+
+// allocNode takes the next recycled tree-node slot.
+func (t *Tree) allocNode(parent int) int {
+	if t.nused == len(t.nodes) {
+		t.nodes = append(t.nodes, tnode{})
+	}
+	ni := t.nused
+	t.nused++
+	t.nodes[ni] = tnode{parent: parent, left: -1, right: -1}
+	return ni
+}
+
+// rebuild runs the from-scratch algorithm and repopulates every retained
+// cache. blocks may alias t.blocks (the fallback path).
+func (t *Tree) rebuild(blocks []Block, spacing float64, needAdj bool, total float64) {
+	n := len(blocks)
+	t.spacing, t.needAdj = spacing, needAdj
+	if len(t.blocks) != n || &t.blocks[0] != &blocks[0] {
+		t.blocks = append(t.blocks[:0], blocks...)
+	}
+	if cap(t.srcIdx) < n {
+		t.srcIdx = make([]int, n)
+		t.posOf = make([]int, n)
+		t.leafOf = make([]int, n)
+		t.leafPos = make([]int, n)
+		t.areas = make([]float64, n)
+		t.place = make([]Placement, n)
+		t.walkOrder = make([]int, n)
+		t.walkTmp = make([]int, n)
+		t.walkToA = make([]bool, n)
+	}
+	t.place = t.place[:n]
+	t.leafPos = t.leafPos[:n]
+	t.areas = t.areas[:n]
+	// Stable sort by decreasing area: the insertion sort of
+	// sortBlocksByArea carrying the caller index, so the permutation is
+	// the one Scratch.Plan produces.
+	src := t.srcIdx[:n]
+	for i := range src {
+		src[i] = i
+	}
+	t.sorted = append(t.sorted[:0], t.blocks...)
+	sorted := t.sorted
+	for i := 1; i < n; i++ {
+		b, s := sorted[i], src[i]
+		j := i - 1
+		for j >= 0 && sorted[j].AreaMM2 < b.AreaMM2 {
+			sorted[j+1], src[j+1] = sorted[j], src[j]
+			j--
+		}
+		sorted[j+1], src[j+1] = b, s
+	}
+	posOf := t.posOf[:n]
+	for pos, i := range src {
+		posOf[i] = pos
+	}
+	for pos := range sorted {
+		t.areas[pos] = sorted[pos].AreaMM2
+	}
+
+	t.nused = 0
+	order := t.walkOrder[:n]
+	for i := range order {
+		order[i] = i
+	}
+	nextLeaf := 0
+	t.root = t.build(order, -1, &nextLeaf)
+	for sp := range sorted {
+		pos := t.nodes[t.leafOf[sp]].lo
+		t.leafPos[sp] = pos
+		t.place[pos].Name = sorted[sp].Name
+	}
+
+	if needAdj {
+		if cap(t.pairOK) < n*n {
+			t.pairOK = make([]bool, n*n)
+			t.pairVal = make([]Adjacency, n*n)
+		}
+		if cap(t.moved) < n {
+			t.moved = make([]bool, n)
+		}
+		moved := t.moved[:n]
+		for i := range moved {
+			moved[i] = true // every pair rescans on a rebuild
+		}
+		// A stale snapshot must not mark rebuilt leaves unmoved: the
+		// leaf order may have changed, so the pair cache is void.
+		t.prevPlace = t.prevPlace[:0]
+	}
+	t.built = true
+	t.res = Result{Placements: t.place}
+	t.finishResult(total)
+}
+
+// build constructs the subtree over seg (members as sorted positions in
+// pre-partition order; permuted in place exactly like layoutSeg) and
+// returns its node index. Leaf-order positions are assigned in DFS
+// order, matching the in-place permutation of the fused layout.
+func (t *Tree) build(seg []int, parent int, nextLeaf *int) int {
+	ni := t.allocNode(parent)
+	if len(seg) == 1 {
+		sp := seg[0]
+		lo := *nextLeaf
+		*nextLeaf = lo + 1
+		b := &t.sorted[sp]
+		w, h := b.dims()
+		nd := &t.nodes[ni]
+		nd.lo, nd.hi = lo, lo+1
+		nd.w, nd.h = w, h
+		t.leafOf[sp] = ni
+		return ni
+	}
+	na := 0
+	var areaA, areaB float64
+	toA := t.walkToA[:len(seg)]
+	for i, sp := range seg {
+		if areaA <= areaB {
+			toA[i] = true
+			areaA += t.sorted[sp].AreaMM2
+			na++
+		} else {
+			toA[i] = false
+			areaB += t.sorted[sp].AreaMM2
+		}
+	}
+	tmp := t.walkTmp[:len(seg)]
+	copy(tmp, seg)
+	ia, ib := 0, na
+	for i, sp := range tmp {
+		if toA[i] {
+			seg[ia] = sp
+			ia++
+		} else {
+			seg[ib] = sp
+			ib++
+		}
+	}
+	left := t.build(seg[:na], ni, nextLeaf)
+	right := t.build(seg[na:], ni, nextLeaf)
+	nd := &t.nodes[ni] // re-take: t.nodes may have grown
+	nd.left, nd.right = left, right
+	nd.lo, nd.hi = t.nodes[left].lo, t.nodes[right].hi
+	t.compose(ni)
+	return ni
+}
+
+// finishResult replays the placements, refreshes the Result's scalars
+// in place (the Placements header is wired at rebuild) and, in
+// adjacency mode, rescans the pairs involving moved rectangles.
+func (t *Tree) finishResult(total float64) {
+	t.replayPlacements()
+	root := &t.nodes[t.root]
+	t.res.WidthMM = root.w
+	t.res.HeightMM = root.h
+	t.res.ChipletAreaMM2 = total
+	if !t.needAdj {
+		return
+	}
+	n := len(t.place)
+	moved := t.moved[:n]
+	if len(t.prevPlace) == n {
+		for i, p := range t.place {
+			q := t.prevPlace[i]
+			moved[i] = math.Float64bits(p.X) != math.Float64bits(q.X) ||
+				math.Float64bits(p.Y) != math.Float64bits(q.Y) ||
+				math.Float64bits(p.Width) != math.Float64bits(q.Width) ||
+				math.Float64bits(p.Height) != math.Float64bits(q.Height)
+		}
+		t.prevPlace = t.prevPlace[:0]
+	}
+	const eps = 1e-9
+	maxGap := t.spacing + eps
+	t.adj = t.adj[:0]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			idx := i*n + j
+			if moved[i] || moved[j] {
+				t.pairVal[idx], t.pairOK[idx] = facing(t.place[i], t.place[j], maxGap)
+			}
+			if t.pairOK[idx] {
+				t.adj = append(t.adj, t.pairVal[idx])
+			}
+		}
+	}
+	t.adj = sortAdjacencies(t.adj)
+	t.res.Adjacencies = t.adj
+}

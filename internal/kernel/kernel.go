@@ -12,9 +12,11 @@
 //     (CellFor / MonolithCell) that Evaluate itself uses, so bit-identity
 //     holds by construction.
 //   - Scratch: one worker's reusable arena — the packaging estimator
-//     (pkgcarbon.Estimator with its fused floorplan scratch), chiplet
-//     descriptor buffer, operational-term memo and the tech.Sandbox for
-//     per-sample node perturbation.
+//     (pkgcarbon.Estimator with its retained incremental floorplan
+//     tree, whose single-changed-chiplet delta path the Gray-code sweep
+//     walk drives through EstimatePackageDelta), chiplet descriptor
+//     buffer, operational-term memo and the tech.Sandbox for per-sample
+//     node perturbation.
 //   - ParamPlan: a compiled plan keyed by perturbed *tech.Node / system
 //     parameters. It tabulates every sub-result of the base point once
 //     and re-evaluates perturbations by recomputing only the sub-models
@@ -30,6 +32,7 @@ package kernel
 import (
 	"fmt"
 
+	"ecochip/internal/floorplan"
 	"ecochip/internal/opcarbon"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
@@ -105,6 +108,28 @@ func (sc *Scratch) EstimatePackage() (*pkgcarbon.Result, error) {
 		return nil, fmt.Errorf("kernel: EstimatePackage on a scratch without a packaging estimator (param-plan or monolith scratch)")
 	}
 	return sc.est.Estimate(sc.pkgCh)
+}
+
+// EstimatePackageDelta is EstimatePackage when only chiplet descriptor
+// `changed` differs from the previous estimate on this scratch — the
+// Gray-step shape of a compiled sweep walk. The estimator routes the
+// floorplan through its retained tree's single-block update and falls
+// back to the full path whenever the precondition cannot be verified,
+// so the result is bit-identical to EstimatePackage either way.
+func (sc *Scratch) EstimatePackageDelta(changed int) (*pkgcarbon.Result, error) {
+	if sc.est == nil {
+		return nil, fmt.Errorf("kernel: EstimatePackageDelta on a scratch without a packaging estimator (param-plan or monolith scratch)")
+	}
+	return sc.est.EstimateDelta(sc.pkgCh, changed)
+}
+
+// FloorplanStats snapshots the scratch estimator's retained-tree reuse
+// counters (zero for scratches without an estimator).
+func (sc *Scratch) FloorplanStats() floorplan.TreeStats {
+	if sc.est == nil {
+		return floorplan.TreeStats{}
+	}
+	return sc.est.FloorplanStats()
 }
 
 // OperationKg returns spec.LifetimeKg(powerW) through the last-value

@@ -6,6 +6,7 @@ import (
 
 	"ecochip/internal/core"
 	"ecochip/internal/descarbon"
+	"ecochip/internal/floorplan"
 	"ecochip/internal/mfg"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
@@ -55,10 +56,9 @@ const (
 	// density, EPA, gas/material CFP, equipment efficiency),
 	// invalidating die manufacturing results and the packaging
 	// communication cells. It does NOT cover a node's EDAProductivity,
-	// which only the design-carbon model reads: a perturbation touching
-	// it must also set DirtyDesign, exactly as one touching a node's
-	// Density table (which nothing supports — areas, and with them the
-	// floorplan, are assumed invariant) is out of contract entirely.
+	// which only the design-carbon model reads (a perturbation touching
+	// it must also set DirtyDesign), nor a node's Density table, which
+	// moves chiplet areas and needs DirtyAreas.
 	DirtyNodes Dirty = 1 << iota
 	// DirtyMfg marks a changed System.Mfg (fab carbon intensity, wafer,
 	// alpha), invalidating die manufacturing results.
@@ -68,8 +68,18 @@ const (
 	// communication-fabric design share.
 	DirtyDesign
 	// DirtyPackaging marks a changed System.Packaging, invalidating the
-	// whole C_HI estimate (package carbon, assembly yield, routing).
+	// packaging model's parameters but NOT the chiplet areas: when the
+	// floorplan-shaping inputs (SpacingMM, FlexibleFloorplan) are
+	// untouched, the evaluation reuses the base point's floorplan and
+	// re-runs only the carbon model on top of it; a perturbation that
+	// moves those inputs is detected by comparison with the base and
+	// re-floorplans automatically.
 	DirtyPackaging
+	// DirtyAreas marks changed chiplet areas — a perturbed transistor
+	// budget or node density table. It invalidates every per-chiplet
+	// sub-model (die manufacturing, design carbon) and the whole C_HI
+	// estimate including the floorplan.
+	DirtyAreas
 	// DirtyOperation marks a changed System.Operation. It invalidates
 	// the scratch's operational-term memo, which otherwise trusts spec
 	// pointer identity — required when a caller mutates one Spec in
@@ -93,16 +103,17 @@ type ParamStats struct {
 	// DesignRecomputes / DesignTableHits split descarbon.ChipletKg calls.
 	DesignRecomputes, DesignTableHits uint64
 	// PackageEstimates counts full packaging re-estimates (floorplan and
-	// all); RoutingRefreshes counts communication-only refreshes over the
-	// tabulated package carbon.
-	PackageEstimates, RoutingRefreshes uint64
+	// all); FloorplanReuses counts packaging-dirty re-estimates served
+	// on the base point's retained floorplan; RoutingRefreshes counts
+	// communication-only refreshes over the tabulated package carbon.
+	PackageEstimates, FloorplanReuses, RoutingRefreshes uint64
 }
 
 // String renders the stats as the one-line summary CLIs print under
 // -progress (the single source of the format, so surfaces cannot drift).
 func (s ParamStats) String() string {
-	return fmt.Sprintf("param plan: %d evals; die %d recomputed / %d from table, design %d recomputed / %d from table, %d package re-estimates, %d routing refreshes",
-		s.Evals, s.DieRecomputes, s.DieTableHits, s.DesignRecomputes, s.DesignTableHits, s.PackageEstimates, s.RoutingRefreshes)
+	return fmt.Sprintf("param plan: %d evals; die %d recomputed / %d from table, design %d recomputed / %d from table, %d package re-estimates, %d floorplan reuses, %d routing refreshes",
+		s.Evals, s.DieRecomputes, s.DieTableHits, s.DesignRecomputes, s.DesignTableHits, s.PackageEstimates, s.FloorplanReuses, s.RoutingRefreshes)
 }
 
 // ParamPlan is a compiled parameter-perturbation plan: the base system
@@ -124,11 +135,16 @@ type ParamPlan struct {
 	des    []float64    // descarbon.ChipletKg per chiplet
 	commKg float64      // ChipletKg of the communication fabric
 	pkg    pkgSnapshot
+	// fp is the base point's floorplan (nil for monoliths and 3D
+	// stacks): packaging-dirty evaluations whose geometry inputs match
+	// the base re-run the carbon model on top of it instead of
+	// re-floorplanning. The Result is plan-owned and read-only.
+	fp *floorplan.Result
 
-	evals                          atomic.Uint64
-	dieCalls, dieHits              atomic.Uint64
-	desCalls, desHits              atomic.Uint64
-	pkgEstimates, routingRefreshes atomic.Uint64
+	evals                                    atomic.Uint64
+	dieCalls, dieHits                        atomic.Uint64
+	desCalls, desHits                        atomic.Uint64
+	pkgEstimates, fpReuses, routingRefreshes atomic.Uint64
 }
 
 // pkgSnapshot is the tabulated base packaging result: every field of the
@@ -204,6 +220,7 @@ func CompileParams(base *core.System, db *tech.DB) (*ParamPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.fp = pkg.Floorplan // package-level Estimate allocates fresh: safe to retain
 	p.pkg = pkgSnapshot{
 		packageKg:     pkg.PackageKg,
 		hiKg:          pkg.TotalKg(),
@@ -233,6 +250,7 @@ func (p *ParamPlan) Stats() ParamStats {
 		DesignRecomputes: p.desCalls.Load(),
 		DesignTableHits:  p.desHits.Load(),
 		PackageEstimates: p.pkgEstimates.Load(),
+		FloorplanReuses:  p.fpReuses.Load(),
 		RoutingRefreshes: p.routingRefreshes.Load(),
 	}
 }
@@ -305,8 +323,8 @@ func (p *ParamPlan) Eval(sc *Scratch, s *core.System, db *tech.DB, dirty Dirty) 
 	}
 	p.evals.Add(1)
 	ph := &sc.hooks
-	ph.dieDirty = dirty&(DirtyNodes|DirtyMfg) != 0
-	ph.desDirty = dirty&DirtyDesign != 0
+	ph.dieDirty = dirty&(DirtyNodes|DirtyMfg|DirtyAreas) != 0
+	ph.desDirty = dirty&(DirtyDesign|DirtyAreas) != 0
 
 	var t Totals
 	t.AssemblyYield = 1
@@ -333,12 +351,25 @@ func (p *ParamPlan) Eval(sc *Scratch, s *core.System, db *tech.DB, dirty Dirty) 
 			sc.pkgCh[i] = pkgcarbon.Chiplet{Name: s.Chiplets[i].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
 		}
 		switch {
-		case dirty&DirtyPackaging != 0:
-			// Packaging parameters changed: nothing of the tabulated
-			// estimate survives; run the full model like the uncompiled
-			// path does.
-			p.pkgEstimates.Add(1)
-			pkg, err := pkgcarbon.Estimate(sc.pkgCh, s.Packaging)
+		case dirty&(DirtyAreas|DirtyPackaging) != 0:
+			// The packaging estimate must re-run. With areas intact and
+			// the geometry inputs (spacing, flexible shapes) matching
+			// the base, the base floorplan is still exactly what a
+			// fresh plan would produce, so only the carbon model re-runs
+			// on top of it; area or geometry perturbations re-floorplan
+			// fully, like the uncompiled path does.
+			reuseFP := dirty&DirtyAreas == 0 && p.fp != nil &&
+				s.Packaging.SpacingMM == p.base.Packaging.SpacingMM &&
+				s.Packaging.FlexibleFloorplan == p.base.Packaging.FlexibleFloorplan
+			var pkg *pkgcarbon.Result
+			var err error
+			if reuseFP {
+				p.fpReuses.Add(1)
+				pkg, err = pkgcarbon.EstimateOnFloorplan(sc.pkgCh, s.Packaging, p.fp)
+			} else {
+				p.pkgEstimates.Add(1)
+				pkg, err = pkgcarbon.Estimate(sc.pkgCh, s.Packaging)
+			}
 			if err != nil {
 				return Totals{}, err
 			}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ecochip/internal/core"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 )
@@ -106,8 +107,106 @@ func TestParamPlanStatsTrackDirtySets(t *testing.T) {
 	if _, err := plan.Eval(sc, &pkgSys, d, DirtyPackaging); err != nil {
 		t.Fatal(err)
 	}
-	if s = plan.Stats(); s.PackageEstimates != 1 {
-		t.Fatalf("packaging-dirty eval should run one full package estimate: %+v", s)
+	if s = plan.Stats(); s.FloorplanReuses != 1 || s.PackageEstimates != 0 {
+		t.Fatalf("packaging-dirty eval with untouched geometry should reuse the base floorplan: %+v", s)
+	}
+
+	// A packaging perturbation that moves a floorplan-shaping input
+	// cannot reuse the base geometry: it must re-floorplan fully.
+	spacingSys := *base
+	spacingSys.Packaging.SpacingMM = 0.8
+	if _, err := plan.Eval(sc, &spacingSys, d, DirtyPackaging); err != nil {
+		t.Fatal(err)
+	}
+	if s = plan.Stats(); s.PackageEstimates != 1 || s.FloorplanReuses != 1 {
+		t.Fatalf("geometry-dirty eval should run one full package estimate: %+v", s)
+	}
+
+	// An area-dirty eval recomputes every per-chiplet sub-model and the
+	// whole package estimate.
+	areaSys := *base
+	chiplets := make([]core.Chiplet, len(base.Chiplets))
+	copy(chiplets, base.Chiplets)
+	chiplets[0].Transistors *= 1.25
+	areaSys.Chiplets = chiplets
+	before := plan.Stats()
+	if _, err := plan.Eval(sc, &areaSys, d, DirtyAreas); err != nil {
+		t.Fatal(err)
+	}
+	s = plan.Stats()
+	if s.PackageEstimates != before.PackageEstimates+1 {
+		t.Fatalf("area-dirty eval should run a full package estimate: %+v", s)
+	}
+	if s.DieRecomputes != before.DieRecomputes+nc || s.DesignRecomputes <= before.DesignRecomputes {
+		t.Fatalf("area-dirty eval should recompute per-chiplet sub-models: %+v", s)
+	}
+}
+
+// A DirtyAreas evaluation must carry the exact float bits of the direct
+// evaluation of the perturbed system — areas move the floorplan, the
+// package carbon, die manufacturing and design carbon all at once.
+func TestParamPlanDirtyAreasParity(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := CompileParams(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := plan.NewScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{0.5, 0.9, 1.1, 2.0, 10.0} {
+		s := *base
+		chiplets := make([]core.Chiplet, len(base.Chiplets))
+		copy(chiplets, base.Chiplets)
+		for i := range chiplets {
+			chiplets[i].Transistors *= scale
+		}
+		s.Chiplets = chiplets
+		rep, err := s.Evaluate(d)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		tot, err := plan.Eval(sc, &s, d, DirtyAreas)
+		if err != nil {
+			t.Fatalf("scale %g: Eval: %v", scale, err)
+		}
+		if math.Float64bits(tot.EmbodiedKg()) != math.Float64bits(rep.EmbodiedKg()) ||
+			math.Float64bits(tot.TotalKg()) != math.Float64bits(rep.TotalKg()) {
+			t.Fatalf("scale %g: area-dirty eval diverges from direct evaluation:\nreport %+v\ntotals %+v", scale, rep, tot)
+		}
+	}
+}
+
+// A geometry-moving packaging perturbation (spacing) must also match the
+// direct evaluation bit for bit through the re-floorplan path.
+func TestParamPlanGeometryDirtyParity(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := CompileParams(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := plan.NewScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spacing := range []float64{0.1, 0.3, 0.8, 1.0} {
+		s := *base
+		s.Packaging.SpacingMM = spacing
+		rep, err := s.Evaluate(d)
+		if err != nil {
+			t.Fatalf("spacing %g: %v", spacing, err)
+		}
+		tot, err := plan.Eval(sc, &s, d, DirtyPackaging)
+		if err != nil {
+			t.Fatalf("spacing %g: Eval: %v", spacing, err)
+		}
+		if math.Float64bits(tot.EmbodiedKg()) != math.Float64bits(rep.EmbodiedKg()) ||
+			math.Float64bits(tot.TotalKg()) != math.Float64bits(rep.TotalKg()) {
+			t.Fatalf("spacing %g: geometry-dirty eval diverges:\nreport %+v\ntotals %+v", spacing, rep, tot)
+		}
 	}
 }
 

@@ -65,6 +65,170 @@ func TestEstimatorMatchesEstimate(t *testing.T) {
 	}
 }
 
+// EstimateDelta must reproduce a full Estimate bit for bit across long
+// single-changed-chiplet walks — area changes, node changes, both at
+// once — for every architecture, including the EMIB path whose
+// adjacency rescan is restricted to moved rectangles.
+func TestEstimateDeltaMatchesEstimate(t *testing.T) {
+	db := tech.Default()
+	sizes := db.Sizes()
+	rng := rand.New(rand.NewSource(41))
+	for _, arch := range Architectures {
+		p := DefaultParams(arch)
+		est, err := NewEstimator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chiplets := randChiplets(rng, db)
+		// Seed the retained state; a delta before any estimate must also
+		// work (it falls back to the full path internally).
+		if _, err := est.EstimateDelta(chiplets, 0); err != nil {
+			t.Fatalf("%v: first delta: %v", arch, err)
+		}
+		for step := 0; step < 200; step++ {
+			i := rng.Intn(len(chiplets))
+			if rng.Intn(3) > 0 {
+				chiplets[i].AreaMM2 = 5 + rng.Float64()*300
+			}
+			if rng.Intn(2) == 0 {
+				chiplets[i].Node = db.MustGet(sizes[rng.Intn(len(sizes))])
+			}
+			want, err := Estimate(chiplets, p)
+			if err != nil {
+				t.Fatalf("%v step %d: %v", arch, step, err)
+			}
+			got, err := est.EstimateDelta(chiplets, i)
+			if err != nil {
+				t.Fatalf("%v step %d: delta: %v", arch, step, err)
+			}
+			if !resultsBitIdentical(want, got) {
+				t.Fatalf("%v step %d: delta diverges\nwant %+v\ngot  %+v", arch, step, want, got)
+			}
+		}
+	}
+}
+
+// A delta whose preconditions do not hold (different chiplet count or
+// names) must fall back to the full path, never serve a stale tree.
+func TestEstimateDeltaFallsBackOnShapeChange(t *testing.T) {
+	p := DefaultParams(SiliconBridge)
+	est, err := NewEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := chipletsOf(7, 120, 60, 30)
+	if _, err := est.Estimate(a); err != nil {
+		t.Fatal(err)
+	}
+	b := chipletsOf(7, 100, 50, 25, 10) // different count
+	want, err := Estimate(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := est.EstimateDelta(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsBitIdentical(want, got) {
+		t.Fatalf("count-changed delta diverges:\nwant %+v\ngot  %+v", want, got)
+	}
+	c := chipletsOf(7, 100, 50, 25, 10)
+	c[2].Name = "other"
+	want, err = Estimate(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = est.EstimateDelta(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsBitIdentical(want, got) {
+		t.Fatalf("name-changed delta diverges:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestEstimateDeltaValidatesChangedChiplet(t *testing.T) {
+	db := tech.Default()
+	est, err := NewEstimator(DefaultParams(RDLFanout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips := []Chiplet{
+		{Name: "a", AreaMM2: 100, Node: db.MustGet(7)},
+		{Name: "b", AreaMM2: 50, Node: db.MustGet(14)},
+	}
+	if _, err := est.Estimate(chips); err != nil {
+		t.Fatal(err)
+	}
+	chips[1].AreaMM2 = -4
+	if _, err := est.EstimateDelta(chips, 1); err == nil {
+		t.Error("non-positive area should fail")
+	}
+	chips[1].AreaMM2 = 50
+	chips[1].Node = nil
+	if _, err := est.EstimateDelta(chips, 1); err == nil {
+		t.Error("nil node should fail")
+	}
+}
+
+// EstimateOnFloorplan must reproduce a full Estimate bit for bit when
+// handed the floorplan that estimate would compute — the seam compiled
+// parameter plans use for packaging-dirty evaluations whose geometry
+// inputs are untouched.
+func TestEstimateOnFloorplanMatchesEstimate(t *testing.T) {
+	db := tech.Default()
+	rng := rand.New(rand.NewSource(59))
+	for _, arch := range Architectures {
+		base := DefaultParams(arch)
+		for trial := 0; trial < 20; trial++ {
+			chiplets := randChiplets(rng, db)
+			full, err := Estimate(chiplets, base)
+			if err != nil {
+				continue // e.g. single-chiplet EMIB has no adjacency
+			}
+			// Perturb a geometry-free parameter, as a DirtyPackaging
+			// evaluation would.
+			p := base
+			p.CarbonIntensity = 0.030 + 0.6*rng.Float64()
+			want, err := Estimate(chiplets, p)
+			if err != nil {
+				t.Fatalf("%v trial %d: %v", arch, trial, err)
+			}
+			got, err := EstimateOnFloorplan(chiplets, p, full.Floorplan)
+			if err != nil {
+				t.Fatalf("%v trial %d: EstimateOnFloorplan: %v", arch, trial, err)
+			}
+			if !resultsBitIdentical(want, got) {
+				t.Fatalf("%v trial %d: floorplan-reuse estimate diverges\nwant %+v\ngot  %+v", arch, trial, want, got)
+			}
+		}
+	}
+}
+
+func TestEstimateOnFloorplanValidates(t *testing.T) {
+	db := tech.Default()
+	p := DefaultParams(RDLFanout)
+	chips := []Chiplet{{Name: "a", AreaMM2: 100, Node: db.MustGet(7)}}
+	if _, err := EstimateOnFloorplan(chips, p, nil); err == nil {
+		t.Error("nil floorplan should fail for a 2D architecture")
+	}
+	if _, err := EstimateOnFloorplan(nil, p, nil); err == nil {
+		t.Error("empty chiplet set should fail")
+	}
+	// ThreeD ignores the floorplan entirely.
+	want, err := Estimate(chips, DefaultParams(ThreeD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateOnFloorplan(chips, DefaultParams(ThreeD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsBitIdentical(want, got) {
+		t.Error("3D floorplan-reuse estimate diverges from the full path")
+	}
+}
+
 func TestNewEstimatorValidates(t *testing.T) {
 	p := DefaultParams(RDLFanout)
 	p.RDLLayers = 99

@@ -319,17 +319,23 @@ func Estimate(chiplets []Chiplet, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return estimateWith(chiplets, p, nil)
+	return estimateWith(chiplets, &p, nil)
 }
 
 // Estimator evaluates many chiplet sets under one fixed parameter set
 // with the parameters validated once at construction and every reusable
-// buffer — the floorplan scratch, the Result, and a per-node memo of the
-// pure communication sub-results (PHY/router area, carbon, power) —
-// retained across calls. It is the packaging backend of compiled
-// design-space sweep plans, whose hot loop would otherwise spend most of
-// its time re-validating an unchanged Params and re-allocating
-// identical intermediate storage.
+// buffer — the retained floorplan tree, the Result, and a per-node memo
+// of the pure communication sub-results (PHY/router area, carbon,
+// power) — retained across calls. It is the packaging backend of
+// compiled design-space sweep plans, whose hot loop would otherwise
+// spend most of its time re-validating an unchanged Params and
+// re-allocating identical intermediate storage.
+//
+// The floorplanner behind Estimate is a floorplan.Tree: when successive
+// calls differ only in block areas, the plan is served by an
+// incremental relayout of the dirty leaf-to-root paths (bit-identical
+// to a from-scratch plan by the tree's guard), and EstimateDelta is the
+// explicit single-changed-chiplet seam a Gray-code sweep step uses.
 //
 // An Estimator is NOT safe for concurrent use; give each worker its own.
 // The Result returned by Estimate (including its Floorplan) is owned by
@@ -353,8 +359,55 @@ func NewEstimator(p Params) (*Estimator, error) {
 // Estimate is pkgcarbon.Estimate under the estimator's pre-validated
 // parameters; the result is bit-identical to the package-level call.
 func (e *Estimator) Estimate(chiplets []Chiplet) (*Result, error) {
-	return estimateWith(chiplets, e.p, &e.sc)
+	return estimateWith(chiplets, &e.p, &e.sc)
 }
+
+// EstimateDelta is Estimate when only chiplets[changed] differs (in
+// area and/or node) from the chiplet set of the previous call on this
+// estimator — the Gray-step shape of a compiled sweep walk. The
+// floorplan goes through the retained tree's single-block update, the
+// adjacency scan (bridge architectures) is restricted to moved
+// rectangles, and the communication cells of unchanged chiplets are
+// served from the per-chiplet cache; everything is bit-identical to a
+// full Estimate by construction. When the precondition cannot be
+// verified cheaply (first call, different chiplet count or names, 3D or
+// flexible floorplans), it falls back to the full Estimate.
+func (e *Estimator) EstimateDelta(chiplets []Chiplet, changed int) (*Result, error) {
+	sc := &e.sc
+	if e.p.Arch == ThreeD || e.p.FlexibleFloorplan ||
+		changed < 0 || changed >= len(chiplets) ||
+		len(sc.blocks) != len(chiplets) ||
+		sc.blocks[changed].Name != chiplets[changed].Name {
+		return e.Estimate(chiplets)
+	}
+	c := chiplets[changed]
+	// Other chiplets are unchanged since the previous (validated) call;
+	// only the changed one needs the input checks.
+	if c.AreaMM2 <= 0 {
+		return nil, fmt.Errorf("pkgcarbon: chiplet %q has non-positive area", c.Name)
+	}
+	if c.Node == nil {
+		return nil, fmt.Errorf("pkgcarbon: chiplet %q has no technology node", c.Name)
+	}
+	sc.blocks[changed].AreaMM2 = c.AreaMM2
+	fp, err := sc.fp.Update(changed, c.AreaMM2)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse the scratch Result without re-zeroing: finishEstimate
+	// rewrites every field this (fixed) architecture's path writes, and
+	// the fields it never writes were zeroed by the first full estimate
+	// and can never have been set since.
+	res := &sc.res
+	if err := finishEstimate(res, chiplets, &e.p, fp, sc); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FloorplanStats snapshots the retained floorplan tree's reuse counters
+// (fast-path hits, fallbacks, relayout depth).
+func (e *Estimator) FloorplanStats() floorplan.TreeStats { return e.sc.fp.Stats() }
 
 // Routing is the communication slice of a packaging Result: the only
 // C_HI terms that read the chiplets' own technology-node parameters
@@ -384,7 +437,7 @@ func EstimateRouting(chiplets []Chiplet, p Params) (Routing, error) {
 	}
 	var res Result
 	res.Arch = p.Arch
-	if err := addCommunication(&res, chiplets, p, nil); err != nil {
+	if err := addCommunication(&res, chiplets, &p, nil); err != nil {
 		return Routing{}, err
 	}
 	return Routing{
@@ -401,16 +454,41 @@ type commCell struct {
 	powerW  float64
 }
 
+// pkgCell is a memoized architecture package term: for RDL and the two
+// interposer architectures the whole (yield, package carbon, bond
+// count) triple is a pure function of the package bounding-box area
+// under an estimator's fixed parameters, so a scratch caches it per
+// exact area bits — the repeated-run serving shape (compile a plan
+// once, evaluate it per request) revisits the same areas and skips the
+// negative-binomial yield math entirely.
+type pkgCell struct {
+	assemblyYield float64
+	packageKg     float64
+	numBonds      float64
+}
+
+// pkgMemoCap bounds the per-scratch package-term memo; a pathological
+// never-repeating caller resets rather than grows without bound.
+const pkgMemoCap = 4096
+
 // scratch carries the reusable state of an Estimator. A nil *scratch
 // selects the allocate-fresh behavior of the package-level Estimate.
 type scratch struct {
 	blocks []floorplan.Block
-	fp     floorplan.Scratch
+	fp     floorplan.Tree
 	res    Result
 	comm   map[*tech.Node]commCell
+	// commCh caches the last communication cell used per chiplet index,
+	// so the delta path folds the unchanged entries without re-hashing
+	// the per-node memo. commNode records which node each entry was
+	// computed for (the changed chiplet may have switched nodes).
+	commCh   []commCell
+	commNode []*tech.Node
+	// pkgMemo is the per-area package-term memo (see pkgCell); lazy.
+	pkgMemo map[uint64]pkgCell
 }
 
-func estimateWith(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
+func estimateWith(chiplets []Chiplet, p *Params, sc *scratch) (*Result, error) {
 	if len(chiplets) == 0 {
 		return nil, fmt.Errorf("pkgcarbon: no chiplets")
 	}
@@ -432,6 +510,7 @@ func estimateWith(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
 			sc.blocks = make([]floorplan.Block, len(chiplets))
 		}
 		blocks = sc.blocks[:len(chiplets)]
+		sc.blocks = blocks
 	} else {
 		blocks = make([]floorplan.Block, len(chiplets))
 	}
@@ -445,7 +524,9 @@ func estimateWith(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
 		fp, err = floorplan.PlanFlexible(blocks, p.SpacingMM, nil)
 	case sc != nil && p.Arch != SiliconBridge:
 		// Only the bridge model reads adjacencies; skipping the pairwise
-		// scan keeps the scratch path flat in the chiplet count.
+		// scan keeps the scratch path flat in the chiplet count. The
+		// retained tree turns repeat plans over the same block shape
+		// into incremental relayouts.
 		fp, err = sc.fp.PlanNoAdjacencies(blocks, p.SpacingMM)
 	case sc != nil:
 		fp, err = sc.fp.Plan(blocks, p.SpacingMM)
@@ -456,28 +537,104 @@ func estimateWith(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
 		return nil, err
 	}
 	res := newResult(sc)
+	if err := finishEstimate(res, chiplets, p, fp, sc); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// finishEstimate runs everything after the floorplan: the architecture
+// package-carbon model, the attach term and the communication overhead.
+// It is shared by the full path, the single-changed-chiplet delta path
+// and EstimateOnFloorplan, so the float expressions (and their order)
+// cannot diverge between them.
+func finishEstimate(res *Result, chiplets []Chiplet, p *Params, fp *floorplan.Result, sc *scratch) error {
 	res.Arch = p.Arch
 	res.PackageAreaMM2 = fp.AreaMM2()
 	res.WhitespaceMM2 = fp.WhitespaceMM2()
 	res.Floorplan = fp
-	switch p.Arch {
-	case RDLFanout:
-		err = estimateRDL(res, p)
-	case SiliconBridge:
-		err = estimateBridge(res, fp, p)
-	case PassiveInterposer:
-		err = estimateInterposer(res, chiplets, p, false)
-	case ActiveInterposer:
-		err = estimateInterposer(res, chiplets, p, true)
-	}
-	if err != nil {
-		return nil, err
+	// The bridge model reads the adjacency list, so only the three
+	// area-pure architectures go through the scratch's per-area memo
+	// (the memoized triple carries the exact bits the model computes —
+	// it is a pure function of the area under fixed params).
+	if sc != nil && p.Arch != SiliconBridge {
+		key := math.Float64bits(res.PackageAreaMM2)
+		if cell, ok := sc.pkgMemo[key]; ok {
+			res.AssemblyYield = cell.assemblyYield
+			res.PackageKg = cell.packageKg
+			res.NumBonds = cell.numBonds
+		} else {
+			if err := runArchModel(res, chiplets, p, fp); err != nil {
+				return err
+			}
+			if sc.pkgMemo == nil || len(sc.pkgMemo) >= pkgMemoCap {
+				sc.pkgMemo = make(map[uint64]pkgCell)
+			}
+			sc.pkgMemo[key] = pkgCell{
+				assemblyYield: res.AssemblyYield,
+				packageKg:     res.PackageKg,
+				numBonds:      res.NumBonds,
+			}
+		}
+	} else if err := runArchModel(res, chiplets, p, fp); err != nil {
+		return err
 	}
 	// Per-chiplet attach energy, charged through the assembly yield so
 	// failed assemblies are borne by the good ones.
 	res.PackageKg += float64(len(chiplets)) * p.AttachEnergyKWhPerChiplet *
 		p.CarbonIntensity / res.AssemblyYield
-	if err := addCommunication(res, chiplets, p, sc); err != nil {
+	return addCommunication(res, chiplets, p, sc)
+}
+
+// runArchModel dispatches the architecture-specific package-carbon
+// model (the memoizable slice of finishEstimate).
+func runArchModel(res *Result, chiplets []Chiplet, p *Params, fp *floorplan.Result) error {
+	switch p.Arch {
+	case RDLFanout:
+		return estimateRDL(res, p)
+	case SiliconBridge:
+		return estimateBridge(res, fp, p)
+	case PassiveInterposer:
+		return estimateInterposer(res, chiplets, p, false)
+	case ActiveInterposer:
+		return estimateInterposer(res, chiplets, p, true)
+	}
+	return fmt.Errorf("pkgcarbon: unknown architecture %v", p.Arch)
+}
+
+// EstimateOnFloorplan is Estimate for a chiplet set whose floorplan is
+// already known: fp must be the floorplan of these chiplets' areas at
+// p.SpacingMM under the same FlexibleFloorplan setting (for bridge
+// architectures it must carry the adjacency scan). Compiled parameter
+// plans use it to re-run the packaging model under perturbed parameters
+// that leave the floorplan geometry untouched — the result then carries
+// the exact float bits of a full Estimate. For ThreeD (which has no
+// floorplan) fp is ignored and the full stack model runs.
+func EstimateOnFloorplan(chiplets []Chiplet, p Params, fp *floorplan.Result) (*Result, error) {
+	// The checks run in Estimate's order, so the two paths surface
+	// identical errors.
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(chiplets) == 0 {
+		return nil, fmt.Errorf("pkgcarbon: no chiplets")
+	}
+	for _, c := range chiplets {
+		if c.AreaMM2 <= 0 {
+			return nil, fmt.Errorf("pkgcarbon: chiplet %q has non-positive area", c.Name)
+		}
+		if c.Node == nil {
+			return nil, fmt.Errorf("pkgcarbon: chiplet %q has no technology node", c.Name)
+		}
+	}
+	if p.Arch == ThreeD {
+		return estimate3D(chiplets, &p, nil)
+	}
+	if fp == nil || len(fp.Placements) != len(chiplets) {
+		return nil, fmt.Errorf("pkgcarbon: EstimateOnFloorplan needs a floorplan of all %d chiplets", len(chiplets))
+	}
+	res := &Result{}
+	if err := finishEstimate(res, chiplets, &p, fp, nil); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -494,7 +651,7 @@ func newResult(sc *scratch) *Result {
 
 // estimateRDL implements Eq. (9): per-layer patterning energy over the
 // package area, divided by the layered RDL yield.
-func estimateRDL(res *Result, p Params) error {
+func estimateRDL(res *Result, p *Params) error {
 	areaCM2 := res.PackageAreaMM2 / 100
 	// RDL layers are coarse (6-10 um L/S); their per-layer yield uses
 	// the negative-binomial model at a derated defect density.
@@ -518,7 +675,7 @@ const bridgeDefectMultiplier = 8
 // estimateBridge implements Eq. (10): one bridge per 2 mm of shared edge
 // between adjacent chiplets, each carrying patterning plus embedding
 // energy over the bridge yield.
-func estimateBridge(res *Result, fp *floorplan.Result, p Params) error {
+func estimateBridge(res *Result, fp *floorplan.Result, p *Params) error {
 	n := 0
 	for _, adj := range fp.Adjacencies {
 		n += int(math.Ceil(adj.OverlapMM / p.BridgeRangeMM))
@@ -553,7 +710,7 @@ const interposerTSVPitchUM = 45.0
 // energy (FEOL+BEOL) plus gas emissions, since devices are fabricated
 // even though they are used only in local router regions. Both carry a
 // grid of escape TSVs to the package substrate.
-func estimateInterposer(res *Result, chiplets []Chiplet, p Params, active bool) error {
+func estimateInterposer(res *Result, chiplets []Chiplet, p *Params, active bool) error {
 	n := p.PackagingNode
 	areaCM2 := res.PackageAreaMM2 / 100
 	y := yieldmodel.Die(res.PackageAreaMM2, n.DefectDensity)
@@ -582,7 +739,7 @@ func estimateInterposer(res *Result, chiplets []Chiplet, p Params, active bool) 
 // bond grid is a single vertical stack network across all tiers (the
 // footprint shrinks as logic is split across more tiers, so the bond
 // count falls even though the assembly yield degrades with tier count).
-func estimate3D(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
+func estimate3D(chiplets []Chiplet, p *Params, sc *scratch) (*Result, error) {
 	footprint := 0.0
 	for _, c := range chiplets {
 		footprint = math.Max(footprint, c.AreaMM2)
@@ -622,14 +779,18 @@ func estimate3D(chiplets []Chiplet, p Params, sc *scratch) (*Result, error) {
 // All three per-node contributions are pure in (Router config, node,
 // carbon intensity), so a scratch memoizes them per *tech.Node — a full
 // factorial sweep revisits the same handful of nodes for every point —
-// without changing a single bit of the summation.
-func addCommunication(res *Result, chiplets []Chiplet, p Params, sc *scratch) error {
+// without changing a single bit of the summation. On top of the map
+// memo, a scratch keeps the last cell per chiplet slot (commSlot): a
+// Gray step changes one chiplet's node, so the other slots fold their
+// cached cells without re-hashing.
+func addCommunication(res *Result, chiplets []Chiplet, p *Params, sc *scratch) error {
 	switch res.Arch {
 	case RDLFanout, SiliconBridge:
 		var total float64
 		var areaSum float64
-		for _, c := range chiplets {
-			cc, err := commFor(sc, c.Node, p, false)
+		slots := commSlots(sc, len(chiplets))
+		for i, c := range chiplets {
+			cc, err := commSlot(sc, slots, i, c.Node, p, false)
 			if err != nil {
 				return err
 			}
@@ -645,8 +806,9 @@ func addCommunication(res *Result, chiplets []Chiplet, p Params, sc *scratch) er
 	case PassiveInterposer, ThreeD:
 		var total float64
 		var areaSum, powerSum float64
-		for _, c := range chiplets {
-			cc, err := commFor(sc, c.Node, p, true)
+		slots := commSlots(sc, len(chiplets))
+		for i, c := range chiplets {
+			cc, err := commSlot(sc, slots, i, c.Node, p, true)
 			if err != nil {
 				return err
 			}
@@ -672,13 +834,51 @@ func addCommunication(res *Result, chiplets []Chiplet, p Params, sc *scratch) er
 	return fmt.Errorf("pkgcarbon: unknown architecture %v", res.Arch)
 }
 
+// commSlots sizes the scratch's per-chiplet cell cache, invalidating it
+// when the chiplet count changed. It returns nil without a scratch.
+func commSlots(sc *scratch, n int) []commCell {
+	if sc == nil {
+		return nil
+	}
+	if len(sc.commCh) != n {
+		if cap(sc.commCh) < n {
+			sc.commCh = make([]commCell, n)
+			sc.commNode = make([]*tech.Node, n)
+		}
+		sc.commCh = sc.commCh[:n]
+		sc.commNode = sc.commNode[:n]
+		for i := range sc.commNode {
+			sc.commNode[i] = nil
+		}
+	}
+	return sc.commCh
+}
+
+// commSlot returns chiplet slot i's communication cell, served from the
+// per-slot cache when the slot's node pointer is unchanged and filled
+// from commFor (the per-node memo) otherwise. The cell values are pure
+// in the node, so the extra cache layer cannot change a bit.
+func commSlot(sc *scratch, slots []commCell, i int, n *tech.Node, p *Params, fullRouter bool) (commCell, error) {
+	if slots != nil && sc.commNode[i] == n {
+		return slots[i], nil
+	}
+	cc, err := commFor(sc, n, p, fullRouter)
+	if err != nil {
+		return commCell{}, err
+	}
+	if slots != nil {
+		slots[i], sc.commNode[i] = cc, n
+	}
+	return cc, nil
+}
+
 // commFor computes (or recalls) one node's communication contribution.
 // fullRouter selects a complete NoC router (interposer/3D architectures);
 // otherwise the node carries only a PHY IP. The memo key is the node
 // pointer — tech.DB hands out stable *Node values — and an Estimator's
 // architecture is fixed, so the router/PHY distinction never changes
 // within one scratch.
-func commFor(sc *scratch, n *tech.Node, p Params, fullRouter bool) (commCell, error) {
+func commFor(sc *scratch, n *tech.Node, p *Params, fullRouter bool) (commCell, error) {
 	if sc != nil {
 		if cc, ok := sc.comm[n]; ok {
 			return cc, nil
