@@ -378,6 +378,94 @@ func BenchmarkFloorplanIncremental(b *testing.B) {
 	}
 }
 
+// benchDisaggSystem builds the EPYC-scale (10-die) fine-grained system
+// of the Disaggregate benchmark pair: 8 mergeable logic slivers around
+// a memory and an analog die, a multi-step greedy trajectory.
+func benchDisaggSystem(db *TechDB) *System {
+	ref := db.MustGet(7)
+	var chiplets []Chiplet
+	for i := 0; i < 8; i++ {
+		chiplets = append(chiplets, BlockFromArea(
+			fmt.Sprintf("logic%c", 'a'+i), Logic, 3, ref, 7))
+	}
+	chiplets = append(chiplets,
+		BlockFromArea("memory", Memory, 60, db.MustGet(14), 14),
+		BlockFromArea("analog", Analog, 30, db.MustGet(10), 10),
+	)
+	return &System{
+		Name:      "disagg-bench",
+		Chiplets:  chiplets,
+		Packaging: DefaultPackaging(RDLFanout),
+		Mfg:       DefaultMfgParams(),
+		Design:    DefaultDesignParams(),
+	}
+}
+
+// BenchmarkDisaggregate measures the compiled greedy block-to-chiplet
+// disaggregation search at EPYC scale (10 dies): every greedy step's
+// candidate merges evaluated on the step-spanning state — memoized
+// merged-die cells, pooled worker scratches, and merge-candidate
+// floorplan forks against the pinned base tree.
+func BenchmarkDisaggregate(b *testing.B) {
+	db := DefaultDB()
+	base := benchDisaggSystem(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := Disaggregate(base, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Steps == 0 {
+			b.Fatal("expected a multi-step search")
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkDisaggregateReference measures the evaluate-per-candidate
+// oracle on the same search — the bit-identity baseline every compiled
+// trajectory is pinned against.
+func BenchmarkDisaggregateReference(b *testing.B) {
+	db := DefaultDB()
+	base := benchDisaggSystem(db)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DisaggregateReference(ctx, base, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanFlexibleIncremental measures the retained shape-curve
+// tree's single-area update at the EPYC chiplet count — the per-step
+// floorplan cost of a compiled sweep over a flexible-floorplan system —
+// against the from-scratch PlanFlexible it replaces (the
+// BenchmarkFloorplanIncremental counterpart for shape curves).
+func BenchmarkPlanFlexibleIncremental(b *testing.B) {
+	areas := []float64{512, 300, 200, 140, 100, 70, 50, 35, 25}
+	blocks := make([]floorplan.Block, len(areas))
+	for i, a := range areas {
+		blocks[i] = floorplan.Block{Name: fmt.Sprintf("d%d", i), AreaMM2: a}
+	}
+	var ft floorplan.FlexTree
+	if _, err := ft.Plan(blocks, 0.5, nil); err != nil {
+		b.Fatal(err)
+	}
+	last := len(areas) - 1
+	base := areas[last]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ft.Update(last, base+float64(i&1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := ft.Stats(); s.Fallbacks > 0 {
+		b.Fatalf("flexible update benchmark fell back to rebuilds: %+v", s)
+	}
+}
+
 // benchServerSystem builds the 9-die EPYC-class server testcase the
 // tornado / Monte Carlo benchmark pairs analyze — the multi-chiplet
 // shape where sensitivity and uncertainty studies are actually run, and

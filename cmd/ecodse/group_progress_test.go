@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ecochip/internal/config"
+)
+
+// epycDir writes an EPYC-style design directory: eight CCD-class logic
+// dies (not reused, so the grouping optimizer may merge them) around a
+// large IO die on an RDL substrate — the many-chiplet regime the
+// disaggregate plan statistics are about.
+func epycDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	arch := config.ArchitectureFile{
+		SystemName:      "epyc-like",
+		Packaging:       "RDL",
+		ReferenceNodeNm: 7,
+	}
+	for i := 0; i < 8; i++ {
+		arch.Chiplets = append(arch.Chiplets, config.ChipletJSON{
+			Name: fmt.Sprintf("ccd%d", i), Type: "logic", AreaMM2: 74, NodeNm: 7,
+		})
+	}
+	arch.Chiplets = append(arch.Chiplets, config.ChipletJSON{
+		Name: "iod", Type: "analog", AreaMM2: 416, NodeNm: 14,
+	})
+	data, err := json.MarshalIndent(arch, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "architecture.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// The group -progress output must surface the disaggregate plan
+// statistics, and the name-keyed floorplan diff must serve more than
+// half the eligible plans on the EPYC-scale testcase.
+func TestRunGroupProgressDisaggregateStats(t *testing.T) {
+	cfg := cfgFor("group")
+	cfg.progress = true
+	var out, stats strings.Builder
+	if err := run(epycDir(t), cfg, &out, &stats); err != nil {
+		t.Fatal(err)
+	}
+	s := stats.String()
+	if !strings.Contains(s, "disaggregate plan:") {
+		t.Fatalf("group progress run missing disaggregate plan statistics:\n%s", s)
+	}
+	if !strings.Contains(s, "pooled-scratch reuses") {
+		t.Fatalf("group progress run missing pooled-scratch counter:\n%s", s)
+	}
+	if !strings.Contains(s, "incremental floorplan:") {
+		t.Fatalf("group progress run missing floorplan diff statistics:\n%s", s)
+	}
+	m := regexp.MustCompile(`\(([0-9.]+)% reuse\)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no reuse rate in stats output:\n%s", s)
+	}
+	rate, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 50 {
+		t.Errorf("name-keyed diff hit rate %.1f%% not above 50%%:\n%s", rate, s)
+	}
+}
+
+// The compiled and reference group paths must print identical plans,
+// and -uncompiled under -progress reports cache statistics instead.
+func TestRunGroupUncompiledMatchesCompiled(t *testing.T) {
+	dir := epycDir(t)
+	var compiled, reference strings.Builder
+	if err := run(dir, cfgFor("group"), &compiled, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgFor("group")
+	cfg.uncompiled = true
+	cfg.progress = true
+	var stats strings.Builder
+	if err := run(dir, cfg, &reference, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if compiled.String() != reference.String() {
+		t.Errorf("compiled and uncompiled group outputs diverge:\n%s\nvs\n%s", compiled.String(), reference.String())
+	}
+	if !strings.Contains(stats.String(), "reference path:") {
+		t.Errorf("uncompiled group progress run should say the reference path has no plan statistics:\n%s", stats.String())
+	}
+	if strings.Contains(stats.String(), "memo cache:") {
+		t.Errorf("uncompiled group progress run must not print a cache the reference never touches:\n%s", stats.String())
+	}
+}

@@ -7,13 +7,15 @@
 //	ecodse --design_dir testcases/GA102 --mode mc       # Monte Carlo uncertainty
 //
 // The sweep mode needs a node_list.txt in the design directory. Sweeps
-// run on a compiled plan (precomputed die tables + Gray-code walk) and
-// the tornado/mc analyses run on a compiled parameter plan (base point
+// run on a compiled plan (precomputed die tables + Gray-code walk), the
+// tornado/mc analyses run on a compiled parameter plan (base point
 // tabulated once, perturbations recomputing only their dirty
-// sub-models), unless -uncompiled forces the per-evaluation reference
-// path. -cpuprofile / -memprofile write pprof profiles of the run, and
-// -progress reports compiled-plan or memo-cache statistics after the
-// result.
+// sub-models), and the group mode runs the greedy disaggregation search
+// on step-spanning retained state (memoized merged-die cells, pooled
+// scratches, floorplan forks against each step's pinned base), unless
+// -uncompiled forces the per-evaluation reference path. -cpuprofile /
+// -memprofile write pprof profiles of the run, and -progress reports
+// compiled-plan or memo-cache statistics after the result.
 package main
 
 import (
@@ -45,7 +47,7 @@ func main() {
 	seed := flag.Int64("seed", 2024, "mc: random seed")
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "print sweep progress and evaluation statistics to stderr")
-	uncompiled := flag.Bool("uncompiled", false, "sweep/tornado/mc: force the per-evaluation reference path instead of the compiled plan")
+	uncompiled := flag.Bool("uncompiled", false, "sweep/tornado/mc/group: force the per-evaluation reference path instead of the compiled plan")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -143,17 +145,10 @@ func run(designDir string, cfg runConfig, w, statsW io.Writer) error {
 	case "mc":
 		return runMC(ctx, w, statsW, system, db, cfg, cache, opts)
 	case "group":
-		err = runGroup(ctx, w, system, db, opts)
+		return runGroup(ctx, w, statsW, system, db, cfg, opts)
 	default:
 		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
-	if err != nil {
-		return err
-	}
-	if cfg.progress {
-		printCacheStats(statsW, cache)
-	}
-	return nil
 }
 
 func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db *tech.DB, nodes []int, cfg runConfig, cache *engine.Cache, opts []engine.Option) error {
@@ -188,7 +183,7 @@ func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db 
 			s := plan.Stats()
 			fmt.Fprintf(statsW, "compiled plan: %d points from %d table cells, %d gray steps, %d block inits\n",
 				s.Points, s.TableCells, s.GraySteps, s.BlockInits)
-			if fp := s.Floorplan; fp.FastPath+fp.Unchanged+fp.Fallbacks+fp.Rebuilds > 0 {
+			if fp := s.Floorplan; fp.Plans() > 0 {
 				fmt.Fprintln(statsW, fp)
 			}
 		} else {
@@ -238,8 +233,14 @@ func runTornado(ctx context.Context, w, statsW io.Writer, system *core.System, d
 	return nil
 }
 
-func runGroup(ctx context.Context, w io.Writer, system *core.System, db *tech.DB, opts []engine.Option) error {
-	plan, err := explore.DisaggregateCtx(ctx, system, db, opts...)
+func runGroup(ctx context.Context, w, statsW io.Writer, system *core.System, db *tech.DB, cfg runConfig, opts []engine.Option) error {
+	var plan *explore.Plan
+	var err error
+	if cfg.uncompiled {
+		plan, err = explore.DisaggregateReference(ctx, system, db)
+	} else {
+		plan, err = explore.DisaggregateCtx(ctx, system, db, opts...)
+	}
 	if err != nil {
 		return err
 	}
@@ -250,9 +251,22 @@ func runGroup(ctx context.Context, w io.Writer, system *core.System, db *tech.DB
 	if err := t.Fprint(w); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "embodied carbon: %.2f kg (from %.2f kg, %d merges)\n",
-		plan.EmbodiedKg, plan.InitialKg, plan.Steps)
-	return err
+	if _, err := fmt.Fprintf(w, "embodied carbon: %.2f kg (from %.2f kg, %d merges)\n",
+		plan.EmbodiedKg, plan.InitialKg, plan.Steps); err != nil {
+		return err
+	}
+	if cfg.progress {
+		if cfg.uncompiled {
+			// The reference search evaluates every candidate directly —
+			// no memo cache, no compiled plan — so there are no
+			// statistics to report (and printing the run cache's zeros
+			// would suggest it was active).
+			fmt.Fprintln(statsW, "reference path: evaluate-per-candidate, no plan statistics")
+		} else {
+			fmt.Fprintln(statsW, plan.Stats)
+		}
+	}
+	return nil
 }
 
 func runMC(ctx context.Context, w, statsW io.Writer, system *core.System, db *tech.DB, cfg runConfig, cache *engine.Cache, opts []engine.Option) error {

@@ -28,11 +28,13 @@ import (
 
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
+	"ecochip/internal/descarbon"
 	"ecochip/internal/engine"
 	"ecochip/internal/experiments"
 	"ecochip/internal/explore"
 	"ecochip/internal/floorplan"
 	"ecochip/internal/kernel"
+	"ecochip/internal/mfg"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/report"
 	"ecochip/internal/roadmap"
@@ -95,6 +97,12 @@ func DefaultPackaging(arch Architecture) PackagingParams { return pkgcarbon.Defa
 
 // DefaultCostParams returns the dollar-cost model defaults.
 func DefaultCostParams() cost.Params { return cost.DefaultParams() }
+
+// DefaultMfgParams returns the manufacturing-model defaults (Table I).
+func DefaultMfgParams() mfg.Params { return mfg.DefaultParams() }
+
+// DefaultDesignParams returns the design-carbon model defaults.
+func DefaultDesignParams() descarbon.Params { return descarbon.DefaultParams() }
 
 // BlockFromArea builds a Chiplet from a die-area measurement at a
 // reference node (the form teardown data arrives in).
@@ -166,9 +174,35 @@ func ParetoFront(points []DesignPoint, objectives ...SweepMetric) []DesignPoint 
 	return explore.ParetoFront(points, objectives...)
 }
 
-// Disaggregate runs the greedy block-to-chiplet grouping optimizer.
+// DisaggregationStats counts the work of one compiled Disaggregate
+// search: greedy steps and candidate evaluations, merged-die cell memo
+// traffic, pooled-scratch reuse and the folded incremental-floorplan
+// counters (whose diff fields report the name-keyed remove/insert diff
+// serving the candidates). Returned in DisaggregationPlan.Stats; its
+// String is the summary ecodse prints under -progress.
+type DisaggregationStats = explore.DisaggregateStats
+
+// Disaggregate runs the greedy block-to-chiplet grouping optimizer. The
+// search runs end-to-end on retained state: merged-die cells are
+// memoized per group pair across greedy steps, worker scratches (with
+// their packaging estimators and retained floorplan trees) are pooled
+// across the whole search, and each candidate's floorplan is a
+// name-keyed remove/insert fork of the step's pinned base tree. The
+// trajectory is bit-identical to DisaggregateReference.
 func Disaggregate(base *System, db *TechDB) (*DisaggregationPlan, error) {
 	return explore.Disaggregate(base, db)
+}
+
+// DisaggregateCtx is Disaggregate with cancellation and engine options.
+func DisaggregateCtx(ctx context.Context, base *System, db *TechDB, opts ...EngineOption) (*DisaggregationPlan, error) {
+	return explore.DisaggregateCtx(ctx, base, db, opts...)
+}
+
+// DisaggregateReference is the uncompiled evaluate-per-candidate greedy
+// search: the oracle and baseline the compiled search is tested and
+// benchmarked against.
+func DisaggregateReference(ctx context.Context, base *System, db *TechDB) (*DisaggregationPlan, error) {
+	return explore.DisaggregateReference(ctx, base, db)
 }
 
 // Tornado runs a one-at-a-time sensitivity analysis at +/- rel.

@@ -1,6 +1,10 @@
 package ecochip
 
 import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
 	"testing"
 )
 
@@ -81,5 +85,43 @@ func TestFacadeDisaggregate(t *testing.T) {
 	}
 	if plan.EmbodiedKg > plan.InitialKg {
 		t.Error("plan must never be worse than its input")
+	}
+}
+
+// The compiled search, its cancellable variant and the evaluate-per-
+// candidate reference must agree through the facade, and the compiled
+// plan must surface its step-spanning statistics.
+func TestFacadeDisaggregateCtxAndReference(t *testing.T) {
+	db := DefaultDB()
+	ref := db.MustGet(7)
+	var chiplets []Chiplet
+	for i := 0; i < 5; i++ {
+		chiplets = append(chiplets, BlockFromArea(fmt.Sprintf("blk%d", i), Logic, 4, ref, 7))
+	}
+	base := &System{
+		Name:      "facade-disagg",
+		Chiplets:  chiplets,
+		Packaging: DefaultPackaging(RDLFanout),
+		Mfg:       DefaultMfgParams(),
+		Design:    DefaultDesignParams(),
+	}
+	ctx := context.Background()
+	plan, err := DisaggregateCtx(ctx, base, db, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DisaggregateReference(ctx, base, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(plan.EmbodiedKg) != math.Float64bits(want.EmbodiedKg) || plan.Steps != want.Steps {
+		t.Fatalf("compiled plan diverges from the reference: %+v vs %+v", plan, want)
+	}
+	var s DisaggregationStats = plan.Stats
+	if s.Candidates == 0 {
+		t.Errorf("compiled plan reported no candidate evaluations: %+v", s)
+	}
+	if !strings.Contains(s.String(), "disaggregate plan:") {
+		t.Errorf("stats summary missing its header: %q", s.String())
 	}
 }

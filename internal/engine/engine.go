@@ -129,6 +129,16 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int, 
 // disabled) so the scratch can capture them; fn then receives the
 // worker's scratch for every point it evaluates.
 func RunScratch[T, S any](ctx context.Context, n int, newScratch func(h *core.Hooks) (S, error), fn func(ctx context.Context, i int, scratch S) (T, error), opts ...Option) ([]T, error) {
+	return RunScratchRelease(ctx, n, newScratch, nil, fn, opts...)
+}
+
+// RunScratchRelease is RunScratch with a release hook: each worker's
+// scratch is handed to release when the worker finishes (whether the
+// batch succeeded, failed or was cancelled), so scratches drawn from a
+// step-spanning pool (kernel.ScratchPool) can be returned to it and
+// keep their retained state warm for the next batch. A nil release is
+// ignored.
+func RunScratchRelease[T, S any](ctx context.Context, n int, newScratch func(h *core.Hooks) (S, error), release func(S), fn func(ctx context.Context, i int, scratch S) (T, error), opts ...Option) ([]T, error) {
 	o := buildOptions(opts)
 	results := make([]T, n)
 	if n == 0 {
@@ -136,6 +146,35 @@ func RunScratch[T, S any](ctx context.Context, n int, newScratch func(h *core.Ho
 	}
 	h := o.hooks()
 	workers := o.workerCount(n)
+
+	if workers == 1 {
+		// Serial runs stay on the caller's goroutine: no spawn, no
+		// derived context, and — decisive for searches that issue many
+		// small batches — no per-batch stack regrowth for recursive
+		// evaluators. Results and error selection are trivially
+		// identical to the one-worker pool.
+		scratch, err := newScratch(h)
+		if err != nil {
+			return nil, err
+		}
+		if release != nil {
+			defer release(scratch)
+		}
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := fn(ctx, i, scratch)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+			if o.progress != nil {
+				o.progress(i+1, n)
+			}
+		}
+		return results, nil
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -153,6 +192,9 @@ func RunScratch[T, S any](ctx context.Context, n int, newScratch func(h *core.Ho
 				// ahead of any task error.
 				pool.fail(-1, err)
 				return
+			}
+			if release != nil {
+				defer release(scratch)
 			}
 			for {
 				i := int(next.Add(1)) - 1
@@ -195,6 +237,19 @@ func RunBlocks(ctx context.Context, n int, fn func(ctx context.Context, lo, hi i
 		return ctx.Err()
 	}
 	workers := o.workerCount(n)
+
+	if workers == 1 {
+		// Serial walks stay on the caller's goroutine (see the
+		// RunScratchRelease serial path for the rationale).
+		done := 0
+		tick := func() {
+			if o.progress != nil {
+				done++
+				o.progress(done, n)
+			}
+		}
+		return fn(ctx, 0, n, tick)
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

@@ -56,3 +56,31 @@ func BenchmarkDisaggregate8Blocks(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDisaggregate10Blocks is the EPYC-scale (10-die) greedy
+// search: 8 mergeable logic slivers plus memory and analog, a multi-step
+// trajectory that exercises the step-spanning compiled state (merged-
+// cell memo, pooled scratches, pinned-base floorplan forks).
+func BenchmarkDisaggregate10Blocks(b *testing.B) {
+	base := fineGrained(8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Disaggregate(base, db()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisaggregateReference is the evaluate-per-candidate oracle on
+// the same 10-die search — the bit-identity baseline, not the pre-PR
+// path (which already evaluated candidates on the cell-table seam).
+func BenchmarkDisaggregateReference(b *testing.B) {
+	base := fineGrained(8, 3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DisaggregateReference(ctx, base, db()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

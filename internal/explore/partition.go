@@ -8,6 +8,8 @@ import (
 
 	"ecochip/internal/core"
 	"ecochip/internal/engine"
+	"ecochip/internal/floorplan"
+	"ecochip/internal/kernel"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
 )
@@ -21,6 +23,29 @@ import (
 // starting from the fully disaggregated system, it repeatedly applies
 // the pairwise merge that lowers embodied carbon the most, stopping when
 // no merge helps.
+//
+// The search runs end-to-end on retained state — one step-spanning
+// compiled plan for the whole greedy loop:
+//
+//   - Merged-die cells are memoized per stable GROUP-PAIR id across
+//     steps: a candidate pair that survives a step unchanged re-reads
+//     its cell from a plain map instead of re-entering the mutex-guarded
+//     engine cache (and re-paying the merge's name concatenation).
+//     Missing entries are filled serially before each step's parallel
+//     fan-out, so candidate evaluation itself never touches a lock.
+//   - The per-step unchanged-chiplet cells and communication design
+//     shares are tabulated the same way.
+//   - Worker scratches (the packaging estimator with its retained
+//     floorplan tree, per-node communication memo and per-area package
+//     memo) come from a kernel.ScratchPool that spans the whole search,
+//     so engine.RunScratch batches no longer rebuild them per step; the
+//     estimator's name-keyed floorplan diff then splices each
+//     candidate's surviving subtrees instead of re-planning.
+//
+// The greedy trajectory stays bit-identical to the evaluate-per-candidate
+// reference (DisaggregateReference) because every memoized value is a
+// pure function of the same inputs the per-candidate code computed, and
+// the reduction order is unchanged (guarded by the equivalence suite).
 
 // Plan is the result of a disaggregation search.
 type Plan struct {
@@ -35,6 +60,37 @@ type Plan struct {
 	InitialKg float64
 	// Steps is the number of merges applied.
 	Steps int
+	// Stats counts the work the compiled search performed (zero for
+	// DisaggregateReference runs).
+	Stats DisaggregateStats
+}
+
+// DisaggregateStats counts the work of one compiled Disaggregate
+// search: the greedy steps and candidate evaluations, the per-search
+// merged-cell memo traffic, the pooled-scratch reuse, and the folded
+// incremental-floorplan counters (whose DiffFastPath / Splices /
+// DiffFallbacks report the name-keyed diff serving the candidates).
+type DisaggregateStats struct {
+	// Steps is the number of accepted merges; Candidates the number of
+	// pairwise merge evaluations across all steps.
+	Steps, Candidates uint64
+	// MergedCellHits / MergedCellMisses count the per-search merged-die
+	// cell memo: a hit skips the merge construction and die sub-models
+	// for a candidate pair carried over from an earlier step.
+	MergedCellHits, MergedCellMisses uint64
+	// ScratchReuses counts engine batches served by a pooled worker
+	// scratch (warm estimator memos and floorplan trees) instead of a
+	// fresh build.
+	ScratchReuses uint64
+	// Floorplan folds the pooled estimators' retained-tree counters.
+	Floorplan floorplan.TreeStats
+}
+
+// String renders the summary ecodse prints under -progress (the single
+// source of the format, like floorplan.TreeStats.String).
+func (s DisaggregateStats) String() string {
+	return fmt.Sprintf("disaggregate plan: %d steps, %d candidates, merged-cell memo %d hits / %d misses, %d pooled-scratch reuses\n%s",
+		s.Steps, s.Candidates, s.MergedCellHits, s.MergedCellMisses, s.ScratchReuses, s.Floorplan)
 }
 
 // mergeable reports whether two chiplets may share a die: same scaling
@@ -71,34 +127,73 @@ func Disaggregate(base *core.System, db *tech.DB) (*Plan, error) {
 }
 
 // mergeCandidate is one (i, j) pairwise merge considered in a greedy
-// step, with its evaluated embodied carbon.
+// step, with its evaluated embodied carbon and the step-table entries
+// it reads: the memoized merged-die entry (an arena index — the arena
+// may grow while the step compiles) and the communication design share
+// of its survivor set.
 type mergeCandidate struct {
-	i, j int
-	kg   float64
+	i, j    int
+	cellIdx int32 // index+1 into disaggState.mergedEntries, 0 = none
+	share   float64
 }
 
-// candScratch is one worker's reusable state for candidate evaluation:
-// the run's memo hooks, a packaging estimator (floorplan scratch +
-// validated params) and the packaging descriptor buffer.
+// mergedCell is one memoized merged-die entry: the merged chiplet (its
+// name string built once) and its die cell.
+type mergedCell struct {
+	ch   core.Chiplet
+	cell core.DieCell
+}
+
+// candScratch is one worker's per-batch state: the run's memo hooks,
+// the pooled kernel arena (packaging estimator + descriptor buffer) and
+// whether the arena's floorplan tree has been primed with this step's
+// base die set (candidates then fork against the pinned base).
 type candScratch struct {
-	h     *core.Hooks
-	est   *pkgcarbon.Estimator
-	pkgCh []pkgcarbon.Chiplet
+	h      *core.Hooks
+	sc     *kernel.Scratch
+	primed bool
+}
+
+// disaggState is the step-spanning compiled state of one search. The
+// cell memos are flat arenas indexed by the dense group ids (initial
+// groups take 0..nc-1, each accepted merge mints the next id, and a
+// search of nc blocks can mint at most nc-1 more), not maps: candidate
+// tabulation is the per-step serial section, and for the handful of
+// groups a search holds, array indexing beats hashing — and keeps the
+// whole search's allocation profile flat.
+type disaggState struct {
+	db   *tech.DB
+	pool *kernel.ScratchPool
+
+	nextID int
+	maxID  int   // bound on minted ids: 2*nc
+	ids    []int // current chiplet position -> stable group id
+
+	singleCells   []core.DieCell // group id -> unchanged-die cell
+	singleOK      []bool
+	pairIdx       []int32 // a*maxID+b -> index+1 into mergedEntries, 0 = none
+	mergedEntries []mergedCell
+	commShares    map[commKey]float64 // (first survivor node, dies) -> design share
+	stats         DisaggregateStats
+
+	// Per-step buffers reused across the greedy loop.
+	stepCells []core.DieCell
+	pairs     []mergeCandidate
+}
+
+// commKey keys the communication design share, which depends on the
+// first surviving chiplet's node and the candidate's die count.
+type commKey struct {
+	nodeNm int
+	dies   int
 }
 
 // DisaggregateCtx is Disaggregate with cancellation and engine options.
 // Each greedy step evaluates all O(n^2) candidate merges through the
-// batch engine; one memo cache is shared across all steps because
-// successive steps re-price mostly unchanged die sets.
-//
-// Candidates are evaluated on the DieCell compile seam rather than
-// through full System evaluations: the cells of the n unchanged chiplets
-// are computed once per step, so each candidate pays only for its merged
-// die, an in-order reduction of the cell table, and a scratch-backed
-// packaging estimate — no clone, no re-validation, no report
-// allocation. The greedy trajectory is bit-identical to the evaluate-
-// per-candidate implementation because both reduce the same cells in
-// the same order (guarded by the equivalence test).
+// batch engine on the search's step-spanning compiled state (see the
+// file comment); one memo cache is shared across all steps because
+// successive steps re-price mostly unchanged die sets. The greedy
+// trajectory is bit-identical to DisaggregateReference.
 func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts ...engine.Option) (*Plan, error) {
 	if err := base.Validate(db); err != nil {
 		return nil, err
@@ -107,12 +202,353 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 		return nil, fmt.Errorf("explore: disaggregation needs a chiplet-form system, not a monolith")
 	}
 	// Share one cache across every step unless the caller provided their
-	// own engine configuration. The same cache backs the per-step cell
-	// tables so steps re-price mostly warm dies.
+	// own engine configuration. The cache backs the full evaluations
+	// (the starting point and the final 2 -> 1 merge); the per-step cell
+	// tabulation runs on the search's own flat memos instead, which
+	// dedup at least as well without the hashed-key layer.
 	cache := engine.NewCache()
-	hooks := cache.Hooks()
 	opts = append([]engine.Option{engine.WithCache(cache)}, opts...)
 
+	current := cloneSystem(base)
+	nc := len(current.Chiplets)
+	pkg := current.Packaging
+	st := &disaggState{
+		db:          db,
+		nextID:      nc,
+		maxID:       2 * nc,
+		ids:         make([]int, nc),
+		singleCells: make([]core.DieCell, 2*nc),
+		singleOK:    make([]bool, 2*nc),
+		pairIdx:     make([]int32, 4*nc*nc),
+		commShares:  make(map[commKey]float64),
+		// Presized for the common trajectory: roughly half the pair
+		// space is mergeable up front plus one fresh pair per later
+		// step; the arena grows past this without harm.
+		mergedEntries: make([]mergedCell, 0, nc*(nc-1)/4+nc),
+	}
+	for i := range st.ids {
+		st.ids[i] = i
+	}
+	st.pool = kernel.NewScratchPool(func() (*kernel.Scratch, error) {
+		return kernel.NewSweepScratch(&pkg, nc)
+	})
+
+	groups := make([][]string, nc)
+	for i, c := range current.Chiplets {
+		groups[i] = []string{c.Name}
+	}
+	currentKg, err := st.baseEmbodied(current)
+	if err != nil {
+		return nil, err
+	}
+	initialKg := currentKg
+
+	steps := 0
+	for len(current.Chiplets) > 1 {
+		pairs, stepCells, err := st.compileStep(current)
+		if err != nil {
+			return nil, err
+		}
+		evaluated, err := engine.RunScratchRelease(ctx, len(pairs),
+			func(h *core.Hooks) (*candScratch, error) {
+				sc, err := st.pool.Get()
+				if err != nil {
+					return nil, err
+				}
+				return &candScratch{h: h, sc: sc}, nil
+			},
+			func(cs *candScratch) { st.pool.Put(cs.sc) },
+			func(_ context.Context, k int, cs *candScratch) (float64, error) {
+				return st.evalMergeCandidate(current, stepCells, &pairs[k], cs)
+			}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		st.stats.Candidates += uint64(len(pairs))
+		// The pick is a serial scan in (i, j) order, so parallel
+		// candidate evaluation reproduces the serial search exactly:
+		// only a strictly lower carbon displaces the incumbent.
+		bestKg := currentKg
+		bestI, bestJ := -1, -1
+		for k, kg := range evaluated {
+			if kg < bestKg {
+				bestKg, bestI, bestJ = kg, pairs[k].i, pairs[k].j
+			}
+		}
+		if bestI < 0 {
+			break // no merge improves
+		}
+		mergedGroup := append(append([]string{}, groups[bestI]...), groups[bestJ]...)
+		var nextGroups [][]string
+		for k := range groups {
+			if k != bestI && k != bestJ {
+				nextGroups = append(nextGroups, groups[k])
+			}
+		}
+		groups = append(nextGroups, mergedGroup)
+		st.applyMergeIDs(current, bestI, bestJ)
+		// current is privately owned (cloned from base), so the accepted
+		// merge mutates it in place instead of cloning per step.
+		applyMergeInPlace(current, bestI, bestJ)
+		currentKg = bestKg
+		steps++
+	}
+
+	for _, g := range groups {
+		sort.Strings(g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return strings.Join(groups[i], ",") < strings.Join(groups[j], ",")
+	})
+	st.stats.Steps = uint64(steps)
+	st.stats.ScratchReuses = st.pool.Reuses()
+	st.stats.Floorplan = st.pool.FloorplanStats()
+	return &Plan{
+		System:     current,
+		Groups:     groups,
+		EmbodiedKg: currentKg,
+		InitialKg:  initialKg,
+		Steps:      steps,
+		Stats:      st.stats,
+	}, nil
+}
+
+// compileStep tabulates everything the step's parallel candidate
+// evaluations read: the unchanged-die cells of the current chiplets,
+// the merged-die cell of every mergeable pair (served from the
+// search-level memo; only pairs born in the previous step's merge are
+// computed), and the communication design share of every distinct
+// (first-survivor node, die count) a candidate can produce. All of it
+// runs serially through the run's memo hooks, so the fan-out itself
+// touches no locks.
+func (st *disaggState) compileStep(current *core.System) ([]mergeCandidate, []core.DieCell, error) {
+	n := len(current.Chiplets)
+	if cap(st.stepCells) < n {
+		st.stepCells = make([]core.DieCell, n)
+	}
+	stepCells := st.stepCells[:n]
+	for i, c := range current.Chiplets {
+		id := st.ids[i]
+		if !st.singleOK[id] {
+			cell, err := current.CellFor(st.db, c, c.NodeNm, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			st.singleCells[id] = cell
+			st.singleOK[id] = true
+		}
+		stepCells[i] = st.singleCells[id]
+	}
+
+	pairs := st.pairs[:0]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !mergeable(current.Chiplets[i], current.Chiplets[j]) {
+				continue
+			}
+			c := mergeCandidate{i: i, j: j}
+			if n > 2 {
+				// The final 2 -> 1 merge evaluates down the monolith
+				// reference route and never reads a merged-die cell (a
+				// whole-system die can violate per-die domain checks the
+				// monolith path does not apply).
+				key := st.ids[i]*st.maxID + st.ids[j]
+				idx := st.pairIdx[key]
+				if idx > 0 {
+					st.stats.MergedCellHits++
+				} else {
+					st.stats.MergedCellMisses++
+					merged := merge(current.Chiplets[i], current.Chiplets[j])
+					cell, err := current.CellFor(st.db, merged, merged.NodeNm, nil)
+					if err != nil {
+						return nil, nil, err
+					}
+					st.mergedEntries = append(st.mergedEntries, mergedCell{ch: merged, cell: cell})
+					idx = int32(len(st.mergedEntries))
+					st.pairIdx[key] = idx
+				}
+				c.cellIdx = idx
+				// The candidate's communication share depends on its
+				// first surviving chiplet's node and die count.
+				first := 0
+				if i == 0 {
+					first = 1
+					if j == 1 {
+						first = 2
+					}
+				}
+				ck := commKey{nodeNm: current.Chiplets[first].NodeNm, dies: n - 1}
+				share, ok := st.commShares[ck]
+				if !ok {
+					var err error
+					share, err = current.CommDesignShareKg(st.db, ck.nodeNm, ck.dies, nil)
+					if err != nil {
+						return nil, nil, err
+					}
+					st.commShares[ck] = share
+				}
+				c.share = share
+			}
+			pairs = append(pairs, c)
+		}
+	}
+	st.pairs = pairs
+	return pairs, stepCells, nil
+}
+
+// baseEmbodied evaluates the starting point's embodied carbon on the
+// same cell-reduction seam the candidates use — tabulated die cells,
+// a scratch packaging estimate (which doubles as the first step's base
+// prime) and the communication design share — instead of a full
+// System.Evaluate. The reduction mirrors evaluateHI's accumulation
+// order over the full chiplet set, so the result carries the exact
+// float bits of current.Evaluate(db).EmbodiedKg() (the randomized
+// equivalence suite pins InitialKg against the reference). Degenerate
+// single-chiplet systems take the full evaluation.
+func (st *disaggState) baseEmbodied(current *core.System) (float64, error) {
+	n := len(current.Chiplets)
+	if n < 2 {
+		return embodied(current, st.db)
+	}
+	sc, err := st.pool.Get()
+	if err != nil {
+		return 0, err
+	}
+	defer st.pool.Put(sc)
+	var mfgKg, desKg, nreKg float64
+	ch := sc.ResizeChiplets(n)
+	for i, c := range current.Chiplets {
+		id := st.ids[i]
+		if !st.singleOK[id] {
+			cell, err := current.CellFor(st.db, c, c.NodeNm, nil)
+			if err != nil {
+				return 0, err
+			}
+			st.singleCells[id] = cell
+			st.singleOK[id] = true
+		}
+		cell := &st.singleCells[id]
+		mfgKg += cell.MfgKg
+		desKg += cell.DesignKgAmortized
+		nreKg += cell.NREKg
+		ch[i] = pkgcarbon.Chiplet{Name: c.Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+	}
+	pkg, err := sc.EstimatePackage()
+	if err != nil {
+		return 0, err
+	}
+	share, err := current.CommDesignShareKg(st.db, current.Chiplets[0].NodeNm, n, nil)
+	if err != nil {
+		return 0, err
+	}
+	desKg += share
+	return mfgKg + desKg + pkg.TotalKg() + nreKg, nil
+}
+
+// applyMergeIDs mirrors applyMerge's chiplet move on the stable group
+// ids and seeds the merged group's unchanged-die cell for the next step
+// (the memoized merged cell IS that cell: same chiplet, same node).
+func (st *disaggState) applyMergeIDs(current *core.System, i, j int) {
+	idx := st.pairIdx[st.ids[i]*st.maxID+st.ids[j]]
+	var ids []int
+	for k, id := range st.ids {
+		if k != i && k != j {
+			ids = append(ids, id)
+		}
+	}
+	newID := st.nextID
+	st.nextID++
+	st.ids = append(ids, newID)
+	if idx > 0 {
+		st.singleCells[newID] = st.mergedEntries[idx-1].cell
+		st.singleOK[newID] = true
+	}
+}
+
+// evalMergeCandidate returns the embodied carbon of s with chiplets i
+// and j merged (i < j), without materializing the candidate system. The
+// candidate's chiplet order is that of applyMerge — survivors in order,
+// the merged die last — and the reduction follows evaluateHI's
+// accumulation order exactly, so the result is bit-identical to
+// applyMerge(s, i, j).EvaluateWith(db, h).EmbodiedKg().
+func (st *disaggState) evalMergeCandidate(s *core.System, stepCells []core.DieCell, c *mergeCandidate, cs *candScratch) (float64, error) {
+	if len(s.Chiplets) == 2 {
+		// The final merge collapses to a single die, which evaluates
+		// down the monolith path; take the reference route for it.
+		rep, err := applyMerge(s, c.i, c.j).EvaluateWith(st.db, cs.h)
+		if err != nil {
+			return 0, err
+		}
+		return rep.EmbodiedKg(), nil
+	}
+	fork := cs.sc.MergeForkable()
+	if fork && !cs.primed {
+		// Pin the step's base die set in the estimator once; every
+		// candidate of the step then forks against the warm tree,
+		// never materializing its descriptor set.
+		base := cs.sc.ResizeChiplets(len(s.Chiplets))
+		for k := range stepCells {
+			cell := &stepCells[k]
+			base[k] = pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+		}
+		if err := cs.sc.PrimeMergeBase(); err != nil {
+			return 0, err
+		}
+		cs.primed = true
+	}
+	var mfgKg, desKg, nreKg float64
+	var pkgCh []pkgcarbon.Chiplet
+	if !fork {
+		pkgCh = cs.sc.ResizeChiplets(len(s.Chiplets) - 1)
+	}
+	idx := 0
+	for k := range stepCells {
+		if k == c.i || k == c.j {
+			continue
+		}
+		cell := &stepCells[k]
+		mfgKg += cell.MfgKg
+		desKg += cell.DesignKgAmortized
+		nreKg += cell.NREKg
+		if !fork {
+			pkgCh[idx] = pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+			idx++
+		}
+	}
+	entry := &st.mergedEntries[c.cellIdx-1]
+	mfgKg += entry.cell.MfgKg
+	desKg += entry.cell.DesignKgAmortized
+	nreKg += entry.cell.NREKg
+
+	var pkg *pkgcarbon.Result
+	var err error
+	if fork {
+		pkg, err = cs.sc.EstimatePackageMergeFork(c.i, c.j,
+			pkgcarbon.Chiplet{Name: entry.ch.Name, AreaMM2: entry.cell.AreaMM2, Node: entry.cell.Node})
+	} else {
+		pkgCh[idx] = pkgcarbon.Chiplet{Name: entry.ch.Name, AreaMM2: entry.cell.AreaMM2, Node: entry.cell.Node}
+		pkg, err = cs.sc.EstimatePackage()
+	}
+	if err != nil {
+		return 0, err
+	}
+	desKg += c.share
+	return mfgKg + desKg + pkg.TotalKg() + nreKg, nil
+}
+
+// DisaggregateReference is the evaluate-per-candidate greedy search the
+// compiled step plan replaced, kept as its oracle and baseline: every
+// candidate merge materializes the merged system and runs a full
+// evaluation. It reproduces DisaggregateCtx's trajectory bit for bit
+// (pinned by the randomized equivalence suite) at far more work per
+// candidate, and its Plan carries zero Stats.
+func DisaggregateReference(ctx context.Context, base *core.System, db *tech.DB) (*Plan, error) {
+	if err := base.Validate(db); err != nil {
+		return nil, err
+	}
+	if base.Monolithic {
+		return nil, fmt.Errorf("explore: disaggregation needs a chiplet-form system, not a monolith")
+	}
 	current := cloneSystem(base)
 	groups := make([][]string, len(current.Chiplets))
 	for i, c := range current.Chiplets {
@@ -126,55 +562,27 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 
 	steps := 0
 	for len(current.Chiplets) > 1 {
-		var pairs []mergeCandidate
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bestKg := currentKg
+		bestI, bestJ := -1, -1
 		for i := 0; i < len(current.Chiplets); i++ {
 			for j := i + 1; j < len(current.Chiplets); j++ {
-				if mergeable(current.Chiplets[i], current.Chiplets[j]) {
-					pairs = append(pairs, mergeCandidate{i: i, j: j})
+				if !mergeable(current.Chiplets[i], current.Chiplets[j]) {
+					continue
+				}
+				rep, err := applyMerge(current, i, j).Evaluate(db)
+				if err != nil {
+					return nil, err
+				}
+				if kg := rep.EmbodiedKg(); kg < bestKg {
+					bestKg, bestI, bestJ = kg, i, j
 				}
 			}
 		}
-		// The unchanged-chiplet cells of this step, shared by every
-		// candidate.
-		stepCells := make([]core.DieCell, len(current.Chiplets))
-		for i, c := range current.Chiplets {
-			cell, err := current.CellFor(db, c, c.NodeNm, hooks)
-			if err != nil {
-				return nil, err
-			}
-			stepCells[i] = cell
-		}
-		newScratch := func(h *core.Hooks) (*candScratch, error) {
-			est, err := pkgcarbon.NewEstimator(current.Packaging)
-			if err != nil {
-				return nil, err
-			}
-			return &candScratch{h: h, est: est, pkgCh: make([]pkgcarbon.Chiplet, 0, len(current.Chiplets))}, nil
-		}
-		evaluated, err := engine.RunScratch(ctx, len(pairs), newScratch, func(_ context.Context, k int, sc *candScratch) (mergeCandidate, error) {
-			c := pairs[k]
-			kg, err := evalMergeCandidate(current, db, stepCells, c.i, c.j, sc)
-			if err != nil {
-				return mergeCandidate{}, err
-			}
-			c.kg = kg
-			return c, nil
-		}, opts...)
-		if err != nil {
-			return nil, err
-		}
-		// The pick is a serial scan in (i, j) order, so parallel
-		// candidate evaluation reproduces the serial search exactly:
-		// only a strictly lower carbon displaces the incumbent.
-		bestKg := currentKg
-		bestI, bestJ := -1, -1
-		for _, c := range evaluated {
-			if c.kg < bestKg {
-				bestKg, bestI, bestJ = c.kg, c.i, c.j
-			}
-		}
 		if bestI < 0 {
-			break // no merge improves
+			break
 		}
 		mergedGroup := append(append([]string{}, groups[bestI]...), groups[bestJ]...)
 		var nextGroups [][]string
@@ -203,58 +611,18 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 	}, nil
 }
 
-// evalMergeCandidate returns the embodied carbon of s with chiplets i
-// and j merged (i < j), without materializing the candidate system. The
-// candidate's chiplet order is that of applyMerge — survivors in order,
-// the merged die last — and the reduction follows evaluateHI's
-// accumulation order exactly, so the result is bit-identical to
-// applyMerge(s, i, j).EvaluateWith(db, h).EmbodiedKg().
-func evalMergeCandidate(s *core.System, db *tech.DB, stepCells []core.DieCell, i, j int, sc *candScratch) (float64, error) {
-	if len(s.Chiplets) == 2 {
-		// The final merge collapses to a single die, which evaluates
-		// down the monolith path; take the reference route for it.
-		rep, err := applyMerge(s, i, j).EvaluateWith(db, sc.h)
-		if err != nil {
-			return 0, err
-		}
-		return rep.EmbodiedKg(), nil
-	}
+// applyMergeInPlace rewrites s's chiplet list with i and j merged
+// (i < j), merged die appended — applyMerge without the clone, for a
+// privately owned system.
+func applyMergeInPlace(s *core.System, i, j int) {
 	merged := merge(s.Chiplets[i], s.Chiplets[j])
-	mergedCell, err := s.CellFor(db, merged, merged.NodeNm, sc.h)
-	if err != nil {
-		return 0, err
-	}
-
-	var mfgKg, desKg, nreKg float64
-	sc.pkgCh = sc.pkgCh[:0]
-	firstNodeNm := -1
-	for k, cell := range stepCells {
-		if k == i || k == j {
-			continue
-		}
-		mfgKg += cell.MfgKg
-		desKg += cell.DesignKgAmortized
-		nreKg += cell.NREKg
-		sc.pkgCh = append(sc.pkgCh, pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: cell.AreaMM2, Node: cell.Node})
-		if firstNodeNm < 0 {
-			firstNodeNm = s.Chiplets[k].NodeNm
+	out := s.Chiplets[:0]
+	for k, c := range s.Chiplets {
+		if k != i && k != j {
+			out = append(out, c)
 		}
 	}
-	mfgKg += mergedCell.MfgKg
-	desKg += mergedCell.DesignKgAmortized
-	nreKg += mergedCell.NREKg
-	sc.pkgCh = append(sc.pkgCh, pkgcarbon.Chiplet{Name: merged.Name, AreaMM2: mergedCell.AreaMM2, Node: mergedCell.Node})
-
-	pkg, err := sc.est.Estimate(sc.pkgCh)
-	if err != nil {
-		return 0, err
-	}
-	share, err := s.CommDesignShareKg(db, firstNodeNm, len(sc.pkgCh), sc.h)
-	if err != nil {
-		return 0, err
-	}
-	desKg += share
-	return mfgKg + desKg + pkg.TotalKg() + nreKg, nil
+	s.Chiplets = append(out, merged)
 }
 
 // applyMerge returns a copy of s with chiplets i and j merged (i < j).

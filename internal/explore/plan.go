@@ -97,7 +97,8 @@ type CompiledPlan struct {
 
 	points, blockInits, graySteps atomic.Uint64
 	// Folded floorplan.TreeStats of the per-block estimator trees.
-	fpRebuilds, fpFastPath, fpFallbacks, fpUnchanged, fpRelayout atomic.Uint64
+	fpMu     sync.Mutex
+	fpTotals floorplan.TreeStats
 }
 
 // Compile builds the sweep plan for evaluating base under every
@@ -149,29 +150,26 @@ func (p *CompiledPlan) Nodes() []int { return append([]int(nil), p.nodes...) }
 
 // Stats snapshots the plan's work counters (cumulative across runs).
 func (p *CompiledPlan) Stats() SweepStats {
+	p.fpMu.Lock()
+	fp := p.fpTotals
+	p.fpMu.Unlock()
 	return SweepStats{
 		Points:     p.points.Load(),
 		BlockInits: p.blockInits.Load(),
 		GraySteps:  p.graySteps.Load(),
 		TableCells: len(p.tbl.Cells) * p.r,
-		Floorplan: floorplan.TreeStats{
-			Rebuilds:        p.fpRebuilds.Load(),
-			FastPath:        p.fpFastPath.Load(),
-			Fallbacks:       p.fpFallbacks.Load(),
-			Unchanged:       p.fpUnchanged.Load(),
-			RelayoutNodeSum: p.fpRelayout.Load(),
-		},
+		Floorplan:  fp,
 	}
 }
 
 // foldFloorplanStats accumulates one worker scratch's retained-tree
-// counters into the plan's totals.
+// counters into the plan's totals. A mutex (not per-field atomics) keeps
+// the fold shape-agnostic as TreeStats grows counters; it is off the
+// per-point hot path — one fold per block walk.
 func (p *CompiledPlan) foldFloorplanStats(s floorplan.TreeStats) {
-	p.fpRebuilds.Add(s.Rebuilds)
-	p.fpFastPath.Add(s.FastPath)
-	p.fpFallbacks.Add(s.Fallbacks)
-	p.fpUnchanged.Add(s.Unchanged)
-	p.fpRelayout.Add(s.RelayoutNodeSum)
+	p.fpMu.Lock()
+	p.fpTotals.Add(s)
+	p.fpMu.Unlock()
 }
 
 // Run evaluates every point of the plan with default engine options.

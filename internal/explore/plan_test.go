@@ -14,6 +14,7 @@ import (
 	"ecochip/internal/descarbon"
 	"ecochip/internal/engine"
 	"ecochip/internal/mfg"
+	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 )
@@ -332,45 +333,9 @@ func TestPlanRunCtxCancelled(t *testing.T) {
 
 // --- Disaggregate equivalence -----------------------------------------
 
-// disaggregateReference is the evaluate-per-candidate greedy search the
-// cell-table implementation replaced, kept as its oracle.
-func disaggregateReference(base *core.System, d *tech.DB) (*core.System, float64, int, error) {
-	current := cloneSystem(base)
-	rep, err := current.Evaluate(d)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	currentKg := rep.EmbodiedKg()
-	steps := 0
-	for len(current.Chiplets) > 1 {
-		bestKg := currentKg
-		bestI, bestJ := -1, -1
-		for i := 0; i < len(current.Chiplets); i++ {
-			for j := i + 1; j < len(current.Chiplets); j++ {
-				if !mergeable(current.Chiplets[i], current.Chiplets[j]) {
-					continue
-				}
-				sys := applyMerge(current, i, j)
-				rep, err := sys.Evaluate(d)
-				if err != nil {
-					return nil, 0, 0, err
-				}
-				if kg := rep.EmbodiedKg(); kg < bestKg {
-					bestKg, bestI, bestJ = kg, i, j
-				}
-			}
-		}
-		if bestI < 0 {
-			break
-		}
-		current, currentKg = applyMerge(current, bestI, bestJ), bestKg
-		steps++
-	}
-	return current, currentKg, steps, nil
-}
-
-// The cell-table candidate evaluation must reproduce the greedy
-// trajectory of the evaluate-per-candidate search bit for bit.
+// The compiled step plan must reproduce the greedy trajectory of the
+// evaluate-per-candidate search (the exported DisaggregateReference
+// oracle) bit for bit, including the group bookkeeping.
 func TestDisaggregateMatchesReference(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -380,7 +345,7 @@ func TestDisaggregateMatchesReference(t *testing.T) {
 		{"mid-blocks", fineGrained(4, 30)},
 		{"coarse", fineGrained(2, 120)},
 	} {
-		wantSys, wantKg, wantSteps, err := disaggregateReference(tc.sys, db())
+		want, err := DisaggregateReference(context.Background(), tc.sys, db())
 		if err != nil {
 			t.Fatalf("%s: reference: %v", tc.name, err)
 		}
@@ -388,21 +353,130 @@ func TestDisaggregateMatchesReference(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
-		if plan.Steps != wantSteps {
-			t.Errorf("%s: %d steps, want %d", tc.name, plan.Steps, wantSteps)
+		comparePlanToReference(t, tc.name, plan, want)
+	}
+}
+
+// comparePlanToReference asserts a compiled plan reproduces the
+// reference trajectory: bit-exact carbon, identical merge count, result
+// chiplets and groups.
+func comparePlanToReference(t *testing.T, label string, plan, want *Plan) {
+	t.Helper()
+	if plan.Steps != want.Steps {
+		t.Errorf("%s: %d steps, want %d", label, plan.Steps, want.Steps)
+	}
+	if math.Float64bits(plan.EmbodiedKg) != math.Float64bits(want.EmbodiedKg) {
+		t.Errorf("%s: embodied %v, want %v (bit-exact)", label, plan.EmbodiedKg, want.EmbodiedKg)
+	}
+	if math.Float64bits(plan.InitialKg) != math.Float64bits(want.InitialKg) {
+		t.Errorf("%s: initial %v, want %v (bit-exact)", label, plan.InitialKg, want.InitialKg)
+	}
+	if len(plan.System.Chiplets) != len(want.System.Chiplets) {
+		t.Fatalf("%s: %d result chiplets, want %d", label, len(plan.System.Chiplets), len(want.System.Chiplets))
+	}
+	for i := range want.System.Chiplets {
+		if plan.System.Chiplets[i].Name != want.System.Chiplets[i].Name ||
+			plan.System.Chiplets[i].NodeNm != want.System.Chiplets[i].NodeNm {
+			t.Errorf("%s: chiplet %d = %+v, want %+v", label, i, plan.System.Chiplets[i], want.System.Chiplets[i])
 		}
-		if math.Float64bits(plan.EmbodiedKg) != math.Float64bits(wantKg) {
-			t.Errorf("%s: embodied %v, want %v (bit-exact)", tc.name, plan.EmbodiedKg, wantKg)
+	}
+	if len(plan.Groups) != len(want.Groups) {
+		t.Fatalf("%s: %d groups, want %d", label, len(plan.Groups), len(want.Groups))
+	}
+	for i := range want.Groups {
+		if fmt.Sprint(plan.Groups[i]) != fmt.Sprint(want.Groups[i]) {
+			t.Errorf("%s: group %d = %v, want %v", label, i, plan.Groups[i], want.Groups[i])
 		}
-		if len(plan.System.Chiplets) != len(wantSys.Chiplets) {
-			t.Fatalf("%s: %d result chiplets, want %d", tc.name, len(plan.System.Chiplets), len(wantSys.Chiplets))
+	}
+}
+
+// Randomized Disaggregate equivalence: random fine-grained systems
+// across packaging architectures, block mixes and sizes must reproduce
+// the reference trajectory at any worker count, and the compiled plan's
+// stats must show the step-spanning state actually engaged.
+func TestDisaggregateMatchesReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	d := db()
+	archs := []pkgcarbon.Architecture{
+		pkgcarbon.RDLFanout, pkgcarbon.SiliconBridge, pkgcarbon.PassiveInterposer,
+		pkgcarbon.ActiveInterposer, pkgcarbon.ThreeD,
+	}
+	evaluated := 0
+	for trial := 0; trial < 10; trial++ {
+		ref := d.MustGet(7)
+		n := 3 + rng.Intn(5)
+		var chiplets []core.Chiplet
+		for i := 0; i < n; i++ {
+			c := core.BlockFromArea(fmt.Sprintf("blk%c", 'a'+i), tech.Logic, 2+rng.Float64()*40, ref, 7)
+			if rng.Intn(5) == 0 {
+				c.Reused = true
+			}
+			chiplets = append(chiplets, c)
 		}
-		for i := range wantSys.Chiplets {
-			if plan.System.Chiplets[i].Name != wantSys.Chiplets[i].Name ||
-				plan.System.Chiplets[i].NodeNm != wantSys.Chiplets[i].NodeNm {
-				t.Errorf("%s: chiplet %d = %+v, want %+v", tc.name, i, plan.System.Chiplets[i], wantSys.Chiplets[i])
+		chiplets = append(chiplets, core.BlockFromArea("mem", tech.Memory, 30+rng.Float64()*60, ref, 14))
+		base := &core.System{
+			Name:      fmt.Sprintf("rand%d", trial),
+			Chiplets:  chiplets,
+			Packaging: pkgcarbon.DefaultParams(archs[trial%len(archs)]),
+			Mfg:       mfg.DefaultParams(),
+			Design:    descarbon.DefaultParams(),
+		}
+		// Flexible shape curves take the non-fork candidate path (full
+		// estimates through the retained FlexTree); cover it too.
+		if trial%3 == 0 {
+			base.Packaging.FlexibleFloorplan = true
+		}
+		want, refErr := DisaggregateReference(context.Background(), base, d)
+		for _, workers := range []int{1, 3} {
+			plan, err := DisaggregateCtx(context.Background(), base, d, engine.WithWorkers(workers))
+			if refErr != nil {
+				if err == nil {
+					t.Fatalf("trial %d: reference failed (%v) but compiled search succeeded", trial, refErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			comparePlanToReference(t, fmt.Sprintf("trial %d workers=%d", trial, workers), plan, want)
+			if plan.Steps > 0 && plan.Stats.Candidates == 0 {
+				t.Errorf("trial %d: no candidates counted: %+v", trial, plan.Stats)
 			}
 		}
+		if refErr == nil {
+			evaluated++
+		}
+	}
+	if evaluated < 6 {
+		t.Fatalf("only %d of 10 random trials evaluated cleanly", evaluated)
+	}
+}
+
+// The step-spanning scratch pool and the name-keyed floorplan diff must
+// actually engage on a many-block search: pooled-scratch reuses across
+// steps, diff-served candidate floorplans, and a diff hit rate above
+// one half.
+func TestDisaggregateStepSpanningStats(t *testing.T) {
+	plan, err := Disaggregate(fineGrained(6, 2), db())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats
+	if s.Steps == 0 || s.Candidates == 0 {
+		t.Fatalf("expected a multi-step search: %+v", s)
+	}
+	if s.ScratchReuses == 0 {
+		t.Errorf("worker scratches were not pooled across steps: %+v", s)
+	}
+	if s.MergedCellHits == 0 {
+		t.Errorf("merged-cell memo never hit across steps: %+v", s)
+	}
+	fp := s.Floorplan
+	if fp.DiffFastPath == 0 || fp.Splices == 0 {
+		t.Errorf("candidate floorplans were not served by the name-keyed diff: %+v", fp)
+	}
+	if rate := fp.ReuseRate(); rate < 0.5 {
+		t.Errorf("floorplan reuse rate %.2f below 0.5: %+v", rate, fp)
 	}
 }
 

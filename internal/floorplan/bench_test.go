@@ -77,3 +77,84 @@ func benchTreeUpdate(b *testing.B, n int) {
 
 func BenchmarkTreeUpdate8(b *testing.B)  { benchTreeUpdate(b, 8) }
 func BenchmarkTreeUpdate32(b *testing.B) { benchTreeUpdate(b, 32) }
+
+// benchTreeDiff measures the name-keyed remove/insert diff on the
+// Disaggregate candidate shape — two survivors removed, one merged die
+// appended — alternating between two candidate sets so every plan is a
+// shape change. The baseline is the same alternation through a Scratch
+// (the from-scratch planner the diff replaces).
+func benchTreeDiff(b *testing.B, n int, scratch bool) {
+	b.Helper()
+	base := benchBlocks(n)
+	cands := make([][]Block, 2)
+	for c := range cands {
+		i, j := c, c+2 // two distinct overlapping pairs
+		cand := make([]Block, 0, n-1)
+		for k, blk := range base {
+			if k != i && k != j {
+				cand = append(cand, blk)
+			}
+		}
+		cands[c] = append(cand, Block{
+			Name:    base[i].Name + "+" + base[j].Name,
+			AreaMM2: base[i].AreaMM2 + base[j].AreaMM2,
+		})
+	}
+	var tr Tree
+	var sc Scratch
+	if _, err := tr.PlanNoAdjacencies(base, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if scratch {
+			_, err = sc.PlanNoAdjacencies(cands[i&1], 0.5)
+		} else {
+			_, err = tr.PlanNoAdjacencies(cands[i&1], 0.5)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !scratch {
+		if s := tr.Stats(); s.DiffFastPath == 0 || s.Splices == 0 {
+			b.Fatalf("diff benchmark never spliced: %+v", s)
+		}
+	}
+}
+
+// BenchmarkFlexTreeUpdate8 measures the retained shape-curve tree's
+// single-area update — the per-Gray-step floorplan cost of a compiled
+// sweep over a flexible-floorplan system — against BenchmarkPlanFlexible8,
+// the from-scratch cost it replaces.
+func BenchmarkFlexTreeUpdate8(b *testing.B) {
+	blocks := benchBlocks(8)
+	smallest := 0
+	for i, blk := range blocks {
+		if blk.AreaMM2 < blocks[smallest].AreaMM2 {
+			smallest = i
+		}
+	}
+	var ft FlexTree
+	if _, err := ft.Plan(blocks, 0.5, nil); err != nil {
+		b.Fatal(err)
+	}
+	base := blocks[smallest].AreaMM2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ft.Update(smallest, base-float64(i&1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := ft.Stats(); s.Fallbacks > 0 {
+		b.Fatalf("flex update benchmark fell back to rebuilds: %+v", s)
+	}
+}
+
+func BenchmarkTreeDiff9(b *testing.B)         { benchTreeDiff(b, 9, false) }
+func BenchmarkTreeDiffScratch9(b *testing.B)  { benchTreeDiff(b, 9, true) }
+func BenchmarkTreeDiff24(b *testing.B)        { benchTreeDiff(b, 24, false) }
+func BenchmarkTreeDiffScratch24(b *testing.B) { benchTreeDiff(b, 24, true) }

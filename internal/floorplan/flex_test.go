@@ -1,0 +1,174 @@
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// One retained FlexTree fed arbitrary area walks must stay bit-identical
+// to the from-scratch PlanFlexible, whatever mix of rebuilds and
+// dirty-path recomputes it takes — including the Pareto-set pruning,
+// whose tie resolution the retained path must reproduce exactly.
+func TestFlexTreePlanMatchesPlanFlexible(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var ft FlexTree
+	for trial := 0; trial < 200; trial++ {
+		var blocks []Block
+		if trial%4 == 0 {
+			blocks = randBlocks(rng)
+			// A mix of fixed and flexible aspects: flexible blocks carry
+			// the shape curve, fixed ones a single realization.
+			for i := range blocks {
+				if rng.Intn(2) == 0 {
+					blocks[i].AspectRatio = 0
+				}
+			}
+		} else {
+			blocks = append([]Block(nil), ft.blocks...)
+			for i := range blocks {
+				if rng.Intn(2) == 0 {
+					blocks[i].AreaMM2 = 1 + rng.Float64()*200
+				}
+			}
+			// Force exact area ties now and then: the stable sort and the
+			// prune epsilon must resolve them identically on both paths.
+			if len(blocks) > 1 && rng.Intn(3) == 0 {
+				blocks[0].AreaMM2 = blocks[1].AreaMM2
+			}
+		}
+		want, err := PlanFlexible(blocks, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ft.Plan(blocks, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, fmt.Sprintf("trial %d", trial), want, got)
+	}
+	s := ft.Stats()
+	if s.FastPath == 0 {
+		t.Errorf("randomized flexible sequence never took the fast path: %+v", s)
+	}
+	if s.Rebuilds == 0 {
+		t.Errorf("randomized flexible sequence never rebuilt: %+v", s)
+	}
+}
+
+// Update must match PlanFlexible after every single-area step of a
+// random walk, including adversarial steps that flip the sorted order
+// or a partition decision (the fallback path).
+func TestFlexTreeUpdateMatchesPlanFlexible(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 10; round++ {
+		n := 1 + rng.Intn(6)
+		blocks := make([]Block, n)
+		for i := range blocks {
+			blocks[i] = Block{Name: fmt.Sprintf("b%d", i), AreaMM2: 1 + rng.Float64()*300}
+			if rng.Intn(3) == 0 {
+				blocks[i].AspectRatio = 0.5 + rng.Float64()
+			}
+		}
+		var ft FlexTree
+		if _, err := ft.Plan(blocks, 0.5, nil); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 40; step++ {
+			idx := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				blocks[idx].AreaMM2 = 1 + rng.Float64()*300 // anything goes
+			case 1:
+				blocks[idx].AreaMM2 *= 1 + 0.01*rng.Float64() // usually keeps topology
+			case 2:
+				// no-op update
+			default:
+				blocks[idx].AreaMM2 = blocks[(idx+1)%n].AreaMM2 // force a tie
+			}
+			want, err := PlanFlexible(blocks, 0.5, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ft.Update(idx, blocks[idx].AreaMM2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsBitIdentical(t, fmt.Sprintf("round %d step %d", round, step), want, got)
+		}
+	}
+}
+
+// Spacing, aspect-list or block-set changes must rebuild (and still
+// match), never serve stale shape sets.
+func TestFlexTreeRebuildOnShapeChange(t *testing.T) {
+	var ft FlexTree
+	a := []Block{{Name: "a", AreaMM2: 100}, {Name: "b", AreaMM2: 60}}
+	if _, err := ft.Plan(a, 0.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		label   string
+		blocks  []Block
+		spacing float64
+		aspects []float64
+	}{
+		{"spacing", a, 0.8, nil},
+		{"aspects", a, 0.8, []float64{0.5, 1, 2}},
+		{"block set", []Block{{Name: "a", AreaMM2: 100}, {Name: "c", AreaMM2: 30}}, 0.8, []float64{0.5, 1, 2}},
+		{"fixed aspect", []Block{{Name: "a", AreaMM2: 100, AspectRatio: 2}, {Name: "c", AreaMM2: 30}}, 0.8, []float64{0.5, 1, 2}},
+	}
+	for _, tc := range cases {
+		want, err := PlanFlexible(tc.blocks, tc.spacing, tc.aspects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ft.Plan(tc.blocks, tc.spacing, tc.aspects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, tc.label, want, got)
+	}
+	if s := ft.Stats(); s.Rebuilds != 5 {
+		t.Errorf("every shape change should rebuild: %+v", s)
+	}
+}
+
+func TestFlexTreeErrors(t *testing.T) {
+	var ft FlexTree
+	if _, err := ft.Update(0, 10); err == nil {
+		t.Error("Update before Plan should fail")
+	}
+	if _, err := ft.Plan(nil, 0.5, nil); err == nil {
+		t.Error("empty block list should fail")
+	}
+	if _, err := ft.Plan([]Block{{Name: "a", AreaMM2: 10}}, 7, nil); err == nil {
+		t.Error("out-of-range spacing should fail")
+	}
+	if _, err := ft.Plan([]Block{{Name: "a", AreaMM2: 10}}, 0.5, []float64{-1}); err == nil {
+		t.Error("negative aspect should fail")
+	}
+	if _, err := ft.Plan([]Block{{Name: "a", AreaMM2: -10}}, 0.5, nil); err == nil {
+		t.Error("non-positive area should fail")
+	}
+	if _, err := ft.Plan([]Block{{Name: "a", AreaMM2: 10}, {Name: "b", AreaMM2: 5}}, 0.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.Update(2, 10); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := ft.Update(-1, 10); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := ft.Update(0, -3); err == nil {
+		t.Error("non-positive area should fail")
+	}
+	// The tree must survive rejected inputs.
+	res, err := ft.Update(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) != 2 {
+		t.Errorf("retained state corrupted after rejected inputs: %+v", res)
+	}
+}

@@ -1,0 +1,50 @@
+package floorplan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/floorplan"
+)
+
+// Shape-curve Pareto pruning parity on the paper's testcase geometries:
+// the retained FlexTree must match the from-scratch PlanFlexible bit
+// for bit across perturbation walks over the EPYC and GA102 chiplet
+// areas (the external test package reuses chipletAreas from the fuzz
+// harness to avoid the floorplan -> testcases import cycle).
+func TestFlexTreeTestcaseParity(t *testing.T) {
+	epyc, ga102 := chipletAreas(t, 7)
+	for _, tc := range []struct {
+		name  string
+		areas []float64
+	}{
+		{"EPYC", epyc},
+		{"GA102", ga102},
+	} {
+		blocks := make([]floorplan.Block, len(tc.areas))
+		for i, a := range tc.areas {
+			blocks[i] = floorplan.Block{Name: fmt.Sprintf("d%d", i), AreaMM2: a}
+		}
+		var ft floorplan.FlexTree
+		rng := rand.New(rand.NewSource(2026))
+		for step := 0; step < 80; step++ {
+			if step > 0 {
+				i := rng.Intn(len(blocks))
+				blocks[i].AreaMM2 *= 0.8 + 0.4*rng.Float64()
+			}
+			want, err := floorplan.PlanFlexible(blocks, 0.5, nil)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", tc.name, step, err)
+			}
+			got, err := ft.Plan(blocks, 0.5, nil)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", tc.name, step, err)
+			}
+			comparePlans(t, fmt.Sprintf("%s step %d", tc.name, step), want, got)
+		}
+		if s := ft.Stats(); len(blocks) > 1 && s.FastPath == 0 {
+			t.Errorf("%s: perturbation walk never hit the FlexTree fast path: %+v", tc.name, s)
+		}
+	}
+}

@@ -22,7 +22,11 @@ import (
 //  2. the bounding box contains every rectangle,
 //  3. ChipletAreaMM2 is conserved (it carries the exact bits of the
 //     in-order block-area sum),
-//  4. Tree results are bit-identical to Scratch.Plan.
+//  4. Tree results are bit-identical to Scratch.Plan,
+//  5. after a remove/insert delta (one block dropped, one fresh block
+//     appended — the Disaggregate candidate shape), the tree's
+//     name-keyed diff plan is bit-identical to a from-scratch plan and
+//     the invariants still hold.
 
 // chipletAreas extracts the per-chiplet die areas of a testcase system.
 func chipletAreas(t interface{ Fatal(...any) }, ccds int) (epyc, ga102 []float64) {
@@ -52,15 +56,19 @@ func FuzzFloorplanInvariants(f *testing.F) {
 	epyc, ga102 := chipletAreas(f, 7)
 	e := pad8(epyc)
 	g := pad8(ga102)
-	f.Add(uint8(len(epyc)), 0.5, e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7], uint8(0), 2*e[0])
-	f.Add(uint8(len(epyc)), 0.1, e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7], uint8(7), e[7]/3)
-	f.Add(uint8(len(ga102)), 0.5, g[0], g[1], g[2], 0.0, 0.0, 0.0, 0.0, 0.0, uint8(1), g[2])
-	f.Add(uint8(len(ga102)), 1.0, g[0], g[1], g[2], 0.0, 0.0, 0.0, 0.0, 0.0, uint8(2), g[0])
-	f.Add(uint8(2), 0.5, 100.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 100.0)
-	f.Add(uint8(1), 0.3, 42.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 7.0)
+	// The trailing (removeIdx, insertArea) pair seeds the remove/insert
+	// delta: drop one block, append a fresh one — the merge shape of a
+	// Disaggregate candidate.
+	f.Add(uint8(len(epyc)), 0.5, e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7], uint8(0), 2*e[0], uint8(3), e[0]+e[1])
+	f.Add(uint8(len(epyc)), 0.1, e[0], e[1], e[2], e[3], e[4], e[5], e[6], e[7], uint8(7), e[7]/3, uint8(0), e[6]+e[7])
+	f.Add(uint8(len(ga102)), 0.5, g[0], g[1], g[2], 0.0, 0.0, 0.0, 0.0, 0.0, uint8(1), g[2], uint8(2), g[0]+g[1])
+	f.Add(uint8(len(ga102)), 1.0, g[0], g[1], g[2], 0.0, 0.0, 0.0, 0.0, 0.0, uint8(2), g[0], uint8(1), g[1]/2)
+	f.Add(uint8(2), 0.5, 100.0, 100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 100.0, uint8(1), 100.0)
+	f.Add(uint8(1), 0.3, 42.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, uint8(0), 7.0, uint8(0), 13.0)
 
 	f.Fuzz(func(t *testing.T, n uint8, spacing float64,
-		a0, a1, a2, a3, a4, a5, a6, a7 float64, idx uint8, newArea float64) {
+		a0, a1, a2, a3, a4, a5, a6, a7 float64, idx uint8, newArea float64,
+		removeIdx uint8, insertArea float64) {
 		areas := [8]float64{a0, a1, a2, a3, a4, a5, a6, a7}
 		if n < 1 || n > 8 {
 			return
@@ -107,6 +115,25 @@ func FuzzFloorplanInvariants(f *testing.F) {
 		}
 		checkInvariants(t, "update", blocks, got, spacing)
 		comparePlans(t, "tree update", want, got)
+
+		// Remove/insert delta: drop one block and append a fresh one,
+		// then require the name-keyed diff plan to match from scratch.
+		if !(insertArea > 0) || insertArea > 1e8 || math.IsInf(insertArea, 0) {
+			return
+		}
+		r := int(removeIdx) % int(n)
+		edited := append(append([]floorplan.Block{}, blocks[:r]...), blocks[r+1:]...)
+		edited = append(edited, floorplan.Block{Name: "inserted", AreaMM2: insertArea})
+		want, err = floorplan.Plan(edited, spacing)
+		if err != nil {
+			t.Fatalf("edited input rejected: %v", err)
+		}
+		got, err = tr.Plan(edited, spacing)
+		if err != nil {
+			t.Fatalf("tree diff rejected a valid remove/insert delta: %v", err)
+		}
+		checkInvariants(t, "diff", edited, got, spacing)
+		comparePlans(t, "tree diff", want, got)
 	})
 }
 

@@ -35,20 +35,45 @@ import (
 // Any guard failure falls back to a full rebuild, which is the
 // from-scratch algorithm itself, so no input can make the incremental
 // path diverge: it can only decline.
+//
+// When the block SET changes — the Disaggregate candidate shape of "k
+// survivors removed, m merged dies inserted" — the name-keyed diff
+// (planDiff) takes over: leaves are keyed by block name, the new tree is
+// constructed by the from-scratch recursion, and any segment that is
+// exactly a retained subtree of clean survivors is spliced in by
+// copying its node structs. Spliced segments hold the identical ordered
+// block list the retained recursion partitioned, so the copy reproduces
+// what the recursion would recompute — bit-identity again holds by
+// construction, and a segment that matches nothing simply runs the
+// from-scratch math.
 
 // TreeStats counts the work a retained tree performed across Plan and
-// Update calls.
+// Update calls. The counters separate plans where reuse was impossible
+// by contract (Rebuilds: the first plan, spacing or adjacency-mode
+// changes) from plans where reuse was attempted and declined (Fallbacks,
+// DiffFallbacks), so reuse-rate reporting is not deflated by plans the
+// tree never had a chance to serve incrementally.
 type TreeStats struct {
-	// Rebuilds counts full from-scratch builds: the first plan and any
-	// plan whose shape (count, names, aspect ratios, spacing, adjacency
-	// mode) changed.
+	// Rebuilds counts deliberate full from-scratch builds: the first
+	// plan and any plan whose spacing or adjacency mode changed, where
+	// no retained state could apply by contract.
 	Rebuilds uint64
-	// FastPath counts plans served by an incremental relayout of the
-	// dirty paths with the retained topology.
+	// FastPath counts same-shape plans served by an incremental relayout
+	// of the dirty paths with the retained topology.
 	FastPath uint64
-	// Fallbacks counts incremental attempts that hit a sort-order or
-	// partition flip and rebuilt from scratch instead.
+	// DiffFastPath counts shape-changed plans (blocks removed, inserted
+	// or renamed) served by the name-keyed diff: the tree is rebuilt by
+	// the from-scratch recursion, but segments matching a retained
+	// subtree of clean surviving blocks are spliced in instead of
+	// recomputed.
+	DiffFastPath uint64
+	// Fallbacks counts same-shape incremental attempts that hit a
+	// sort-order or partition flip and rebuilt from scratch instead.
 	Fallbacks uint64
+	// DiffFallbacks counts shape-changed plans the name-keyed diff
+	// declined (no retained block survives by name), which rebuilt from
+	// scratch.
+	DiffFallbacks uint64
 	// Unchanged counts plans served entirely from the retained result
 	// (no area differed).
 	Unchanged uint64
@@ -56,6 +81,9 @@ type TreeStats struct {
 	// fast-path plans; RelayoutNodeSum / FastPath is the mean relayout
 	// depth.
 	RelayoutNodeSum uint64
+	// Splices is the total number of retained subtrees grafted by
+	// name-keyed diff plans.
+	Splices uint64
 }
 
 // MeanRelayoutDepth is the mean number of recomposed tree nodes per
@@ -72,21 +100,38 @@ func (s TreeStats) MeanRelayoutDepth() float64 {
 func (s *TreeStats) Add(o TreeStats) {
 	s.Rebuilds += o.Rebuilds
 	s.FastPath += o.FastPath
+	s.DiffFastPath += o.DiffFastPath
 	s.Fallbacks += o.Fallbacks
+	s.DiffFallbacks += o.DiffFallbacks
 	s.Unchanged += o.Unchanged
 	s.RelayoutNodeSum += o.RelayoutNodeSum
+	s.Splices += o.Splices
+}
+
+// Plans returns the total number of Plan/Update calls the counters cover.
+func (s TreeStats) Plans() uint64 {
+	return s.FastPath + s.DiffFastPath + s.Unchanged + s.Fallbacks + s.DiffFallbacks + s.Rebuilds
+}
+
+// ReuseRate returns the fraction of reuse-eligible plans (every plan
+// except the deliberate Rebuilds, which could never reuse retained
+// state) that were served incrementally. This is the accurate hit rate:
+// counting first builds and spacing/mode changes in the denominator
+// would conflate "the guard declined" with "reuse was never possible".
+func (s TreeStats) ReuseRate() float64 {
+	eligible := s.FastPath + s.DiffFastPath + s.Unchanged + s.Fallbacks + s.DiffFallbacks
+	if eligible == 0 {
+		return 0
+	}
+	return float64(s.FastPath+s.DiffFastPath+s.Unchanged) / float64(eligible)
 }
 
 // String renders the one-line summary CLIs print under -progress (the
 // single source of the format, so surfaces cannot drift).
 func (s TreeStats) String() string {
-	plans := s.FastPath + s.Unchanged + s.Fallbacks + s.Rebuilds
-	hitRate := 0.0
-	if plans > 0 {
-		hitRate = 100 * float64(s.FastPath+s.Unchanged) / float64(plans)
-	}
-	return fmt.Sprintf("incremental floorplan: %d fast-path / %d unchanged / %d fallbacks / %d rebuilds (%.1f%% reuse), mean relayout depth %.1f",
-		s.FastPath, s.Unchanged, s.Fallbacks, s.Rebuilds, hitRate, s.MeanRelayoutDepth())
+	return fmt.Sprintf("incremental floorplan: %d fast-path / %d diff (%d splices) / %d unchanged / %d+%d fallbacks / %d rebuilds (%.1f%% reuse), mean relayout depth %.1f",
+		s.FastPath, s.DiffFastPath, s.Splices, s.Unchanged, s.Fallbacks, s.DiffFallbacks, s.Rebuilds,
+		100*s.ReuseRate(), s.MeanRelayoutDepth())
 }
 
 // Delta returns the counter increments since prev, an earlier snapshot
@@ -96,9 +141,12 @@ func (s TreeStats) Delta(prev TreeStats) TreeStats {
 	return TreeStats{
 		Rebuilds:        s.Rebuilds - prev.Rebuilds,
 		FastPath:        s.FastPath - prev.FastPath,
+		DiffFastPath:    s.DiffFastPath - prev.DiffFastPath,
 		Fallbacks:       s.Fallbacks - prev.Fallbacks,
+		DiffFallbacks:   s.DiffFallbacks - prev.DiffFallbacks,
 		Unchanged:       s.Unchanged - prev.Unchanged,
 		RelayoutNodeSum: s.RelayoutNodeSum - prev.RelayoutNodeSum,
+		Splices:         s.Splices - prev.Splices,
 	}
 }
 
@@ -122,9 +170,10 @@ type tnode struct {
 // returns (including Placements and Adjacencies) is owned by the Tree
 // and overwritten by the next call.
 type Tree struct {
-	spacing float64
-	needAdj bool
-	built   bool
+	spacing  float64
+	needAdj  bool
+	dimsOnly bool
+	built    bool
 
 	blocks []Block // caller order, current areas
 	sorted []Block // sorted (pre-partition) order
@@ -150,6 +199,15 @@ type Tree struct {
 	walkTmp   []int
 	walkToA   []bool
 
+	// Name-keyed diff state: the previous-generation node array the diff
+	// grafts from, and the matching scratch buffers.
+	nodesPrev   []tnode // double buffer: last generation's slicing tree
+	matchOld    []int   // new caller index -> retained leaf-order pos, -1 if none
+	matchNew    []int   // old caller index -> new caller index, -1 if none
+	diffOldLeaf []int   // new sorted pos -> retained leaf-order pos, -1 if none
+	survBuf     []int   // merge-repair scratch: clean survivors in old sorted order
+	freshBuf    []int   // merge-repair scratch: inserted/dirty blocks by area
+
 	// Adjacency state (needAdj mode only): the final placements of the
 	// previous plan, per-leaf moved flags, and the pairwise verdict
 	// cache indexed i*n+j in leaf order (i < j).
@@ -167,19 +225,33 @@ type Tree struct {
 func (t *Tree) Stats() TreeStats { return t.stats }
 
 // Plan floorplans the blocks, reusing the retained tree when only block
-// areas changed since the previous call (same count, names, aspect
-// ratios, spacing). It is bit-identical to Scratch.Plan on every input.
+// areas changed since the previous call (the dirty-path relayout) or
+// when blocks were removed, inserted or renamed but some survive by
+// name (the name-keyed diff, which splices the surviving subtrees). It
+// is bit-identical to Scratch.Plan on every input.
 func (t *Tree) Plan(blocks []Block, spacingMM float64) (*Result, error) {
-	return t.plan(blocks, spacingMM, true)
+	return t.plan(blocks, spacingMM, true, false)
 }
 
 // PlanNoAdjacencies is Plan skipping the adjacency scan (the returned
 // Result has nil Adjacencies), mirroring Scratch.PlanNoAdjacencies.
 func (t *Tree) PlanNoAdjacencies(blocks []Block, spacingMM float64) (*Result, error) {
-	return t.plan(blocks, spacingMM, false)
+	return t.plan(blocks, spacingMM, false, false)
 }
 
-func (t *Tree) plan(blocks []Block, spacingMM float64, needAdj bool) (*Result, error) {
+// PlanDims is PlanNoAdjacencies skipping the placement replay too: the
+// returned Result carries only the bounding box (WidthMM, HeightMM) and
+// ChipletAreaMM2 — nil Placements, nil Adjacencies. The bounding box is
+// composed by the identical float operations, so it is bit-identical to
+// Plan's. Packaging models that consume only the package area (every
+// architecture except silicon bridges) run on this mode: the placement
+// fold and its per-leaf bookkeeping are the bulk of a retained plan's
+// cost once the topology is reused.
+func (t *Tree) PlanDims(blocks []Block, spacingMM float64) (*Result, error) {
+	return t.plan(blocks, spacingMM, false, true)
+}
+
+func (t *Tree) plan(blocks []Block, spacingMM float64, needAdj, dimsOnly bool) (*Result, error) {
 	if spacingMM == 0 {
 		spacingMM = DefaultSpacingMM
 	}
@@ -187,9 +259,20 @@ func (t *Tree) plan(blocks []Block, spacingMM float64, needAdj bool) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	if !t.built || t.spacing != spacingMM || t.needAdj != needAdj || !t.sameShape(blocks) {
+	if !t.built || t.spacing != spacingMM || t.needAdj != needAdj || t.dimsOnly != dimsOnly {
 		t.stats.Rebuilds++
-		t.rebuild(blocks, spacingMM, needAdj, total)
+		t.rebuild(blocks, spacingMM, needAdj, dimsOnly, total)
+		return &t.res, nil
+	}
+	if !t.sameShape(blocks) {
+		// The block set itself changed (removed, inserted or renamed
+		// blocks): the name-keyed diff splices surviving subtrees; when
+		// it declines, the rebuild is the from-scratch algorithm.
+		if t.planDiff(blocks, total) {
+			return &t.res, nil
+		}
+		t.stats.DiffFallbacks++
+		t.rebuild(blocks, spacingMM, needAdj, dimsOnly, total)
 		return &t.res, nil
 	}
 	t.changed = t.changed[:0]
@@ -210,7 +293,7 @@ func (t *Tree) plan(blocks []Block, spacingMM float64, needAdj bool) (*Result, e
 		return &t.res, nil
 	}
 	t.stats.Fallbacks++
-	t.rebuild(t.blocks, spacingMM, needAdj, total)
+	t.rebuild(t.blocks, spacingMM, needAdj, dimsOnly, total)
 	return &t.res, nil
 }
 
@@ -250,7 +333,7 @@ func (t *Tree) Update(blockIdx int, areaMM2 float64) (*Result, error) {
 		return &t.res, nil
 	}
 	t.stats.Fallbacks++
-	t.rebuild(t.blocks, t.spacing, t.needAdj, total)
+	t.rebuild(t.blocks, t.spacing, t.needAdj, t.dimsOnly, total)
 	return &t.res, nil
 }
 
@@ -514,12 +597,45 @@ func (t *Tree) allocNode(parent int) int {
 
 // rebuild runs the from-scratch algorithm and repopulates every retained
 // cache. blocks may alias t.blocks (the fallback path).
-func (t *Tree) rebuild(blocks []Block, spacing float64, needAdj bool, total float64) {
+func (t *Tree) rebuild(blocks []Block, spacing float64, needAdj, dimsOnly bool, total float64) {
 	n := len(blocks)
-	t.spacing, t.needAdj = spacing, needAdj
+	t.spacing, t.needAdj, t.dimsOnly = spacing, needAdj, dimsOnly
 	if len(t.blocks) != n || &t.blocks[0] != &blocks[0] {
 		t.blocks = append(t.blocks[:0], blocks...)
 	}
+	t.sizeBuffers(n)
+	t.resort(n)
+
+	t.nused = 0
+	order := t.walkOrder[:n]
+	for i := range order {
+		order[i] = i
+	}
+	nextLeaf := 0
+	t.root = t.build(order, -1, &nextLeaf)
+	t.fillLeafMeta()
+
+	if needAdj {
+		t.sizeAdj(n)
+		moved := t.moved[:n]
+		for i := range moved {
+			moved[i] = true // every pair rescans on a rebuild
+		}
+		// A stale snapshot must not mark rebuilt leaves unmoved: the
+		// leaf order may have changed, so the pair cache is void.
+		t.prevPlace = t.prevPlace[:0]
+	}
+	t.built = true
+	t.res = Result{}
+	if !t.dimsOnly {
+		t.res.Placements = t.place
+	}
+	t.finishResult(total)
+}
+
+// sizeBuffers grows the retained per-block buffers to n and re-slices
+// the length-dependent ones.
+func (t *Tree) sizeBuffers(n int) {
 	if cap(t.srcIdx) < n {
 		t.srcIdx = make([]int, n)
 		t.posOf = make([]int, n)
@@ -531,12 +647,23 @@ func (t *Tree) rebuild(blocks []Block, spacing float64, needAdj bool, total floa
 		t.walkTmp = make([]int, n)
 		t.walkToA = make([]bool, n)
 	}
+	// A slicing tree over n leaves holds exactly 2n-1 nodes; presizing
+	// both generations spares allocNode the append-doubling churn.
+	if cap(t.nodes) < 2*n-1 {
+		t.nodes = append(make([]tnode, 0, 2*n-1), t.nodes...)
+	}
+	if cap(t.nodesPrev) < 2*n-1 {
+		t.nodesPrev = append(make([]tnode, 0, 2*n-1), t.nodesPrev...)
+	}
 	t.place = t.place[:n]
 	t.leafPos = t.leafPos[:n]
 	t.areas = t.areas[:n]
-	// Stable sort by decreasing area: the insertion sort of
-	// sortBlocksByArea carrying the caller index, so the permutation is
-	// the one Scratch.Plan produces.
+}
+
+// resort derives the sorted permutation of t.blocks[:n]: the stable
+// insertion sort by decreasing area of sortBlocksByArea carrying the
+// caller index, so the permutation is the one Scratch.Plan produces.
+func (t *Tree) resort(n int) {
 	src := t.srcIdx[:n]
 	for i := range src {
 		src[i] = i
@@ -559,39 +686,34 @@ func (t *Tree) rebuild(blocks []Block, spacing float64, needAdj bool, total floa
 	for pos := range sorted {
 		t.areas[pos] = sorted[pos].AreaMM2
 	}
+}
 
-	t.nused = 0
-	order := t.walkOrder[:n]
-	for i := range order {
-		order[i] = i
+// fillLeafMeta derives the sorted-pos -> leaf-order map from the built
+// tree and pre-fills the placement names in leaf order (dims-only
+// plans keep just the map — they never materialize placements).
+func (t *Tree) fillLeafMeta() {
+	if t.dimsOnly {
+		for sp := range t.sorted {
+			t.leafPos[sp] = t.nodes[t.leafOf[sp]].lo
+		}
+		return
 	}
-	nextLeaf := 0
-	t.root = t.build(order, -1, &nextLeaf)
-	for sp := range sorted {
+	for sp := range t.sorted {
 		pos := t.nodes[t.leafOf[sp]].lo
 		t.leafPos[sp] = pos
-		t.place[pos].Name = sorted[sp].Name
+		t.place[pos].Name = t.sorted[sp].Name
 	}
+}
 
-	if needAdj {
-		if cap(t.pairOK) < n*n {
-			t.pairOK = make([]bool, n*n)
-			t.pairVal = make([]Adjacency, n*n)
-		}
-		if cap(t.moved) < n {
-			t.moved = make([]bool, n)
-		}
-		moved := t.moved[:n]
-		for i := range moved {
-			moved[i] = true // every pair rescans on a rebuild
-		}
-		// A stale snapshot must not mark rebuilt leaves unmoved: the
-		// leaf order may have changed, so the pair cache is void.
-		t.prevPlace = t.prevPlace[:0]
+// sizeAdj grows the adjacency pair cache to n leaves.
+func (t *Tree) sizeAdj(n int) {
+	if cap(t.pairOK) < n*n {
+		t.pairOK = make([]bool, n*n)
+		t.pairVal = make([]Adjacency, n*n)
 	}
-	t.built = true
-	t.res = Result{Placements: t.place}
-	t.finishResult(total)
+	if cap(t.moved) < n {
+		t.moved = make([]bool, n)
+	}
 }
 
 // build constructs the subtree over seg (members as sorted positions in
@@ -646,11 +768,468 @@ func (t *Tree) build(seg []int, parent int, nextLeaf *int) int {
 	return ni
 }
 
+// planDiff serves a shape-changed Plan through the name-keyed diff. The
+// new tree is constructed by the from-scratch recursion — fresh stable
+// sort, fresh area-balanced partition decisions — but any segment whose
+// members are all clean survivors of the retained plan (same name, area
+// and aspect ratio) occupying, in order, a contiguous retained leaf
+// interval that is exactly a retained subtree is grafted: the subtree's
+// node structs (leaf dims, orientations, shifts) are copied instead of
+// recomputed. A grafted segment holds the identical ordered block list
+// the retained recursion partitioned, so re-running the recursion would
+// reproduce the copied values float for float — the result is
+// bit-identical to a full rebuild by construction, with no speculative
+// guard to fall back from. planDiff declines (returning false with the
+// tree untouched) only when no retained block survives by name.
+//
+// Matching is an ordered two-pointer scan, not a map: the shapes this
+// diff serves (Disaggregate candidates, merge deltas) preserve the
+// survivors' relative caller order, and for the handful of blocks a
+// package holds, bounded string compares beat map hashing. A survivor
+// the scan misses (a caller-order permutation, a duplicate name) just
+// matches fewer leaves — fewer grafts, never a wrong plan, because a
+// graft's correctness rests on the verified (area, aspect) equality of
+// its members, not on how they were found.
+func (t *Tree) planDiff(blocks []Block, total float64) bool {
+	n := len(blocks)
+	if cap(t.matchOld) < n {
+		t.matchOld = make([]int, n)
+		t.diffOldLeaf = make([]int, n)
+		t.survBuf = make([]int, n)
+		t.freshBuf = make([]int, n)
+	}
+	if cap(t.matchNew) < len(t.blocks) {
+		t.matchNew = make([]int, len(t.blocks))
+	}
+	matchOld := t.matchOld[:n]
+	matchNew := t.matchNew[:len(t.blocks)]
+	for j := range matchNew {
+		matchNew[j] = -1
+	}
+	survivors := 0
+	old := t.blocks
+	oc := 0 // old cursor: survivors match in caller order
+	for i := range blocks {
+		matchOld[i] = -1
+		b := &blocks[i]
+		for j := oc; j < len(old); j++ {
+			if old[j].Name == b.Name {
+				if old[j].AreaMM2 == b.AreaMM2 && old[j].AspectRatio == b.AspectRatio {
+					matchOld[i] = t.leafPos[t.posOf[j]]
+					matchNew[j] = i
+					survivors++
+				}
+				oc = j + 1
+				break
+			}
+		}
+	}
+	if survivors == 0 {
+		return false
+	}
+	t.stats.DiffFastPath++
+	t.rebuildDiff(blocks, total)
+	return true
+}
+
+// rebuildDiff is the diff-plan body: the rebuild scaffolding with the
+// node array double-buffered (grafts read the previous generation) and
+// the build recursion replaced by the grafting buildDiff. matchOld must
+// already hold the per-new-caller-index retained leaf positions.
+func (t *Tree) rebuildDiff(blocks []Block, total float64) {
+	n := len(blocks)
+	if t.needAdj {
+		// With an unchanged leaf count the moved-rectangle detection can
+		// keep verdicts of pairs whose placements (and names) survive; a
+		// changed count shifts the pair indexing, voiding the cache.
+		if n == len(t.place) {
+			t.prevPlace = append(t.prevPlace[:0], t.place...)
+		} else {
+			t.prevPlace = t.prevPlace[:0]
+		}
+	}
+	prevRoot := t.root
+	t.nodes, t.nodesPrev = t.nodesPrev, t.nodes
+
+	// Merge-repair the sorted permutation instead of re-sorting: clean
+	// survivors read off the retained order are already sorted among
+	// themselves (their areas are unchanged and the ordered matcher
+	// preserves their relative caller order, so ties keep breaking the
+	// same way), and only the inserted/dirty blocks need a fresh sort.
+	// The merge comparator is the stable sort's total order (area
+	// descending, caller index ascending), so the merged permutation is
+	// exactly the one resort would produce.
+	surv := t.survBuf[:0]
+	for sp := 0; sp < len(t.blocks); sp++ {
+		if i := t.matchNew[t.srcIdx[sp]]; i >= 0 {
+			surv = append(surv, i)
+		}
+	}
+	fresh := t.freshBuf[:0]
+	for i := range blocks {
+		if t.matchOld[i] < 0 {
+			fresh = append(fresh, i)
+		}
+	}
+	// Stable insertion sort of the fresh blocks by decreasing area
+	// (collected in caller order, so ties keep ascending caller index).
+	for i := 1; i < len(fresh); i++ {
+		f := fresh[i]
+		a := blocks[f].AreaMM2
+		j := i - 1
+		for j >= 0 && blocks[fresh[j]].AreaMM2 < a {
+			fresh[j+1] = fresh[j]
+			j--
+		}
+		fresh[j+1] = f
+	}
+
+	t.blocks = append(t.blocks[:0], blocks...)
+	t.sizeBuffers(n)
+	t.sorted = t.sorted[:0]
+	src := t.srcIdx[:n]
+	si, fi := 0, 0
+	for k := 0; k < n; k++ {
+		var pick int
+		switch {
+		case si == len(surv):
+			pick = fresh[fi]
+			fi++
+		case fi == len(fresh):
+			pick = surv[si]
+			si++
+		default:
+			s, f := surv[si], fresh[fi]
+			sa, fa := t.blocks[s].AreaMM2, t.blocks[f].AreaMM2
+			if sa > fa || (sa == fa && s < f) {
+				pick = s
+				si++
+			} else {
+				pick = f
+				fi++
+			}
+		}
+		t.sorted = append(t.sorted, t.blocks[pick])
+		src[k] = pick
+	}
+	posOf := t.posOf[:n]
+	for pos, i := range src {
+		posOf[i] = pos
+	}
+	for pos := range t.sorted {
+		t.areas[pos] = t.sorted[pos].AreaMM2
+	}
+	diffOldLeaf := t.diffOldLeaf[:n]
+	for pos, i := range src {
+		diffOldLeaf[pos] = t.matchOld[i]
+	}
+
+	t.nused = 0
+	order := t.walkOrder[:n]
+	for i := range order {
+		order[i] = i
+	}
+	nextLeaf := 0
+	t.root = t.buildDiff(order, -1, &nextLeaf, prevRoot)
+	t.fillLeafMeta()
+
+	if t.needAdj {
+		t.sizeAdj(n)
+		if len(t.prevPlace) != n {
+			moved := t.moved[:n]
+			for i := range moved {
+				moved[i] = true
+			}
+		}
+	}
+	t.res = Result{}
+	if !t.dimsOnly {
+		t.res.Placements = t.place
+	}
+	t.finishResult(total)
+}
+
+// buildDiff is build with subtree grafting: before partitioning a
+// segment it checks whether the members are clean survivors covering, in
+// order, exactly one retained subtree's leaf interval, and copies that
+// subtree instead of recursing. Non-grafted segments run the exact
+// from-scratch partition/compose math on the new areas.
+func (t *Tree) buildDiff(seg []int, parent int, nextLeaf *int, prevRoot int) int {
+	// Endpoint check first: segments holding a removed/inserted/dirty
+	// block or a split retained interval almost always fail at the ends,
+	// so the O(len) middle scan runs only on near-matches.
+	if first := t.diffOldLeaf[seg[0]]; first >= 0 && t.diffOldLeaf[seg[len(seg)-1]] == first+len(seg)-1 {
+		contiguous := true
+		for k := 1; k < len(seg)-1; k++ {
+			if t.diffOldLeaf[seg[k]] != first+k {
+				contiguous = false
+				break
+			}
+		}
+		if contiguous {
+			if oi := nodeSpanning(t.nodesPrev, prevRoot, first, first+len(seg)); oi >= 0 {
+				base := *nextLeaf
+				ni := t.graft(oi, parent, first, base, seg)
+				*nextLeaf = base + len(seg)
+				t.stats.Splices++
+				return ni
+			}
+		}
+	}
+	ni := t.allocNode(parent)
+	if len(seg) == 1 {
+		sp := seg[0]
+		lo := *nextLeaf
+		*nextLeaf = lo + 1
+		b := &t.sorted[sp]
+		w, h := b.dims()
+		nd := &t.nodes[ni]
+		nd.lo, nd.hi = lo, lo+1
+		nd.w, nd.h = w, h
+		t.leafOf[sp] = ni
+		return ni
+	}
+	na := 0
+	var areaA, areaB float64
+	toA := t.walkToA[:len(seg)]
+	for i, sp := range seg {
+		if areaA <= areaB {
+			toA[i] = true
+			areaA += t.sorted[sp].AreaMM2
+			na++
+		} else {
+			toA[i] = false
+			areaB += t.sorted[sp].AreaMM2
+		}
+	}
+	tmp := t.walkTmp[:len(seg)]
+	copy(tmp, seg)
+	ia, ib := 0, na
+	for i, sp := range tmp {
+		if toA[i] {
+			seg[ia] = sp
+			ia++
+		} else {
+			seg[ib] = sp
+			ib++
+		}
+	}
+	left := t.buildDiff(seg[:na], ni, nextLeaf, prevRoot)
+	right := t.buildDiff(seg[na:], ni, nextLeaf, prevRoot)
+	nd := &t.nodes[ni] // re-take: t.nodes may have grown
+	nd.left, nd.right = left, right
+	nd.lo, nd.hi = t.nodes[left].lo, t.nodes[right].hi
+	t.compose(ni)
+	return ni
+}
+
+// nodeSpanning descends a slicing tree from ni for a node whose leaf
+// segment is exactly [lo, hi), or -1. The intervals form a laminar
+// binary family, so the descent is O(depth).
+func nodeSpanning(nodes []tnode, ni, lo, hi int) int {
+	for {
+		nd := &nodes[ni]
+		if nd.lo == lo && nd.hi == hi {
+			return ni
+		}
+		if nd.left < 0 {
+			return -1
+		}
+		split := nodes[nd.left].hi
+		switch {
+		case hi <= split:
+			ni = nd.left
+		case lo >= split:
+			ni = nd.right
+		default:
+			return -1
+		}
+	}
+}
+
+// ForkDims evaluates the bounding box a Plan of the retained block set
+// with the blocks at caller indices r1 and r2 removed and extra
+// appended would produce — the merge-candidate shape of a Disaggregate
+// greedy step — WITHOUT disturbing the retained plan. Every candidate
+// of a step can fork against the same pinned base tree: the evaluation
+// is a pure fold that derives the candidate's sorted order from the
+// retained permutation, recomputes the partition decisions with the
+// candidate's areas, reads surviving leaf dimensions off the pinned
+// leaves (no sqrt), and returns a whole pinned subtree's composed
+// dimensions in O(1) wherever a segment is exactly a retained subtree
+// of survivors. Non-grafted segments run the exact from-scratch
+// partition and composition float math, so the returned box is
+// bit-identical to a from-scratch plan of the candidate, and nothing is
+// written back — the next fork sees the same base.
+//
+// It counts toward DiffFastPath and Splices like committed diff plans
+// (it is the same remove/insert diff, minus the commit).
+func (t *Tree) ForkDims(r1, r2 int, extra Block) (wMM, hMM, totalMM2 float64, err error) {
+	if !t.built {
+		return 0, 0, 0, fmt.Errorf("floorplan: Tree.ForkDims before Plan")
+	}
+	n := len(t.blocks)
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	if r1 < 0 || r2 >= n || r1 == r2 {
+		return 0, 0, 0, fmt.Errorf("floorplan: Tree.ForkDims removed indices (%d, %d) invalid for %d blocks", r1, r2, n)
+	}
+	if extra.AreaMM2 <= 0 {
+		return 0, 0, 0, errBlockArea(extra)
+	}
+	// The candidate's block-area total, in its caller order (survivors
+	// first, extra appended) — the exact bits of the from-scratch sum.
+	total := 0.0
+	for i := range t.blocks {
+		if i != r1 && i != r2 {
+			total += t.blocks[i].AreaMM2
+		}
+	}
+	total += extra.AreaMM2
+	ew, eh := extra.dims()
+	if n == 2 {
+		return ew, eh, total, nil
+	}
+	// The candidate's sorted order: the retained permutation minus the
+	// removed blocks, with extra — the highest caller index, so it sorts
+	// after every surviving block of equal or larger area — merge-
+	// inserted before the first survivor of strictly smaller area.
+	// Entries are retained sorted positions; n is the extra's sentinel.
+	rp1, rp2 := t.posOf[r1], t.posOf[r2]
+	order := t.walkOrder[:0]
+	inserted := false
+	for sp := 0; sp < n; sp++ {
+		if sp == rp1 || sp == rp2 {
+			continue
+		}
+		if !inserted && t.areas[sp] < extra.AreaMM2 {
+			order = append(order, n)
+			inserted = true
+		}
+		order = append(order, sp)
+	}
+	if !inserted {
+		order = append(order, n)
+	}
+	t.stats.DiffFastPath++
+	w, h := t.forkSeg(order, extra.AreaMM2, ew, eh)
+	return w, h, total, nil
+}
+
+// forkSeg is ForkDims' recursive fold over seg (candidate members in
+// candidate-sorted order, permuted in place like layoutSeg): the
+// from-scratch partition and composition math over the candidate areas,
+// with pinned leaf dims for survivors and whole pinned subtrees grafted
+// in O(1).
+func (t *Tree) forkSeg(seg []int, eArea, eW, eH float64) (w, h float64) {
+	sentinel := len(t.blocks)
+	if len(seg) == 1 {
+		if seg[0] == sentinel {
+			return eW, eH
+		}
+		nd := &t.nodes[t.leafOf[seg[0]]]
+		return nd.w, nd.h
+	}
+	// Graft check (endpoints first): all members survivors occupying a
+	// contiguous pinned leaf interval that is exactly a pinned subtree.
+	if f := seg[0]; f != sentinel {
+		last := seg[len(seg)-1]
+		first := t.leafPos[f]
+		if last != sentinel && t.leafPos[last] == first+len(seg)-1 {
+			ok := true
+			for k := 1; k < len(seg)-1; k++ {
+				e := seg[k]
+				if e == sentinel || t.leafPos[e] != first+k {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if ni := nodeSpanning(t.nodes, t.root, first, first+len(seg)); ni >= 0 {
+					t.stats.Splices++
+					nd := &t.nodes[ni]
+					return nd.w, nd.h
+				}
+			}
+		}
+	}
+	na := 0
+	var areaA, areaB float64
+	toA := t.walkToA[:len(seg)]
+	for i, e := range seg {
+		a := eArea
+		if e != sentinel {
+			a = t.areas[e]
+		}
+		if areaA <= areaB {
+			toA[i] = true
+			areaA += a
+			na++
+		} else {
+			toA[i] = false
+			areaB += a
+		}
+	}
+	tmp := t.walkTmp[:len(seg)]
+	copy(tmp, seg)
+	ia, ib := 0, na
+	for i, e := range tmp {
+		if toA[i] {
+			seg[ia] = e
+			ia++
+		} else {
+			seg[ib] = e
+			ib++
+		}
+	}
+	lw, lh := t.forkSeg(seg[:na], eArea, eW, eH)
+	rw, rh := t.forkSeg(seg[na:], eArea, eW, eH)
+	// The exact composition expressions of compose/layoutSeg.
+	hw := lw + t.spacing + rw
+	hh := lh
+	if rh > hh {
+		hh = rh
+	}
+	vw := lw
+	if rw > vw {
+		vw = rw
+	}
+	vh := lh + t.spacing + rh
+	if hw*hh <= vw*vh {
+		return hw, hh
+	}
+	return vw, vh
+}
+
+// graft clones the previous-generation subtree oi into the new node
+// array, translating its leaf interval from oldLo to base. seg maps the
+// subtree's leaves (in leaf order) back to their new sorted positions so
+// leafOf stays consistent.
+func (t *Tree) graft(oi, parent, oldLo, base int, seg []int) int {
+	ni := t.allocNode(parent)
+	od := t.nodesPrev[oi]
+	nd := &t.nodes[ni]
+	nd.w, nd.h, nd.horiz, nd.shift = od.w, od.h, od.horiz, od.shift
+	nd.lo, nd.hi = od.lo-oldLo+base, od.hi-oldLo+base
+	if od.left < 0 {
+		t.leafOf[seg[od.lo-oldLo]] = ni
+		return ni
+	}
+	left := t.graft(od.left, ni, oldLo, base, seg)
+	right := t.graft(od.right, ni, oldLo, base, seg)
+	nd = &t.nodes[ni] // re-take: t.nodes may have grown
+	nd.left, nd.right = left, right
+	return ni
+}
+
 // finishResult replays the placements, refreshes the Result's scalars
 // in place (the Placements header is wired at rebuild) and, in
 // adjacency mode, rescans the pairs involving moved rectangles.
 func (t *Tree) finishResult(total float64) {
-	t.replayPlacements()
+	if !t.dimsOnly {
+		t.replayPlacements()
+	}
 	root := &t.nodes[t.root]
 	t.res.WidthMM = root.w
 	t.res.HeightMM = root.h
@@ -663,7 +1242,11 @@ func (t *Tree) finishResult(total float64) {
 	if len(t.prevPlace) == n {
 		for i, p := range t.place {
 			q := t.prevPlace[i]
-			moved[i] = math.Float64bits(p.X) != math.Float64bits(q.X) ||
+			// The name comparison matters after a name-keyed diff: a new
+			// block can land on an old block's exact rectangle, and the
+			// cached pair verdicts carry names.
+			moved[i] = p.Name != q.Name ||
+				math.Float64bits(p.X) != math.Float64bits(q.X) ||
 				math.Float64bits(p.Y) != math.Float64bits(q.Y) ||
 				math.Float64bits(p.Width) != math.Float64bits(q.Width) ||
 				math.Float64bits(p.Height) != math.Float64bits(q.Height)

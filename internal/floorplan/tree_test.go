@@ -189,8 +189,9 @@ func TestTreeNoAdjacenciesMode(t *testing.T) {
 	resultsBitIdentical(t, "no-adjacency update", want, got)
 }
 
-// Spacing or shape changes must rebuild (and still match), never serve a
-// stale topology.
+// Spacing changes must rebuild; block-set and aspect changes route
+// through the name-keyed diff (and still match) — never serving a stale
+// topology either way.
 func TestTreeRebuildOnShapeChange(t *testing.T) {
 	var tr Tree
 	var sc Scratch
@@ -221,8 +222,15 @@ func TestTreeRebuildOnShapeChange(t *testing.T) {
 		t.Fatal(err)
 	}
 	resultsBitIdentical(t, "aspect change", want, got)
-	if s := tr.Stats(); s.Rebuilds < 4 {
-		t.Errorf("shape changes should rebuild: %+v", s)
+	s := tr.Stats()
+	if s.Rebuilds != 2 {
+		t.Errorf("initial plan + spacing change should rebuild twice: %+v", s)
+	}
+	if s.DiffFastPath != 2 {
+		t.Errorf("count and aspect changes should serve through the name-keyed diff: %+v", s)
+	}
+	if s.Splices == 0 {
+		t.Errorf("the count-change diff should splice surviving subtrees: %+v", s)
 	}
 }
 

@@ -77,6 +77,10 @@ type Scratch struct {
 	opValid  bool
 	opPowerW float64
 	opKg     float64
+
+	// fpFolded is the floorplan-stats snapshot already folded into a
+	// ScratchPool's totals (see ScratchPool.Put).
+	fpFolded floorplan.TreeStats
 }
 
 // NewSweepScratch builds the per-worker arena of a compiled node sweep:
@@ -98,6 +102,18 @@ func NewSweepScratch(pkg *pkgcarbon.Params, nc int) (*Scratch, error) {
 // Chiplets returns the scratch-owned packaging descriptor buffer; sweep
 // walkers refresh only the entries their Gray step changed.
 func (sc *Scratch) Chiplets() []pkgcarbon.Chiplet { return sc.pkgCh }
+
+// ResizeChiplets re-slices the packaging descriptor buffer to n dies
+// (within the construction capacity) and returns it — the shape of a
+// shrinking search like Disaggregate, where each greedy step packages
+// one fewer die on the same pooled scratch.
+func (sc *Scratch) ResizeChiplets(n int) []pkgcarbon.Chiplet {
+	if n > cap(sc.pkgCh) {
+		panic("kernel: ResizeChiplets beyond the scratch's construction capacity")
+	}
+	sc.pkgCh = sc.pkgCh[:n]
+	return sc.pkgCh
+}
 
 // EstimatePackage runs the scratch estimator over the current chiplet
 // descriptors. The result is owned by the estimator and overwritten by
@@ -121,6 +137,37 @@ func (sc *Scratch) EstimatePackageDelta(changed int) (*pkgcarbon.Result, error) 
 		return nil, fmt.Errorf("kernel: EstimatePackageDelta on a scratch without a packaging estimator (param-plan or monolith scratch)")
 	}
 	return sc.est.EstimateDelta(sc.pkgCh, changed)
+}
+
+// MergeForkable reports whether the scratch estimator supports the
+// pinned-base merge-candidate fork (false for scratches without an
+// estimator).
+func (sc *Scratch) MergeForkable() bool {
+	return sc.est != nil && sc.est.MergeForkable()
+}
+
+// PrimeMergeBase pins the scratch's current chiplet descriptors as the
+// merge-fork base: their floorplan is committed to the retained tree
+// without running the packaging model. See pkgcarbon's PrimeMergeBase.
+func (sc *Scratch) PrimeMergeBase() error {
+	if sc.est == nil {
+		return fmt.Errorf("kernel: PrimeMergeBase on a scratch without a packaging estimator (param-plan or monolith scratch)")
+	}
+	return sc.est.PrimeMergeBase(sc.pkgCh)
+}
+
+// EstimatePackageMergeFork is EstimatePackage for a Disaggregate merge
+// candidate evaluated against a pinned base: the base primed by the
+// last PrimeMergeBase with dies r1 and r2 removed and merged appended
+// last. The candidate descriptor set is never materialized, and the
+// retained floorplan stays pinned to the base so every candidate of a
+// step forks against the same warm tree. Bit-identical to
+// EstimatePackage on the candidate set.
+func (sc *Scratch) EstimatePackageMergeFork(r1, r2 int, merged pkgcarbon.Chiplet) (*pkgcarbon.Result, error) {
+	if sc.est == nil {
+		return nil, fmt.Errorf("kernel: EstimatePackageMergeFork on a scratch without a packaging estimator (param-plan or monolith scratch)")
+	}
+	return sc.est.EstimateMergeFork(r1, r2, merged)
 }
 
 // FloorplanStats snapshots the scratch estimator's retained-tree reuse

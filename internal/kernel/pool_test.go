@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"testing"
+
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/tech"
+)
+
+func TestScratchPoolReuseAndStatsFolding(t *testing.T) {
+	db := tech.Default()
+	pkg := pkgcarbon.DefaultParams(pkgcarbon.RDLFanout)
+	pool := NewScratchPool(func() (*Scratch, error) {
+		return NewSweepScratch(&pkg, 2)
+	})
+
+	sc, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Reuses() != 0 {
+		t.Fatalf("first Get should build fresh, reuses = %d", pool.Reuses())
+	}
+	ch := sc.Chiplets()
+	ch[0] = pkgcarbon.Chiplet{Name: "a", AreaMM2: 100, Node: db.MustGet(7)}
+	ch[1] = pkgcarbon.Chiplet{Name: "b", AreaMM2: 50, Node: db.MustGet(14)}
+	if _, err := sc.EstimatePackage(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(sc)
+	if got := pool.FloorplanStats(); got.Plans() == 0 {
+		t.Fatalf("Put should fold the scratch's floorplan work: %+v", got)
+	}
+	first := pool.FloorplanStats()
+
+	// A second Get must return the same warm scratch (the free list
+	// guarantees retention, unlike a sync.Pool); Put folds only the
+	// increment (no double counting).
+	sc2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2 != sc {
+		t.Fatal("pool did not reuse the returned scratch")
+	}
+	if pool.Reuses() != 1 {
+		t.Fatalf("reuses = %d, want 1", pool.Reuses())
+	}
+	pool.Put(sc2)
+	if got := pool.FloorplanStats(); got != first {
+		t.Fatalf("idle scratch changed the folded stats: %+v vs %+v", got, first)
+	}
+
+	sc3, _ := pool.Get()
+	ch = sc3.ResizeChiplets(1)
+	if len(ch) != 1 {
+		t.Fatalf("ResizeChiplets(1) returned %d slots", len(ch))
+	}
+	ch[0] = pkgcarbon.Chiplet{Name: "solo", AreaMM2: 80, Node: db.MustGet(7)}
+	if _, err := sc3.EstimatePackage(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(sc3)
+	if got := pool.FloorplanStats(); got.Plans() != first.Plans()+1 {
+		t.Fatalf("resized estimate should fold exactly one more plan: %+v vs %+v", got, first)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ResizeChiplets beyond capacity should panic")
+			}
+		}()
+		sc3.ResizeChiplets(3)
+	}()
+}

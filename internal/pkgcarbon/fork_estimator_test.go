@@ -1,0 +1,126 @@
+package pkgcarbon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/tech"
+)
+
+// EstimateMergeFork must reproduce a full Estimate of the candidate set
+// bit for bit, for every removed pair over random primed bases, across
+// every forkable architecture — and leave the pinned base undisturbed
+// (a later fork against the same base must agree too).
+func TestEstimateMergeForkMatchesEstimate(t *testing.T) {
+	db := tech.Default()
+	sizes := db.Sizes()
+	rng := rand.New(rand.NewSource(83))
+	for _, arch := range []Architecture{RDLFanout, PassiveInterposer, ActiveInterposer} {
+		p := DefaultParams(arch)
+		est, err := NewEstimator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewEstimator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			n := 3 + rng.Intn(5)
+			base := make([]Chiplet, n)
+			for i := range base {
+				base[i] = Chiplet{
+					Name:    fmt.Sprintf("c%d", i),
+					AreaMM2: 5 + rng.Float64()*200,
+					Node:    db.MustGet(sizes[rng.Intn(len(sizes))]),
+				}
+			}
+			if err := est.PrimeMergeBase(base); err != nil {
+				t.Fatal(err)
+			}
+			for r1 := 0; r1 < n; r1++ {
+				for r2 := r1 + 1; r2 < n; r2++ {
+					merged := Chiplet{
+						Name:    base[r1].Name + "+" + base[r2].Name,
+						AreaMM2: base[r1].AreaMM2 + base[r2].AreaMM2,
+						Node:    base[r1].Node,
+					}
+					cand := make([]Chiplet, 0, n-1)
+					for k, c := range base {
+						if k != r1 && k != r2 {
+							cand = append(cand, c)
+						}
+					}
+					cand = append(cand, merged)
+					want, err := ref.Estimate(cand)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := est.EstimateMergeFork(r1, r2, merged)
+					if err != nil {
+						t.Fatalf("%v trial %d fork (%d,%d): %v", arch, trial, r1, r2, err)
+					}
+					if !resultsBitIdentical(want, got) {
+						t.Fatalf("%v trial %d fork (%d,%d) diverges\nwant %+v\ngot  %+v",
+							arch, trial, r1, r2, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateMergeForkErrors(t *testing.T) {
+	db := tech.Default()
+	node := db.MustGet(7)
+	merged := Chiplet{Name: "m", AreaMM2: 40, Node: node}
+
+	bridge, err := NewEstimator(DefaultParams(SiliconBridge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bridge.MergeForkable() {
+		t.Error("bridge estimators must not be merge-forkable (they need adjacencies)")
+	}
+	if _, err := bridge.EstimateMergeFork(0, 1, merged); err == nil {
+		t.Error("fork on a bridge estimator should fail")
+	}
+	if err := bridge.PrimeMergeBase([]Chiplet{{Name: "a", AreaMM2: 10, Node: node}}); err == nil {
+		t.Error("prime on a bridge estimator should fail")
+	}
+
+	est, err := NewEstimator(DefaultParams(RDLFanout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.EstimateMergeFork(0, 1, merged); err == nil {
+		t.Error("fork before prime should fail")
+	}
+	base := []Chiplet{
+		{Name: "a", AreaMM2: 100, Node: node},
+		{Name: "b", AreaMM2: 50, Node: node},
+		{Name: "c", AreaMM2: 25, Node: node},
+	}
+	if err := est.PrimeMergeBase(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.EstimateMergeFork(0, 3, merged); err == nil {
+		t.Error("out-of-range removed index should fail")
+	}
+	if _, err := est.EstimateMergeFork(1, 1, merged); err == nil {
+		t.Error("equal removed indices should fail")
+	}
+	if _, err := est.EstimateMergeFork(0, 1, Chiplet{Name: "m", AreaMM2: -4, Node: node}); err == nil {
+		t.Error("non-positive merged area should fail")
+	}
+	if _, err := est.EstimateMergeFork(0, 1, Chiplet{Name: "m", AreaMM2: 4}); err == nil {
+		t.Error("nil merged node should fail")
+	}
+	if err := est.PrimeMergeBase([]Chiplet{{Name: "a", AreaMM2: -1, Node: node}}); err == nil {
+		t.Error("prime with non-positive area should fail")
+	}
+	if err := est.PrimeMergeBase(nil); err == nil {
+		t.Error("prime with no chiplets should fail")
+	}
+}

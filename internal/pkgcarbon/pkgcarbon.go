@@ -340,8 +340,10 @@ func Estimate(chiplets []Chiplet, p Params) (*Result, error) {
 // An Estimator is NOT safe for concurrent use; give each worker its own.
 // The Result returned by Estimate (including its Floorplan) is owned by
 // the Estimator and overwritten by the next call; for non-bridge
-// architectures the Floorplan omits the adjacency scan, which no
-// non-bridge model consumes.
+// architectures the Floorplan carries only the bounding box and totals
+// (nil Placements and Adjacencies), which is all any non-bridge model
+// consumes — use the package-level Estimate when placements are needed
+// for rendering.
 type Estimator struct {
 	p  Params
 	sc scratch
@@ -365,16 +367,17 @@ func (e *Estimator) Estimate(chiplets []Chiplet) (*Result, error) {
 // EstimateDelta is Estimate when only chiplets[changed] differs (in
 // area and/or node) from the chiplet set of the previous call on this
 // estimator — the Gray-step shape of a compiled sweep walk. The
-// floorplan goes through the retained tree's single-block update, the
-// adjacency scan (bridge architectures) is restricted to moved
-// rectangles, and the communication cells of unchanged chiplets are
-// served from the per-chiplet cache; everything is bit-identical to a
-// full Estimate by construction. When the precondition cannot be
-// verified cheaply (first call, different chiplet count or names, 3D or
-// flexible floorplans), it falls back to the full Estimate.
+// floorplan goes through the retained tree's single-block update (the
+// shape-curve FlexTree for flexible floorplans), the adjacency scan
+// (bridge architectures) is restricted to moved rectangles, and the
+// communication cells of unchanged chiplets are served from the
+// per-chiplet cache; everything is bit-identical to a full Estimate by
+// construction. When the precondition cannot be verified cheaply (first
+// call, different chiplet count or names, 3D stacks), it falls back to
+// the full Estimate.
 func (e *Estimator) EstimateDelta(chiplets []Chiplet, changed int) (*Result, error) {
 	sc := &e.sc
-	if e.p.Arch == ThreeD || e.p.FlexibleFloorplan ||
+	if e.p.Arch == ThreeD ||
 		changed < 0 || changed >= len(chiplets) ||
 		len(sc.blocks) != len(chiplets) ||
 		sc.blocks[changed].Name != chiplets[changed].Name {
@@ -390,7 +393,16 @@ func (e *Estimator) EstimateDelta(chiplets []Chiplet, changed int) (*Result, err
 		return nil, fmt.Errorf("pkgcarbon: chiplet %q has no technology node", c.Name)
 	}
 	sc.blocks[changed].AreaMM2 = c.AreaMM2
-	fp, err := sc.fp.Update(changed, c.AreaMM2)
+	// The delta re-plans the retained tree: invalidate any merge-fork
+	// base primed earlier (see the same move in estimateWith).
+	sc.baseNodes = sc.baseNodes[:0]
+	var fp *floorplan.Result
+	var err error
+	if e.p.FlexibleFloorplan {
+		fp, err = sc.fpx.Update(changed, c.AreaMM2)
+	} else {
+		fp, err = sc.fp.Update(changed, c.AreaMM2)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -405,9 +417,166 @@ func (e *Estimator) EstimateDelta(chiplets []Chiplet, changed int) (*Result, err
 	return res, nil
 }
 
-// FloorplanStats snapshots the retained floorplan tree's reuse counters
-// (fast-path hits, fallbacks, relayout depth).
-func (e *Estimator) FloorplanStats() floorplan.TreeStats { return e.sc.fp.Stats() }
+// MergeForkable reports whether this estimator can serve
+// EstimateMergeFork's pinned-base fast path: architectures whose model
+// consumes only the package bounding box (no 3D stacks, no bridge
+// adjacencies) with fixed-shape floorplans.
+func (e *Estimator) MergeForkable() bool {
+	return e.p.Arch != ThreeD && e.p.Arch != SiliconBridge && !e.p.FlexibleFloorplan
+}
+
+// EstimateMergeFork is Estimate for the merge-candidate shape of a
+// Disaggregate greedy step: the chiplet set primed by the last
+// PrimeMergeBase with the dies at base indices r1 and r2 removed and
+// merged appended last. Unlike Estimate, the fork does NOT commit the
+// candidate as the retained state — the floorplan tree stays pinned to
+// the base, so every candidate of a step forks against the same warm
+// tree (floorplan.Tree.ForkDims) instead of re-planning, the candidate
+// descriptor set is never even materialized (survivor geometry and
+// nodes are read off the pinned base), and the result is bit-identical
+// to a full Estimate of the candidate set by the fork's construction.
+func (e *Estimator) EstimateMergeFork(r1, r2 int, merged Chiplet) (*Result, error) {
+	sc := &e.sc
+	n := len(sc.blocks)
+	if !e.MergeForkable() {
+		return nil, fmt.Errorf("pkgcarbon: EstimateMergeFork on a non-forkable estimator (%v, flexible=%v)", e.p.Arch, e.p.FlexibleFloorplan)
+	}
+	if len(sc.baseNodes) != n || n < 3 {
+		return nil, fmt.Errorf("pkgcarbon: EstimateMergeFork without a primed base of 3+ dies (have %d)", n)
+	}
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	if r1 < 0 || r2 >= n || r1 == r2 {
+		return nil, fmt.Errorf("pkgcarbon: EstimateMergeFork removed indices (%d, %d) invalid for %d dies", r1, r2, n)
+	}
+	if merged.AreaMM2 <= 0 {
+		return nil, fmt.Errorf("pkgcarbon: chiplet %q has non-positive area", merged.Name)
+	}
+	if merged.Node == nil {
+		return nil, fmt.Errorf("pkgcarbon: chiplet %q has no technology node", merged.Name)
+	}
+	w, h, total, err := sc.fp.ForkDims(r1, r2, floorplan.Block{Name: merged.Name, AreaMM2: merged.AreaMM2})
+	if err != nil {
+		return nil, err
+	}
+	sc.forkFP = floorplan.Result{WidthMM: w, HeightMM: h, ChipletAreaMM2: total}
+	res := newResult(sc)
+	res.Arch = e.p.Arch
+	res.PackageAreaMM2 = sc.forkFP.AreaMM2()
+	res.WhitespaceMM2 = sc.forkFP.WhitespaceMM2()
+	res.Floorplan = &sc.forkFP
+	// The arch model runs directly, bypassing the per-area package memo:
+	// candidate bounding boxes essentially never repeat within a search,
+	// so the memo would only pay hashing and growth. The model is pure
+	// in the area, so the bits cannot differ from the memoized path.
+	if err := runArchModel(res, nil, &e.p, &sc.forkFP); err != nil {
+		return nil, err
+	}
+	dies := n - 1
+	res.PackageKg += float64(dies) * e.p.AttachEnergyKWhPerChiplet *
+		e.p.CarbonIntensity / res.AssemblyYield
+	return addCommunicationFork(res, sc, &e.p, r1, r2, merged.Node)
+}
+
+// addCommunicationFork is addCommunication for a merge-fork candidate:
+// the same per-node cells summed in the candidate's chiplet order
+// (survivors in base order, merged last), with the nodes read off the
+// primed base instead of a materialized descriptor set. Architectures
+// outside MergeForkable never reach it.
+func addCommunicationFork(res *Result, sc *scratch, p *Params, r1, r2 int, mergedNode *tech.Node) (*Result, error) {
+	n := len(sc.baseNodes)
+	dies := n - 1
+	slots := commSlots(sc, dies)
+	fullRouter := res.Arch == PassiveInterposer
+	if res.Arch == ActiveInterposer {
+		cc, err := commFor(sc, p.PackagingNode, p, true)
+		if err != nil {
+			return nil, err
+		}
+		nd := float64(dies)
+		res.RoutingKg = nd * cc.kg
+		res.RouterTotalPowerW = nd * cc.powerW
+		return res, nil
+	}
+	var total, areaSum, powerSum float64
+	k := 0
+	for i := 0; i < n; i++ {
+		if i == r1 || i == r2 {
+			continue
+		}
+		cc, err := commSlot(sc, slots, k, sc.baseNodes[i], p, fullRouter)
+		if err != nil {
+			return nil, err
+		}
+		total += cc.kg
+		areaSum += cc.areaMM2
+		powerSum += cc.powerW
+		k++
+	}
+	cc, err := commSlot(sc, slots, k, mergedNode, p, fullRouter)
+	if err != nil {
+		return nil, err
+	}
+	total += cc.kg
+	areaSum += cc.areaMM2
+	powerSum += cc.powerW
+	res.RoutingKg = total
+	res.RouterAreaPerChipletMM2 = areaSum / float64(dies)
+	if fullRouter {
+		res.RouterTotalPowerW = powerSum
+	}
+	return res, nil
+}
+
+// PrimeMergeBase pins chiplets as the merge-fork base: it validates the
+// descriptors, records their nodes and commits their floorplan to the
+// retained tree without running the packaging model (whose result a
+// primer would discard). After a successful prime, EstimateMergeFork
+// serves candidates derived from this base.
+func (e *Estimator) PrimeMergeBase(chiplets []Chiplet) error {
+	if !e.MergeForkable() {
+		return fmt.Errorf("pkgcarbon: PrimeMergeBase on a non-forkable estimator (%v, flexible=%v)", e.p.Arch, e.p.FlexibleFloorplan)
+	}
+	if len(chiplets) == 0 {
+		return fmt.Errorf("pkgcarbon: no chiplets")
+	}
+	for _, c := range chiplets {
+		if c.AreaMM2 <= 0 {
+			return fmt.Errorf("pkgcarbon: chiplet %q has non-positive area", c.Name)
+		}
+		if c.Node == nil {
+			return fmt.Errorf("pkgcarbon: chiplet %q has no technology node", c.Name)
+		}
+	}
+	sc := &e.sc
+	if cap(sc.blocks) < len(chiplets) {
+		sc.blocks = make([]floorplan.Block, len(chiplets))
+	}
+	if cap(sc.baseNodes) < len(chiplets) {
+		sc.baseNodes = make([]*tech.Node, len(chiplets))
+	}
+	blocks := sc.blocks[:len(chiplets)]
+	sc.blocks = blocks
+	sc.baseNodes = sc.baseNodes[:len(chiplets)]
+	for i, c := range chiplets {
+		blocks[i] = floorplan.Block{Name: c.Name, AreaMM2: c.AreaMM2}
+		sc.baseNodes[i] = c.Node
+	}
+	_, err := sc.fp.PlanDims(blocks, e.p.SpacingMM)
+	return err
+}
+
+// FloorplanStats snapshots the retained floorplan trees' reuse counters
+// (fast-path hits, name-keyed diff hits, fallbacks, relayout depth) —
+// the fixed-shape tree's and the shape-curve tree's folded together (an
+// estimator only ever drives one of them, per its FlexibleFloorplan
+// setting).
+func (e *Estimator) FloorplanStats() floorplan.TreeStats {
+	s := e.sc.fp.Stats()
+	s.Add(e.sc.fpx.Stats())
+	return s
+}
 
 // Routing is the communication slice of a packaging Result: the only
 // C_HI terms that read the chiplets' own technology-node parameters
@@ -474,10 +643,13 @@ const pkgMemoCap = 4096
 // scratch carries the reusable state of an Estimator. A nil *scratch
 // selects the allocate-fresh behavior of the package-level Estimate.
 type scratch struct {
-	blocks []floorplan.Block
-	fp     floorplan.Tree
-	res    Result
-	comm   map[*tech.Node]commCell
+	blocks    []floorplan.Block
+	fp        floorplan.Tree
+	fpx       floorplan.FlexTree // flexible-floorplan systems only
+	forkFP    floorplan.Result   // EstimateMergeFork's transient bounding box
+	baseNodes []*tech.Node       // merge-fork base nodes (PrimeMergeBase)
+	res       Result
+	comm      map[*tech.Node]commCell
 	// commCh caches the last communication cell used per chiplet index,
 	// so the delta path folds the unchanged entries without re-hashing
 	// the per-node memo. commNode records which node each entry was
@@ -511,6 +683,11 @@ func estimateWith(chiplets []Chiplet, p *Params, sc *scratch) (*Result, error) {
 		}
 		blocks = sc.blocks[:len(chiplets)]
 		sc.blocks = blocks
+		// A full estimate re-plans the retained tree, so any merge-fork
+		// base primed earlier no longer matches it: invalidate the base
+		// so a stale EstimateMergeFork fails loudly instead of mixing
+		// two block sets.
+		sc.baseNodes = sc.baseNodes[:0]
 	} else {
 		blocks = make([]floorplan.Block, len(chiplets))
 	}
@@ -520,14 +697,21 @@ func estimateWith(chiplets []Chiplet, p *Params, sc *scratch) (*Result, error) {
 	var fp *floorplan.Result
 	var err error
 	switch {
+	case p.FlexibleFloorplan && sc != nil:
+		// The retained shape-curve tree turns repeat plans over the same
+		// block shape into dirty-path recomputes of the Pareto sets.
+		fp, err = sc.fpx.Plan(blocks, p.SpacingMM, nil)
 	case p.FlexibleFloorplan:
 		fp, err = floorplan.PlanFlexible(blocks, p.SpacingMM, nil)
 	case sc != nil && p.Arch != SiliconBridge:
-		// Only the bridge model reads adjacencies; skipping the pairwise
-		// scan keeps the scratch path flat in the chiplet count. The
-		// retained tree turns repeat plans over the same block shape
-		// into incremental relayouts.
-		fp, err = sc.fp.PlanNoAdjacencies(blocks, p.SpacingMM)
+		// Only the bridge model reads adjacencies or placements; every
+		// other architecture consumes just the bounding box, so the
+		// scratch path plans dims-only — no pairwise scan, no placement
+		// replay — keeping the per-estimate cost flat in the chiplet
+		// count. The retained tree turns repeat plans over the same
+		// block shape into incremental relayouts and block-set changes
+		// into name-keyed diffs.
+		fp, err = sc.fp.PlanDims(blocks, p.SpacingMM)
 	case sc != nil:
 		fp, err = sc.fp.Plan(blocks, p.SpacingMM)
 	default:
