@@ -183,6 +183,8 @@ func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db 
 			s := plan.Stats()
 			fmt.Fprintf(statsW, "compiled plan: %d points from %d table cells, %d gray steps, %d block inits\n",
 				s.Points, s.TableCells, s.GraySteps, s.BlockInits)
+			fmt.Fprintf(statsW, "table layout: %d B resident as columns (%d B as struct rows), %d column folds\n",
+				s.TableSoABytes, s.TableAoSBytes, s.ColumnFolds)
 			if fp := s.Floorplan; fp.Plans() > 0 {
 				fmt.Fprintln(statsW, fp)
 			}

@@ -365,6 +365,10 @@ type (
 	// ParamDirty flags the parameter groups a perturbed evaluation
 	// touched (the fourth argument of ParamPlan.Eval).
 	ParamDirty = kernel.Dirty
+	// ParamTotals is one evaluated point's carbon/cost terms, as
+	// returned by ParamPlan.Eval and ParamPlan.Walk (bit-identical to
+	// the corresponding Report terms of a direct evaluation).
+	ParamTotals = kernel.Totals
 )
 
 // ParamDirty flags (see kernel.Dirty for the recompute semantics).
@@ -393,7 +397,10 @@ const (
 // CompileParamPlan builds the compiled parameter-perturbation plan of a
 // base (system, database) pair — the shared fast path under TornadoCtx
 // and UncertaintyCtx, exposed for servers that evaluate many what-if
-// perturbations of one design.
+// perturbations of one design. Batch studies should drive the plan
+// through ParamPlan.Walk, which owns the per-worker scratch reuse and
+// the tabulated column folds; ParamPlan.Eval is the single-point seam
+// underneath it.
 func CompileParamPlan(base *System, db *TechDB) (*ParamPlan, error) {
 	return kernel.CompileParams(base, db)
 }

@@ -176,9 +176,24 @@ type disaggState struct {
 	commShares    map[commKey]float64 // (first survivor node, dies) -> design share
 	stats         DisaggregateStats
 
-	// Per-step buffers reused across the greedy loop.
-	stepCells []core.DieCell
-	pairs     []mergeCandidate
+	// mergedMfg..mergedNode are the struct-of-arrays columns of the
+	// merged-cell arena's hot fields, appended in step with
+	// mergedEntries: the per-candidate fold reads its merged term and
+	// packaging descriptor from these instead of dragging the whole
+	// mergedCell record through the cache.
+	mergedMfg, mergedDes, mergedNre, mergedArea []float64
+	mergedNode                                  []*tech.Node
+
+	// Per-step buffers reused across the greedy loop. stepMfg..stepArea
+	// are four dense per-position columns packed in one backing array
+	// (stepCols), gathered from the unchanged-die cells by compileStep;
+	// every candidate evaluation of the step folds its survivor terms
+	// from them in position order — the same additions in the same order
+	// as a DieCell-row walk, over contiguous memory.
+	stepCols                            []float64
+	stepMfg, stepDes, stepNre, stepArea []float64
+	stepNode                            []*tech.Node
+	pairs                               []mergeCandidate
 }
 
 // commKey keys the communication design share, which depends on the
@@ -245,7 +260,7 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 
 	steps := 0
 	for len(current.Chiplets) > 1 {
-		pairs, stepCells, err := st.compileStep(current)
+		pairs, err := st.compileStep(current)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +274,7 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 			},
 			func(cs *candScratch) { st.pool.Put(cs.sc) },
 			func(_ context.Context, k int, cs *candScratch) (float64, error) {
-				return st.evalMergeCandidate(current, stepCells, &pairs[k], cs)
+				return st.evalMergeCandidate(current, &pairs[k], cs)
 			}, opts...)
 		if err != nil {
 			return nil, err
@@ -314,30 +329,45 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 }
 
 // compileStep tabulates everything the step's parallel candidate
-// evaluations read: the unchanged-die cells of the current chiplets,
-// the merged-die cell of every mergeable pair (served from the
-// search-level memo; only pairs born in the previous step's merge are
-// computed), and the communication design share of every distinct
+// evaluations read: the unchanged-die metric columns of the current
+// chiplets, the merged-die cell of every mergeable pair (served from
+// the search-level memo; only pairs born in the previous step's merge
+// are computed), and the communication design share of every distinct
 // (first-survivor node, die count) a candidate can produce. All of it
 // runs serially through the run's memo hooks, so the fan-out itself
 // touches no locks.
-func (st *disaggState) compileStep(current *core.System) ([]mergeCandidate, []core.DieCell, error) {
+func (st *disaggState) compileStep(current *core.System) ([]mergeCandidate, error) {
 	n := len(current.Chiplets)
-	if cap(st.stepCells) < n {
-		st.stepCells = make([]core.DieCell, n)
+	if cap(st.stepNode) < n {
+		st.stepCols = make([]float64, 4*n)
+		st.stepMfg = st.stepCols[0*n : 1*n]
+		st.stepDes = st.stepCols[1*n : 2*n]
+		st.stepNre = st.stepCols[2*n : 3*n]
+		st.stepArea = st.stepCols[3*n : 4*n]
+		st.stepNode = make([]*tech.Node, n)
 	}
-	stepCells := st.stepCells[:n]
+	stride := cap(st.stepNode)
+	st.stepMfg = st.stepCols[0*stride : 0*stride+n]
+	st.stepDes = st.stepCols[1*stride : 1*stride+n]
+	st.stepNre = st.stepCols[2*stride : 2*stride+n]
+	st.stepArea = st.stepCols[3*stride : 3*stride+n]
+	st.stepNode = st.stepNode[:n]
 	for i, c := range current.Chiplets {
 		id := st.ids[i]
 		if !st.singleOK[id] {
 			cell, err := current.CellFor(st.db, c, c.NodeNm, nil)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			st.singleCells[id] = cell
 			st.singleOK[id] = true
 		}
-		stepCells[i] = st.singleCells[id]
+		cell := &st.singleCells[id]
+		st.stepMfg[i] = cell.MfgKg
+		st.stepDes[i] = cell.DesignKgAmortized
+		st.stepNre[i] = cell.NREKg
+		st.stepArea[i] = cell.AreaMM2
+		st.stepNode[i] = cell.Node
 	}
 
 	pairs := st.pairs[:0]
@@ -361,9 +391,14 @@ func (st *disaggState) compileStep(current *core.System) ([]mergeCandidate, []co
 					merged := merge(current.Chiplets[i], current.Chiplets[j])
 					cell, err := current.CellFor(st.db, merged, merged.NodeNm, nil)
 					if err != nil {
-						return nil, nil, err
+						return nil, err
 					}
 					st.mergedEntries = append(st.mergedEntries, mergedCell{ch: merged, cell: cell})
+					st.mergedMfg = append(st.mergedMfg, cell.MfgKg)
+					st.mergedDes = append(st.mergedDes, cell.DesignKgAmortized)
+					st.mergedNre = append(st.mergedNre, cell.NREKg)
+					st.mergedArea = append(st.mergedArea, cell.AreaMM2)
+					st.mergedNode = append(st.mergedNode, cell.Node)
 					idx = int32(len(st.mergedEntries))
 					st.pairIdx[key] = idx
 				}
@@ -383,7 +418,7 @@ func (st *disaggState) compileStep(current *core.System) ([]mergeCandidate, []co
 					var err error
 					share, err = current.CommDesignShareKg(st.db, ck.nodeNm, ck.dies, nil)
 					if err != nil {
-						return nil, nil, err
+						return nil, err
 					}
 					st.commShares[ck] = share
 				}
@@ -393,7 +428,7 @@ func (st *disaggState) compileStep(current *core.System) ([]mergeCandidate, []co
 		}
 	}
 	st.pairs = pairs
-	return pairs, stepCells, nil
+	return pairs, nil
 }
 
 // baseEmbodied evaluates the starting point's embodied carbon on the
@@ -470,8 +505,11 @@ func (st *disaggState) applyMergeIDs(current *core.System, i, j int) {
 // candidate's chiplet order is that of applyMerge — survivors in order,
 // the merged die last — and the reduction follows evaluateHI's
 // accumulation order exactly, so the result is bit-identical to
-// applyMerge(s, i, j).EvaluateWith(db, h).EmbodiedKg().
-func (st *disaggState) evalMergeCandidate(s *core.System, stepCells []core.DieCell, c *mergeCandidate, cs *candScratch) (float64, error) {
+// applyMerge(s, i, j).EvaluateWith(db, h).EmbodiedKg(). The survivor
+// terms fold from the step's dense metric columns and the merged term
+// from the arena columns: the same additions in the same order as the
+// old DieCell-record walk, bit for bit.
+func (st *disaggState) evalMergeCandidate(s *core.System, c *mergeCandidate, cs *candScratch) (float64, error) {
 	if len(s.Chiplets) == 2 {
 		// The final merge collapses to a single die, which evaluates
 		// down the monolith path; take the reference route for it.
@@ -487,9 +525,8 @@ func (st *disaggState) evalMergeCandidate(s *core.System, stepCells []core.DieCe
 		// candidate of the step then forks against the warm tree,
 		// never materializing its descriptor set.
 		base := cs.sc.ResizeChiplets(len(s.Chiplets))
-		for k := range stepCells {
-			cell := &stepCells[k]
-			base[k] = pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+		for k := range st.stepArea {
+			base[k] = pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: st.stepArea[k], Node: st.stepNode[k]}
 		}
 		if err := cs.sc.PrimeMergeBase(); err != nil {
 			return 0, err
@@ -502,31 +539,32 @@ func (st *disaggState) evalMergeCandidate(s *core.System, stepCells []core.DieCe
 		pkgCh = cs.sc.ResizeChiplets(len(s.Chiplets) - 1)
 	}
 	idx := 0
-	for k := range stepCells {
+	stepDes := st.stepDes[:len(st.stepMfg)]
+	stepNre := st.stepNre[:len(st.stepMfg)]
+	for k, m := range st.stepMfg {
 		if k == c.i || k == c.j {
 			continue
 		}
-		cell := &stepCells[k]
-		mfgKg += cell.MfgKg
-		desKg += cell.DesignKgAmortized
-		nreKg += cell.NREKg
+		mfgKg += m
+		desKg += stepDes[k]
+		nreKg += stepNre[k]
 		if !fork {
-			pkgCh[idx] = pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+			pkgCh[idx] = pkgcarbon.Chiplet{Name: s.Chiplets[k].Name, AreaMM2: st.stepArea[k], Node: st.stepNode[k]}
 			idx++
 		}
 	}
-	entry := &st.mergedEntries[c.cellIdx-1]
-	mfgKg += entry.cell.MfgKg
-	desKg += entry.cell.DesignKgAmortized
-	nreKg += entry.cell.NREKg
+	m := int(c.cellIdx - 1)
+	mfgKg += st.mergedMfg[m]
+	desKg += st.mergedDes[m]
+	nreKg += st.mergedNre[m]
 
 	var pkg *pkgcarbon.Result
 	var err error
+	mergedCh := pkgcarbon.Chiplet{Name: st.mergedEntries[m].ch.Name, AreaMM2: st.mergedArea[m], Node: st.mergedNode[m]}
 	if fork {
-		pkg, err = cs.sc.EstimatePackageMergeFork(c.i, c.j,
-			pkgcarbon.Chiplet{Name: entry.ch.Name, AreaMM2: entry.cell.AreaMM2, Node: entry.cell.Node})
+		pkg, err = cs.sc.EstimatePackageMergeFork(c.i, c.j, mergedCh)
 	} else {
-		pkgCh[idx] = pkgcarbon.Chiplet{Name: entry.ch.Name, AreaMM2: entry.cell.AreaMM2, Node: entry.cell.Node}
+		pkgCh[idx] = mergedCh
 		pkg, err = cs.sc.EstimatePackage()
 	}
 	if err != nil {

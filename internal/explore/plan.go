@@ -60,8 +60,15 @@ type SweepStats struct {
 	// GraySteps is the number of incremental single-chiplet steps; all
 	// other scratch state was reused from the previous point.
 	GraySteps uint64
+	// ColumnFolds is the number of per-point metric folds served from
+	// the table's struct-of-arrays columns (every compiled point).
+	ColumnFolds uint64
 	// TableCells is the size of the precomputed die table.
 	TableCells int
+	// TableAoSBytes and TableSoABytes are the resident bytes of the
+	// table's array-of-structs view (DieCell rows plus dollar rows) and
+	// of the flat struct-of-arrays columns the folds actually read.
+	TableAoSBytes, TableSoABytes int
 	// Floorplan aggregates the per-worker incremental-floorplan
 	// counters: how many packaging estimates were served by a retained-
 	// tree fast path versus a full rebuild, and the mean relayout depth.
@@ -153,12 +160,19 @@ func (p *CompiledPlan) Stats() SweepStats {
 	p.fpMu.Lock()
 	fp := p.fpTotals
 	p.fpMu.Unlock()
+	aos, soa := p.tbl.LayoutBytes()
+	pts := p.points.Load()
 	return SweepStats{
-		Points:     p.points.Load(),
+		Points:     pts,
 		BlockInits: p.blockInits.Load(),
 		GraySteps:  p.graySteps.Load(),
-		TableCells: len(p.tbl.Cells) * p.r,
-		Floorplan:  fp,
+		// Every compiled point reduces through the SoA row buffers, so
+		// the fold count is the point count by construction.
+		ColumnFolds: pts,
+		TableCells:    len(p.tbl.Cells) * p.r,
+		TableAoSBytes: aos,
+		TableSoABytes: soa,
+		Floorplan:     fp,
 	}
 }
 
@@ -343,9 +357,38 @@ type blockScratch struct {
 	std    []int // standard mixed-radix digits of the current index
 	par    []int // parity of the standard value of the digits above i
 	picked []int // reusable Point.Nodes buffer
-	pt     Point
-	sc     *kernel.Scratch
-	folded floorplan.TreeStats
+	// rows is the current point's per-chiplet metric entries, gathered
+	// from the table's SoA columns: five dense nc-length slices packed
+	// in one backing array (mfg, design, NRE kg, die USD, NRE USD). A
+	// block init fills every row; a Gray step refreshes only the changed
+	// chiplet's five entries, and evalInto reduces the slices
+	// sequentially in chiplet order — the same additions in the same
+	// order as the old Cells walk, over memory that is contiguous
+	// instead of strided through 8-field structs.
+	rows                               []float64
+	rowMfg, rowDes, rowNre, rowUSD     []float64
+	rowNREUSD                          []float64
+	pt Point
+	sc *kernel.Scratch
+	// estValid reports that the kernel scratch's packaging estimator ran
+	// on the previous point of the current walk, so a Gray step may take
+	// the single-changed-chiplet delta path. Serving a point from the
+	// per-point package memo skips the estimator and clears the flag:
+	// the next miss must re-run the full estimate because the retained
+	// floorplan no longer tracks the walk.
+	estValid bool
+	folded   floorplan.TreeStats
+}
+
+// refreshRow regathers chiplet row i's five metric entries for node
+// digit d from the table columns.
+func (sc *blockScratch) refreshRow(c *kernel.Cols, i, d int) {
+	k := i*c.Stride + d
+	sc.rowMfg[i] = c.MfgKg[k]
+	sc.rowDes[i] = c.DesignKg[k]
+	sc.rowNre[i] = c.NREKg[k]
+	sc.rowUSD[i] = c.DieUSD[k]
+	sc.rowNREUSD[i] = c.NREUSD[d]
 }
 
 // getScratch takes a pooled worker scratch or builds a fresh one.
@@ -357,12 +400,19 @@ func (p *CompiledPlan) getScratch() (*blockScratch, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows := make([]float64, 5*p.nc)
 	return &blockScratch{
-		digits: make([]int, p.nc),
-		std:    make([]int, p.nc),
-		par:    make([]int, p.nc),
-		picked: make([]int, p.nc),
-		sc:     ksc,
+		digits:    make([]int, p.nc),
+		std:       make([]int, p.nc),
+		par:       make([]int, p.nc),
+		picked:    make([]int, p.nc),
+		rows:      rows,
+		rowMfg:    rows[0*p.nc : 1*p.nc],
+		rowDes:    rows[1*p.nc : 2*p.nc],
+		rowNre:    rows[2*p.nc : 3*p.nc],
+		rowUSD:    rows[3*p.nc : 4*p.nc],
+		rowNREUSD: rows[4*p.nc : 5*p.nc],
+		sc:        ksc,
 	}, nil
 }
 
@@ -392,12 +442,13 @@ func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx
 
 	p.grayInit(lo, sc)
 	pkgCh := sc.sc.Chiplets()
+	cols := p.tbl.Cols()
 	out := 0
 	for i, d := range sc.digits {
 		out += d * p.weight[i]
+		sc.refreshRow(cols, i, d)
 		if !p.monolith {
-			cell := &p.tbl.Cells[i][d]
-			pkgCh[i] = pkgcarbon.Chiplet{Name: p.tbl.Names[i], AreaMM2: cell.AreaMM2, Node: cell.Node}
+			pkgCh[i] = pkgcarbon.Chiplet{Name: p.tbl.Names[i], AreaMM2: cols.AreaMM2[i*cols.Stride+d], Node: p.tbl.Cells[i][d].Node}
 		}
 	}
 	p.blockInits.Add(1)
@@ -411,9 +462,9 @@ func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx
 			// only that chiplet's scratch state and output weight.
 			j, old, d := p.grayStep(sc)
 			out += (d - old) * p.weight[j]
+			sc.refreshRow(cols, j, d)
 			if !p.monolith {
-				cell := &p.tbl.Cells[j][d]
-				pkgCh[j].AreaMM2, pkgCh[j].Node = cell.AreaMM2, cell.Node
+				pkgCh[j].AreaMM2, pkgCh[j].Node = cols.AreaMM2[j*cols.Stride+d], p.tbl.Cells[j][d].Node
 			}
 			changed = j
 			steps++
@@ -425,7 +476,7 @@ func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx
 				return err
 			}
 		}
-		if err := p.evalInto(sc, &sc.pt, changed); err != nil {
+		if err := p.evalInto(sc, &sc.pt, changed, out); err != nil {
 			return err
 		}
 		if err := visit(out, &sc.pt); err != nil {
@@ -438,33 +489,49 @@ func (p *CompiledPlan) walkBlock(ctx context.Context, lo, hi int, visit func(idx
 	return nil
 }
 
-// evalInto assembles one design point from the table into out.
-// Per-chiplet contributions are reduced in chiplet order (see the file
-// comment on why the totals are not running sums), whole-package terms
-// come from the scratch estimator — through its single-changed-chiplet
-// delta path when changed names the Gray step's chiplet (changed < 0
-// runs the full estimate) — and out.Nodes aliases the scratch's
-// reusable buffer: callers that retain the point must copy it.
-func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point, changed int) error {
+// evalInto assembles one design point from the scratch's gathered row
+// buffers into out. Per-chiplet contributions are reduced in chiplet
+// order (see the file comment on why the totals are not running sums) as
+// a sequential fold over the five dense row slices — the walk already
+// gathered the current digits' entries from the table's SoA columns, so
+// the fold's additions are the Cells walk's additions in the Cells
+// walk's order, bit for bit. Whole-package terms come from the scratch
+// estimator — through its single-changed-chiplet delta path when changed
+// names the Gray step's chiplet (changed < 0 runs the full estimate) —
+// and out.Nodes aliases the scratch's reusable buffer: callers that
+// retain the point must copy it. pointIdx is the point's standard
+// mixed-radix index, the key of the scratch's per-point package memo: a
+// pooled scratch that has estimated this exact point on an earlier walk
+// serves the package quadruple straight from the memo (the estimate is
+// pure in the digit vector, so the served bits are the estimator's own
+// prior output).
+func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point, changed, pointIdx int) error {
 	t := p.tbl
 	var mfgKg, desKg, nreKg, diesUSD, nreUSD float64
-	for i, d := range sc.digits {
-		cell := &t.Cells[i][d]
-		mfgKg += cell.MfgKg
-		desKg += cell.DesignKgAmortized
-		nreKg += cell.NREKg
-		diesUSD += t.DieUSD[i][d]
-		nreUSD += t.NREUSD[d]
+	rowDes := sc.rowDes[:len(sc.rowMfg)]
+	rowNre := sc.rowNre[:len(sc.rowMfg)]
+	rowUSD := sc.rowUSD[:len(sc.rowMfg)]
+	rowNREUSD := sc.rowNREUSD[:len(sc.rowMfg)]
+	for i, m := range sc.rowMfg {
+		mfgKg += m
+		desKg += rowDes[i]
+		nreKg += rowNre[i]
+		diesUSD += rowUSD[i]
+		nreUSD += rowNREUSD[i]
 	}
 
 	var hiKg, area, powerW float64
 	assemblyYield := 1.0
 	if p.monolith {
-		area = t.Cells[0][sc.digits[0]].AreaMM2
+		area = t.Cols().AreaMM2[sc.digits[0]]
+	} else if v, ok := sc.sc.LoadPackagePoint(uint64(pointIdx), uint64(p.combos)); ok {
+		hiKg, area, assemblyYield, powerW = v.HIKg, v.AreaMM2, v.AssemblyYield, v.RouterPowerW
+		desKg += t.CommShare[sc.digits[0]]
+		sc.estValid = false
 	} else {
 		var pkg *pkgcarbon.Result
 		var err error
-		if changed >= 0 {
+		if changed >= 0 && sc.estValid {
 			pkg, err = sc.sc.EstimatePackageDelta(changed)
 		} else {
 			pkg, err = sc.sc.EstimatePackage()
@@ -472,11 +539,14 @@ func (p *CompiledPlan) evalInto(sc *blockScratch, out *Point, changed int) error
 		if err != nil {
 			return err
 		}
+		sc.estValid = true
 		desKg += t.CommShare[sc.digits[0]]
 		hiKg = pkg.TotalKg()
 		area = pkg.PackageAreaMM2
 		assemblyYield = pkg.AssemblyYield
 		powerW = pkg.RouterTotalPowerW
+		sc.sc.StorePackagePoint(uint64(pointIdx), uint64(p.combos),
+			kernel.PkgPoint{HIKg: hiKg, AreaMM2: area, AssemblyYield: assemblyYield, RouterPowerW: powerW})
 	}
 
 	var opKg float64

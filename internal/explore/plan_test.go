@@ -13,6 +13,7 @@ import (
 	"ecochip/internal/cost"
 	"ecochip/internal/descarbon"
 	"ecochip/internal/engine"
+	"ecochip/internal/kernel"
 	"ecochip/internal/mfg"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/tech"
@@ -156,6 +157,83 @@ func TestCompiledSweepMatchesReferenceRandomized(t *testing.T) {
 	}
 	if evaluated < 20 {
 		t.Fatalf("only %d of 40 random trials evaluated cleanly; generator too error-prone", evaluated)
+	}
+}
+
+// --- randomized SoA-vs-AoS layout parity ------------------------------
+
+// The table's struct-of-arrays column view must carry the exact bits of
+// the kept Cells rows: across random systems, node sets, packaging
+// archetypes and NRE/reuse flags, every point's column fold (FoldCols)
+// is byte-identical to the Cells-based fold (FoldAoS), and the compiled
+// sweep built on the columns stays byte-identical to NodeSweepReference.
+func TestSoAColumnsMatchAoSRandomized(t *testing.T) {
+	d := db()
+	cp := cost.DefaultParams()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(20260808))
+
+	evaluated := 0
+	for trial := 0; trial < 30; trial++ {
+		base := randomSystem(rng, d)
+		nodes := randomNodeSet(rng)
+		label := fmt.Sprintf("trial %d (arch %v, %d chiplets, nodes %v, nre=%v)",
+			trial, base.Packaging.Arch, len(base.Chiplets), nodes, base.IncludeNRE)
+
+		tbl, err := kernel.BuildTable(base, d, nodes, cp)
+		if err != nil {
+			// The compiled-vs-reference suite pins error parity; here we
+			// only care about tables that build.
+			continue
+		}
+		evaluated++
+
+		rows := len(tbl.Cells)
+		digits := make([]int, rows)
+		check := func() {
+			am, ad, an, au, anre := tbl.FoldAoS(digits)
+			cm, cd, cn, cu, cnre := tbl.FoldCols(digits)
+			if math.Float64bits(am) != math.Float64bits(cm) ||
+				math.Float64bits(ad) != math.Float64bits(cd) ||
+				math.Float64bits(an) != math.Float64bits(cn) ||
+				math.Float64bits(au) != math.Float64bits(cu) ||
+				math.Float64bits(anre) != math.Float64bits(cnre) {
+				t.Fatalf("%s: digits %v: column fold diverges from Cells fold\nAoS %v %v %v %v %v\nSoA %v %v %v %v %v",
+					label, digits, am, ad, an, au, anre, cm, cd, cn, cu, cnre)
+			}
+		}
+		// The two extreme corners plus a random sample of the point space.
+		check()
+		for i := range digits {
+			digits[i] = len(nodes) - 1
+		}
+		check()
+		for s := 0; s < 100; s++ {
+			for i := range digits {
+				digits[i] = rng.Intn(len(nodes))
+			}
+			check()
+		}
+
+		want, refErr := NodeSweepReference(ctx, base, d, nodes, cp)
+		got, err := NodeSweepCtx(ctx, base, d, nodes, cp)
+		if refErr != nil {
+			if err == nil {
+				t.Fatalf("%s: reference failed (%v) but compiled sweep succeeded", label, refErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: compiled sweep failed: %v", label, err)
+		}
+		for i := range want {
+			if !pointsBitIdentical(got[i], want[i]) {
+				t.Fatalf("%s: point %d differs from reference\nwant %+v\ngot  %+v", label, i, want[i], got[i])
+			}
+		}
+	}
+	if evaluated < 15 {
+		t.Fatalf("only %d of 30 random trials built tables; generator too error-prone", evaluated)
 	}
 }
 

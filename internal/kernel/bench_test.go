@@ -1,0 +1,70 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/cost"
+	"ecochip/internal/pkgcarbon"
+	"ecochip/internal/testcases"
+)
+
+// The MetricFold pair measures the tentpole layout change in isolation:
+// the same per-point metric reduction off the array-of-structs Cells
+// rows (FoldAoS, the old walk's memory shape) versus the flat
+// struct-of-arrays columns (FoldCols). Both run the identical additions
+// in the identical order — the SoA side only touches fewer, contiguous
+// bytes — so the pair quantifies pure layout, not math. CI publishes
+// both in the BENCH_<sha>.json artifact and gates the family against
+// regressions.
+
+// benchTable builds a wide table (8 chiplets × 5 nodes) so the fold has
+// enough rows to show its memory behavior, plus a pseudo-random digit
+// schedule touching the whole point space.
+func benchTable(b *testing.B) (*Table, [][]int) {
+	b.Helper()
+	d := db()
+	base, err := testcases.GA102DigitalOnly(d, 8, pkgcarbon.RDLFanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := BuildTable(base, d, []int{7, 10, 14, 22, 28}, cost.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	digits := make([][]int, 256)
+	for k := range digits {
+		row := make([]int, len(tbl.Cells))
+		for i := range row {
+			row[i] = rng.Intn(len(tbl.Nodes))
+		}
+		digits[k] = row
+	}
+	return tbl, digits
+}
+
+func BenchmarkMetricFoldAoS(b *testing.B) {
+	tbl, digits := benchTable(b)
+	var sink float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		mfgKg, desKg, nreKg, diesUSD, nreUSD := tbl.FoldAoS(digits[n%len(digits)])
+		sink += mfgKg + desKg + nreKg + diesUSD + nreUSD
+	}
+	benchSink = sink
+}
+
+func BenchmarkMetricFoldSoA(b *testing.B) {
+	tbl, digits := benchTable(b)
+	var sink float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		mfgKg, desKg, nreKg, diesUSD, nreUSD := tbl.FoldCols(digits[n%len(digits)])
+		sink += mfgKg + desKg + nreKg + diesUSD + nreUSD
+	}
+	benchSink = sink
+}
+
+// benchSink defeats dead-code elimination of the fold results.
+var benchSink float64

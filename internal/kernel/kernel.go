@@ -81,6 +81,76 @@ type Scratch struct {
 	// fpFolded is the floorplan-stats snapshot already folded into a
 	// ScratchPool's totals (see ScratchPool.Put).
 	fpFolded floorplan.TreeStats
+
+	// Per-point package memo (sweep scratches). A compiled point's
+	// package estimate is pure in the point's digit vector, so once a
+	// scratch has estimated a point it can serve the folded quadruple
+	// (PkgPoint) by the point's mixed-radix index and skip the estimator
+	// — the serving shape of a re-walked plan, and the same retained-
+	// state idea as the estimator's warm floorplan tree, one level up.
+	// Slot keys hold index+1 so the zero value means empty; when the
+	// point space outgrows the slot table the index hashes to a
+	// direct-mapped slot and a collision simply recomputes (the memo
+	// serves the estimator's own prior output, so it cannot change a
+	// bit either way). Lazy: sized by the first StorePackagePoint.
+	pkgPtKeys []uint64
+	pkgPtVals []PkgPoint
+	pkgPtSpan uint64 // point-space size the slots were sized for
+}
+
+// PkgPoint is the package-term quadruple one compiled sweep point folds
+// into its totals: heterogeneous-integration carbon, package area,
+// assembly yield and router power, exactly as returned by the package
+// estimate of the point's digit vector.
+type PkgPoint struct {
+	HIKg, AreaMM2, AssemblyYield, RouterPowerW float64
+}
+
+// pkgPointSlotBits caps the per-point memo at 1<<pkgPointSlotBits slots
+// (4096 × 40 B ≈ 160 KiB per worker scratch); larger point spaces share
+// slots through the hash below.
+const pkgPointSlotBits = 12
+
+// pkgPointSlot maps a point index to its memo slot: the identity when
+// the whole point space fits, a Fibonacci-hashed direct-mapped slot
+// otherwise.
+func pkgPointSlot(idx, span uint64) uint64 {
+	if span <= 1<<pkgPointSlotBits {
+		return idx
+	}
+	return idx * 0x9e3779b97f4a7c15 >> (64 - pkgPointSlotBits)
+}
+
+// LoadPackagePoint returns the memoized package quadruple of point
+// index idx in a span-point space, if this scratch has estimated that
+// exact point before.
+func (sc *Scratch) LoadPackagePoint(idx, span uint64) (PkgPoint, bool) {
+	if sc.pkgPtSpan != span || len(sc.pkgPtKeys) == 0 {
+		return PkgPoint{}, false
+	}
+	slot := pkgPointSlot(idx, span)
+	if sc.pkgPtKeys[slot] != idx+1 {
+		return PkgPoint{}, false
+	}
+	return sc.pkgPtVals[slot], true
+}
+
+// StorePackagePoint memoizes the package quadruple of point index idx
+// in a span-point space, sizing (or resizing) the slot table on first
+// use.
+func (sc *Scratch) StorePackagePoint(idx, span uint64, v PkgPoint) {
+	if sc.pkgPtSpan != span || len(sc.pkgPtKeys) == 0 {
+		n := span
+		if n > 1<<pkgPointSlotBits {
+			n = 1 << pkgPointSlotBits
+		}
+		sc.pkgPtKeys = make([]uint64, n)
+		sc.pkgPtVals = make([]PkgPoint, n)
+		sc.pkgPtSpan = span
+	}
+	slot := pkgPointSlot(idx, span)
+	sc.pkgPtKeys[slot] = idx + 1
+	sc.pkgPtVals[slot] = v
 }
 
 // NewSweepScratch builds the per-worker arena of a compiled node sweep:

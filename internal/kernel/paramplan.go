@@ -1,11 +1,13 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"ecochip/internal/core"
 	"ecochip/internal/descarbon"
+	"ecochip/internal/engine"
 	"ecochip/internal/floorplan"
 	"ecochip/internal/mfg"
 	"ecochip/internal/pkgcarbon"
@@ -87,10 +89,18 @@ const (
 	// per evaluation, like the tornado factors, miss the memo anyway).
 	DirtyOperation
 	// DirtyVolume marks changed amortization volumes (SystemVolume,
-	// ManufacturedParts). Amortizations are recomputed unconditionally —
-	// they are single divisions — so this flag is documentary too.
+	// ManufacturedParts). The per-chiplet sub-model walk recomputes
+	// amortizations unconditionally — they are single divisions — but
+	// the flag gates the tabulated-cell column fold (see cellDirty),
+	// which serves amortized fields: a volume perturbation must set it.
 	DirtyVolume
 )
+
+// cellDirty names the parameter groups that invalidate some field of a
+// tabulated die cell. A dirty set disjoint from it lets Eval fold the
+// base cells' metric columns directly instead of re-walking CellFor
+// per chiplet.
+const cellDirty = DirtyNodes | DirtyMfg | DirtyDesign | DirtyAreas | DirtyVolume
 
 // ParamStats counts the work a parameter plan performed; CLIs surface it
 // under -progress next to the engine cache statistics.
@@ -140,6 +150,17 @@ type ParamPlan struct {
 	// the base re-run the carbon model on top of it instead of
 	// re-floorplanning. The Result is plan-owned and read-only.
 	fp *floorplan.Result
+
+	// cellMfg..cellNode are the struct-of-arrays columns of the base
+	// point's die cells, and commShare the base communication design
+	// share, captured by CompileParams. An evaluation whose dirty set is
+	// disjoint from cellDirty folds these columns in chiplet order — the
+	// same additions, in the same order, over the exact bits a clean
+	// CellFor walk would reproduce — instead of re-walking the
+	// per-chiplet sub-model seam.
+	cellMfg, cellDes, cellNre, cellArea []float64
+	cellNode                            []*tech.Node
+	commShare                           float64
 
 	evals                                    atomic.Uint64
 	dieCalls, dieHits                        atomic.Uint64
@@ -198,13 +219,21 @@ func CompileParams(base *core.System, db *tech.DB) (*ParamPlan, error) {
 	}
 	p.die = make([]mfg.Result, rows)
 	p.des = make([]float64, rows)
+	cellCols := make([]float64, 4*rows)
+	p.cellMfg = cellCols[0*rows : 1*rows]
+	p.cellDes = cellCols[1*rows : 2*rows]
+	p.cellNre = cellCols[2*rows : 3*rows]
+	p.cellArea = cellCols[3*rows : 4*rows]
+	p.cellNode = make([]*tech.Node, rows)
 
 	row := 0
 	rec := p.capture(&row)
 	if p.monolith {
-		if _, err := base.MonolithCell(db, base.Chiplets[0].NodeNm, rec); err != nil {
+		cell, err := base.MonolithCell(db, base.Chiplets[0].NodeNm, rec)
+		if err != nil {
 			return nil, err
 		}
+		p.captureCell(0, &cell)
 		return p, nil
 	}
 	chiplets := make([]pkgcarbon.Chiplet, nc)
@@ -214,6 +243,7 @@ func CompileParams(base *core.System, db *tech.DB) (*ParamPlan, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.captureCell(i, &cell)
 		chiplets[i] = pkgcarbon.Chiplet{Name: base.Chiplets[i].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
 	}
 	pkg, err := pkgcarbon.Estimate(chiplets, base.Packaging)
@@ -229,10 +259,22 @@ func CompileParams(base *core.System, db *tech.DB) (*ParamPlan, error) {
 		routerPowerW:  pkg.RouterTotalPowerW,
 	}
 	row = commRow
-	if _, err := base.CommDesignShareKg(db, base.Chiplets[0].NodeNm, nc, rec); err != nil {
+	share, err := base.CommDesignShareKg(db, base.Chiplets[0].NodeNm, nc, rec)
+	if err != nil {
 		return nil, err
 	}
+	p.commShare = share
 	return p, nil
+}
+
+// captureCell records one base die cell's hot fields into the plan's
+// metric columns.
+func (p *ParamPlan) captureCell(i int, cell *core.DieCell) {
+	p.cellMfg[i] = cell.MfgKg
+	p.cellDes[i] = cell.DesignKgAmortized
+	p.cellNre[i] = cell.NREKg
+	p.cellArea[i] = cell.AreaMM2
+	p.cellNode[i] = cell.Node
 }
 
 // Base returns the compiled base system.
@@ -305,6 +347,28 @@ func (ph *paramHooks) chipletKg(gates float64, n *tech.Node, p descarbon.Params)
 	return ph.plan.des[ph.row], nil
 }
 
+// Walk evaluates n perturbed points against the plan through the batch
+// engine, returning their Totals indexed by point. apply builds point
+// k's perturbed (system, database, dirty) triple — for untouched groups
+// it returns the base values, and dirty declares what it touched, with
+// Eval's contract — using the worker's scratch for any per-evaluation
+// buffers (PerturbNodes). Each worker drives a private scratch across
+// every point it evaluates, so custom perturbation studies inherit the
+// plan's scratch reuse and tabulated column folds without driving
+// engine.RunScratch themselves; the tornado and Monte Carlo analyses
+// run on this same runner.
+func (p *ParamPlan) Walk(ctx context.Context, n int, apply func(k int, sc *Scratch) (*core.System, *tech.DB, Dirty, error), opts ...engine.Option) ([]Totals, error) {
+	return engine.RunScratch(ctx, n,
+		func(*core.Hooks) (*Scratch, error) { return p.NewScratch() },
+		func(_ context.Context, k int, sc *Scratch) (Totals, error) {
+			s, db, dirty, err := apply(k, sc)
+			if err != nil {
+				return Totals{}, err
+			}
+			return p.Eval(sc, s, db, dirty)
+		}, opts...)
+}
+
 // Eval evaluates one perturbed (system, database) pair against the plan:
 // s and db are the perturbed descriptors (for untouched groups, pass the
 // base values), and dirty names the parameter groups the perturbation
@@ -326,29 +390,66 @@ func (p *ParamPlan) Eval(sc *Scratch, s *core.System, db *tech.DB, dirty Dirty) 
 	ph.dieDirty = dirty&(DirtyNodes|DirtyMfg|DirtyAreas) != 0
 	ph.desDirty = dirty&(DirtyDesign|DirtyAreas) != 0
 
+	// An evaluation that touches no cell input folds the tabulated cell
+	// columns directly: the clean CellFor walk would reproduce the base
+	// cells bit for bit (every sub-model it runs is served from the
+	// table, and the assembly arithmetic sees base inputs), so the fold
+	// is the same additions in the same chiplet order over the same
+	// bits. The table-hit counters advance exactly as the hook-served
+	// walk would advance them.
+	clean := dirty&cellDirty == 0
+
 	var t Totals
 	t.AssemblyYield = 1
 	if p.monolith {
-		ph.row = 0
-		cell, err := s.MonolithCell(db, s.Chiplets[0].NodeNm, &ph.h)
-		if err != nil {
-			return Totals{}, err
-		}
-		t.MfgKg = cell.MfgKg
-		t.DesignKg = cell.DesignKgAmortized
-		t.NREKg = cell.NREKg
-		t.PackageAreaMM2 = cell.AreaMM2
-	} else {
-		for i := range s.Chiplets {
-			ph.row = i
-			cell, err := s.CellFor(db, s.Chiplets[i], s.Chiplets[i].NodeNm, &ph.h)
+		if clean {
+			p.dieHits.Add(1)
+			p.desHits.Add(1)
+			t.MfgKg = p.cellMfg[0]
+			t.DesignKg = p.cellDes[0]
+			t.NREKg = p.cellNre[0]
+			t.PackageAreaMM2 = p.cellArea[0]
+		} else {
+			ph.row = 0
+			cell, err := s.MonolithCell(db, s.Chiplets[0].NodeNm, &ph.h)
 			if err != nil {
 				return Totals{}, err
 			}
-			t.MfgKg += cell.MfgKg
-			t.DesignKg += cell.DesignKgAmortized
-			t.NREKg += cell.NREKg
-			sc.pkgCh[i] = pkgcarbon.Chiplet{Name: s.Chiplets[i].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+			t.MfgKg = cell.MfgKg
+			t.DesignKg = cell.DesignKgAmortized
+			t.NREKg = cell.NREKg
+			t.PackageAreaMM2 = cell.AreaMM2
+		}
+	} else {
+		if clean {
+			p.dieHits.Add(uint64(p.nc))
+			p.desHits.Add(uint64(p.nc) + 1)
+			cellDes := p.cellDes[:len(p.cellMfg)]
+			cellNre := p.cellNre[:len(p.cellMfg)]
+			for i, m := range p.cellMfg {
+				t.MfgKg += m
+				t.DesignKg += cellDes[i]
+				t.NREKg += cellNre[i]
+			}
+			if dirty&DirtyPackaging != 0 {
+				// The only clean branch below that reads the descriptor
+				// buffer; areas and nodes are the tabulated base ones.
+				for i := range s.Chiplets {
+					sc.pkgCh[i] = pkgcarbon.Chiplet{Name: s.Chiplets[i].Name, AreaMM2: p.cellArea[i], Node: p.cellNode[i]}
+				}
+			}
+		} else {
+			for i := range s.Chiplets {
+				ph.row = i
+				cell, err := s.CellFor(db, s.Chiplets[i], s.Chiplets[i].NodeNm, &ph.h)
+				if err != nil {
+					return Totals{}, err
+				}
+				t.MfgKg += cell.MfgKg
+				t.DesignKg += cell.DesignKgAmortized
+				t.NREKg += cell.NREKg
+				sc.pkgCh[i] = pkgcarbon.Chiplet{Name: s.Chiplets[i].Name, AreaMM2: cell.AreaMM2, Node: cell.Node}
+			}
 		}
 		switch {
 		case dirty&(DirtyAreas|DirtyPackaging) != 0:
@@ -396,12 +497,16 @@ func (p *ParamPlan) Eval(sc *Scratch, s *core.System, db *tech.DB, dirty Dirty) 
 			t.AssemblyYield = p.pkg.assemblyYield
 			t.RouterPowerW = p.pkg.routerPowerW
 		}
-		ph.row = commRow
-		share, err := s.CommDesignShareKg(db, s.Chiplets[0].NodeNm, len(s.Chiplets), &ph.h)
-		if err != nil {
-			return Totals{}, err
+		if clean {
+			t.DesignKg += p.commShare
+		} else {
+			ph.row = commRow
+			share, err := s.CommDesignShareKg(db, s.Chiplets[0].NodeNm, len(s.Chiplets), &ph.h)
+			if err != nil {
+				return Totals{}, err
+			}
+			t.DesignKg += share
 		}
-		t.DesignKg += share
 	}
 	if s.Operation != nil {
 		if dirty&DirtyOperation != 0 {

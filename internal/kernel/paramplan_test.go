@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -234,6 +236,55 @@ func TestScratchPerturbNodesResets(t *testing.T) {
 	}
 	if d.MustGet(7).DefectDensity != want {
 		t.Fatal("sandbox perturbation leaked into the source database")
+	}
+}
+
+// Walk must hand every point the exact Totals a direct Eval on the same
+// perturbation produces, in point order, and surface apply errors.
+func TestParamPlanWalkMatchesEval(t *testing.T) {
+	d := db()
+	base := testcases.GA102(d, 7, 14, 10, false)
+	plan, err := CompileParams(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := []float64{0.5, 0.8, 1.0, 1.25, 2.0}
+	perturb := func(scale float64) *core.System {
+		s := *base
+		s.Mfg.CarbonIntensity = tech.Clamp(base.Mfg.CarbonIntensity*scale, 0.030, 0.700)
+		return &s
+	}
+	got, err := plan.Walk(context.Background(), len(scales),
+		func(k int, _ *Scratch) (*core.System, *tech.DB, Dirty, error) {
+			return perturb(scales[k]), d, DirtyMfg, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := plan.NewScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, scale := range scales {
+		want, err := plan.Eval(sc, perturb(scale), d, DirtyMfg)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		if math.Float64bits(got[k].TotalKg()) != math.Float64bits(want.TotalKg()) ||
+			math.Float64bits(got[k].EmbodiedKg()) != math.Float64bits(want.EmbodiedKg()) {
+			t.Fatalf("scale %g: Walk totals diverge from Eval:\nwalk %+v\neval %+v", scale, got[k], want)
+		}
+	}
+
+	wantErr := errors.New("bad point")
+	if _, err := plan.Walk(context.Background(), 3,
+		func(k int, _ *Scratch) (*core.System, *tech.DB, Dirty, error) {
+			if k == 1 {
+				return nil, nil, 0, wantErr
+			}
+			return base, d, 0, nil
+		}); !errors.Is(err, wantErr) {
+		t.Fatalf("Walk swallowed the apply error: %v", err)
 	}
 }
 

@@ -487,7 +487,7 @@ func (e *Estimator) EstimateMergeFork(r1, r2 int, merged Chiplet) (*Result, erro
 func addCommunicationFork(res *Result, sc *scratch, p *Params, r1, r2 int, mergedNode *tech.Node) (*Result, error) {
 	n := len(sc.baseNodes)
 	dies := n - 1
-	slots := commSlots(sc, dies)
+	cached := commSlots(sc, dies)
 	fullRouter := res.Arch == PassiveInterposer
 	if res.Arch == ActiveInterposer {
 		cc, err := commFor(sc, p.PackagingNode, p, true)
@@ -505,7 +505,7 @@ func addCommunicationFork(res *Result, sc *scratch, p *Params, r1, r2 int, merge
 		if i == r1 || i == r2 {
 			continue
 		}
-		cc, err := commSlot(sc, slots, k, sc.baseNodes[i], p, fullRouter)
+		cc, err := commSlot(sc, cached, k, sc.baseNodes[i], p, fullRouter)
 		if err != nil {
 			return nil, err
 		}
@@ -514,7 +514,7 @@ func addCommunicationFork(res *Result, sc *scratch, p *Params, r1, r2 int, merge
 		powerSum += cc.powerW
 		k++
 	}
-	cc, err := commSlot(sc, slots, k, mergedNode, p, fullRouter)
+	cc, err := commSlot(sc, cached, k, mergedNode, p, fullRouter)
 	if err != nil {
 		return nil, err
 	}
@@ -636,9 +636,11 @@ type pkgCell struct {
 	numBonds      float64
 }
 
-// pkgMemoCap bounds the per-scratch package-term memo; a pathological
-// never-repeating caller resets rather than grows without bound.
-const pkgMemoCap = 4096
+// pkgSlotBits sizes the per-scratch package-term cache: 2^pkgSlotBits
+// direct-mapped slots. A colliding area overwrites its slot and is
+// recomputed on the next visit — eviction changes only speed, never a
+// bit, because the cached triple is a pure function of the area.
+const pkgSlotBits = 10
 
 // scratch carries the reusable state of an Estimator. A nil *scratch
 // selects the allocate-fresh behavior of the package-level Estimate.
@@ -650,14 +652,23 @@ type scratch struct {
 	baseNodes []*tech.Node       // merge-fork base nodes (PrimeMergeBase)
 	res       Result
 	comm      map[*tech.Node]commCell
-	// commCh caches the last communication cell used per chiplet index,
-	// so the delta path folds the unchanged entries without re-hashing
-	// the per-node memo. commNode records which node each entry was
-	// computed for (the changed chiplet may have switched nodes).
-	commCh   []commCell
-	commNode []*tech.Node
-	// pkgMemo is the per-area package-term memo (see pkgCell); lazy.
-	pkgMemo map[uint64]pkgCell
+	// The per-chiplet slot cache of the last communication cell used per
+	// index, stored as struct-of-arrays columns so the per-point fold
+	// reads dense float64 slices: commNode records which node each slot
+	// was computed for (the changed chiplet may have switched nodes; a
+	// pointer mismatch refills the slot from the per-node memo), and
+	// commKgCol/commAreaCol/commPowerCol carry the cell values.
+	commNode     []*tech.Node
+	commKgCol    []float64
+	commAreaCol  []float64
+	commPowerCol []float64
+	// pkgKeys/pkgCells are the per-area package-term cache (see pkgCell):
+	// direct-mapped flat arrays keyed by the area's exact float bits,
+	// replacing a hash map on the sweep walk's hottest lookup. Slot 0 of
+	// pkgKeys doubles as the empty marker — a validated package area is
+	// strictly positive, so its bit pattern is never zero. Lazy.
+	pkgKeys  []uint64
+	pkgCells []pkgCell
 }
 
 func estimateWith(chiplets []Chiplet, p *Params, sc *scratch) (*Result, error) {
@@ -743,7 +754,15 @@ func finishEstimate(res *Result, chiplets []Chiplet, p *Params, fp *floorplan.Re
 	// it is a pure function of the area under fixed params).
 	if sc != nil && p.Arch != SiliconBridge {
 		key := math.Float64bits(res.PackageAreaMM2)
-		if cell, ok := sc.pkgMemo[key]; ok {
+		if sc.pkgKeys == nil {
+			sc.pkgKeys = make([]uint64, 1<<pkgSlotBits)
+			sc.pkgCells = make([]pkgCell, 1<<pkgSlotBits)
+		}
+		// Fibonacci hashing spreads the area bits across the slot space;
+		// the tag check below makes collisions recomputes, not errors.
+		slot := key * 0x9e3779b97f4a7c15 >> (64 - pkgSlotBits)
+		if sc.pkgKeys[slot] == key {
+			cell := &sc.pkgCells[slot]
 			res.AssemblyYield = cell.assemblyYield
 			res.PackageKg = cell.packageKg
 			res.NumBonds = cell.numBonds
@@ -751,10 +770,8 @@ func finishEstimate(res *Result, chiplets []Chiplet, p *Params, fp *floorplan.Re
 			if err := runArchModel(res, chiplets, p, fp); err != nil {
 				return err
 			}
-			if sc.pkgMemo == nil || len(sc.pkgMemo) >= pkgMemoCap {
-				sc.pkgMemo = make(map[uint64]pkgCell)
-			}
-			sc.pkgMemo[key] = pkgCell{
+			sc.pkgKeys[slot] = key
+			sc.pkgCells[slot] = pkgCell{
 				assemblyYield: res.AssemblyYield,
 				packageKg:     res.PackageKg,
 				numBonds:      res.NumBonds,
@@ -970,16 +987,9 @@ func estimate3D(chiplets []Chiplet, p *Params, sc *scratch) (*Result, error) {
 func addCommunication(res *Result, chiplets []Chiplet, p *Params, sc *scratch) error {
 	switch res.Arch {
 	case RDLFanout, SiliconBridge:
-		var total float64
-		var areaSum float64
-		slots := commSlots(sc, len(chiplets))
-		for i, c := range chiplets {
-			cc, err := commSlot(sc, slots, i, c.Node, p, false)
-			if err != nil {
-				return err
-			}
-			total += cc.kg
-			areaSum += cc.areaMM2
+		total, areaSum, _, err := commFold(sc, chiplets, p, false)
+		if err != nil {
+			return err
 		}
 		res.RoutingKg = total
 		res.RouterAreaPerChipletMM2 = areaSum / float64(len(chiplets))
@@ -988,17 +998,9 @@ func addCommunication(res *Result, chiplets []Chiplet, p *Params, sc *scratch) e
 		return nil
 
 	case PassiveInterposer, ThreeD:
-		var total float64
-		var areaSum, powerSum float64
-		slots := commSlots(sc, len(chiplets))
-		for i, c := range chiplets {
-			cc, err := commSlot(sc, slots, i, c.Node, p, true)
-			if err != nil {
-				return err
-			}
-			total += cc.kg
-			areaSum += cc.areaMM2
-			powerSum += cc.powerW
+		total, areaSum, powerSum, err := commFold(sc, chiplets, p, true)
+		if err != nil {
+			return err
 		}
 		res.RoutingKg = total
 		res.RouterAreaPerChipletMM2 = areaSum / float64(len(chiplets))
@@ -1018,40 +1020,93 @@ func addCommunication(res *Result, chiplets []Chiplet, p *Params, sc *scratch) e
 	return fmt.Errorf("pkgcarbon: unknown architecture %v", res.Arch)
 }
 
-// commSlots sizes the scratch's per-chiplet cell cache, invalidating it
-// when the chiplet count changed. It returns nil without a scratch.
-func commSlots(sc *scratch, n int) []commCell {
-	if sc == nil {
-		return nil
-	}
-	if len(sc.commCh) != n {
-		if cap(sc.commCh) < n {
-			sc.commCh = make([]commCell, n)
-			sc.commNode = make([]*tech.Node, n)
+// commFold sums the per-chiplet communication contributions as three
+// sequential column folds. It first refreshes the stale slots of the
+// scratch's per-chiplet column cache (a Gray step changes at most one),
+// then reduces each column in slot order. Each accumulator sees exactly
+// the additions, in exactly the order, of the old per-chiplet loop —
+// the columns are merely refreshed up front instead of inline — so the
+// dense fold cannot change a bit.
+func commFold(sc *scratch, chiplets []Chiplet, p *Params, fullRouter bool) (kgSum, areaSum, powerSum float64, err error) {
+	if cached := commSlots(sc, len(chiplets)); !cached {
+		for _, c := range chiplets {
+			cc, err := commFor(sc, c.Node, p, fullRouter)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			kgSum += cc.kg
+			areaSum += cc.areaMM2
+			powerSum += cc.powerW
 		}
-		sc.commCh = sc.commCh[:n]
+		return kgSum, areaSum, powerSum, nil
+	}
+	for i, c := range chiplets {
+		if sc.commNode[i] == c.Node {
+			continue
+		}
+		cc, err := commFor(sc, c.Node, p, fullRouter)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sc.commNode[i] = c.Node
+		sc.commKgCol[i] = cc.kg
+		sc.commAreaCol[i] = cc.areaMM2
+		sc.commPowerCol[i] = cc.powerW
+	}
+	for _, v := range sc.commKgCol {
+		kgSum += v
+	}
+	for _, v := range sc.commAreaCol {
+		areaSum += v
+	}
+	for _, v := range sc.commPowerCol {
+		powerSum += v
+	}
+	return kgSum, areaSum, powerSum, nil
+}
+
+// commSlots sizes the scratch's per-chiplet column cache, invalidating
+// it when the chiplet count changed, and reports whether a scratch
+// backs the slots at all.
+func commSlots(sc *scratch, n int) bool {
+	if sc == nil {
+		return false
+	}
+	if len(sc.commNode) != n {
+		if cap(sc.commNode) < n {
+			sc.commNode = make([]*tech.Node, n)
+			sc.commKgCol = make([]float64, n)
+			sc.commAreaCol = make([]float64, n)
+			sc.commPowerCol = make([]float64, n)
+		}
 		sc.commNode = sc.commNode[:n]
+		sc.commKgCol = sc.commKgCol[:n]
+		sc.commAreaCol = sc.commAreaCol[:n]
+		sc.commPowerCol = sc.commPowerCol[:n]
 		for i := range sc.commNode {
 			sc.commNode[i] = nil
 		}
 	}
-	return sc.commCh
+	return true
 }
 
 // commSlot returns chiplet slot i's communication cell, served from the
-// per-slot cache when the slot's node pointer is unchanged and filled
-// from commFor (the per-node memo) otherwise. The cell values are pure
-// in the node, so the extra cache layer cannot change a bit.
-func commSlot(sc *scratch, slots []commCell, i int, n *tech.Node, p *Params, fullRouter bool) (commCell, error) {
-	if slots != nil && sc.commNode[i] == n {
-		return slots[i], nil
+// per-slot column cache when the slot's node pointer is unchanged and
+// filled from commFor (the per-node memo) otherwise. The cell values
+// are pure in the node, so the extra cache layer cannot change a bit.
+func commSlot(sc *scratch, cached bool, i int, n *tech.Node, p *Params, fullRouter bool) (commCell, error) {
+	if cached && sc.commNode[i] == n {
+		return commCell{areaMM2: sc.commAreaCol[i], kg: sc.commKgCol[i], powerW: sc.commPowerCol[i]}, nil
 	}
 	cc, err := commFor(sc, n, p, fullRouter)
 	if err != nil {
 		return commCell{}, err
 	}
-	if slots != nil {
-		slots[i], sc.commNode[i] = cc, n
+	if cached {
+		sc.commNode[i] = n
+		sc.commKgCol[i] = cc.kg
+		sc.commAreaCol[i] = cc.areaMM2
+		sc.commPowerCol[i] = cc.powerW
 	}
 	return cc, nil
 }

@@ -154,16 +154,12 @@ func TornadoPlanned(ctx context.Context, base *core.System, db *tech.DB, rel flo
 	}
 	fs := factors()
 	// Task 0 is the base point; tasks 1+2k and 2+2k are factor k's low
-	// and high perturbations.
-	kgs, err := engine.RunScratch(ctx, 1+2*len(fs),
-		func(*core.Hooks) (*kernel.Scratch, error) { return plan.NewScratch() },
-		func(_ context.Context, i int, sc *kernel.Scratch) (float64, error) {
+	// and high perturbations. The fan-out runs on the plan's own batch
+	// runner, which owns the per-worker scratch reuse.
+	totals, err := plan.Walk(ctx, 1+2*len(fs),
+		func(i int, _ *kernel.Scratch) (*core.System, *tech.DB, kernel.Dirty, error) {
 			if i == 0 {
-				t, err := plan.Eval(sc, base, db, 0)
-				if err != nil {
-					return 0, err
-				}
-				return t.TotalKg(), nil
+				return base, db, 0, nil
 			}
 			f := fs[(i-1)/2]
 			scale := 1 - rel
@@ -174,16 +170,16 @@ func TornadoPlanned(ctx context.Context, base *core.System, db *tech.DB, rel flo
 			}
 			s, db2, err := f.apply(*base, db, scale)
 			if err != nil {
-				return 0, fmt.Errorf("sensitivity: factor %q %s: %w", f.name, side, err)
+				return nil, nil, 0, fmt.Errorf("sensitivity: factor %q %s: %w", f.name, side, err)
 			}
-			t, err := plan.Eval(sc, s, db2, f.dirty)
-			if err != nil {
-				return 0, fmt.Errorf("sensitivity: factor %q %s: %w", f.name, side, err)
-			}
-			return t.TotalKg(), nil
+			return s, db2, f.dirty, nil
 		}, opts...)
 	if err != nil {
 		return nil, nil, err
+	}
+	kgs := make([]float64, len(totals))
+	for i, t := range totals {
+		kgs[i] = t.TotalKg()
 	}
 	return assemble(fs, kgs), plan, nil
 }
