@@ -286,6 +286,38 @@ func BenchmarkNodeSweepCompiledReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkShardLoopback measures the same 125-point sweep through the
+// fault-tolerant shard coordinator over three in-process loopback
+// replicas (lease grants, per-block streaming, mixed-radix
+// reassembly): the lease-protocol overhead on top of
+// BenchmarkNodeSweepCompiledReuse.
+func BenchmarkShardLoopback(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	cat := NewShardCatalog()
+	key, err := cat.RegisterSweep(base, db, sweepBenchNodes, DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	transports := []ShardTransport{NewShardReplica(cat), NewShardReplica(cat), NewShardReplica(cat)}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co := NewShardCoordinator(plan, key, transports, ShardConfig{BlockSize: 16})
+		points, err := co.Sweep(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
 // BenchmarkNodeSweepWalkFront measures the streaming-front path on an
 // already-compiled plan: the 125-point sweep folded to its carbon-cost
 // Pareto front inside the walk, never materializing the point slice (the

@@ -35,6 +35,7 @@ import (
 	"ecochip/internal/kernel"
 	"ecochip/internal/report"
 	"ecochip/internal/sensitivity"
+	"ecochip/internal/shard"
 	"ecochip/internal/tech"
 	"ecochip/internal/uncertainty"
 )
@@ -48,6 +49,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "evaluation workers (0 = all CPUs, 1 = serial)")
 	progress := flag.Bool("progress", false, "print sweep progress and evaluation statistics to stderr")
 	uncompiled := flag.Bool("uncompiled", false, "sweep/tornado/mc/group: force the per-evaluation reference path instead of the compiled plan")
+	shardReplicas := flag.Int("shard-replicas", 0, "sweep: run the compiled plan through N loopback shard replicas under the lease protocol (0 = in-process engine)")
+	shardFaults := flag.String("shard-faults", "", "sweep: fault schedule injected into every shard replica, e.g. drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -76,6 +79,9 @@ func main() {
 		workers:    *parallel,
 		progress:   *progress,
 		uncompiled: *uncompiled,
+
+		shardReplicas: *shardReplicas,
+		shardFaults:   *shardFaults,
 	}
 	err := run(*designDir, cfg, os.Stdout, os.Stderr)
 
@@ -112,6 +118,12 @@ type runConfig struct {
 	workers    int
 	progress   bool
 	uncompiled bool
+
+	// shardReplicas > 0 routes the sweep through the fault-tolerant
+	// shard coordinator over that many loopback replicas; shardFaults
+	// optionally injects a seeded fault schedule into each of them.
+	shardReplicas int
+	shardFaults   string
 }
 
 func run(designDir string, cfg runConfig, w, statsW io.Writer) error {
@@ -159,10 +171,17 @@ func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db 
 
 	var points []explore.Point
 	var plan *explore.CompiledPlan
+	var co *shard.Coordinator
 	var err error
-	if cfg.uncompiled {
+	switch {
+	case cfg.shardReplicas > 0:
+		if cfg.uncompiled {
+			return fmt.Errorf("-shard-replicas runs the compiled plan; drop -uncompiled")
+		}
+		points, plan, co, err = runShardedSweep(ctx, statsW, system, db, nodes, cp, cfg)
+	case cfg.uncompiled:
 		points, err = explore.NodeSweepReference(ctx, system, db, nodes, cp, opts...)
-	} else {
+	default:
 		points, plan, err = explore.NodeSweepPlanned(ctx, system, db, nodes, cp, opts...)
 	}
 	if err != nil {
@@ -185,14 +204,58 @@ func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db 
 				s.Points, s.TableCells, s.GraySteps, s.BlockInits)
 			fmt.Fprintf(statsW, "table layout: %d B resident as columns (%d B as struct rows), %d column folds\n",
 				s.TableSoABytes, s.TableAoSBytes, s.ColumnFolds)
+			fmt.Fprintf(statsW, "point memo: %d hits, %d misses (%d collision recomputes)\n",
+				s.PkgMemo.Hits, s.PkgMemo.Misses, s.PkgMemo.Collisions)
 			if fp := s.Floorplan; fp.Plans() > 0 {
 				fmt.Fprintln(statsW, fp)
+			}
+			if co != nil {
+				fmt.Fprintln(statsW, co.Stats())
 			}
 		} else {
 			printCacheStats(statsW, cache)
 		}
 	}
 	return nil
+}
+
+// runShardedSweep routes the compiled sweep through the fault-tolerant
+// shard coordinator: the sweep is registered in an in-process catalog
+// under its content key, cfg.shardReplicas loopback replicas compile it
+// from that key and execute leased block ranges (each wrapped in the
+// -shard-faults schedule, re-seeded per replica), and the coordinator
+// reassembles the exact mixed-radix point order.
+func runShardedSweep(ctx context.Context, statsW io.Writer, system *core.System, db *tech.DB, nodes []int, cp cost.Params, cfg runConfig) ([]explore.Point, *explore.CompiledPlan, *shard.Coordinator, error) {
+	spec, err := shard.ParseFaultSpec(cfg.shardFaults)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cat := shard.NewCatalog()
+	key, err := cat.RegisterSweep(system, db, nodes, cp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	transports := make([]shard.Transport, cfg.shardReplicas)
+	for i := range transports {
+		var t shard.Transport = shard.NewReplica(cat)
+		if cfg.shardFaults != "" {
+			s := spec
+			s.Seed += int64(i)
+			t = shard.Fault(t, s)
+		}
+		transports[i] = t
+	}
+	sc := shard.Config{Seed: cfg.seed}
+	if statsW != nil {
+		sc.Logf = func(format string, args ...any) { fmt.Fprintf(statsW, format+"\n", args...) }
+	}
+	co := shard.NewCoordinator(plan, key, transports, sc)
+	points, err := co.Sweep(ctx)
+	return points, plan, co, err
 }
 
 func printCacheStats(w io.Writer, cache *engine.Cache) {

@@ -75,6 +75,51 @@ func TestRunSweepProgressStats(t *testing.T) {
 	}
 }
 
+// The sharded sweep path (loopback replicas under the lease protocol,
+// with an injected fault schedule) must print the exact table of the
+// in-process engine path, and -progress must surface the shard
+// protocol counters.
+func TestRunSweepShardedMatchesEngine(t *testing.T) {
+	dir := exampleDir(t)
+	var plain strings.Builder
+	if err := run(dir, cfgFor("sweep"), &plain, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := cfgFor("sweep")
+	cfg.shardReplicas = 3
+	cfg.shardFaults = "dup=0.4,err=0.2,seed=7"
+	cfg.progress = true
+	var out, stats strings.Builder
+	if err := run(dir, cfg, &out, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != plain.String() {
+		t.Errorf("sharded and engine sweeps diverge:\n%s\nvs\n%s", out.String(), plain.String())
+	}
+	if !strings.Contains(stats.String(), "shard:") || !strings.Contains(stats.String(), "leases granted") {
+		t.Errorf("sharded progress run missing shard statistics:\n%s", stats.String())
+	}
+	if !strings.Contains(stats.String(), "point memo:") {
+		t.Errorf("sharded progress run missing point-memo statistics:\n%s", stats.String())
+	}
+
+	cfg.uncompiled = true
+	if err := run(dir, cfg, &out, &stats); err == nil || !strings.Contains(err.Error(), "-shard-replicas") {
+		t.Errorf("sharded -uncompiled run: err = %v, want the flag conflict", err)
+	}
+}
+
+func TestRunSweepShardFaultSpecRejected(t *testing.T) {
+	cfg := cfgFor("sweep")
+	cfg.shardReplicas = 1
+	cfg.shardFaults = "drop=2.0"
+	var out, stats strings.Builder
+	if err := run(exampleDir(t), cfg, &out, &stats); err == nil {
+		t.Error("out-of-range fault probability accepted")
+	}
+}
+
 func TestRunTornadoMode(t *testing.T) {
 	var out strings.Builder
 	if err := run(exampleDir(t), cfgFor("tornado"), &out, nil); err != nil {

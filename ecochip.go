@@ -39,6 +39,7 @@ import (
 	"ecochip/internal/report"
 	"ecochip/internal/roadmap"
 	"ecochip/internal/sensitivity"
+	"ecochip/internal/shard"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 	"ecochip/internal/uncertainty"
@@ -316,6 +317,91 @@ func CompileNodeSweep(base *System, db *TechDB, nodes []int, cp cost.Params) (*S
 func NodeSweepReference(ctx context.Context, base *System, db *TechDB, nodes []int, cp cost.Params, opts ...EngineOption) ([]DesignPoint, error) {
 	return explore.NodeSweepReference(ctx, base, db, nodes, cp, opts...)
 }
+
+// Fault-tolerant distributed sweep sharding (see internal/shard): a
+// coordinator hands out leased block ranges of a compiled plan to
+// stateless replicas that compile the plan locally from its content key
+// and stream per-block results back; lost, late, duplicated or crashed
+// work is re-leased and deduplicated, and the output stays bit-identical
+// to the single-process plan.
+type (
+	// ShardCoordinator drives one compiled plan across replica
+	// transports under the lease protocol (NewShardCoordinator).
+	ShardCoordinator = shard.Coordinator
+	// ShardConfig tunes block size, lease span and timeout, retry
+	// backoff and the fallback policy; the zero value has production
+	// defaults.
+	ShardConfig = shard.Config
+	// ShardStats is a coordinator's protocol-counter snapshot (leases
+	// granted/expired, blocks re-leased/deduped/local, replicas lost).
+	ShardStats = shard.Stats
+	// ShardPlanSource resolves plan keys to compiled plans on a replica.
+	ShardPlanSource = shard.PlanSource
+	// ShardCatalog is the in-process ShardPlanSource: sweeps registered
+	// under their derived key, compiled lazily per replica.
+	ShardCatalog = shard.Catalog
+	// ShardReplica executes leases against locally compiled plans; it is
+	// also the in-process loopback ShardTransport.
+	ShardReplica = shard.Replica
+	// ShardTransport carries leases to one replica endpoint and streams
+	// its per-block results back.
+	ShardTransport = shard.Transport
+	// ShardFaultSpec is a seeded fault schedule for ShardFault (drops,
+	// duplicates, transient errors, crashes, delivery delays).
+	ShardFaultSpec = shard.FaultSpec
+	// ShardObjective names a sweep metric in wire-encodable form for
+	// front-mode leases.
+	ShardObjective = shard.Objective
+	// ShardExhaustedError reports total replica loss under
+	// ShardConfig.DisableFallback.
+	ShardExhaustedError = shard.ExhaustedError
+)
+
+// Front-mode shard objectives (wire-encodable SweepMetric names).
+const (
+	// ShardByEmbodied minimizes embodied carbon (SweepByEmbodied).
+	ShardByEmbodied = shard.ObjEmbodied
+	// ShardByTotal minimizes total lifetime carbon (SweepByTotal).
+	ShardByTotal = shard.ObjTotal
+	// ShardByCost minimizes dollar cost (SweepByCost).
+	ShardByCost = shard.ObjCost
+	// ShardByArea minimizes package footprint (SweepByArea).
+	ShardByArea = shard.ObjArea
+)
+
+// SweepPlanKey derives the content key of a sweep: a stable hash of the
+// base system, candidate nodes, cost parameters and the technology
+// database records they reach. Coordinator and replicas derive the same
+// key from the same inputs, which is how replicas compile plans locally
+// instead of receiving them over the wire.
+func SweepPlanKey(base *System, db *TechDB, nodes []int, cp cost.Params) (string, error) {
+	return explore.PlanKey(base, db, nodes, cp)
+}
+
+// NewShardCatalog returns an empty in-process plan catalog.
+func NewShardCatalog() *ShardCatalog { return shard.NewCatalog() }
+
+// NewShardReplica builds a replica over a plan source; the returned
+// value is also the loopback transport for that replica.
+func NewShardReplica(source ShardPlanSource) *ShardReplica { return shard.NewReplica(source) }
+
+// NewShardCoordinator builds a coordinator for a compiled plan
+// (identified by its SweepPlanKey) over the given replica transports.
+// An empty transport list is legal: every run degrades to the local
+// single-process walk.
+func NewShardCoordinator(plan *SweepPlan, key string, transports []ShardTransport, cfg ShardConfig) *ShardCoordinator {
+	return shard.NewCoordinator(plan, key, transports, cfg)
+}
+
+// ShardFault wraps a transport with a seeded fault schedule — the
+// chaos-testing harness of the shard layer.
+func ShardFault(inner ShardTransport, spec ShardFaultSpec) ShardTransport {
+	return shard.Fault(inner, spec)
+}
+
+// ParseShardFaultSpec parses the textual fault-schedule syntax, e.g.
+// "drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42".
+func ParseShardFaultSpec(s string) (ShardFaultSpec, error) { return shard.ParseFaultSpec(s) }
 
 // TornadoCtx is Tornado with cancellation and engine options. It runs on
 // a compiled parameter plan (see ParamPlan) and is bit-identical to

@@ -111,7 +111,10 @@ type indexedErr struct {
 // skip a lower-index point that would also have failed, so which error
 // surfaces can depend on scheduling — only successful results are
 // guaranteed scheduling-independent); a cancelled parent context
-// returns ctx.Err(). The hooks argument carries the run's memo cache
+// returns ctx.Err(). A panic inside a task is recovered into a
+// *PanicError (point index + stack) and fails the batch like any task
+// error, so one poisoned evaluation cannot take down a long-lived
+// serving process. The hooks argument carries the run's memo cache
 // (nil when caching is disabled) for forwarding to
 // core.System.EvaluateWith.
 func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int, h *core.Hooks) (T, error), opts ...Option) ([]T, error) {
@@ -153,7 +156,7 @@ func RunScratchRelease[T, S any](ctx context.Context, n int, newScratch func(h *
 		// small batches — no per-batch stack regrowth for recursive
 		// evaluators. Results and error selection are trivially
 		// identical to the one-worker pool.
-		scratch, err := newScratch(h)
+		scratch, err := safeScratch(h, newScratch)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +167,7 @@ func RunScratchRelease[T, S any](ctx context.Context, n int, newScratch func(h *
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res, err := fn(ctx, i, scratch)
+			res, err := safeCall(ctx, i, scratch, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -186,7 +189,7 @@ func RunScratchRelease[T, S any](ctx context.Context, n int, newScratch func(h *
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer pool.wg.Done()
-			scratch, err := newScratch(h)
+			scratch, err := safeScratch(h, newScratch)
 			if err != nil {
 				// A scratch failure poisons the whole run: report it
 				// ahead of any task error.
@@ -204,7 +207,7 @@ func RunScratchRelease[T, S any](ctx context.Context, n int, newScratch func(h *
 				if err := ctx.Err(); err != nil {
 					return
 				}
-				res, err := fn(ctx, i, scratch)
+				res, err := safeCall(ctx, i, scratch, fn)
 				if err != nil {
 					pool.fail(i, err)
 					return
@@ -230,7 +233,8 @@ func RunScratchRelease[T, S any](ctx context.Context, n int, newScratch func(h *
 // the WithProgress callback) and should poll ctx between points. A
 // block error cancels the run; the error of the lowest-starting failed
 // block wins, and fn returns of the cancellation cause itself (the
-// derived ctx's Err) are not recorded as failures.
+// derived ctx's Err) are not recorded as failures. A panic inside fn is
+// recovered into a *PanicError carrying the block range and stack.
 func RunBlocks(ctx context.Context, n int, fn func(ctx context.Context, lo, hi int, tick func()) error, opts ...Option) error {
 	o := buildOptions(opts)
 	if n == 0 {
@@ -248,7 +252,7 @@ func RunBlocks(ctx context.Context, n int, fn func(ctx context.Context, lo, hi i
 				o.progress(done, n)
 			}
 		}
-		return fn(ctx, 0, n, tick)
+		return safeBlock(ctx, 0, n, tick, fn)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -260,7 +264,7 @@ func RunBlocks(ctx context.Context, n int, fn func(ctx context.Context, lo, hi i
 		lo, hi := w*n/workers, (w+1)*n/workers
 		go func() {
 			defer pool.wg.Done()
-			if err := fn(ctx, lo, hi, pool.step); err != nil {
+			if err := safeBlock(ctx, lo, hi, pool.step, fn); err != nil {
 				// Only this run's own cancellation is benign to swallow
 				// (another block already failed, or the parent was
 				// cancelled — pool.err reports the cause). An error that

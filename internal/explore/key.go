@@ -1,0 +1,52 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/tech"
+)
+
+// PlanKey derives the stable identity of the compiled sweep of (base,
+// db, nodes, cp): two parties that agree on the key are guaranteed to
+// compile bit-identical plans, which is what lets a distributed shard
+// replica compile locally from the key instead of receiving the plan
+// over the wire. The key hashes a canonical JSON encoding of the system
+// description, the candidate node list, the cost parameters and every
+// node record of the database (in sorted node order, so map iteration
+// can never perturb it). It is a content fingerprint, not a
+// cryptographic commitment: collisions between adversarially crafted
+// systems are out of scope, honest version skew (a changed defect
+// density, a re-calibrated mask cost) reliably changes the key.
+func PlanKey(base *core.System, db *tech.DB, nodes []int, cp cost.Params) (string, error) {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	// encoding/json sorts map keys and follows pointers, so each write
+	// is deterministic in the value's content alone.
+	if err := enc.Encode(base); err != nil {
+		return "", fmt.Errorf("explore: plan key system encoding: %w", err)
+	}
+	if err := enc.Encode(nodes); err != nil {
+		return "", fmt.Errorf("explore: plan key node-list encoding: %w", err)
+	}
+	if err := enc.Encode(cp); err != nil {
+		return "", fmt.Errorf("explore: plan key cost-params encoding: %w", err)
+	}
+	sizes := db.Sizes()
+	if err := enc.Encode(sizes); err != nil {
+		return "", fmt.Errorf("explore: plan key db-sizes encoding: %w", err)
+	}
+	for _, nm := range sizes {
+		n, err := db.Get(nm)
+		if err != nil {
+			return "", err
+		}
+		if err := enc.Encode(n); err != nil {
+			return "", fmt.Errorf("explore: plan key node %dnm encoding: %w", nm, err)
+		}
+	}
+	return fmt.Sprintf("sweep-%016x", h.Sum64()), nil
+}

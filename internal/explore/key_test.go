@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+// The plan key must be a pure content fingerprint: identical inputs
+// agree across independent derivations, and any input a compiled plan
+// depends on — system shape, node list, cost table, database parameters
+// — perturbs it.
+func TestPlanKeyStableAndSensitive(t *testing.T) {
+	db := tech.Default()
+	rng := rand.New(rand.NewSource(11))
+	sys := testcases.Random(rng, db)
+	nodes := []int{7, 10, 14}
+	cp := cost.DefaultParams()
+
+	key := func(s *core.System, d *tech.DB, ns []int, c cost.Params) string {
+		t.Helper()
+		k, err := PlanKey(s, d, ns, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	base := key(sys, db, nodes, cp)
+	if again := key(sys, db, nodes, cp); again != base {
+		t.Fatalf("same inputs, different keys: %s vs %s", base, again)
+	}
+
+	// System perturbation: one chiplet's transistor budget.
+	mut := *sys
+	mut.Chiplets = append([]core.Chiplet(nil), sys.Chiplets...)
+	mut.Chiplets[0].Transistors *= 1.01
+	if key(&mut, db, nodes, cp) == base {
+		t.Error("chiplet perturbation did not change the key")
+	}
+
+	// Node-list perturbation: order matters (it is the sweep's radix
+	// assignment, not a set).
+	if key(sys, db, []int{10, 7, 14}, cp) == base {
+		t.Error("node-order perturbation did not change the key")
+	}
+
+	// Cost-table perturbation.
+	cp2 := cost.DefaultParams()
+	cp2.BondUSDPerChiplet += 0.5
+	if key(sys, db, nodes, cp2) == base {
+		t.Error("cost perturbation did not change the key")
+	}
+
+	// Database version skew: clone with one defect density nudged.
+	db2, err := db.Clone(func(n *tech.Node) {
+		if n.Nm == 7 {
+			n.DefectDensity *= 1.1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key(sys, db2, nodes, cp) == base {
+		t.Error("database perturbation did not change the key")
+	}
+	// An untouched clone is the same version: same key.
+	db3, err := db.Clone(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key(sys, db3, nodes, cp) != base {
+		t.Error("identical database clone changed the key")
+	}
+}

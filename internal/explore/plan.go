@@ -3,6 +3,7 @@ package explore
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,11 @@ type SweepStats struct {
 	// counters: how many packaging estimates were served by a retained-
 	// tree fast path versus a full rebuild, and the mean relayout depth.
 	Floorplan floorplan.TreeStats
+	// PkgMemo aggregates the per-worker point-memo counters; its
+	// Collisions field counts the recomputes forced by the memo's
+	// direct-mapped slot table (the observable an eviction policy would
+	// be justified by).
+	PkgMemo kernel.PkgMemoStats
 }
 
 // CompiledPlan is a compiled node sweep: the dense per-(chiplet, node)
@@ -103,9 +109,11 @@ type CompiledPlan struct {
 	scratches sync.Pool
 
 	points, blockInits, graySteps atomic.Uint64
-	// Folded floorplan.TreeStats of the per-block estimator trees.
+	// Folded floorplan.TreeStats and point-memo counters of the
+	// per-block estimator scratches.
 	fpMu     sync.Mutex
 	fpTotals floorplan.TreeStats
+	pmTotals kernel.PkgMemoStats
 }
 
 // Compile builds the sweep plan for evaluating base under every
@@ -159,6 +167,7 @@ func (p *CompiledPlan) Nodes() []int { return append([]int(nil), p.nodes...) }
 func (p *CompiledPlan) Stats() SweepStats {
 	p.fpMu.Lock()
 	fp := p.fpTotals
+	pm := p.pmTotals
 	p.fpMu.Unlock()
 	aos, soa := p.tbl.LayoutBytes()
 	pts := p.points.Load()
@@ -173,17 +182,8 @@ func (p *CompiledPlan) Stats() SweepStats {
 		TableAoSBytes: aos,
 		TableSoABytes: soa,
 		Floorplan:     fp,
+		PkgMemo:       pm,
 	}
-}
-
-// foldFloorplanStats accumulates one worker scratch's retained-tree
-// counters into the plan's totals. A mutex (not per-field atomics) keeps
-// the fold shape-agnostic as TreeStats grows counters; it is off the
-// per-point hot path — one fold per block walk.
-func (p *CompiledPlan) foldFloorplanStats(s floorplan.TreeStats) {
-	p.fpMu.Lock()
-	p.fpTotals.Add(s)
-	p.fpMu.Unlock()
 }
 
 // Run evaluates every point of the plan with default engine options.
@@ -225,6 +225,27 @@ func (p *CompiledPlan) Walk(ctx context.Context, visit func(idx int, pt *Point) 
 	return engine.RunBlocks(ctx, p.combos, func(ctx context.Context, lo, hi int, tick func()) error {
 		return p.walkBlock(ctx, lo, hi, visit, tick)
 	}, opts...)
+}
+
+// WalkRange walks the contiguous sequence segment [lo, hi) of the
+// plan's Gray-code combination order serially on the calling goroutine,
+// streaming each point to visit exactly as Walk does (idx is the
+// point's mixed-radix output slot — NOT its sequence position; a
+// contiguous sequence segment covers a scattered but deterministic set
+// of output slots). It is the resumable unit of a sharded sweep: any
+// party that compiled the same plan can walk any segment and the
+// streamed points are bit-identical to the corresponding points of a
+// full Walk, so segments can be computed remotely, retried after
+// failures and reassembled in any order. The *Point is reused after
+// visit returns; copy what must be retained.
+func (p *CompiledPlan) WalkRange(ctx context.Context, lo, hi int, visit func(idx int, pt *Point) error) error {
+	if lo < 0 || hi > p.combos || lo > hi {
+		return fmt.Errorf("explore: WalkRange [%d,%d) outside the %d-point plan", lo, hi, p.combos)
+	}
+	if lo == hi {
+		return ctx.Err()
+	}
+	return p.walkBlock(ctx, lo, hi, visit, func() {})
 }
 
 // ParetoFrontCtx runs the plan and reduces the sweep to its Pareto front
@@ -378,6 +399,9 @@ type blockScratch struct {
 	// floorplan no longer tracks the walk.
 	estValid bool
 	folded   floorplan.TreeStats
+	// memoFolded is the point-memo snapshot already folded into the
+	// plan totals (the PkgMemoStats twin of folded).
+	memoFolded kernel.PkgMemoStats
 }
 
 // refreshRow regathers chiplet row i's five metric entries for node
@@ -416,13 +440,17 @@ func (p *CompiledPlan) getScratch() (*blockScratch, error) {
 	}, nil
 }
 
-// putScratch folds the scratch's new floorplan work into the plan
-// totals and returns it to the pool.
+// putScratch folds the scratch's new floorplan and point-memo work into
+// the plan totals and returns it to the pool.
 func (p *CompiledPlan) putScratch(sc *blockScratch) {
 	if !p.monolith {
 		cur := sc.sc.FloorplanStats()
-		p.foldFloorplanStats(cur.Delta(sc.folded))
-		sc.folded = cur
+		mem := sc.sc.PkgMemoStats()
+		p.fpMu.Lock()
+		p.fpTotals.Add(cur.Delta(sc.folded))
+		p.pmTotals.Add(mem.Delta(sc.memoFolded))
+		p.fpMu.Unlock()
+		sc.folded, sc.memoFolded = cur, mem
 	}
 	p.scratches.Put(sc)
 }

@@ -96,7 +96,45 @@ type Scratch struct {
 	pkgPtKeys []uint64
 	pkgPtVals []PkgPoint
 	pkgPtSpan uint64 // point-space size the slots were sized for
+	pkgPtStat PkgMemoStats
 }
+
+// PkgMemoStats counts the traffic of the per-point package memo. The
+// interesting counter is Collisions: lookups that missed because the
+// direct-mapped slot was occupied by a different point index, i.e. the
+// recomputes an eviction policy could win back. ROADMAP flags possible
+// pathological collision patterns under serving workloads; this makes
+// them observable before any policy is built.
+type PkgMemoStats struct {
+	// Hits is the number of points served straight from the memo.
+	Hits uint64
+	// Misses is the number of lookups that found no entry (cold slots,
+	// unsized tables and span changes included).
+	Misses uint64
+	// Collisions is the subset of Misses whose slot held a different
+	// point index — a recompute forced purely by the direct-mapped
+	// layout.
+	Collisions uint64
+}
+
+// Add accumulates o into s.
+func (s *PkgMemoStats) Add(o PkgMemoStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Collisions += o.Collisions
+}
+
+// Delta returns the counters accumulated since prev was snapshotted.
+func (s PkgMemoStats) Delta(prev PkgMemoStats) PkgMemoStats {
+	return PkgMemoStats{
+		Hits:       s.Hits - prev.Hits,
+		Misses:     s.Misses - prev.Misses,
+		Collisions: s.Collisions - prev.Collisions,
+	}
+}
+
+// PkgMemoStats snapshots the scratch's per-point package-memo counters.
+func (sc *Scratch) PkgMemoStats() PkgMemoStats { return sc.pkgPtStat }
 
 // PkgPoint is the package-term quadruple one compiled sweep point folds
 // into its totals: heterogeneous-integration carbon, package area,
@@ -126,12 +164,18 @@ func pkgPointSlot(idx, span uint64) uint64 {
 // exact point before.
 func (sc *Scratch) LoadPackagePoint(idx, span uint64) (PkgPoint, bool) {
 	if sc.pkgPtSpan != span || len(sc.pkgPtKeys) == 0 {
+		sc.pkgPtStat.Misses++
 		return PkgPoint{}, false
 	}
 	slot := pkgPointSlot(idx, span)
-	if sc.pkgPtKeys[slot] != idx+1 {
+	if key := sc.pkgPtKeys[slot]; key != idx+1 {
+		sc.pkgPtStat.Misses++
+		if key != 0 {
+			sc.pkgPtStat.Collisions++
+		}
 		return PkgPoint{}, false
 	}
+	sc.pkgPtStat.Hits++
 	return sc.pkgPtVals[slot], true
 }
 

@@ -1,0 +1,73 @@
+package kernel
+
+import "testing"
+
+// The per-point package memo must count its traffic — and in particular
+// the recomputes forced by direct-mapped slot collisions, the signal an
+// eviction policy would be justified by.
+func TestPkgMemoStatsCountsHitsMissesCollisions(t *testing.T) {
+	sc := &Scratch{}
+	span := uint64(1) << (pkgPointSlotBits + 2) // force the hashed, collision-prone regime
+
+	// Cold lookup on an unsized table: a miss, not a collision.
+	if _, ok := sc.LoadPackagePoint(1, span); ok {
+		t.Fatal("hit on an empty memo")
+	}
+	sc.StorePackagePoint(1, span, PkgPoint{HIKg: 1})
+	if _, ok := sc.LoadPackagePoint(1, span); !ok {
+		t.Fatal("miss on a stored point")
+	}
+
+	// Find an index that hashes to point 1's slot and evict it, then
+	// observe the collision recompute when point 1 is looked up again.
+	slot := pkgPointSlot(1, span)
+	other := uint64(2)
+	for ; pkgPointSlot(other, span) != slot; other++ {
+	}
+	if _, ok := sc.LoadPackagePoint(other, span); ok {
+		t.Fatal("hit for a colliding index that was never stored")
+	}
+	sc.StorePackagePoint(other, span, PkgPoint{HIKg: 2})
+	if _, ok := sc.LoadPackagePoint(1, span); ok {
+		t.Fatal("hit for point 1 after its slot was evicted")
+	}
+
+	s := sc.PkgMemoStats()
+	if s.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", s.Hits)
+	}
+	if s.Misses != 3 {
+		t.Errorf("Misses = %d, want 3", s.Misses)
+	}
+	// The occupied-slot lookups: `other` before its store, and point 1
+	// after the eviction.
+	if s.Collisions != 2 {
+		t.Errorf("Collisions = %d, want 2", s.Collisions)
+	}
+	if d := sc.PkgMemoStats().Delta(s); d != (PkgMemoStats{}) {
+		t.Errorf("Delta against the latest snapshot = %+v, want zero", d)
+	}
+}
+
+// Identity-mapped spans (the common small-sweep case) can never collide:
+// every miss must be a cold slot.
+func TestPkgMemoStatsNoCollisionsWithinSlotCapacity(t *testing.T) {
+	sc := &Scratch{}
+	span := uint64(64)
+	for idx := uint64(0); idx < span; idx++ {
+		sc.LoadPackagePoint(idx, span)
+		sc.StorePackagePoint(idx, span, PkgPoint{})
+	}
+	for idx := uint64(0); idx < span; idx++ {
+		if _, ok := sc.LoadPackagePoint(idx, span); !ok {
+			t.Fatalf("miss for stored point %d", idx)
+		}
+	}
+	s := sc.PkgMemoStats()
+	if s.Collisions != 0 {
+		t.Errorf("Collisions = %d, want 0 for an identity-mapped span", s.Collisions)
+	}
+	if s.Hits != span || s.Misses != span {
+		t.Errorf("Hits/Misses = %d/%d, want %d/%d", s.Hits, s.Misses, span, span)
+	}
+}

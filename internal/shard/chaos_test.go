@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// chaosSchedules returns the per-replica fault schedules of one chaos
+// trial: one replica guaranteed to crash mid-block, one prone to
+// duplicate deliveries, one mixing drops, transient errors and delays —
+// all seeded from the trial RNG so failures replay.
+func chaosSchedules(rng *rand.Rand) []FaultSpec {
+	return []FaultSpec{
+		{Seed: rng.Int63(), CrashAfter: 1 + rng.Intn(4), Dup: 0.2},
+		{Seed: rng.Int63(), Dup: 0.5, Drop: 0.1},
+		{Seed: rng.Int63(), Drop: 0.3, Err: 0.3, Crash: 0.05, Delay: time.Duration(rng.Intn(3)) * time.Millisecond},
+	}
+}
+
+// The chaos parity suite: random systems × random fault schedules
+// (crash-mid-block, duplicates, drops, transient errors, delays, lease
+// expiry) must leave both the full sweep and the Pareto front
+// bit-identical to the single-process plan. Runs under -race in CI.
+func TestChaosParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var sawCrash, sawDup, sawRequeue bool
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		plan, cat, key := testSweep(t, rng)
+		want, err := plan.RunCtx(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := fastCfg()
+		cfg.BlockSize = 4 + rng.Intn(24)
+		cfg.LeaseBlocks = 1 + rng.Intn(4)
+		cfg.Seed = rng.Int63()
+		if trial%2 == 1 {
+			// Half the trials also force lease expiry on the delayed replica.
+			cfg.LeaseTimeout = 10 * time.Millisecond
+		}
+		var transports []Transport
+		for _, spec := range chaosSchedules(rng) {
+			transports = append(transports, Fault(NewReplica(cat), spec))
+		}
+
+		co := NewCoordinator(plan, key, transports, cfg)
+		got, err := co.Sweep(context.Background())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertSamePoints(t, want, got, "chaos sweep")
+
+		// Front mode under an independent schedule of the same trial.
+		objectives := []Objective{ObjEmbodied, ObjCost}
+		ms, err := ObjectiveMetrics(objectives)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFront, wantTotal, err := plan.ParetoFrontCtx(context.Background(), ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var frontTransports []Transport
+		for _, spec := range chaosSchedules(rng) {
+			frontTransports = append(frontTransports, Fault(NewReplica(cat), spec))
+		}
+		cof := NewCoordinator(plan, key, frontTransports, cfg)
+		gotFront, gotTotal, err := cof.ParetoFront(context.Background(), objectives)
+		if err != nil {
+			t.Fatalf("trial %d front: %v", trial, err)
+		}
+		if gotTotal != wantTotal {
+			t.Fatalf("trial %d: front total %d, want %d", trial, gotTotal, wantTotal)
+		}
+		assertSamePoints(t, wantFront, gotFront, "chaos front")
+
+		st := co.Stats()
+		sf := cof.Stats()
+		sawCrash = sawCrash || st.ReplicasLost > 0 || sf.ReplicasLost > 0
+		sawDup = sawDup || st.BlocksDeduped > 0 || sf.BlocksDeduped > 0
+		sawRequeue = sawRequeue || st.BlocksRequeued > 0 || sf.BlocksRequeued > 0
+	}
+	// The suite's guarantees are only meaningful if the schedules
+	// actually exercised the recovery paths.
+	if !sawCrash {
+		t.Error("no trial lost a replica to a crash")
+	}
+	if !sawDup {
+		t.Error("no trial deduplicated a double delivery")
+	}
+	if !sawRequeue {
+		t.Error("no trial re-leased a block")
+	}
+}

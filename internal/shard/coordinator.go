@@ -1,0 +1,539 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecochip/internal/explore"
+)
+
+// Config tunes the coordinator's lease protocol. The zero value is
+// usable: every field has a production default.
+type Config struct {
+	// BlockSize is the points-per-block quantum (default 512). Smaller
+	// blocks mean finer re-lease granularity after failures at the cost
+	// of more protocol traffic and more Gray-walk block inits.
+	BlockSize int
+	// LeaseBlocks caps the blocks per lease (default 4).
+	LeaseBlocks int
+	// LeaseTimeout is the watchdog deadline per lease (default 2s):
+	// past it the lease's incomplete blocks are re-leased to surviving
+	// replicas and its context is cancelled. Late results from the
+	// original replica deduplicate harmlessly.
+	LeaseTimeout time.Duration
+	// RetryBackoff is the base delay before retrying a replica after a
+	// transient failure (default 5ms); doubled per consecutive failure
+	// up to BackoffMax (default 250ms), with uniform jitter over the
+	// top half of the interval to decorrelate replica retry storms.
+	RetryBackoff time.Duration
+	// BackoffMax caps the exponential backoff.
+	BackoffMax time.Duration
+	// MaxRetries is the consecutive-failure budget per replica
+	// (default 3); past it the replica is retired for the run.
+	MaxRetries int
+	// Seed seeds the backoff jitter (deterministic per replica index).
+	Seed int64
+	// DisableFallback turns the total-replica-loss degradation into a
+	// typed *ExhaustedError instead of a local walk — for deployments
+	// where the coordinator must not absorb compute.
+	DisableFallback bool
+	// Logf, when set, receives protocol events worth operator eyes
+	// (currently: fallback activation). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 512
+	}
+	if c.LeaseBlocks <= 0 {
+		c.LeaseBlocks = 4
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 2 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	return c
+}
+
+// Stats is a snapshot of the coordinator's protocol counters,
+// cumulative across runs. Its String is the summary ecodse prints
+// under -progress.
+type Stats struct {
+	// LeasesGranted counts leases handed to replicas; LeasesExpired the
+	// subset whose watchdog fired before the span completed.
+	LeasesGranted, LeasesExpired uint64
+	// BlocksRequeued counts block re-leases: blocks returned to the
+	// pending queue by expiry, replica failure or lost results.
+	BlocksRequeued uint64
+	// BlocksCompleted counts first-delivery block completions;
+	// BlocksDeduped the discarded double-completions (first write wins);
+	// BlocksLocal the blocks absorbed by the coordinator's fallback.
+	BlocksCompleted, BlocksDeduped, BlocksLocal uint64
+	// ReplicaFailures counts transient Execute errors; ReplicasLost the
+	// replicas retired (crash or retry budget exhausted).
+	ReplicaFailures, ReplicasLost uint64
+	// Fallbacks counts local-walk degradations (total replica loss).
+	Fallbacks uint64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("shard: %d leases granted (%d expired), %d blocks re-leased, %d completed (%d deduped, %d local), %d replica failures (%d replicas lost), %d fallbacks",
+		s.LeasesGranted, s.LeasesExpired, s.BlocksRequeued, s.BlocksCompleted, s.BlocksDeduped, s.BlocksLocal,
+		s.ReplicaFailures, s.ReplicasLost, s.Fallbacks)
+}
+
+// Coordinator drives one compiled plan across a set of replica
+// transports under the lease protocol. It is safe for sequential
+// reuse (Sweep / ParetoFront any number of times); stats accumulate.
+type Coordinator struct {
+	plan       *explore.CompiledPlan
+	key        string
+	transports []Transport
+	cfg        Config
+
+	leasesGranted, leasesExpired, blocksRequeued  atomic.Uint64
+	blocksCompleted, blocksDeduped, blocksLocal   atomic.Uint64
+	replicaFailures, replicasLost, fallbacksTotal atomic.Uint64
+}
+
+// NewCoordinator builds a coordinator for the plan (compiled by the
+// caller — the coordinator needs it for geometry, result assembly and
+// the degradation path) identified by key (explore.PlanKey of the same
+// inputs) over the given replica transports. An empty transport list
+// is legal: every run degrades to the local walk.
+func NewCoordinator(plan *explore.CompiledPlan, key string, transports []Transport, cfg Config) *Coordinator {
+	return &Coordinator{
+		plan:       plan,
+		key:        key,
+		transports: append([]Transport(nil), transports...),
+		cfg:        cfg.withDefaults(),
+	}
+}
+
+// Stats snapshots the protocol counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		LeasesGranted:   c.leasesGranted.Load(),
+		LeasesExpired:   c.leasesExpired.Load(),
+		BlocksRequeued:  c.blocksRequeued.Load(),
+		BlocksCompleted: c.blocksCompleted.Load(),
+		BlocksDeduped:   c.blocksDeduped.Load(),
+		BlocksLocal:     c.blocksLocal.Load(),
+		ReplicaFailures: c.replicaFailures.Load(),
+		ReplicasLost:    c.replicasLost.Load(),
+		Fallbacks:       c.fallbacksTotal.Load(),
+	}
+}
+
+// Sweep executes the full plan across the replicas and returns every
+// point in exact mixed-radix order — bit-identical to plan.RunCtx on
+// one process, whatever the failure pattern (or a typed error).
+func (c *Coordinator) Sweep(ctx context.Context) ([]explore.Point, error) {
+	results := make([]explore.Point, c.plan.Combos())
+	sink := func(res BlockResult) {
+		for i, slot := range res.Slots {
+			results[slot] = res.Points[i]
+		}
+	}
+	if err := c.run(ctx, ModePoints, nil, sink); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ParetoFront executes the plan in front mode: replicas ship only each
+// block's skyline survivors, the coordinator merges them at the
+// barrier (slot order restored, one final ParetoFront pass) exactly as
+// plan.ParetoFrontCtx merges its per-worker fronts. Returns the front
+// and the total number of points the sweep covered.
+func (c *Coordinator) ParetoFront(ctx context.Context, objectives []Objective) ([]explore.Point, int, error) {
+	if len(objectives) == 0 {
+		return nil, 0, fmt.Errorf("shard: ParetoFront needs at least one objective")
+	}
+	ms, err := ObjectiveMetrics(objectives)
+	if err != nil {
+		return nil, 0, err
+	}
+	type slotPoint struct {
+		slot int
+		pt   explore.Point
+	}
+	var survivors []slotPoint
+	sink := func(res BlockResult) {
+		for i, slot := range res.Slots {
+			survivors = append(survivors, slotPoint{slot, res.Points[i]})
+		}
+	}
+	if err := c.run(ctx, ModeFront, objectives, sink); err != nil {
+		return nil, 0, err
+	}
+	// Restore global slot order so the final pass sees candidates
+	// exactly as the single-process merge would; ties and duplicates
+	// then resolve identically.
+	sort.Slice(survivors, func(a, b int) bool { return survivors[a].slot < survivors[b].slot })
+	points := make([]explore.Point, len(survivors))
+	for i, s := range survivors {
+		points[i] = s.pt
+	}
+	return explore.ParetoFront(points, ms...), c.plan.Combos(), nil
+}
+
+// leaseRec is the coordinator-side state of one outstanding lease.
+type leaseRec struct {
+	lease     Lease
+	remaining map[int]bool // blocks not yet delivered under any lease
+	expired   bool
+	released  bool
+	cancel    context.CancelFunc
+	timer     *time.Timer
+}
+
+// runState is the mutable state of one coordinator run. All fields are
+// guarded by mu; cond broadcasts wake acquire waiters on every state
+// change that could unblock them (requeue, completion, cancellation).
+type runState struct {
+	c          *Coordinator
+	mode       Mode
+	objectives []Objective
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []int // sorted block ids awaiting a lease
+	done      []bool
+	doneCount int
+	nb        int
+	nextSeq   uint64
+	sink      func(BlockResult) // called under mu; slots pre-validated
+	complete  chan struct{}
+}
+
+func (c *Coordinator) run(ctx context.Context, mode Mode, objectives []Objective, sink func(BlockResult)) error {
+	combos := c.plan.Combos()
+	nb := blockCount(combos, c.cfg.BlockSize)
+	r := &runState{c: c, mode: mode, objectives: objectives, nb: nb, sink: sink,
+		done: make([]bool, nb), pending: make([]int, nb), complete: make(chan struct{})}
+	r.cond = sync.NewCond(&r.mu)
+	for b := range r.pending {
+		r.pending[b] = b
+	}
+	if combos == 0 {
+		return ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// cond.Wait cannot watch a context; wake every waiter when the run
+	// context dies so acquire loops can observe it.
+	stopWake := context.AfterFunc(runCtx, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stopWake()
+
+	var wg sync.WaitGroup
+	for i, t := range c.transports {
+		wg.Add(1)
+		go func(i int, t Transport) {
+			defer wg.Done()
+			r.drive(runCtx, i, t)
+		}(i, t)
+	}
+	driversDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(driversDone)
+	}()
+
+	select {
+	case <-r.complete:
+		cancel() // release straggler leases promptly; their late results dedup
+	case <-driversDone:
+		// Every replica retired (or the run completed and they drained).
+	case <-ctx.Done():
+		cancel()
+		return ctx.Err()
+	}
+
+	r.mu.Lock()
+	finished := r.doneCount == r.nb
+	remaining := append([]int(nil), r.pending...)
+	r.mu.Unlock()
+	if finished {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Total replica loss: degrade to the single-process walk of the
+	// remaining blocks — same ComputeBlock seam, same bits — unless the
+	// deployment asked for a hard error instead.
+	if c.cfg.DisableFallback {
+		return &ExhaustedError{Remaining: len(remaining), ReplicasLost: int(c.replicasLost.Load())}
+	}
+	c.fallbacksTotal.Add(1)
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("shard: no replicas reachable, walking %d of %d blocks on the local fallback path", len(remaining), r.nb)
+	}
+	ms, err := ObjectiveMetrics(objectives)
+	if err != nil {
+		return err
+	}
+	for _, b := range remaining {
+		if r.isDone(b) {
+			continue // a straggler lease beat the fallback to it
+		}
+		res, err := computeBlock(ctx, c.plan, mode, ms, b, c.cfg.BlockSize)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		if !r.done[b] {
+			r.sink(res)
+			r.done[b] = true
+			r.doneCount++
+			c.blocksLocal.Add(1)
+		} else {
+			c.blocksDeduped.Add(1)
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+func (r *runState) isDone(b int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done[b]
+}
+
+// drive is one replica's lease loop: acquire a span, execute it,
+// release it, classify the outcome. Transient failures AND lease
+// expiries back off exponentially with jitter before the replica may
+// acquire again — expiry means the replica missed its deadline, and
+// pausing it is also what lets a healthy replica win the re-leased
+// blocks instead of the straggler instantly re-acquiring its own
+// expired span. ErrReplicaDown or an exhausted consecutive-failure
+// budget retires the replica for the run.
+func (r *runState) drive(ctx context.Context, idx int, t Transport) {
+	cfg := r.c.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*0x9e3779b9))
+	fails := 0
+	for {
+		lease, rec, ok := r.acquire(ctx)
+		if !ok {
+			return
+		}
+		lctx, lcancel := context.WithCancel(ctx)
+		rec.cancel = lcancel
+		rec.timer = time.AfterFunc(cfg.LeaseTimeout, func() { r.expire(rec) })
+		err := t.Execute(lctx, lease, func(res BlockResult) error { return r.deliver(rec, res) })
+		expired := r.release(rec, lcancel)
+		if ctx.Err() != nil {
+			return
+		}
+		switch {
+		case err == nil && !expired:
+			fails = 0
+		case errors.Is(err, ErrReplicaDown):
+			r.c.replicasLost.Add(1)
+			return
+		default:
+			// Expiry (with or without an error from the cancelled lease
+			// context), or a transient Execute failure.
+			if !expired {
+				r.c.replicaFailures.Add(1)
+			}
+			fails++
+			if fails > cfg.MaxRetries {
+				r.c.replicasLost.Add(1)
+				return
+			}
+			if !sleepCtx(ctx, backoff(rng, cfg, fails)) {
+				return
+			}
+		}
+	}
+}
+
+// backoff returns the delay before retry number `fails`: exponential
+// from RetryBackoff, capped at BackoffMax, jittered uniformly over the
+// top half of the interval.
+func backoff(rng *rand.Rand, cfg Config, fails int) time.Duration {
+	d := cfg.RetryBackoff
+	for i := 1; i < fails && d < cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// acquire blocks until a block span is available (or the run is over)
+// and grants a lease over it. Pending blocks are kept sorted; a lease
+// takes the longest contiguous run from the head, capped at
+// LeaseBlocks, so re-leased stragglers coalesce back into spans.
+func (r *runState) acquire(ctx context.Context) (Lease, *leaseRec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.doneCount == r.nb || ctx.Err() != nil {
+			return Lease{}, nil, false
+		}
+		// Drop blocks a straggler completed while they sat pending.
+		live := r.pending[:0]
+		for _, b := range r.pending {
+			if !r.done[b] {
+				live = append(live, b)
+			}
+		}
+		r.pending = live
+		if len(r.pending) > 0 {
+			break
+		}
+		r.cond.Wait()
+	}
+	lo := r.pending[0]
+	n := 1
+	for n < len(r.pending) && n < r.c.cfg.LeaseBlocks && r.pending[n] == lo+n {
+		n++
+	}
+	r.pending = append(r.pending[:0], r.pending[n:]...)
+	r.nextSeq++
+	lease := Lease{
+		Key:        r.c.key,
+		Seq:        r.nextSeq,
+		Blocks:     BlockRange{Lo: lo, Hi: lo + n},
+		BlockSize:  r.c.cfg.BlockSize,
+		PlanPoints: r.c.plan.Combos(),
+		Mode:       r.mode,
+		Objectives: append([]Objective(nil), r.objectives...),
+		Deadline:   time.Now().Add(r.c.cfg.LeaseTimeout),
+	}
+	rec := &leaseRec{lease: lease, remaining: make(map[int]bool, n)}
+	for b := lo; b < lo+n; b++ {
+		rec.remaining[b] = true
+	}
+	r.c.leasesGranted.Add(1)
+	return lease, rec, true
+}
+
+// expire fires when a lease's watchdog lapses with blocks outstanding:
+// the incomplete blocks return to the pending queue for surviving
+// replicas and the lease's context is cancelled. The original replica
+// may still deliver them later — first write wins.
+func (r *runState) expire(rec *leaseRec) {
+	r.mu.Lock()
+	if rec.released || rec.expired || len(rec.remaining) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	rec.expired = true
+	r.c.leasesExpired.Add(1)
+	r.requeueLocked(rec)
+	r.mu.Unlock()
+	rec.cancel()
+}
+
+// release retires a lease record when its Execute returns: any blocks
+// it did not deliver (failure, crash, dropped results) are re-leased
+// unless expiry already did so. Reports whether the lease had expired.
+func (r *runState) release(rec *leaseRec, cancel context.CancelFunc) bool {
+	r.mu.Lock()
+	rec.released = true
+	if rec.timer != nil {
+		rec.timer.Stop()
+	}
+	expired := rec.expired
+	if !expired {
+		r.requeueLocked(rec)
+	}
+	r.mu.Unlock()
+	cancel()
+	return expired
+}
+
+// requeueLocked returns rec's undelivered, still-incomplete blocks to
+// the pending queue in sorted order and wakes acquire waiters.
+func (r *runState) requeueLocked(rec *leaseRec) {
+	n := 0
+	for b := range rec.remaining {
+		if !r.done[b] {
+			r.pending = append(r.pending, b)
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	sort.Ints(r.pending)
+	r.c.blocksRequeued.Add(uint64(n))
+	r.cond.Broadcast()
+}
+
+// deliver accepts one block result from a lease: structural validation,
+// first-write-wins dedup, result sink, completion detection. A
+// malformed result fails the delivering Execute with ErrBadResult; the
+// block stays incomplete and is re-leased.
+func (r *runState) deliver(rec *leaseRec, res BlockResult) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := res.Block
+	if b < 0 || b >= r.nb {
+		return fmt.Errorf("%w: block %d outside the %d-block plan", ErrBadResult, b, r.nb)
+	}
+	if r.done[b] {
+		r.c.blocksDeduped.Add(1)
+		return nil
+	}
+	if len(res.Slots) != len(res.Points) {
+		return fmt.Errorf("%w: block %d carries %d slots for %d points", ErrBadResult, b, len(res.Slots), len(res.Points))
+	}
+	lo, hi := blockSpan(b, r.c.cfg.BlockSize, r.c.plan.Combos())
+	if r.mode == ModePoints && len(res.Points) != hi-lo {
+		return fmt.Errorf("%w: block %d delivered %d of %d points", ErrBadResult, b, len(res.Points), hi-lo)
+	}
+	for _, slot := range res.Slots {
+		if slot < 0 || slot >= r.c.plan.Combos() {
+			return fmt.Errorf("%w: block %d slot %d outside the %d-point plan", ErrBadResult, b, slot, r.c.plan.Combos())
+		}
+	}
+	r.sink(res)
+	r.done[b] = true
+	r.doneCount++
+	delete(rec.remaining, b)
+	r.c.blocksCompleted.Add(1)
+	if r.doneCount == r.nb {
+		close(r.complete)
+		r.cond.Broadcast()
+	}
+	return nil
+}

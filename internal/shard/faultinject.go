@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultSpec describes a seeded fault schedule for the Fault transport
+// wrapper. Probabilistic fields act per delivered block result;
+// CrashAfter acts on the wrapper's cumulative block counter. The zero
+// value injects nothing.
+type FaultSpec struct {
+	// Seed seeds the schedule's RNG; the same spec over the same lease
+	// stream replays the same faults.
+	Seed int64
+	// Drop is the per-block probability of silently discarding the
+	// result (the lease then releases with the block undelivered and it
+	// is re-leased).
+	Drop float64
+	// Dup is the per-block probability of delivering the result twice.
+	Dup float64
+	// Err is the per-block probability of failing the lease with a
+	// transient error after the block (partial emission — earlier blocks
+	// of the span were already delivered).
+	Err float64
+	// Crash is the per-block probability of the replica dying mid-block:
+	// the result is lost, the lease fails with ErrReplicaDown, and every
+	// later Execute fails immediately.
+	Crash float64
+	// CrashAfter, when positive, kills the replica deterministically
+	// after that many delivered blocks (counted across leases).
+	CrashAfter int
+	// Delay stalls before each delivery (context-respecting) — the lever
+	// for forcing lease expiry.
+	Delay time.Duration
+}
+
+// ParseFaultSpec parses the ecodse -shard-faults syntax: a
+// comma-separated key=value list, e.g.
+//
+//	drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42
+//
+// Keys: drop, dup, err, crash (probabilities in [0,1]), crash-after
+// (block count), delay (Go duration), seed (int64). An empty string is
+// the zero spec.
+func ParseFaultSpec(s string) (FaultSpec, error) {
+	var spec FaultSpec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return FaultSpec{}, fmt.Errorf("shard: fault spec field %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "drop":
+			spec.Drop, err = parseProb(key, val)
+		case "dup":
+			spec.Dup, err = parseProb(key, val)
+		case "err":
+			spec.Err, err = parseProb(key, val)
+		case "crash":
+			spec.Crash, err = parseProb(key, val)
+		case "crash-after":
+			spec.CrashAfter, err = strconv.Atoi(val)
+		case "delay":
+			spec.Delay, err = time.ParseDuration(val)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return FaultSpec{}, fmt.Errorf("shard: unknown fault spec key %q", key)
+		}
+		if err != nil {
+			return FaultSpec{}, fmt.Errorf("shard: fault spec %s: %w", key, err)
+		}
+	}
+	return spec, nil
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("%s=%v outside [0,1]", key, p)
+	}
+	return p, nil
+}
+
+// Fault wraps a transport with a seeded fault schedule: dropped,
+// duplicated and delayed deliveries, transient lease errors, and
+// replica crashes (probabilistic or after a fixed block count). The
+// wrapper is the chaos suite's failure generator; because every fault
+// is recoverable by the coordinator's re-lease/dedup machinery, any
+// schedule must leave the sweep output bit-identical.
+func Fault(inner Transport, spec FaultSpec) Transport {
+	return &faultTransport{inner: inner, spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+type faultTransport struct {
+	inner Transport
+	spec  FaultSpec
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	delivered int
+	dead      bool
+}
+
+// roll draws the fates of the next delivery under the mutex so
+// concurrent leases (not that the coordinator grants them today) keep
+// the schedule deterministic per wrapper.
+func (f *faultTransport) roll() (drop, dup, errAfter, crash bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delivered++
+	if f.spec.CrashAfter > 0 && f.delivered >= f.spec.CrashAfter {
+		return false, false, false, true
+	}
+	if f.spec.Crash > 0 && f.rng.Float64() < f.spec.Crash {
+		return false, false, false, true
+	}
+	drop = f.spec.Drop > 0 && f.rng.Float64() < f.spec.Drop
+	dup = !drop && f.spec.Dup > 0 && f.rng.Float64() < f.spec.Dup
+	errAfter = f.spec.Err > 0 && f.rng.Float64() < f.spec.Err
+	return drop, dup, errAfter, crash
+}
+
+func (f *faultTransport) Execute(ctx context.Context, lease Lease, emit func(BlockResult) error) error {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return ErrReplicaDown
+	}
+	err := f.inner.Execute(ctx, lease, func(res BlockResult) error {
+		if f.spec.Delay > 0 {
+			if !sleepCtx(ctx, f.spec.Delay) {
+				return ctx.Err()
+			}
+		}
+		drop, dup, errAfter, crash := f.roll()
+		if crash {
+			f.mu.Lock()
+			f.dead = true
+			f.mu.Unlock()
+			// The block's result dies with the replica.
+			return fmt.Errorf("%w: crashed mid-block %d", ErrReplicaDown, res.Block)
+		}
+		if !drop {
+			if err := emit(res); err != nil {
+				return err
+			}
+			if dup {
+				if err := emit(res); err != nil {
+					return err
+				}
+			}
+		}
+		if errAfter {
+			return fmt.Errorf("shard: injected transient fault after block %d", res.Block)
+		}
+		return nil
+	})
+	return err
+}

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"sort"
+
+	"ecochip/internal/explore"
+)
+
+// frontFold is one block's incremental skyline: the mutually
+// non-dominated subset of the points streamed so far, with their output
+// slots. The fold semantics mirror explore's per-worker block fronts
+// (equal points do not dominate each other, so exact duplicates
+// coexist), which is what makes the coordinator's barrier merge — sort
+// survivors by slot, one final explore.ParetoFront pass — bit-identical
+// to ParetoFrontCtx: dominance is transitive, so any point a block-local
+// pass eliminates would also be eliminated by the final full-information
+// pass, regardless of how blocks partition the space.
+type frontFold struct {
+	k     int
+	slots []int
+	pts   []explore.Point
+	objs  []float64 // len(pts)*k objective values
+	vals  []float64 // candidate scratch, len k
+}
+
+func newFrontFold(k int) *frontFold {
+	return &frontFold{k: k, vals: make([]float64, k)}
+}
+
+// add folds one point into the front: rejected if any member dominates
+// it, otherwise inserted after evicting the members it dominates.
+func (f *frontFold) add(slot int, pt *explore.Point, objectives []explore.Metric) {
+	vals := f.vals
+	for j, m := range objectives {
+		vals[j] = m(*pt)
+	}
+	for e := 0; e < len(f.pts); {
+		ov := f.objs[e*f.k : (e+1)*f.k]
+		memberBetter, candidateBetter := false, false
+		for j := 0; j < f.k; j++ {
+			switch {
+			case ov[j] < vals[j]:
+				memberBetter = true
+			case ov[j] > vals[j]:
+				candidateBetter = true
+			}
+		}
+		if memberBetter && !candidateBetter {
+			return // dominated by a member
+		}
+		if candidateBetter && !memberBetter {
+			// Candidate dominates the member: swap-delete (slot order is
+			// restored by sorted()).
+			last := len(f.pts) - 1
+			f.pts[e] = f.pts[last]
+			f.slots[e] = f.slots[last]
+			f.pts = f.pts[:last]
+			f.slots = f.slots[:last]
+			copy(f.objs[e*f.k:(e+1)*f.k], f.objs[last*f.k:(last+1)*f.k])
+			f.objs = f.objs[:last*f.k]
+			continue
+		}
+		e++
+	}
+	cp := *pt
+	cp.Nodes = append([]int(nil), pt.Nodes...)
+	f.slots = append(f.slots, slot)
+	f.pts = append(f.pts, cp)
+	f.objs = append(f.objs, vals...)
+}
+
+// sorted returns the surviving (slot, point) pairs in ascending slot
+// order — the canonical wire form of a block front.
+func (f *frontFold) sorted() ([]int, []explore.Point) {
+	order := make([]int, len(f.pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return f.slots[order[a]] < f.slots[order[b]] })
+	slots := make([]int, len(order))
+	pts := make([]explore.Point, len(order))
+	for i, o := range order {
+		slots[i] = f.slots[o]
+		pts[i] = f.pts[o]
+	}
+	return slots, pts
+}
