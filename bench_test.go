@@ -623,3 +623,84 @@ func BenchmarkEvaluateBatch(b *testing.B) {
 		}
 	}
 }
+
+// serveBenchSetup builds the EPYC-scale what-if workload: the full
+// 8-CCD system and a 3-node candidate list (3^9 = 19683 combos), plus
+// the swap request the serve benchmarks answer.
+func serveBenchSetup(b *testing.B) (*TechDB, *ServeSweepRequest, *ServeWhatIfRequest) {
+	b.Helper()
+	db := DefaultDB()
+	sys, err := EPYC(db, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := []int{7, 10, 14}
+	sweep := &ServeSweepRequest{System: sys, Nodes: nodes}
+	whatIf := &ServeWhatIfRequest{
+		System: sys,
+		Nodes:  nodes,
+		Swap:   map[string]int{"iod": 10, "ccd0": 10},
+	}
+	return db, sweep, whatIf
+}
+
+// BenchmarkServeWarmWhatIf measures one node-swap what-if against a
+// warm server: plan-cache hit, Gray-code point inversion, single-point
+// evaluation off the compiled tables. This is the steady-state
+// per-request cost of the serving layer.
+func BenchmarkServeWarmWhatIf(b *testing.B) {
+	db, _, whatIf := serveBenchSetup(b)
+	srv := NewCarbonServer(db, ServeConfig{})
+	ctx := context.Background()
+	if _, err := srv.WhatIf(ctx, whatIf); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.WhatIf(ctx, whatIf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeColdWhatIf measures the same what-if against a cold
+// server every iteration: content hash, plan compile, then the
+// single-point evaluation — what every request would cost without the
+// plan cache.
+func BenchmarkServeColdWhatIf(b *testing.B) {
+	db, _, whatIf := serveBenchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := NewCarbonServer(db, ServeConfig{})
+		if _, err := srv.WhatIf(ctx, whatIf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogEviction measures a capacity-bounded shard catalog
+// thrashing: four registered sweeps cycling through two resident slots,
+// so every Plan call past the warmup is an eviction plus a deterministic
+// recompile.
+func BenchmarkCatalogEviction(b *testing.B) {
+	db := DefaultDB()
+	cat := NewShardCatalogCap(2)
+	keys := make([]string, 4)
+	for i := range keys {
+		base := GA102(db, 7, 14, 10, false)
+		base.Chiplets = append([]Chiplet(nil), base.Chiplets...)
+		base.Chiplets[0].Transistors *= 1 + 0.01*float64(i)
+		key, err := cat.RegisterSweep(base, db, sweepBenchNodes, DefaultCostParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = key
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cat.Plan(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

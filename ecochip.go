@@ -25,6 +25,7 @@ package ecochip
 
 import (
 	"context"
+	"net/http"
 
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
@@ -34,11 +35,13 @@ import (
 	"ecochip/internal/explore"
 	"ecochip/internal/floorplan"
 	"ecochip/internal/kernel"
+	"ecochip/internal/lru"
 	"ecochip/internal/mfg"
 	"ecochip/internal/pkgcarbon"
 	"ecochip/internal/report"
 	"ecochip/internal/roadmap"
 	"ecochip/internal/sensitivity"
+	"ecochip/internal/serve"
 	"ecochip/internal/shard"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
@@ -489,4 +492,78 @@ const (
 // underneath it.
 func CompileParamPlan(base *System, db *TechDB) (*ParamPlan, error) {
 	return kernel.CompileParams(base, db)
+}
+
+// Serving layer (the ecoserve surface).
+type (
+	// CarbonServer answers concurrent what-if requests (node swaps,
+	// area/volume perturbations, disaggregation searches, sweep fronts)
+	// off content-keyed compiled-plan caches with single-flight
+	// compilation. Warm answers are bit-identical to a cold
+	// compile-and-run. Build with NewCarbonServer; expose over HTTP with
+	// ServeHandler.
+	CarbonServer = serve.Server
+	// ServeConfig tunes a CarbonServer (plan-cache bound, engine
+	// workers, stream replica fan-out); the zero value has production
+	// defaults.
+	ServeConfig = serve.Config
+	// ServeStats snapshots a server's three plan caches (sweep,
+	// parameter, disaggregation).
+	ServeStats = serve.Stats
+	// ServeSweepRequest asks for a node sweep (or its Pareto front) of
+	// one system.
+	ServeSweepRequest = serve.SweepRequest
+	// ServeWhatIfRequest poses one what-if question: a node swap served
+	// off the warm sweep plan, or an area/volume perturbation served off
+	// the warm parameter plan.
+	ServeWhatIfRequest = serve.WhatIfRequest
+	// ServeDisaggregateRequest asks for the greedy disaggregation of a
+	// system.
+	ServeDisaggregateRequest = serve.DisaggregateRequest
+	// PlanCacheStats counts one plan cache's hits, misses, coalesced
+	// waits, builds and capacity evictions.
+	PlanCacheStats = lru.Stats
+	// ShardFrontSnapshot is one emission of a streamed Pareto front: the
+	// front over every block folded so far, with run progress.
+	ShardFrontSnapshot = shard.FrontSnapshot
+	// DisaggregationSearch is a retained greedy disaggregation search:
+	// compiled once per (system, db) with CompileDisaggregation, Run any
+	// number of times — warm runs revisit the memoized candidate tables
+	// and return bit-identical plans at a fraction of the cold cost.
+	DisaggregationSearch = explore.DisaggregateSearch
+)
+
+// NewCarbonServer builds a what-if server over one technology database
+// version. The database fixes every plan key, so a db upgrade is a new
+// server whose keys all differ.
+func NewCarbonServer(db *TechDB, cfg ServeConfig) *CarbonServer { return serve.NewServer(db, cfg) }
+
+// ServeHandler exposes a CarbonServer over HTTP/JSON (POST /v1/sweep,
+// /v1/whatif, /v1/disaggregate, /v1/sweep/stream NDJSON; GET /v1/stats).
+func ServeHandler(s *CarbonServer) http.Handler { return serve.Handler(s) }
+
+// NewShardCatalogCap returns an in-process plan catalog holding at most
+// capacity compiled plans resident (capacity <= 0 means unbounded);
+// evicted keys recompile on demand, bit-identically, from their
+// registered constructors.
+func NewShardCatalogCap(capacity int) *ShardCatalog { return shard.NewCatalogCap(capacity) }
+
+// ParamPlanKey derives the content key of a parameter plan: a stable
+// hash of the base system and the technology database. It is the cache
+// identity CarbonServer uses for perturbation what-ifs.
+func ParamPlanKey(base *System, db *TechDB) (string, error) { return explore.ParamKey(base, db) }
+
+// DisaggregationKey derives the content key of a disaggregation search
+// over (base, db) — the cache identity CarbonServer uses for
+// disaggregation requests.
+func DisaggregationKey(base *System, db *TechDB) (string, error) {
+	return explore.DisaggregateKey(base, db)
+}
+
+// CompileDisaggregation builds the retained disaggregation search of a
+// block-level system description. The search is safe for concurrent Run
+// calls (runs serialize internally) and every run returns the same
+// bits.
+func CompileDisaggregation(base *System, db *TechDB) (*DisaggregationSearch, error) {
+	return explore.CompileDisaggregate(base, db)
 }

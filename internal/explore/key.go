@@ -3,50 +3,175 @@ package explore
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
+	"sync"
 
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
 	"ecochip/internal/tech"
 )
 
-// PlanKey derives the stable identity of the compiled sweep of (base,
-// db, nodes, cp): two parties that agree on the key are guaranteed to
-// compile bit-identical plans, which is what lets a distributed shard
-// replica compile locally from the key instead of receiving the plan
-// over the wire. The key hashes a canonical JSON encoding of the system
-// description, the candidate node list, the cost parameters and every
-// node record of the database (in sorted node order, so map iteration
-// can never perturb it). It is a content fingerprint, not a
-// cryptographic commitment: collisions between adversarially crafted
-// systems are out of scope, honest version skew (a changed defect
-// density, a re-calibrated mask cost) reliably changes the key.
-func PlanKey(base *core.System, db *tech.DB, nodes []int, cp cost.Params) (string, error) {
-	h := fnv.New64a()
-	enc := json.NewEncoder(h)
-	// encoding/json sorts map keys and follows pointers, so each write
-	// is deterministic in the value's content alone.
-	if err := enc.Encode(base); err != nil {
-		return "", fmt.Errorf("explore: plan key system encoding: %w", err)
+// fnv64a is an FNV-64a accumulator whose state is the hash itself —
+// which is what lets a Keyer snapshot the state after the database
+// prefix and resume per request. (hash/fnv computes the same function
+// but cannot be seeded mid-stream.)
+type fnv64a uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (h *fnv64a) Write(p []byte) (int, error) {
+	s := uint64(*h)
+	for _, b := range p {
+		s ^= uint64(b)
+		s *= fnvPrime64
 	}
-	if err := enc.Encode(nodes); err != nil {
-		return "", fmt.Errorf("explore: plan key node-list encoding: %w", err)
+	*h = fnv64a(s)
+	return len(p), nil
+}
+
+// keyHash accumulates canonical JSON encodings of the values that make
+// up a plan identity into an FNV-64a fingerprint. encoding/json sorts
+// map keys and follows pointers, so each write is deterministic in the
+// value's content alone.
+type keyHash struct {
+	h   *fnv64a
+	enc *json.Encoder
+}
+
+func newKeyHash(state uint64) keyHash {
+	h := fnv64a(state)
+	return keyHash{h: &h, enc: json.NewEncoder(&h)}
+}
+
+func (k keyHash) write(what string, v any) error {
+	if err := k.enc.Encode(v); err != nil {
+		return fmt.Errorf("explore: plan key %s encoding: %w", what, err)
 	}
-	if err := enc.Encode(cp); err != nil {
-		return "", fmt.Errorf("explore: plan key cost-params encoding: %w", err)
-	}
+	return nil
+}
+
+// writeDB folds the full database — the node list and every node record
+// in sorted order, so map iteration can never perturb it — into the
+// fingerprint. Honest version skew (a changed defect density, a
+// re-calibrated mask cost) reliably changes every key derived over it.
+func (k keyHash) writeDB(db *tech.DB) error {
 	sizes := db.Sizes()
-	if err := enc.Encode(sizes); err != nil {
-		return "", fmt.Errorf("explore: plan key db-sizes encoding: %w", err)
+	if err := k.write("db-sizes", sizes); err != nil {
+		return err
 	}
 	for _, nm := range sizes {
 		n, err := db.Get(nm)
 		if err != nil {
-			return "", err
+			return err
 		}
-		if err := enc.Encode(n); err != nil {
-			return "", fmt.Errorf("explore: plan key node %dnm encoding: %w", nm, err)
+		if err := k.write(fmt.Sprintf("node %dnm", nm), n); err != nil {
+			return err
 		}
 	}
-	return fmt.Sprintf("sweep-%016x", h.Sum64()), nil
+	return nil
+}
+
+// Keyer derives plan keys over one pinned database. The database is by
+// far the largest key ingredient (every node record), and a serving
+// process keys hundreds of requests against the same db version — so
+// the Keyer folds the db into the hash state once, lazily, and each key
+// derivation resumes from that snapshot and encodes only the
+// request-specific suffix. Safe for concurrent use.
+type Keyer struct {
+	db      *tech.DB
+	once    sync.Once
+	dbState uint64
+	dbErr   error
+}
+
+// NewKeyer pins a database for key derivation. The db must not be
+// mutated afterwards (the same contract every compiled plan already
+// imposes).
+func NewKeyer(db *tech.DB) *Keyer { return &Keyer{db: db} }
+
+// start returns a keyHash seeded with the db prefix state.
+func (ky *Keyer) start() (keyHash, error) {
+	ky.once.Do(func() {
+		k := newKeyHash(fnvOffset64)
+		if err := k.writeDB(ky.db); err != nil {
+			ky.dbErr = err
+			return
+		}
+		ky.dbState = uint64(*k.h)
+	})
+	if ky.dbErr != nil {
+		return keyHash{}, ky.dbErr
+	}
+	return newKeyHash(ky.dbState), nil
+}
+
+func (ky *Keyer) key(prefix string, write func(keyHash) error) (string, error) {
+	k, err := ky.start()
+	if err != nil {
+		return "", err
+	}
+	if err := write(k); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s-%016x", prefix, uint64(*k.h)), nil
+}
+
+// SweepKey derives the stable identity of the compiled sweep of (base,
+// db, nodes, cp): two parties that agree on the key are guaranteed to
+// compile bit-identical plans, which is what lets a distributed shard
+// replica — or a plan-cache lookup in the serving layer — compile
+// locally from the key instead of receiving the plan over the wire. The
+// key hashes a canonical JSON encoding of every node record of the
+// database, the system description, the candidate node list and the
+// cost parameters. It is a content fingerprint, not a cryptographic
+// commitment: collisions between adversarially crafted systems are out
+// of scope.
+func (ky *Keyer) SweepKey(base *core.System, nodes []int, cp cost.Params) (string, error) {
+	return ky.key("sweep", func(k keyHash) error {
+		if err := k.write("system", base); err != nil {
+			return err
+		}
+		if err := k.write("node-list", nodes); err != nil {
+			return err
+		}
+		return k.write("cost-params", cp)
+	})
+}
+
+// ParamKey derives the stable identity of the compiled parameter plan
+// of (base, db) — the what-if cache key for perturbation requests. Same
+// contract as SweepKey: equal keys compile bit-identical ParamPlans.
+// The prefix keeps the three plan families in one cache namespace
+// without cross-family collisions.
+func (ky *Keyer) ParamKey(base *core.System) (string, error) {
+	return ky.key("param", func(k keyHash) error {
+		return k.write("system", base)
+	})
+}
+
+// DisaggregateKey derives the stable identity of the compiled
+// disaggregation search of (base, db). Equal keys produce searches with
+// identical (deterministic) greedy trajectories, so warm re-runs are
+// bit-identical to the first.
+func (ky *Keyer) DisaggregateKey(base *core.System) (string, error) {
+	return ky.key("disagg", func(k keyHash) error {
+		return k.write("system", base)
+	})
+}
+
+// PlanKey is the one-shot form of Keyer.SweepKey.
+func PlanKey(base *core.System, db *tech.DB, nodes []int, cp cost.Params) (string, error) {
+	return NewKeyer(db).SweepKey(base, nodes, cp)
+}
+
+// ParamKey is the one-shot form of Keyer.ParamKey.
+func ParamKey(base *core.System, db *tech.DB) (string, error) {
+	return NewKeyer(db).ParamKey(base)
+}
+
+// DisaggregateKey is the one-shot form of Keyer.DisaggregateKey.
+func DisaggregateKey(base *core.System, db *tech.DB) (string, error) {
+	return NewKeyer(db).DisaggregateKey(base)
 }

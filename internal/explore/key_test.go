@@ -77,3 +77,57 @@ func TestPlanKeyStableAndSensitive(t *testing.T) {
 		t.Error("identical database clone changed the key")
 	}
 }
+
+// The param and disaggregate keys share PlanKey's contract — stable
+// across derivations, sensitive to system and database content — and
+// the three families must never collide with each other (distinct
+// prefixes, since a param plan and a disaggregation of the same system
+// hash the same inputs).
+func TestParamAndDisaggregateKeys(t *testing.T) {
+	db := tech.Default()
+	rng := rand.New(rand.NewSource(12))
+	sys := testcases.Random(rng, db)
+
+	pk, err := ParamKey(sys, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := DisaggregateKey(sys, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk2, _ := ParamKey(sys, db); pk2 != pk {
+		t.Fatalf("ParamKey unstable: %s vs %s", pk, pk2)
+	}
+	if dk2, _ := DisaggregateKey(sys, db); dk2 != dk {
+		t.Fatalf("DisaggregateKey unstable: %s vs %s", dk, dk2)
+	}
+	if pk == dk {
+		t.Fatalf("param and disaggregate keys collide: %s", pk)
+	}
+
+	mut := *sys
+	mut.Chiplets = append([]core.Chiplet(nil), sys.Chiplets...)
+	mut.Chiplets[0].Transistors *= 1.01
+	if mk, _ := ParamKey(&mut, db); mk == pk {
+		t.Error("system perturbation did not change ParamKey")
+	}
+	if mk, _ := DisaggregateKey(&mut, db); mk == dk {
+		t.Error("system perturbation did not change DisaggregateKey")
+	}
+
+	db2, err := db.Clone(func(n *tech.Node) {
+		if n.Nm == 7 {
+			n.DefectDensity *= 1.1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk, _ := ParamKey(sys, db2); mk == pk {
+		t.Error("database perturbation did not change ParamKey")
+	}
+	if mk, _ := DisaggregateKey(sys, db2); mk == dk {
+		t.Error("database perturbation did not change DisaggregateKey")
+	}
+}

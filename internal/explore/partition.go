@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ecochip/internal/core"
 	"ecochip/internal/engine"
@@ -210,23 +211,44 @@ type commKey struct {
 // successive steps re-price mostly unchanged die sets. The greedy
 // trajectory is bit-identical to DisaggregateReference.
 func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts ...engine.Option) (*Plan, error) {
+	ds, err := CompileDisaggregate(base, db)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Run(ctx, opts...)
+}
+
+// DisaggregateSearch is a compiled, retained disaggregation search for
+// one (base system, database) pair — DisaggregateCtx split into a
+// compile and a run so the serving layer can keep the search warm in a
+// plan cache (keyed by DisaggregateKey). Everything the greedy loop
+// tabulates is retained across runs: the merged-die and unchanged-die
+// cell memos, the communication-share memo, the engine cache behind the
+// full evaluations, and the pooled worker scratches with their warm
+// floorplan trees. The trajectory is deterministic in (base, db), so a
+// warm re-run revisits exactly the memoized groups and pairs — it
+// re-prices almost nothing — and returns a Plan bit-identical to the
+// first run (and to a cold DisaggregateCtx), which the parity suite
+// pins. Runs serialize on the retained state; concurrent callers queue.
+type DisaggregateSearch struct {
+	base  *core.System // private clone; runs clone it again to mutate
+	db    *tech.DB
+	cache *engine.Cache
+	mu    sync.Mutex
+	st    *disaggState
+}
+
+// CompileDisaggregate validates the system and builds the search's
+// retained state without running it.
+func CompileDisaggregate(base *core.System, db *tech.DB) (*DisaggregateSearch, error) {
 	if err := base.Validate(db); err != nil {
 		return nil, err
 	}
 	if base.Monolithic {
 		return nil, fmt.Errorf("explore: disaggregation needs a chiplet-form system, not a monolith")
 	}
-	// Share one cache across every step unless the caller provided their
-	// own engine configuration. The cache backs the full evaluations
-	// (the starting point and the final 2 -> 1 merge); the per-step cell
-	// tabulation runs on the search's own flat memos instead, which
-	// dedup at least as well without the hashed-key layer.
-	cache := engine.NewCache()
-	opts = append([]engine.Option{engine.WithCache(cache)}, opts...)
-
-	current := cloneSystem(base)
-	nc := len(current.Chiplets)
-	pkg := current.Packaging
+	template := cloneSystem(base)
+	nc := len(template.Chiplets)
 	st := &disaggState{
 		db:          db,
 		nextID:      nc,
@@ -241,12 +263,58 @@ func DisaggregateCtx(ctx context.Context, base *core.System, db *tech.DB, opts .
 		// step; the arena grows past this without harm.
 		mergedEntries: make([]mergedCell, 0, nc*(nc-1)/4+nc),
 	}
-	for i := range st.ids {
-		st.ids[i] = i
-	}
+	pkg := template.Packaging
 	st.pool = kernel.NewScratchPool(func() (*kernel.Scratch, error) {
 		return kernel.NewSweepScratch(&pkg, nc)
 	})
+	return &DisaggregateSearch{
+		base: template,
+		db:   db,
+		// Share one cache across every step — and across runs — unless a
+		// run's caller provides their own engine configuration. The cache
+		// backs the full evaluations (the starting point and the final
+		// 2 -> 1 merge); the per-step cell tabulation runs on the
+		// search's own flat memos instead, which dedup at least as well
+		// without the hashed-key layer.
+		cache: engine.NewCache(),
+		st:    st,
+	}, nil
+}
+
+// Stats snapshots the search's work counters. They accumulate across
+// runs of a retained search (Steps reflects the latest run; the memo
+// and scratch counters are cumulative, so a warm re-run shows up as
+// pure MergedCellHits growth).
+func (ds *DisaggregateSearch) Stats() DisaggregateStats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	s := ds.st.stats
+	s.ScratchReuses = ds.st.pool.Reuses()
+	s.Floorplan = ds.st.pool.FloorplanStats()
+	return s
+}
+
+// Run executes the greedy search on the retained state. The group-id
+// trajectory is deterministic, so the per-run reset touches only the
+// position→id map and the id counter: every memo keyed by group id or
+// pair stays valid because a re-run mints the same ids for the same
+// groups in the same order (an aborted run leaves only a prefix of that
+// same assignment behind).
+func (ds *DisaggregateSearch) Run(ctx context.Context, opts ...engine.Option) (*Plan, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	st := ds.st
+	current := cloneSystem(ds.base)
+	nc := len(current.Chiplets)
+	st.nextID = nc
+	if cap(st.ids) < nc {
+		st.ids = make([]int, nc)
+	}
+	st.ids = st.ids[:nc]
+	for i := range st.ids {
+		st.ids[i] = i
+	}
+	opts = append([]engine.Option{engine.WithCache(ds.cache)}, opts...)
 
 	groups := make([][]string, nc)
 	for i, c := range current.Chiplets {

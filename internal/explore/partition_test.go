@@ -1,7 +1,11 @@
 package explore
 
 import (
+	"context"
+	"math"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"ecochip/internal/core"
@@ -153,4 +157,79 @@ func TestDisaggregateDoesNotMutate(t *testing.T) {
 	if len(base.Chiplets) != before || base.Chiplets[0].Name != name0 {
 		t.Error("Disaggregate mutated its input")
 	}
+}
+
+// A retained search must hand back bit-identical Plans run after run —
+// the serving contract: a warm re-run serves the same answer as the
+// cold one, from memos instead of recomputation.
+func TestDisaggregateSearchWarmRunsBitIdentical(t *testing.T) {
+	base := fineGrained(8, 3)
+	d := db()
+	ds, err := CompileDisaggregate(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := DisaggregateCtx(context.Background(), base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevHits uint64
+	for run := 0; run < 3; run++ {
+		got, err := ds.Run(context.Background())
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if math.Float64bits(got.EmbodiedKg) != math.Float64bits(cold.EmbodiedKg) ||
+			math.Float64bits(got.InitialKg) != math.Float64bits(cold.InitialKg) {
+			t.Fatalf("run %d: EmbodiedKg/InitialKg = %v/%v, want %v/%v (bit-exact)",
+				run, got.EmbodiedKg, got.InitialKg, cold.EmbodiedKg, cold.InitialKg)
+		}
+		if got.Steps != cold.Steps || !reflect.DeepEqual(got.Groups, cold.Groups) {
+			t.Fatalf("run %d: trajectory diverged: %d steps %v, want %d steps %v",
+				run, got.Steps, got.Groups, cold.Steps, cold.Groups)
+		}
+		hits := ds.Stats().MergedCellHits
+		if run > 0 && hits == prevHits {
+			t.Errorf("run %d: no merged-cell memo hits on a warm re-run", run)
+		}
+		prevHits = hits
+	}
+	// Warm runs must add no misses: the whole candidate table is served
+	// from the retained arenas.
+	s := ds.Stats()
+	if s.MergedCellMisses != cold.Stats.MergedCellMisses {
+		t.Errorf("warm runs recomputed merged cells: %d misses, want %d (cold run only)",
+			s.MergedCellMisses, cold.Stats.MergedCellMisses)
+	}
+}
+
+// Concurrent Runs serialize on the retained state and each returns the
+// same bits.
+func TestDisaggregateSearchConcurrentRuns(t *testing.T) {
+	base := fineGrained(6, 2)
+	d := db()
+	ds, err := CompileDisaggregate(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ds.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := ds.Run(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if math.Float64bits(got.EmbodiedKg) != math.Float64bits(ref.EmbodiedKg) {
+				t.Errorf("EmbodiedKg = %v, want %v", got.EmbodiedKg, ref.EmbodiedKg)
+			}
+		}()
+	}
+	wg.Wait()
 }

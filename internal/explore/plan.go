@@ -627,6 +627,53 @@ func (p *CompiledPlan) grayInit(k int, sc *blockScratch) {
 	}
 }
 
+// EvalPoint evaluates the single design point with the given
+// per-chiplet node assignment (nodes[i] is chiplet i's node in nm; every
+// entry must come from the plan's candidate set). It is the what-if
+// primitive of the serving layer: a node-swap request against a warm
+// plan inverts the Gray code to the point's sequence index and walks
+// that one-point range, so the returned point carries the exact float
+// bits of the same point in a full RunCtx — and a warm scratch serves
+// the package term straight from the per-point memo, skipping the
+// estimator entirely on repeat requests.
+func (p *CompiledPlan) EvalPoint(ctx context.Context, nodes []int) (Point, error) {
+	if len(nodes) != p.nc {
+		return Point{}, fmt.Errorf("explore: EvalPoint got %d nodes for a %d-chiplet plan", len(nodes), p.nc)
+	}
+	// Invert grayInit: recover each chiplet's Gray digit (its index in
+	// the candidate list), un-reflect it by the running parity into the
+	// standard digit, and accumulate the sequence index.
+	k, b := 0, 0
+	for i, nm := range nodes {
+		d := -1
+		for j, cand := range p.nodes {
+			if cand == nm {
+				d = j
+				break
+			}
+		}
+		if d < 0 {
+			return Point{}, fmt.Errorf("explore: EvalPoint node %dnm for chiplet %d is outside the plan's candidate set %v", nm, i, p.nodes)
+		}
+		a := d
+		if b&1 == 1 {
+			a = p.r - 1 - d
+		}
+		k += a * p.weight[i]
+		b = b*p.r + a
+	}
+	var out Point
+	err := p.WalkRange(ctx, k, k+1, func(idx int, pt *Point) error {
+		out = *pt
+		out.Nodes = append([]int(nil), pt.Nodes...)
+		return nil
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	return out, nil
+}
+
 // grayStep advances the odometer one sequence index and returns the
 // single changed Gray digit (its position, old and new value). The
 // standard digits carry like a counter; the changed Gray position is

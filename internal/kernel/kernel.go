@@ -96,6 +96,7 @@ type Scratch struct {
 	pkgPtKeys []uint64
 	pkgPtVals []PkgPoint
 	pkgPtSpan uint64 // point-space size the slots were sized for
+	pkgPtLive int    // occupied slots (gauge; resets with the table)
 	pkgPtStat PkgMemoStats
 }
 
@@ -115,6 +116,18 @@ type PkgMemoStats struct {
 	// point index — a recompute forced purely by the direct-mapped
 	// layout.
 	Collisions uint64
+	// Fills is the number of stores that claimed an empty slot. Fills
+	// bounded well below the slot count means the workload's working
+	// set fits the table and Collisions noise is hash-induced, not
+	// capacity-induced.
+	Fills uint64
+	// Evictions is the number of stores that overwrote a live entry of
+	// a different point index — the direct-mapped table's forced
+	// evictions. A serving workload whose Evictions grow linearly with
+	// traffic is thrashing the memo (the pathological collision pattern
+	// ROADMAP flagged) and would benefit from a larger or associative
+	// table.
+	Evictions uint64
 }
 
 // Add accumulates o into s.
@@ -122,6 +135,8 @@ func (s *PkgMemoStats) Add(o PkgMemoStats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
 	s.Collisions += o.Collisions
+	s.Fills += o.Fills
+	s.Evictions += o.Evictions
 }
 
 // Delta returns the counters accumulated since prev was snapshotted.
@@ -130,6 +145,8 @@ func (s PkgMemoStats) Delta(prev PkgMemoStats) PkgMemoStats {
 		Hits:       s.Hits - prev.Hits,
 		Misses:     s.Misses - prev.Misses,
 		Collisions: s.Collisions - prev.Collisions,
+		Fills:      s.Fills - prev.Fills,
+		Evictions:  s.Evictions - prev.Evictions,
 	}
 }
 
@@ -191,10 +208,27 @@ func (sc *Scratch) StorePackagePoint(idx, span uint64, v PkgPoint) {
 		sc.pkgPtKeys = make([]uint64, n)
 		sc.pkgPtVals = make([]PkgPoint, n)
 		sc.pkgPtSpan = span
+		sc.pkgPtLive = 0
 	}
 	slot := pkgPointSlot(idx, span)
+	switch key := sc.pkgPtKeys[slot]; {
+	case key == 0:
+		sc.pkgPtStat.Fills++
+		sc.pkgPtLive++
+	case key != idx+1:
+		sc.pkgPtStat.Evictions++
+	}
 	sc.pkgPtKeys[slot] = idx + 1
 	sc.pkgPtVals[slot] = v
+}
+
+// PkgMemoOccupancy reports the point memo's live entry count against
+// its slot capacity — a residency gauge (not a monotone counter, so it
+// lives beside PkgMemoStats rather than in it). A memo near capacity
+// with growing Evictions is the thrashing signature serving workloads
+// watch for.
+func (sc *Scratch) PkgMemoOccupancy() (occupied, capacity int) {
+	return sc.pkgPtLive, len(sc.pkgPtKeys)
 }
 
 // NewSweepScratch builds the per-worker arena of a compiled node sweep:

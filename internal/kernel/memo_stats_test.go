@@ -44,8 +44,48 @@ func TestPkgMemoStatsCountsHitsMissesCollisions(t *testing.T) {
 	if s.Collisions != 2 {
 		t.Errorf("Collisions = %d, want 2", s.Collisions)
 	}
+	// One empty slot claimed (point 1); `other`'s store overwrote it.
+	if s.Fills != 1 {
+		t.Errorf("Fills = %d, want 1", s.Fills)
+	}
+	if s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+	if occ, cap := sc.PkgMemoOccupancy(); occ != 1 || cap != 1<<pkgPointSlotBits {
+		t.Errorf("occupancy = %d/%d, want 1/%d", occ, cap, 1<<pkgPointSlotBits)
+	}
 	if d := sc.PkgMemoStats().Delta(s); d != (PkgMemoStats{}) {
 		t.Errorf("Delta against the latest snapshot = %+v, want zero", d)
+	}
+}
+
+// Re-storing the same point must not inflate the fill or eviction
+// counters, and occupancy must track live entries, not store traffic.
+func TestPkgMemoOccupancyIdentitySpan(t *testing.T) {
+	sc := &Scratch{}
+	span := uint64(16)
+	for idx := uint64(0); idx < span; idx++ {
+		sc.StorePackagePoint(idx, span, PkgPoint{})
+		sc.StorePackagePoint(idx, span, PkgPoint{}) // overwrite in place
+	}
+	if occ, cap := sc.PkgMemoOccupancy(); occ != int(span) || cap != int(span) {
+		t.Errorf("occupancy = %d/%d, want %d/%d", occ, cap, span, span)
+	}
+	s := sc.PkgMemoStats()
+	if s.Fills != span {
+		t.Errorf("Fills = %d, want %d", s.Fills, span)
+	}
+	if s.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0: same-key overwrites evict nothing", s.Evictions)
+	}
+	// A span change rebuilds the table: occupancy resets, counters keep
+	// accumulating monotonically.
+	sc.StorePackagePoint(0, span*2, PkgPoint{})
+	if occ, cap := sc.PkgMemoOccupancy(); occ != 1 || cap != int(span*2) {
+		t.Errorf("occupancy after resize = %d/%d, want 1/%d", occ, cap, span*2)
+	}
+	if got := sc.PkgMemoStats().Fills; got != span+1 {
+		t.Errorf("Fills after resize = %d, want %d", got, span+1)
 	}
 }
 

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ecochip/internal/explore"
+	"ecochip/internal/shard"
+)
+
+// Handler exposes a Server over HTTP/JSON:
+//
+//	POST /v1/sweep        SweepRequest        -> SweepResponse
+//	POST /v1/whatif       WhatIfRequest       -> WhatIfResponse
+//	POST /v1/disaggregate DisaggregateRequest -> DisaggregateResponse
+//	POST /v1/sweep/stream SweepRequest        -> NDJSON StreamLine per
+//	                      front snapshot, then one terminal line with
+//	                      Result set
+//	GET  /v1/stats                            -> Stats
+//
+// Request validation failures are 400s with an {"error": ...} body;
+// everything downstream of a valid request is a 500. Handlers are
+// concurrency-safe (the server's caches single-flight compiles), so the
+// default one-goroutine-per-connection http.Server drive is the
+// intended concurrent serving mode.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Sweep(r.Context(), &req)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/whatif", func(w http.ResponseWriter, r *http.Request) {
+		var req WhatIfRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.WhatIf(r.Context(), &req)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/disaggregate", func(w http.ResponseWriter, r *http.Request) {
+		var req DisaggregateRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Disaggregate(r.Context(), &req)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/sweep/stream", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		streamFront(w, r, s, &req)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// StreamLine is one NDJSON line of a streamed front: snapshots carry
+// Snapshot, the terminal line carries Result (exactly one of the two is
+// set; an Error line aborts the stream).
+type StreamLine struct {
+	Snapshot *Snapshot      `json:"snapshot,omitempty"`
+	Result   *SweepResponse `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// Snapshot is the wire shape of a shard.FrontSnapshot.
+type Snapshot struct {
+	Front       []explore.Point `json:"front"`
+	BlocksDone  int             `json:"blocksDone"`
+	TotalBlocks int             `json:"totalBlocks"`
+}
+
+func streamFront(w http.ResponseWriter, r *http.Request, s *Server, req *SweepRequest) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	var wrote bool
+	emit := func(line StreamLine) error {
+		wrote = true
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	resp, err := s.StreamFront(r.Context(), req, func(snap shard.FrontSnapshot) error {
+		return emit(StreamLine{Snapshot: &Snapshot{
+			Front:       snap.Front,
+			BlocksDone:  snap.BlocksDone,
+			TotalBlocks: snap.TotalBlocks,
+		}})
+	})
+	if err != nil {
+		if !wrote {
+			// Nothing streamed yet: fail the request properly.
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		emit(StreamLine{Error: err.Error()})
+		return
+	}
+	emit(StreamLine{Result: resp})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func reply[T any](w http.ResponseWriter, resp *T, err error) {
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ecochip/internal/tech"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) *T {
+	t.Helper()
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// The HTTP surface must round-trip every request family with the exact
+// float bits of the direct Server calls.
+func TestHandlerEndpoints(t *testing.T) {
+	db := tech.Default()
+	sys := ga102(t, db)
+	srv := NewServer(db, Config{StreamBlockSize: 4})
+	ts := httptest.NewServer(Handler(srv))
+	defer ts.Close()
+
+	sweepReq := &SweepRequest{System: sys, Nodes: ga102Nodes}
+	want, err := srv.Sweep(context.Background(), sweepReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/sweep", sweepReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	got := decodeBody[SweepResponse](t, resp)
+	if got.Key != want.Key || got.Total != want.Total {
+		t.Fatalf("sweep envelope = %+v, want %+v", got, want)
+	}
+	assertSamePoints(t, want.Points, got.Points, "HTTP sweep")
+
+	// What-if swap over HTTP.
+	whatIf := &WhatIfRequest{System: sys, Nodes: ga102Nodes, Swap: map[string]int{sys.Chiplets[0].Name: 10}}
+	wantWI, err := srv.WhatIf(context.Background(), whatIf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/whatif", whatIf)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif: status %d", resp.StatusCode)
+	}
+	gotWI := decodeBody[WhatIfResponse](t, resp)
+	if gotWI.Source != "sweep" || gotWI.Point == nil || !samePoint(*wantWI.Point, *gotWI.Point) {
+		t.Fatalf("whatif = %+v, want %+v", gotWI, wantWI)
+	}
+
+	// Perturbation what-if over HTTP.
+	perturb := &WhatIfRequest{System: sys, VolumeScale: 2}
+	wantP, err := srv.WhatIf(context.Background(), perturb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP := decodeBody[WhatIfResponse](t, postJSON(t, ts.Client(), ts.URL+"/v1/whatif", perturb))
+	if gotP.Totals == nil ||
+		math.Float64bits(gotP.Totals.MfgKg) != math.Float64bits(wantP.Totals.MfgKg) ||
+		math.Float64bits(gotP.Totals.OperationalKg) != math.Float64bits(wantP.Totals.OperationalKg) {
+		t.Fatalf("perturb = %+v, want %+v", gotP, wantP)
+	}
+
+	// Stats endpoint reflects the traffic.
+	statsResp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody[Stats](t, statsResp)
+	if stats.Sweeps.Builds != 1 || stats.Params.Builds != 1 {
+		t.Fatalf("stats = %+v, want 1 sweep build / 1 param build", stats)
+	}
+}
+
+// The stream endpoint must emit NDJSON snapshots and a terminal result
+// whose front carries the barrier bits.
+func TestHandlerStream(t *testing.T) {
+	db := tech.Default()
+	sys := ga102(t, db)
+	srv := NewServer(db, Config{StreamBlockSize: 4})
+	ts := httptest.NewServer(Handler(srv))
+	defer ts.Close()
+
+	req := &SweepRequest{System: sys, Nodes: ga102Nodes, Objectives: []string{"embodied", "cost"}}
+	want, err := srv.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/sweep/stream", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	var snapshots int
+	var result *SweepResponse
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line StreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			t.Fatalf("stream error: %s", line.Error)
+		case line.Result != nil:
+			result = line.Result
+		case line.Snapshot != nil:
+			snapshots++
+			if result != nil {
+				t.Fatal("snapshot after terminal result")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if snapshots == 0 || result == nil {
+		t.Fatalf("stream shape: %d snapshots, result %v", snapshots, result != nil)
+	}
+	assertSamePoints(t, want.Points, result.Points, "HTTP streamed front")
+}
+
+func TestHandlerErrors(t *testing.T) {
+	db := tech.Default()
+	srv := NewServer(db, Config{})
+	ts := httptest.NewServer(Handler(srv))
+	defer ts.Close()
+
+	// Malformed body.
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown field (DisallowUnknownFields).
+	resp, err = ts.Client().Post(ts.URL+"/v1/whatif", "application/json", strings.NewReader(`{"bogus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Validation failure surfaces as a 400 with an error body.
+	resp = postJSON(t, ts.Client(), ts.URL+"/v1/whatif", &WhatIfRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty what-if: status %d", resp.StatusCode)
+	}
+	e := decodeBody[map[string]string](t, resp)
+	if (*e)["error"] == "" {
+		t.Fatal("error body missing")
+	}
+
+	// Wrong method.
+	resp, err = ts.Client().Get(ts.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/sweep: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

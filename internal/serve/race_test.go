@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ecochip/internal/core"
+	"ecochip/internal/cost"
+	"ecochip/internal/explore"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+// Hammering one key from many goroutines must coalesce into exactly one
+// compile, with every caller receiving the same bits.
+func TestServeSingleFlightHammer(t *testing.T) {
+	db := tech.Default()
+	sys := ga102(t, db)
+	srv := NewServer(db, Config{})
+	req := &WhatIfRequest{
+		System: sys,
+		Nodes:  ga102Nodes,
+		Swap:   map[string]int{sys.Chiplets[0].Name: 10},
+	}
+
+	const callers = 24
+	points := make([]*explore.Point, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := srv.WhatIf(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			points[i] = resp.Point
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if points[i] == nil || !samePoint(*points[0], *points[i]) {
+			t.Fatalf("caller %d diverged: %+v vs %+v", i, points[i], points[0])
+		}
+	}
+	s := srv.Stats().Sweeps
+	if s.Builds != 1 {
+		t.Fatalf("Builds = %d, want 1 (single-flight)", s.Builds)
+	}
+	if s.Hits+s.Coalesced != callers-1 {
+		t.Fatalf("stats = %+v, want %d hits+coalesced", s, callers-1)
+	}
+}
+
+// distinctSystems builds n GA102 variants whose plan keys all differ
+// (the memory spec nudges the content hash) plus per-variant reference
+// sweep bits.
+func distinctSystems(t *testing.T, db *tech.DB, n int) ([]*core.System, [][]explore.Point) {
+	t.Helper()
+	systems := make([]*core.System, n)
+	refs := make([][]explore.Point, n)
+	for i := 0; i < n; i++ {
+		sys := ga102(t, db)
+		sys.Chiplets = append([]core.Chiplet(nil), sys.Chiplets...)
+		sys.Chiplets[0].Transistors *= 1 + 0.01*float64(i)
+		sys.Name = fmt.Sprintf("ga102-v%d", i)
+		systems[i] = sys
+		plan, err := explore.Compile(sys, db, ga102Nodes, cost.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := plan.RunCtx(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = pts
+	}
+	return systems, refs
+}
+
+// Concurrent requests for distinct keys must each compile once and stay
+// bit-identical to their own cold reference.
+func TestServeDistinctKeysConcurrent(t *testing.T) {
+	db := tech.Default()
+	const nkeys = 4
+	systems, refs := distinctSystems(t, db, nkeys)
+	srv := NewServer(db, Config{})
+
+	const perKey = 6
+	var wg sync.WaitGroup
+	for k := 0; k < nkeys; k++ {
+		for j := 0; j < perKey; j++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				resp, err := srv.Sweep(context.Background(), &SweepRequest{System: systems[k], Nodes: ga102Nodes})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				assertSamePoints(t, refs[k], resp.Points, fmt.Sprintf("key %d", k))
+			}(k)
+		}
+	}
+	wg.Wait()
+	if s := srv.Stats().Sweeps; s.Builds != nkeys {
+		t.Fatalf("Builds = %d, want %d (one per key)", s.Builds, nkeys)
+	}
+}
+
+// Under a cache two sizes too small, concurrent load forces evictions
+// and recompiles; every response must still carry its reference bits.
+func TestServeEvictionUnderLoad(t *testing.T) {
+	db := tech.Default()
+	const nkeys = 4
+	systems, refs := distinctSystems(t, db, nkeys)
+	srv := NewServer(db, Config{PlanCacheSize: 2})
+
+	const workers = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % nkeys
+				resp, err := srv.Sweep(context.Background(), &SweepRequest{System: systems[k], Nodes: ga102Nodes})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				assertSamePoints(t, refs[k], resp.Points, fmt.Sprintf("worker %d iter %d key %d", w, i, k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := srv.Stats().Sweeps
+	if s.Evictions == 0 {
+		t.Fatalf("stats = %+v, want capacity evictions under load", s)
+	}
+	if got := srv.sweeps.Len(); got > 2 {
+		t.Fatalf("resident plans = %d, want <= 2", got)
+	}
+}
+
+// Mixed families (sweep, param, disaggregate) hammered concurrently on
+// one server must stay consistent — the three caches are independent.
+func TestServeMixedFamiliesConcurrent(t *testing.T) {
+	db := tech.Default()
+	sys := ga102(t, db)
+	epyc, err := testcases.EPYC(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPlan, err := explore.DisaggregateCtx(context.Background(), epyc, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPerturb := applyPerturb(sys, nil, 2)
+	refRep, err := refPerturb.Evaluate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(db, Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			resp, err := srv.WhatIf(context.Background(), &WhatIfRequest{System: sys, VolumeScale: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			assertTotalsMatchReport(t, refRep, resp.Totals, "perturb")
+		}()
+		go func() {
+			defer wg.Done()
+			resp, err := srv.Disaggregate(context.Background(), &DisaggregateRequest{System: epyc})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.EmbodiedKg != refPlan.EmbodiedKg || resp.Steps != refPlan.Steps {
+				t.Errorf("disaggregate diverged: %+v", resp)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Sweep(context.Background(), &SweepRequest{System: sys, Nodes: ga102Nodes}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Sweeps.Builds != 1 || st.Params.Builds != 1 || st.Disaggregates.Builds != 1 {
+		t.Fatalf("stats = %+v, want one build per family", st)
+	}
+}

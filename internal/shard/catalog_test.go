@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ecochip/internal/cost"
+	"ecochip/internal/explore"
+	"ecochip/internal/tech"
+	"ecochip/internal/testcases"
+)
+
+// registerN registers n distinct random sweeps in cat and returns their
+// keys (systems that have no compiled fast path are skipped).
+func registerN(t *testing.T, cat *Catalog, n int, seed int64) []string {
+	t.Helper()
+	db := tech.Default()
+	cp := cost.DefaultParams()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, 0, n)
+	seen := map[string]bool{}
+	for len(keys) < n {
+		sys := testcases.Random(rng, db)
+		nodes := testcases.RandomNodes(rng)
+		if _, err := explore.Compile(sys, db, nodes, cp); err != nil {
+			continue
+		}
+		key, err := cat.RegisterSweep(sys, db, nodes, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
+// A capacity-bounded catalog must evict LRU plans and recompile them —
+// bit-identically — on demand.
+func TestCatalogEvictionAndRecompile(t *testing.T) {
+	cat := NewCatalogCap(2)
+	keys := registerN(t, cat, 3, 17)
+
+	p0, err := cat.Plan(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p0.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Plan(keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Plan(keys[2]); err != nil { // evicts keys[0]
+		t.Fatal(err)
+	}
+	if got := cat.Resident(); got != 2 {
+		t.Fatalf("Resident = %d, want 2", got)
+	}
+	s := cat.Stats()
+	if s.Evictions != 1 || s.Builds != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction / 3 builds", s)
+	}
+
+	// The evicted key recompiles to the same bits.
+	p0again, err := cat.Plan(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0again == p0 {
+		t.Fatal("evicted plan was not recompiled")
+	}
+	got, err := p0again.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePoints(t, want, got, "recompiled plan")
+	if s := cat.Stats(); s.Builds != 4 || s.Evictions != 2 {
+		t.Fatalf("stats after recompile = %+v, want 4 builds / 2 evictions", s)
+	}
+}
+
+// Concurrent Plan calls for one key must share a single compile.
+func TestCatalogSingleFlightCompile(t *testing.T) {
+	cat := NewCatalog()
+	keys := registerN(t, cat, 1, 23)
+	const callers = 16
+	var wg sync.WaitGroup
+	plans := make([]*explore.CompiledPlan, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := cat.Plan(keys[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent callers received distinct plan instances")
+		}
+	}
+	if s := cat.Stats(); s.Builds != 1 {
+		t.Fatalf("Builds = %d, want 1 (single-flight)", s.Builds)
+	}
+}
+
+func TestCatalogUnknownKey(t *testing.T) {
+	cat := NewCatalogCap(1)
+	if _, err := cat.Plan("sweep-0000000000000000"); err == nil {
+		t.Fatal("unknown key resolved")
+	}
+}

@@ -193,6 +193,115 @@ func (c *Coordinator) ParetoFront(ctx context.Context, objectives []Objective) (
 	return explore.ParetoFront(points, ms...), c.plan.Combos(), nil
 }
 
+// FrontSnapshot is one incremental view of a streaming front run: the
+// Pareto front over every block delivered so far, with the run's block
+// progress. Front entries are owned by the receiver (points are copied
+// out of the fold).
+type FrontSnapshot struct {
+	// Front is the skyline of all points delivered so far, in the same
+	// canonical order ParetoFront returns.
+	Front []explore.Point
+	// BlocksDone / TotalBlocks is the run's progress; the last snapshot
+	// always has BlocksDone == TotalBlocks.
+	BlocksDone, TotalBlocks int
+}
+
+// ParetoFrontStream is ParetoFront without the barrier: as blocks land
+// (in whatever order leases complete), the coordinator folds them into
+// a running skyline and streams snapshots to emit — a serving client
+// watches the front tighten monotonically instead of waiting for the
+// whole sweep. Snapshots coalesce under load (emit is never called
+// concurrently, and a slow consumer sees fewer, fresher snapshots, not
+// a backlog); every snapshot is the exact Pareto front of the blocks
+// it covers, so each front is a superset-refinement of the last: a
+// point leaves only when a newly landed point dominates it. The final
+// snapshot — and the returned front — carry the exact float bits of
+// ParetoFront over the same plan: cross-block folding eliminates only
+// points the barrier's final pass would eliminate too (dominance is
+// transitive), duplicates coexist, and slot order is restored before
+// the final pass. An emit error cancels the run and is returned.
+func (c *Coordinator) ParetoFrontStream(ctx context.Context, objectives []Objective, emit func(FrontSnapshot) error) ([]explore.Point, int, error) {
+	if len(objectives) == 0 {
+		return nil, 0, fmt.Errorf("shard: ParetoFrontStream needs at least one objective")
+	}
+	ms, err := ObjectiveMetrics(objectives)
+	if err != nil {
+		return nil, 0, err
+	}
+	nb := blockCount(c.plan.Combos(), c.cfg.BlockSize)
+	fold := newFrontFold(len(objectives))
+	var foldMu sync.Mutex
+	blocksDone := 0
+	// snapshot materializes the current front; callers hold foldMu.
+	snapshot := func() FrontSnapshot {
+		_, pts := fold.sorted()
+		return FrontSnapshot{Front: explore.ParetoFront(pts, ms...), BlocksDone: blocksDone, TotalBlocks: nb}
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	// The sink runs under the protocol lock, so it only folds and nudges
+	// the notifier; the notifier goroutine does the emitting. A buffered
+	// single-slot channel coalesces bursts: a queued nudge covers every
+	// block folded before the notifier gets to it.
+	updates := make(chan struct{}, 1)
+	var emitMu sync.Mutex
+	var emitErr error
+	lastDone := -1
+	notifierDone := make(chan struct{})
+	go func() {
+		defer close(notifierDone)
+		for range updates {
+			foldMu.Lock()
+			snap := snapshot()
+			foldMu.Unlock()
+			if err := emit(snap); err != nil {
+				emitMu.Lock()
+				emitErr = err
+				emitMu.Unlock()
+				cancelRun()
+				return
+			}
+			emitMu.Lock()
+			lastDone = snap.BlocksDone
+			emitMu.Unlock()
+		}
+	}()
+
+	sink := func(res BlockResult) {
+		foldMu.Lock()
+		for i, slot := range res.Slots {
+			fold.add(slot, &res.Points[i], ms)
+		}
+		blocksDone++
+		foldMu.Unlock()
+		select {
+		case updates <- struct{}{}:
+		default:
+		}
+	}
+	runErr := c.run(runCtx, ModeFront, objectives, sink)
+	close(updates)
+	<-notifierDone
+	if emitErr != nil {
+		return nil, 0, emitErr
+	}
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	foldMu.Lock()
+	snap := snapshot()
+	foldMu.Unlock()
+	// Guarantee the consumer saw the complete front exactly once at the
+	// end (the notifier may already have delivered it).
+	if lastDone != snap.BlocksDone {
+		if err := emit(snap); err != nil {
+			return nil, 0, err
+		}
+	}
+	return snap.Front, c.plan.Combos(), nil
+}
+
 // leaseRec is the coordinator-side state of one outstanding lease.
 type leaseRec struct {
 	lease     Lease

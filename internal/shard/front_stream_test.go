@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/explore"
+)
+
+// Streamed fronts must tighten monotonically (a point leaves a snapshot
+// only because a later block dominated it) and the final snapshot must
+// be bit-identical to the barrier ParetoFront.
+func TestParetoFrontStreamMonotoneAndParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	plan, cat, key := testSweep(t, rng)
+	objectives := []Objective{ObjEmbodied, ObjCost}
+	ms, err := ObjectiveMetrics(objectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantTotal, err := plan.ParetoFrontCtx(context.Background(), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := NewCoordinator(plan, key, []Transport{NewReplica(cat), NewReplica(cat)}, fastCfg())
+	var snaps []FrontSnapshot
+	got, gotTotal, err := co.ParetoFrontStream(context.Background(), objectives, func(s FrontSnapshot) error {
+		snaps = append(snaps, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTotal != wantTotal {
+		t.Errorf("total = %d, want %d", gotTotal, wantTotal)
+	}
+	assertSamePoints(t, want, got, "streamed front (return)")
+
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots emitted")
+	}
+	final := snaps[len(snaps)-1]
+	if final.BlocksDone != final.TotalBlocks {
+		t.Fatalf("final snapshot at %d/%d blocks", final.BlocksDone, final.TotalBlocks)
+	}
+	assertSamePoints(t, want, final.Front, "streamed front (final snapshot)")
+
+	dominated := func(p explore.Point, front []explore.Point) bool {
+		pv := []float64{ms[0](p), ms[1](p)}
+		for _, q := range front {
+			qv := []float64{ms[0](q), ms[1](q)}
+			if (qv[0] < pv[0] || qv[1] < pv[1]) && qv[0] <= pv[0] && qv[1] <= pv[1] {
+				return true
+			}
+		}
+		return false
+	}
+	prevDone := -1
+	for i, s := range snaps {
+		if s.BlocksDone <= prevDone {
+			t.Fatalf("snapshot %d: BlocksDone %d did not advance past %d", i, s.BlocksDone, prevDone)
+		}
+		prevDone = s.BlocksDone
+		if i == 0 {
+			continue
+		}
+		// Every point of the previous snapshot either survives into this
+		// one or is dominated by one of its points.
+		next := s.Front
+		for _, p := range snaps[i-1].Front {
+			ok := false
+			for _, q := range next {
+				if samePoint(p, q) {
+					ok = true
+					break
+				}
+			}
+			if !ok && !dominated(p, next) {
+				t.Fatalf("snapshot %d: point %+v vanished without a dominator", i, p)
+			}
+		}
+	}
+}
+
+// An emit error must cancel the run and surface unchanged.
+func TestParetoFrontStreamEmitError(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	plan, cat, key := testSweep(t, rng)
+	boom := errors.New("client went away")
+	co := NewCoordinator(plan, key, []Transport{NewReplica(cat)}, fastCfg())
+	_, _, err := co.ParetoFrontStream(context.Background(), []Objective{ObjEmbodied, ObjCost},
+		func(FrontSnapshot) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+}
+
+// The stream path must survive the chaos transports exactly like the
+// barrier path: whatever the fault pattern, the final front is exact.
+func TestParetoFrontStreamUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	plan, cat, key := testSweep(t, rng)
+	objectives := []Objective{ObjEmbodied, ObjTotal}
+	ms, err := ObjectiveMetrics(objectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := plan.ParetoFrontCtx(context.Background(), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FaultSpec{Drop: 0.2, Dup: 0.2, Err: 0.2, Seed: 5}
+	transports := []Transport{
+		Fault(NewReplica(cat), spec),
+		Fault(NewReplica(cat), spec),
+		NewReplica(cat),
+	}
+	cfg := fastCfg()
+	co := NewCoordinator(plan, key, transports, cfg)
+	got, _, err := co.ParetoFrontStream(context.Background(), objectives, func(FrontSnapshot) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePoints(t, want, got, "streamed front under faults")
+}

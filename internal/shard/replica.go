@@ -8,6 +8,7 @@ import (
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
 	"ecochip/internal/explore"
+	"ecochip/internal/lru"
 	"ecochip/internal/tech"
 )
 
@@ -22,21 +23,32 @@ type PlanSource interface {
 }
 
 // Catalog is an in-process PlanSource: sweep descriptions are
-// registered under their derived plan key and compiled lazily, once,
-// on the replica that first executes a lease for them. Each replica
-// owns its own Catalog — compilation is local by design, the point of
-// keying plans by content instead of shipping them.
+// registered under their derived plan key and compiled lazily —
+// single-flight, so concurrent leases for one key share a compile — on
+// the replica that first executes a lease for them. Each replica owns
+// its own Catalog: compilation is local by design, the point of keying
+// plans by content instead of shipping them. Compiled plans live in a
+// size-bounded LRU (NewCatalogCap); builders are retained past
+// eviction, so a cold key simply recompiles — deterministically, the
+// same bits, because the key is a content hash over everything the
+// compile reads.
 type Catalog struct {
 	mu    sync.Mutex
 	build map[string]func() (*explore.CompiledPlan, error)
-	plans map[string]*explore.CompiledPlan
+	plans *lru.Cache[*explore.CompiledPlan]
 }
 
-// NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog {
+// NewCatalog returns an empty catalog with no residency bound.
+func NewCatalog() *Catalog { return NewCatalogCap(0) }
+
+// NewCatalogCap returns an empty catalog holding at most capacity
+// compiled plans resident (capacity <= 0 means unbounded). A serving
+// replica that cycles through more registered sweeps than it has memory
+// for sets a bound and lets recompilation backfill on demand.
+func NewCatalogCap(capacity int) *Catalog {
 	return &Catalog{
 		build: make(map[string]func() (*explore.CompiledPlan, error)),
-		plans: make(map[string]*explore.CompiledPlan),
+		plans: lru.New[*explore.CompiledPlan](capacity),
 	}
 }
 
@@ -60,21 +72,20 @@ func (c *Catalog) RegisterSweep(base *core.System, db *tech.DB, nodes []int, cp 
 // Plan implements PlanSource.
 func (c *Catalog) Plan(key string) (*explore.CompiledPlan, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.plans[key]; ok {
-		return p, nil
-	}
 	build, ok := c.build[key]
+	c.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrPlanUnknown, key)
 	}
-	p, err := build()
-	if err != nil {
-		return nil, err
-	}
-	c.plans[key] = p
-	return p, nil
+	return c.plans.GetOrBuild(key, build)
 }
+
+// Stats snapshots the catalog's plan-cache counters: hits, misses,
+// coalesced compiles, builds and capacity evictions.
+func (c *Catalog) Stats() lru.Stats { return c.plans.Stats() }
+
+// Resident reports the number of compiled plans currently held.
+func (c *Catalog) Resident() int { return c.plans.Len() }
 
 // Replica executes leases against locally compiled plans. It is
 // stateless between leases (all retained state lives in the plan's own
