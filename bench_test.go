@@ -305,9 +305,63 @@ func BenchmarkShardLoopback(b *testing.B) {
 	}
 	transports := []ShardTransport{NewShardReplica(cat), NewShardReplica(cat), NewShardReplica(cat)}
 	ctx := context.Background()
+	// LeaseBlocks 8 lets one lease span the sweep's 8 blocks, so the
+	// TCP twin below (same config) measures framing cost rather than
+	// lease round-trip count.
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		co := NewShardCoordinator(plan, key, transports, ShardConfig{BlockSize: 16})
+		co := NewShardCoordinator(plan, key, transports, ShardConfig{BlockSize: 16, LeaseBlocks: 8})
+		points, err := co.Sweep(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
+// BenchmarkShardTCPLoopback measures the same 125-point sweep through
+// the shard coordinator over three replica servers on real TCP sockets
+// (binary frames, content-keyed plan registration, per-block result
+// streaming): the network-transport overhead on top of
+// BenchmarkShardLoopback. The servers and clients persist across
+// iterations — the steady serving state — so per-iteration cost is
+// frames, not dials.
+func BenchmarkShardTCPLoopback(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	cat := NewShardCatalog()
+	key, err := cat.RegisterSweep(base, db, sweepBenchNodes, DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewShardNetRegistry()
+	if _, err := reg.AddSweep(base, db, sweepBenchNodes, DefaultCostParams()); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	transports := make([]ShardTransport, 3)
+	for i := range transports {
+		ready := make(chan string, 1)
+		go func() {
+			err := ListenAndServeShard(ctx, "127.0.0.1:0", NewShardCatalog(), db, ShardNetOptions{}, func(addr string) { ready <- addr })
+			if err != nil {
+				b.Error(err)
+			}
+		}()
+		cl := DialShardTransport(<-ready, reg, ShardNetOptions{})
+		defer cl.Close()
+		transports[i] = cl
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co := NewShardCoordinator(plan, key, transports, ShardConfig{BlockSize: 16, LeaseBlocks: 8})
 		points, err := co.Sweep(ctx)
 		if err != nil {
 			b.Fatal(err)

@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ecochip/internal/config"
 	"ecochip/internal/core"
@@ -36,6 +37,7 @@ import (
 	"ecochip/internal/report"
 	"ecochip/internal/sensitivity"
 	"ecochip/internal/shard"
+	"ecochip/internal/shard/netx"
 	"ecochip/internal/tech"
 	"ecochip/internal/uncertainty"
 )
@@ -51,6 +53,8 @@ func main() {
 	uncompiled := flag.Bool("uncompiled", false, "sweep/tornado/mc/group: force the per-evaluation reference path instead of the compiled plan")
 	shardReplicas := flag.Int("shard-replicas", 0, "sweep: run the compiled plan through N loopback shard replicas under the lease protocol (0 = in-process engine)")
 	shardFaults := flag.String("shard-faults", "", "sweep: fault schedule injected into every shard replica, e.g. drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42")
+	shardConnect := flag.String("shard-connect", "", "sweep: comma-separated ecoreplica addresses (host:port,...) to shard the compiled plan across over TCP")
+	shardPipeline := flag.Int("shard-pipeline", 1, "sweep: leases kept in flight per -shard-connect replica connection")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -82,6 +86,8 @@ func main() {
 
 		shardReplicas: *shardReplicas,
 		shardFaults:   *shardFaults,
+		shardConnect:  *shardConnect,
+		shardPipeline: *shardPipeline,
 	}
 	err := run(*designDir, cfg, os.Stdout, os.Stderr)
 
@@ -124,6 +130,11 @@ type runConfig struct {
 	// optionally injects a seeded fault schedule into each of them.
 	shardReplicas int
 	shardFaults   string
+	// shardConnect routes the sweep over TCP to remote ecoreplica
+	// daemons instead; shardPipeline is the number of lease slots per
+	// connection (in-flight leases multiplexed over one socket).
+	shardConnect  string
+	shardPipeline int
 }
 
 func run(designDir string, cfg runConfig, w, statsW io.Writer) error {
@@ -174,6 +185,17 @@ func runSweep(ctx context.Context, w, statsW io.Writer, system *core.System, db 
 	var co *shard.Coordinator
 	var err error
 	switch {
+	case cfg.shardConnect != "":
+		if cfg.uncompiled {
+			return fmt.Errorf("-shard-connect runs the compiled plan; drop -uncompiled")
+		}
+		if cfg.shardReplicas > 0 {
+			return fmt.Errorf("-shard-connect and -shard-replicas are mutually exclusive")
+		}
+		if cfg.shardFaults != "" {
+			return fmt.Errorf("-shard-faults injects loopback faults; it does not apply to -shard-connect")
+		}
+		points, plan, co, err = runConnectedSweep(ctx, statsW, system, db, nodes, cp, cfg)
 	case cfg.shardReplicas > 0:
 		if cfg.uncompiled {
 			return fmt.Errorf("-shard-replicas runs the compiled plan; drop -uncompiled")
@@ -248,6 +270,57 @@ func runShardedSweep(ctx context.Context, statsW io.Writer, system *core.System,
 			t = shard.Fault(t, s)
 		}
 		transports[i] = t
+	}
+	sc := shard.Config{Seed: cfg.seed}
+	if statsW != nil {
+		sc.Logf = func(format string, args ...any) { fmt.Fprintf(statsW, format+"\n", args...) }
+	}
+	co := shard.NewCoordinator(plan, key, transports, sc)
+	points, err := co.Sweep(ctx)
+	return points, plan, co, err
+}
+
+// runConnectedSweep shards the compiled sweep across remote ecoreplica
+// daemons over TCP: the sweep registers in a local catalog (the
+// fallback path and the plan the points reassemble into) and in a
+// netx registry whose content each connection ships once, replicas
+// re-derive the content key from their own tech db, and leased block
+// ranges stream back as binary frames. shardPipeline > 1 hands each
+// client to the coordinator that many times, keeping that many leases
+// in flight per socket.
+func runConnectedSweep(ctx context.Context, statsW io.Writer, system *core.System, db *tech.DB, nodes []int, cp cost.Params, cfg runConfig) ([]explore.Point, *explore.CompiledPlan, *shard.Coordinator, error) {
+	addrs := strings.Split(cfg.shardConnect, ",")
+	pipeline := cfg.shardPipeline
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	cat := shard.NewCatalog()
+	key, err := cat.RegisterSweep(system, db, nodes, cp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reg := netx.NewRegistry()
+	if _, err := reg.AddSweep(system, db, nodes, cp); err != nil {
+		return nil, nil, nil, err
+	}
+	var transports []shard.Transport
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		cl := netx.DialTransport(addr, reg, netx.Options{})
+		defer cl.Close()
+		for i := 0; i < pipeline; i++ {
+			transports = append(transports, cl)
+		}
+	}
+	if len(transports) == 0 {
+		return nil, nil, nil, fmt.Errorf("-shard-connect: no replica addresses in %q", cfg.shardConnect)
 	}
 	sc := shard.Config{Seed: cfg.seed}
 	if statsW != nil {

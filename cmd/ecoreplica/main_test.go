@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ecochip/internal/config"
+	"ecochip/internal/cost"
+	"ecochip/internal/shard"
+	"ecochip/internal/shard/netx"
+	"ecochip/internal/tech"
+)
+
+// syncBuilder is a strings.Builder safe for the server goroutine.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs the daemon's run() seam under ctx and returns the
+// bound address plus the exit-error channel.
+func startDaemon(t *testing.T, ctx context.Context, out *syncBuilder) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", 0, 5*time.Second, false, out, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		return addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never announced readiness")
+	}
+	return "", nil
+}
+
+// The daemon must serve leases end to end and drain cleanly on ctx
+// cancellation (the signal path in main).
+func TestDaemonServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuilder
+	addr, done := startDaemon(t, ctx, &out)
+
+	// Drive a real sweep through it.
+	dir := t.TempDir()
+	if err := config.WriteExampleDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db := tech.Default()
+	system, nodes, err := config.LoadSystem(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := cost.DefaultParams()
+	cat := shard.NewCatalog()
+	key, err := cat.RegisterSweep(system, db, nodes, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := netx.NewRegistry()
+	if _, err := reg.AddSweep(system, db, nodes, cp); err != nil {
+		t.Fatal(err)
+	}
+	cl := netx.DialTransport(addr, reg, netx.Options{})
+	defer cl.Close()
+	co := shard.NewCoordinator(plan, key, []shard.Transport{cl}, shard.Config{Seed: 1})
+	got, err := co.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("daemon sweep returned %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Label() != want[i].Label() ||
+			math.Float64bits(got[i].TotalKg) != math.Float64bits(want[i].TotalKg) ||
+			math.Float64bits(got[i].CostUSD) != math.Float64bits(want[i].CostUSD) {
+			t.Fatalf("point %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if st := co.Stats(); st.Wire.IsZero() || st.BlocksLocal != 0 {
+		t.Fatalf("sweep did not go over the wire: %+v", st)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "drained") {
+		t.Errorf("daemon output missing lifecycle lines:\n%s", out.String())
+	}
+}
+
+// The daemon must exit on SIGTERM — the exact signal wiring main uses.
+func TestDaemonStopsOnSIGTERM(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var out syncBuilder
+	_, done := startDaemon(t, ctx, &out)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon ignored SIGTERM")
+	}
+}

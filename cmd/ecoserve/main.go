@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"ecochip/internal/serve"
@@ -52,7 +53,7 @@ func main() {
 		StreamReplicas:  *streamReplicas,
 		StreamBlockSize: *streamBlock,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, *addr, cfg, os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "ecoserve:", err)

@@ -43,6 +43,7 @@ import (
 	"ecochip/internal/sensitivity"
 	"ecochip/internal/serve"
 	"ecochip/internal/shard"
+	"ecochip/internal/shard/netx"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
 	"ecochip/internal/uncertainty"
@@ -400,6 +401,54 @@ func NewShardCoordinator(plan *SweepPlan, key string, transports []ShardTranspor
 // chaos-testing harness of the shard layer.
 func ShardFault(inner ShardTransport, spec ShardFaultSpec) ShardTransport {
 	return shard.Fault(inner, spec)
+}
+
+// The shard network transport: the lease protocol over persistent TCP
+// connections in a binary frame format, with leases multiplexed (and
+// pipelined) per connection and plans resolved from content keys on
+// the replica side.
+type (
+	// ShardTransportCounters is the wire-level counter snapshot of a
+	// networked transport; ShardStats.Wire folds these across a
+	// coordinator's counted transports.
+	ShardTransportCounters = shard.TransportCounters
+	// ShardNetOptions tunes timeouts and frame limits on both ends of
+	// the network transport; the zero value is usable.
+	ShardNetOptions = netx.Options
+	// ShardNetRegistry holds the shippable content of registered
+	// sweeps, keyed by plan content key (NewShardNetRegistry).
+	ShardNetRegistry = netx.Registry
+	// ShardNetClient is a ShardTransport over one persistent TCP
+	// connection to a replica server (DialShardTransport); passing the
+	// same client to the coordinator several times pipelines that many
+	// leases over the one socket.
+	ShardNetClient = netx.Client
+	// ShardNetServer is the replica daemon: it compiles plans from
+	// shipped sweep content and executes leases for remote
+	// coordinators (NewShardNetServer, ListenAndServeShard).
+	ShardNetServer = netx.Server
+)
+
+// NewShardNetRegistry returns an empty sweep-content registry.
+func NewShardNetRegistry() *ShardNetRegistry { return netx.NewRegistry() }
+
+// DialShardTransport returns a lazily connecting network transport for
+// one replica address.
+func DialShardTransport(addr string, reg *ShardNetRegistry, opts ShardNetOptions) *ShardNetClient {
+	return netx.DialTransport(addr, reg, opts)
+}
+
+// NewShardNetServer builds a replica server over a catalog and the
+// tech database new registrations compile against.
+func NewShardNetServer(cat *ShardCatalog, db *TechDB, opts ShardNetOptions) *ShardNetServer {
+	return netx.NewServer(cat, db, opts)
+}
+
+// ListenAndServeShard binds addr and serves replica leases until ctx
+// is cancelled, then drains gracefully. ready, when non-nil, receives
+// the bound address once listening.
+func ListenAndServeShard(ctx context.Context, addr string, cat *ShardCatalog, db *TechDB, opts ShardNetOptions, ready func(addr string)) error {
+	return netx.ListenAndServe(ctx, addr, cat, db, opts, ready)
 }
 
 // ParseShardFaultSpec parses the textual fault-schedule syntax, e.g.

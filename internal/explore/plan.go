@@ -177,7 +177,7 @@ func (p *CompiledPlan) Stats() SweepStats {
 		GraySteps:  p.graySteps.Load(),
 		// Every compiled point reduces through the SoA row buffers, so
 		// the fold count is the point count by construction.
-		ColumnFolds: pts,
+		ColumnFolds:   pts,
 		TableCells:    len(p.tbl.Cells) * p.r,
 		TableAoSBytes: aos,
 		TableSoABytes: soa,
@@ -386,11 +386,11 @@ type blockScratch struct {
 	// sequentially in chiplet order — the same additions in the same
 	// order as the old Cells walk, over memory that is contiguous
 	// instead of strided through 8-field structs.
-	rows                               []float64
-	rowMfg, rowDes, rowNre, rowUSD     []float64
-	rowNREUSD                          []float64
-	pt Point
-	sc *kernel.Scratch
+	rows                           []float64
+	rowMfg, rowDes, rowNre, rowUSD []float64
+	rowNREUSD                      []float64
+	pt                             Point
+	sc                             *kernel.Scratch
 	// estValid reports that the kernel scratch's packaging estimator ran
 	// on the previous point of the current walk, so a Gray step may take
 	// the single-changed-chiplet delta path. Serving a point from the

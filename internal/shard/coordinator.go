@@ -89,12 +89,19 @@ type Stats struct {
 	ReplicaFailures, ReplicasLost uint64
 	// Fallbacks counts local-walk degradations (total replica loss).
 	Fallbacks uint64
+	// Wire aggregates the wire-level counters of the coordinator's
+	// counted transports (zero for pure loopback runs).
+	Wire TransportCounters
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("shard: %d leases granted (%d expired), %d blocks re-leased, %d completed (%d deduped, %d local), %d replica failures (%d replicas lost), %d fallbacks",
+	out := fmt.Sprintf("shard: %d leases granted (%d expired), %d blocks re-leased, %d completed (%d deduped, %d local), %d replica failures (%d replicas lost), %d fallbacks",
 		s.LeasesGranted, s.LeasesExpired, s.BlocksRequeued, s.BlocksCompleted, s.BlocksDeduped, s.BlocksLocal,
 		s.ReplicaFailures, s.ReplicasLost, s.Fallbacks)
+	if !s.Wire.IsZero() {
+		out += "\n" + s.Wire.String()
+	}
+	return out
 }
 
 // Coordinator drives one compiled plan across a set of replica
@@ -125,9 +132,23 @@ func NewCoordinator(plan *explore.CompiledPlan, key string, transports []Transpo
 	}
 }
 
-// Stats snapshots the protocol counters.
+// Stats snapshots the protocol counters, including the summed
+// wire-level counters of the distinct counted transports (one entry
+// per transport value: passing the same network client several times
+// to pipeline leases over its socket does not double-count it).
 func (c *Coordinator) Stats() Stats {
+	var wire TransportCounters
+	seen := make(map[Transport]bool, len(c.transports))
+	for _, t := range c.transports {
+		ct, ok := t.(CountedTransport)
+		if !ok || seen[t] {
+			continue
+		}
+		seen[t] = true
+		wire.add(ct.TransportCounters())
+	}
 	return Stats{
+		Wire:            wire,
 		LeasesGranted:   c.leasesGranted.Load(),
 		LeasesExpired:   c.leasesExpired.Load(),
 		BlocksRequeued:  c.blocksRequeued.Load(),

@@ -1,0 +1,52 @@
+package shard
+
+import "fmt"
+
+// TransportCounters is the wire-level counter snapshot of a networked
+// transport: connection churn, frame and byte traffic, and the deepest
+// lease pipeline observed on one socket. The loopback Replica reports
+// nothing (there is no wire); Coordinator.Stats sums these across its
+// counted transports so -progress can show what the network actually
+// cost.
+type TransportCounters struct {
+	// Dials counts successful connection establishments; Reconnects the
+	// subset that replaced a broken connection (Dials - first-connects).
+	Dials, Reconnects uint64
+	// FramesOut/FramesIn and BytesOut/BytesIn are the frame and byte
+	// traffic from this end's perspective.
+	FramesOut, FramesIn uint64
+	// BytesOut, BytesIn count framed bytes (headers included).
+	BytesOut, BytesIn uint64
+	// MaxPipeline is the most leases ever in flight concurrently over
+	// one connection.
+	MaxPipeline uint64
+}
+
+// add folds o into t (MaxPipeline folds by max, everything else sums).
+func (t *TransportCounters) add(o TransportCounters) {
+	t.Dials += o.Dials
+	t.Reconnects += o.Reconnects
+	t.FramesOut += o.FramesOut
+	t.FramesIn += o.FramesIn
+	t.BytesOut += o.BytesOut
+	t.BytesIn += o.BytesIn
+	if o.MaxPipeline > t.MaxPipeline {
+		t.MaxPipeline = o.MaxPipeline
+	}
+}
+
+// IsZero reports a counter set with no activity at all.
+func (t TransportCounters) IsZero() bool { return t == TransportCounters{} }
+
+func (t TransportCounters) String() string {
+	return fmt.Sprintf("wire: %d dials (%d reconnects), %d frames / %d B out, %d frames / %d B in, max pipeline %d",
+		t.Dials, t.Reconnects, t.FramesOut, t.BytesOut, t.FramesIn, t.BytesIn, t.MaxPipeline)
+}
+
+// CountedTransport is the optional Transport extension a networked
+// implementation provides; Coordinator.Stats folds the counters of
+// every distinct counted transport it drives (the same transport value
+// passed twice — the lease-pipelining idiom — is counted once).
+type CountedTransport interface {
+	TransportCounters() TransportCounters
+}

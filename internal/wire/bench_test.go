@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/explore"
+	"ecochip/internal/shard"
+)
+
+// benchResult is the steady-state frame shape: one 16-point block of a
+// 3-chiplet sweep (the BenchmarkShardLoopback geometry).
+func benchResult() shard.BlockResult {
+	rng := rand.New(rand.NewSource(6))
+	res := shard.BlockResult{Seq: 3, Block: 5}
+	for i := 0; i < 16; i++ {
+		res.Slots = append(res.Slots, 80+i)
+		res.Points = append(res.Points, explore.Point{
+			Nodes:          []int{7, 14, 10},
+			EmbodiedKg:     rng.NormFloat64() * 10,
+			TotalKg:        rng.NormFloat64() * 100,
+			CostUSD:        rng.Float64() * 500,
+			PackageAreaMM2: rng.Float64() * 800,
+		})
+	}
+	return res
+}
+
+// BenchmarkWireEncodeBlock measures encoding one block-result frame
+// payload into a reused buffer — the replica's per-block wire cost.
+func BenchmarkWireEncodeBlock(b *testing.B) {
+	res := benchResult()
+	buf := make([]byte, 0, 4<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBlockResult(buf[:0], &res)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encode")
+	}
+}
+
+// BenchmarkWireDecodeBlock measures decoding one block-result frame
+// into a reused destination — the coordinator's per-block wire cost.
+func BenchmarkWireDecodeBlock(b *testing.B) {
+	res := benchResult()
+	buf := AppendBlockResult(nil, &res)
+	var dst shard.BlockResult
+	if err := DecodeBlockResult(buf, &dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeBlockResult(buf, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

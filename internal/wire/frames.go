@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer frames and writes messages to one stream. It is safe for
+// concurrent use: lease goroutines encode their payloads into pooled
+// scratch (GetBuffer) and WriteFrame serializes header+body emission
+// under one mutexless contract — callers synchronize via their own
+// connection lock — so Writer itself stays lock-free and allocation-
+// free on the steady state. (netx guards each connection's Writer with
+// the connection mutex; keeping the lock out of Writer keeps the codec
+// benchmarkable in isolation.)
+type Writer struct {
+	bw     *bufio.Writer
+	hdr    [binary.MaxVarintLen64 + 1 + binary.MaxVarintLen64]byte
+	frames uint64
+	bytes  uint64
+}
+
+// NewWriter wraps a stream. The bufio layer merges the header and body
+// into one syscall: WriteFrame always flushes, so a frame is on the
+// wire when the call returns, while BufferFrame defers the flush so a
+// burst of frames (a lease's block-result stream) coalesces into few
+// syscalls.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// WriteFrame emits one frame: uvarint(len(body)) || type || uvarint(id)
+// || payload, flushed to the wire before returning. The payload must
+// already be encoded (Append* into a pooled buffer); WriteFrame never
+// retains it.
+func (w *Writer) WriteFrame(m Msg, id uint64, payload []byte) error {
+	if err := w.BufferFrame(m, id, payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// BufferFrame encodes one frame into the write buffer without flushing
+// (the buffer still drains to the wire whenever it fills). A burst
+// must end with a WriteFrame or Flush, or its tail never leaves the
+// buffer.
+func (w *Writer) BufferFrame(m Msg, id uint64, payload []byte) error {
+	n := binary.PutUvarint(w.hdr[binary.MaxVarintLen64:], id)
+	body := w.hdr[binary.MaxVarintLen64 : binary.MaxVarintLen64+n]
+	bodyLen := 1 + n + len(payload)
+	if bodyLen > MaxFrame {
+		return fmt.Errorf("wire: frame body %d exceeds MaxFrame", bodyLen)
+	}
+	pfx := binary.PutUvarint(w.hdr[:], uint64(bodyLen))
+	if _, err := w.bw.Write(w.hdr[:pfx]); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte(byte(m)); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.frames++
+	w.bytes += uint64(pfx + bodyLen)
+	return nil
+}
+
+// Flush drains any buffered frames to the wire.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Counters reports frames and bytes written.
+func (w *Writer) Counters() (frames, bytes uint64) { return w.frames, w.bytes }
+
+// Reader reads frames from one stream. The payload returned by
+// ReadFrame aliases an internal buffer valid until the next call —
+// decode (or copy) before reading again. Not safe for concurrent use;
+// each connection owns one read loop.
+type Reader struct {
+	br     *bufio.Reader
+	buf    []byte
+	max    int
+	frames uint64
+	bytes  uint64
+}
+
+// NewReader wraps a stream with the given frame cap (0 selects
+// MaxFrame).
+func NewReader(r io.Reader, max int) *Reader {
+	if max <= 0 || max > MaxFrame {
+		max = MaxFrame
+	}
+	return &Reader{br: bufio.NewReaderSize(r, 32<<10), max: max}
+}
+
+// ReadFrame reads one frame and splits its body into type, lease id
+// and payload.
+func (r *Reader) ReadFrame() (Msg, uint64, []byte, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if n == 0 || n > uint64(r.max) {
+		return 0, 0, nil, fmt.Errorf("%w: frame body length %d", ErrCorrupt, n)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	body := r.buf[:n]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	m := Msg(body[0])
+	id, sz := binary.Uvarint(body[1:])
+	if sz <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: frame lease id", ErrCorrupt)
+	}
+	r.frames++
+	r.bytes += n + uint64(uvarintLen(n))
+	return m, id, body[1+sz:], nil
+}
+
+// uvarintLen is the encoded size of v, without encoding it.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Counters reports frames and bytes read.
+func (r *Reader) Counters() (frames, bytes uint64) { return r.frames, r.bytes }

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecochip/internal/explore"
+	"ecochip/internal/shard"
+)
+
+// FuzzWireRoundTrip attacks the codec from both sides with one input:
+//
+//   - the raw bytes are decoded as every payload kind and as a frame
+//     stream — decode must return an error or a value, never panic,
+//     whatever the truncation or corruption;
+//   - the bytes also seed a structured lease + block result (including
+//     a max-size payload shape when the input asks for it), which must
+//     encode → decode → re-encode byte-exactly.
+func FuzzWireRoundTrip(f *testing.F) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 8; i++ {
+		l := randLease(rng)
+		f.Add(AppendLease(nil, &l))
+		r := randResult(rng)
+		f.Add(AppendBlockResult(nil, &r))
+	}
+	f.Add([]byte{})
+	f.Add(AppendUvarint(nil, MaxFrame+1))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// 1. Hostile decode: all payload kinds over the raw bytes.
+		var l shard.Lease
+		if err := DecodeLease(data, &l); err == nil {
+			if !bytes.Equal(AppendLease(nil, &l), data) {
+				// Decoded cleanly but re-encodes differently: legal only
+				// when the input used non-minimal varints; the re-encode
+				// must still decode to the same value.
+				var l2 shard.Lease
+				p := AppendLease(nil, &l)
+				if err := DecodeLease(p, &l2); err != nil || !leasesEqual(&l, &l2) {
+					t.Fatalf("canonical re-encode of decoded lease broke: %v", err)
+				}
+			}
+		}
+		var br shard.BlockResult
+		if err := DecodeBlockResult(data, &br); err == nil {
+			p := AppendBlockResult(nil, &br)
+			var br2 shard.BlockResult
+			if err := DecodeBlockResult(p, &br2); err != nil || !resultsEqual(&br, &br2) {
+				t.Fatalf("canonical re-encode of decoded result broke: %v", err)
+			}
+		}
+		_, _ = DecodeRegistration(data)
+		_, _, _ = DecodeError(data)
+		_, _ = DecodeString(data)
+		_, _ = DecodeUvarint(data)
+		r := NewReader(bytes.NewReader(data), 1<<16)
+		for {
+			if _, _, _, err := r.ReadFrame(); err != nil {
+				break
+			}
+		}
+
+		// 2. Structured round trip seeded from the input bytes.
+		seed := int64(binary.LittleEndian.Uint64(append(append([]byte{}, data...), 0, 0, 0, 0, 0, 0, 0, 0)[:8]))
+		srng := rand.New(rand.NewSource(seed))
+		lease := randLease(srng)
+		lp := AppendLease(nil, &lease)
+		var lback shard.Lease
+		if err := DecodeLease(lp, &lback); err != nil {
+			t.Fatalf("structured lease decode: %v", err)
+		}
+		if !bytes.Equal(AppendLease(nil, &lback), lp) {
+			t.Fatal("structured lease re-encode differs")
+		}
+		res := randResult(srng)
+		if len(data) > 0 && data[0]%7 == 0 {
+			// Max-size shape: one block result at the full-block point
+			// count with wide node vectors.
+			res = bigResult(srng)
+		}
+		rp := AppendBlockResult(nil, &res)
+		var rback shard.BlockResult
+		if err := DecodeBlockResult(rp, &rback); err != nil {
+			t.Fatalf("structured result decode: %v", err)
+		}
+		if !bytes.Equal(AppendBlockResult(nil, &rback), rp) {
+			t.Fatal("structured result re-encode differs")
+		}
+	})
+}
+
+// bigResult builds a 512-point, 16-node-wide block result — the
+// largest shape the default protocol configuration ships per frame.
+func bigResult(rng *rand.Rand) shard.BlockResult {
+	res := shard.BlockResult{Seq: rng.Uint64() >> 1, Block: rng.Intn(1 << 10)}
+	for i := 0; i < 512; i++ {
+		res.Slots = append(res.Slots, i*3)
+		pt := explore.Point{
+			EmbodiedKg:     rng.NormFloat64(),
+			TotalKg:        math.Copysign(rng.NormFloat64(), -1),
+			CostUSD:        rng.Float64() * 1e6,
+			PackageAreaMM2: rng.Float64() * 1e4,
+		}
+		for j := 0; j < 16; j++ {
+			pt.Nodes = append(pt.Nodes, rng.Intn(180))
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
