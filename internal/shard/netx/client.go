@@ -258,11 +258,16 @@ func (cc *clientConn) cause() error {
 	return cc.err
 }
 
-// add installs a pend and reports the pipeline depth it created.
+// add installs a pend and reports the pipeline depth it created. It
+// re-arms the socket read deadline so a read loop already parked in a
+// deadline-free read (nothing was pending when it blocked) becomes
+// bounded by the new request rather than waiting forever on a
+// silently-dead connection.
 func (cc *clientConn) add(id uint64, p *pend) int {
 	cc.mu.Lock()
 	cc.pending[id] = p
 	depth := len(cc.pending)
+	cc.armReadDeadlineLocked()
 	cc.mu.Unlock()
 	for {
 		max := cc.cl.maxPipeline.Load()
@@ -276,34 +281,47 @@ func (cc *clientConn) add(id uint64, p *pend) int {
 func (cc *clientConn) remove(id uint64) {
 	cc.mu.Lock()
 	delete(cc.pending, id)
+	// Clear or shorten the parked read's bound so a deadline that only
+	// the departed pend justified cannot time out an idle connection.
+	cc.armReadDeadlineLocked()
 	cc.mu.Unlock()
 }
 
-// readDeadline derives the socket read deadline from the outstanding
-// requests: the latest pend deadline plus slack. With nothing pending
-// the read blocks without a deadline — frames only ever arrive in
-// response to our requests, so silence is then legitimate.
-func (cc *clientConn) readDeadline() time.Time {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
+// armReadDeadlineLocked derives the socket read deadline from the
+// outstanding requests — the latest pend deadline plus slack — and
+// applies it. With nothing pending the read blocks without a deadline:
+// frames only ever arrive in response to our requests, so silence is
+// then legitimate. Caller holds cc.mu; computing and setting under the
+// lock keeps a stale derivation from overwriting a fresher one.
+func (cc *clientConn) armReadDeadlineLocked() {
 	var max time.Time
 	for _, p := range cc.pending {
 		if p.deadline.After(max) {
 			max = p.deadline
 		}
 	}
-	if max.IsZero() {
-		return time.Time{}
+	if !max.IsZero() {
+		max = max.Add(cc.cl.opts.Slack)
 	}
-	return max.Add(cc.cl.opts.Slack)
+	cc.c.SetReadDeadline(max)
 }
 
 // readLoop owns the read half: it routes each frame to the pend that
 // asked for it and declares the connection dead when a read fails —
 // including a deadline miss, the transport analogue of lease expiry.
 func (cc *clientConn) readLoop(r *wire.Reader) {
+	// Defense in depth behind wire's no-panic decode contract: a panic
+	// here must cost one connection (failing its in-flight leases into
+	// the coordinator's retry machinery), never the whole process.
+	defer func() {
+		if rec := recover(); rec != nil {
+			cc.fail(fmt.Errorf("netx: %s: read loop panic: %v", cc.cl.addr, rec))
+		}
+	}()
 	for {
-		cc.c.SetReadDeadline(cc.readDeadline())
+		cc.mu.Lock()
+		cc.armReadDeadlineLocked()
+		cc.mu.Unlock()
 		m, id, p, err := r.ReadFrame()
 		if err != nil {
 			cc.fail(fmt.Errorf("netx: %s: %w", cc.cl.addr, err))

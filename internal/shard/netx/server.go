@@ -157,15 +157,19 @@ func (s *Server) Registrations() uint64 { return s.registrations.Load() }
 // Serve accepts connections on ln until ctx is cancelled, then drains:
 // stop accepting, refuse new leases (CodeShuttingDown), let in-flight
 // leases finish streaming (bounded by DrainTimeout), close
-// connections, return. The error is nil on a clean drain.
+// connections, return. The error is nil on a clean drain. A fatal
+// Accept error (EMFILE, a closed listener) runs the same drain before
+// returning it, so Serve never exits with lease goroutines or tracked
+// connections still live.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
+			derr := s.drain()
 			if ctx.Err() != nil {
-				return s.drain()
+				return derr
 			}
 			return err
 		}
@@ -361,6 +365,20 @@ func (s *Server) handleRegister(sc *srvConn, id uint64, p []byte) {
 	s.write(sc, wire.MsgRegistered, id, wire.AppendString(nil, key), wd)
 }
 
+// leaseBudget converts a lease's advisory deadline — a wall-clock
+// timestamp stamped by the coordinator's clock — into a replica-local
+// bound. Clock skew between the two machines must not turn a fresh
+// lease into an instantly-expired one, so the replica grants itself at
+// least Slack of budget beyond its own now, whatever the remote
+// timestamp says; the coordinator's watchdog remains the authoritative
+// expiry, this bound only stops runaway work.
+func (s *Server) leaseBudget(deadline time.Time) time.Time {
+	if min := time.Now().Add(s.opts.Slack); deadline.Before(min) {
+		deadline = min
+	}
+	return deadline.Add(s.opts.Slack)
+}
+
 // startLease admits one lease (or refuses it while draining) and runs
 // it on its own goroutine so the read loop keeps servicing cancels and
 // further leases — the multiplexing that lets leases pipeline.
@@ -380,7 +398,7 @@ func (s *Server) startLease(sc *srvConn, id uint64, lease shard.Lease) {
 	// never arrives.
 	lctx, cancel := context.WithCancel(context.Background())
 	if !lease.Deadline.IsZero() {
-		lctx, cancel = context.WithDeadline(context.Background(), lease.Deadline.Add(s.opts.Slack))
+		lctx, cancel = context.WithDeadline(context.Background(), s.leaseBudget(lease.Deadline))
 	}
 	sc.mu.Lock()
 	sc.active[id] = cancel
@@ -404,10 +422,7 @@ func (s *Server) startLease(sc *srvConn, id uint64, lease shard.Lease) {
 			s.activeLeases.Add(^uint64(0))
 			s.leasesServed.Add(1)
 		}()
-		wd := lease.Deadline.Add(s.opts.Slack)
-		if lease.Deadline.IsZero() {
-			wd = time.Now().Add(s.opts.Slack)
-		}
+		wd := s.leaseBudget(lease.Deadline)
 		buf := wire.GetBuffer()
 		defer wire.PutBuffer(buf)
 		err := s.rep.Execute(lctx, lease, func(res shard.BlockResult) error {

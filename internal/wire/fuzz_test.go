@@ -30,6 +30,18 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(AppendUvarint(nil, MaxFrame+1))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Multiplied-counts block result: the point count and the first
+	// point's node count each pass the per-element remaining-bytes
+	// check, but their product used to size the node arena — a shape
+	// that provoked giant allocations before the arena hint was
+	// bounded by the remaining payload.
+	evil := AppendUvarint(nil, 1)                          // seq
+	evil = AppendUvarint(evil, 0)                          // block
+	evil = AppendUvarint(evil, 1<<10)                      // 1024 points declared
+	evil = append(evil, bytes.Repeat([]byte{1}, 1<<10)...) // their slots
+	evil = AppendUvarint(evil, 1<<15)                      // first point claims 32768 nodes
+	evil = append(evil, bytes.Repeat([]byte{1}, 40<<10)...)
+	f.Add(evil)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// 1. Hostile decode: all payload kinds over the raw bytes.

@@ -434,7 +434,17 @@ func DecodeBlockResult(p []byte, r *shard.BlockResult) error {
 			pt.Nodes = pt.Nodes[:nn]
 		} else {
 			if len(arena)+nn > cap(arena) {
-				arena = make([]int, 0, nn*(n-i))
+				// The capacity hint nn*(n-i) assumes every remaining
+				// point is this large — but both counts came off the
+				// wire, so bound the hint by the bytes actually left in
+				// the payload (each encoded node occupies ≥1 byte). A
+				// corrupt or hostile frame can then cost at most one
+				// frame-sized allocation, never a multiplied-counts OOM.
+				hint := len(d.p) - d.off
+				if est := nn * (n - i); est >= nn && est < hint {
+					hint = est
+				}
+				arena = make([]int, 0, hint)
 			}
 			pt.Nodes = arena[len(arena) : len(arena)+nn : len(arena)+nn]
 			arena = arena[:len(arena)+nn]
