@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"ecochip/internal/floorplan"
 )
@@ -362,6 +363,43 @@ func BenchmarkShardTCPLoopback(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		co := NewShardCoordinator(plan, key, transports, ShardConfig{BlockSize: 16, LeaseBlocks: 8})
+		points, err := co.Sweep(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 125 {
+			b.Fatalf("expected 125 points, got %d", len(points))
+		}
+	}
+}
+
+// BenchmarkShardHedgedSweep measures the 125-point sweep through the
+// shard coordinator with the health fabric fully armed over a healthy
+// replica pool: per-replica breaker tracking, lease-latency EWMA
+// updates, and a hedge timer on every grant — none of which fires,
+// because no one straggles. The delta against BenchmarkShardLoopback
+// is the price of arming straggler mitigation when it is not needed
+// (it should be ~free; the 20% CI gate pins that).
+func BenchmarkShardHedgedSweep(b *testing.B) {
+	db := DefaultDB()
+	base := GA102(db, 7, 14, 10, false)
+	cat := NewShardCatalog()
+	key, err := cat.RegisterSweep(base, db, sweepBenchNodes, DefaultCostParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	transports := []ShardTransport{NewShardReplica(cat), NewShardReplica(cat), NewShardReplica(cat)}
+	// LeaseBlocks 1 arms one hedge timer per block — the worst case for
+	// the hedging machinery's bookkeeping.
+	cfg := ShardConfig{BlockSize: 16, LeaseBlocks: 1, HedgeMin: time.Millisecond, Seed: 1}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co := NewShardCoordinator(plan, key, transports, cfg)
 		points, err := co.Sweep(ctx)
 		if err != nil {
 			b.Fatal(err)

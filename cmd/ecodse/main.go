@@ -55,6 +55,7 @@ func main() {
 	shardFaults := flag.String("shard-faults", "", "sweep: fault schedule injected into every shard replica, e.g. drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42")
 	shardConnect := flag.String("shard-connect", "", "sweep: comma-separated ecoreplica addresses (host:port,...) to shard the compiled plan across over TCP")
 	shardPipeline := flag.Int("shard-pipeline", 1, "sweep: leases kept in flight per -shard-connect replica connection")
+	authToken := flag.String("auth-token", "", "sweep: shared secret presented to -shard-connect replicas at registration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -88,6 +89,7 @@ func main() {
 		shardFaults:   *shardFaults,
 		shardConnect:  *shardConnect,
 		shardPipeline: *shardPipeline,
+		authToken:     *authToken,
 	}
 	err := run(*designDir, cfg, os.Stdout, os.Stderr)
 
@@ -135,6 +137,9 @@ type runConfig struct {
 	// connection (in-flight leases multiplexed over one socket).
 	shardConnect  string
 	shardPipeline int
+	// authToken is the shared secret -shard-connect replicas require at
+	// registration (ecoreplica -auth-token).
+	authToken string
 }
 
 func run(designDir string, cfg runConfig, w, statsW io.Writer) error {
@@ -313,7 +318,7 @@ func runConnectedSweep(ctx context.Context, statsW io.Writer, system *core.Syste
 		if addr == "" {
 			continue
 		}
-		cl := netx.DialTransport(addr, reg, netx.Options{})
+		cl := netx.DialTransport(addr, reg, netx.Options{AuthToken: cfg.authToken})
 		defer cl.Close()
 		for i := 0; i < pipeline; i++ {
 			transports = append(transports, cl)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"math"
 	"os"
 	"os/signal"
@@ -39,11 +40,15 @@ func (s *syncBuilder) String() string {
 // startDaemon runs the daemon's run() seam under ctx and returns the
 // bound address plus the exit-error channel.
 func startDaemon(t *testing.T, ctx context.Context, out *syncBuilder) (string, chan error) {
+	return startDaemonToken(t, ctx, "", out)
+}
+
+func startDaemonToken(t *testing.T, ctx context.Context, token string, out *syncBuilder) (string, chan error) {
 	t.Helper()
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", 0, 5*time.Second, false, out, func(addr string) { ready <- addr })
+		done <- run(ctx, "127.0.0.1:0", 0, 5*time.Second, token, false, out, func(addr string) { ready <- addr })
 	}()
 	select {
 	case addr := <-ready:
@@ -124,6 +129,59 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "drained") {
 		t.Errorf("daemon output missing lifecycle lines:\n%s", out.String())
+	}
+}
+
+// With -auth-token set, the daemon must reject coordinators that don't
+// present the secret and serve the ones that do.
+func TestDaemonAuthToken(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuilder
+	addr, _ := startDaemonToken(t, ctx, "swordfish", &out)
+
+	dir := t.TempDir()
+	if err := config.WriteExampleDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db := tech.Default()
+	system, nodes, err := config.LoadSystem(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := cost.DefaultParams()
+	cat := shard.NewCatalog()
+	key, err := cat.RegisterSweep(system, db, nodes, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cat.Plan(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := netx.NewRegistry()
+	if _, err := reg.AddSweep(system, db, nodes, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := netx.DialTransport(addr, reg, netx.Options{})
+	defer bad.Close()
+	lease := shard.Lease{Key: key, Seq: 1, Blocks: shard.BlockRange{Lo: 0, Hi: 1},
+		BlockSize: 16, PlanPoints: plan.Combos(), Mode: shard.ModePoints,
+		Deadline: time.Now().Add(5 * time.Second)}
+	err = bad.Execute(context.Background(), lease, func(shard.BlockResult) error { return nil })
+	if !errors.Is(err, shard.ErrAuthFailed) {
+		t.Fatalf("tokenless coordinator: %v, want ErrAuthFailed", err)
+	}
+
+	good := netx.DialTransport(addr, reg, netx.Options{AuthToken: "swordfish"})
+	defer good.Close()
+	co := shard.NewCoordinator(plan, key, []shard.Transport{good}, shard.Config{Seed: 1})
+	if _, err := co.Sweep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := co.Stats(); st.Wire.IsZero() {
+		t.Fatalf("authed sweep did not go over the wire: %+v", st)
 	}
 }
 

@@ -21,6 +21,11 @@
 // with the same content hash runs warm, bit-identical to the cold
 // path. -plan-cache bounds the resident plans per family; evicted
 // shapes recompile on demand.
+//
+// Each request family admits at most -max-inflight concurrent requests;
+// arrivals past the bound queue for -queue-timeout, then are shed with
+// a 429 and a Retry-After header, so a thundering herd degrades into
+// bounded latency plus explicit backpressure instead of memory growth.
 package main
 
 import (
@@ -45,6 +50,8 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation workers per request (0 = all CPUs)")
 	streamReplicas := flag.Int("stream-replicas", 0, "loopback shard replicas per streamed front run (0 = default 2)")
 	streamBlock := flag.Int("stream-block", 0, "points per streamed front block (0 = protocol default)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent requests admitted per family before shedding with 429 (0 = default 64, negative = unbounded)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long an over-bound request may queue for a slot before shedding (0 = default 100ms)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -52,6 +59,8 @@ func main() {
 		Workers:         *workers,
 		StreamReplicas:  *streamReplicas,
 		StreamBlockSize: *streamBlock,
+		MaxInflight:     *maxInflight,
+		QueueTimeout:    *queueTimeout,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

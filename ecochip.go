@@ -43,6 +43,7 @@ import (
 	"ecochip/internal/sensitivity"
 	"ecochip/internal/serve"
 	"ecochip/internal/shard"
+	"ecochip/internal/shard/health"
 	"ecochip/internal/shard/netx"
 	"ecochip/internal/tech"
 	"ecochip/internal/testcases"
@@ -452,8 +453,38 @@ func ListenAndServeShard(ctx context.Context, addr string, cat *ShardCatalog, db
 }
 
 // ParseShardFaultSpec parses the textual fault-schedule syntax, e.g.
-// "drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42".
+// "drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,slow=40ms,flap=4,seed=42".
 func ParseShardFaultSpec(s string) (ShardFaultSpec, error) { return shard.ParseFaultSpec(s) }
+
+// The replica health fabric (see internal/shard/health): every
+// transport is scored by a circuit breaker (consecutive failures plus a
+// windowed error rate) and a lease-latency EWMA. Quarantined replicas
+// receive single half-open probes on a doubling schedule instead of
+// leases; straggling leases are speculatively re-leased to healthy
+// replicas once their age passes an adaptive threshold (hedging —
+// first-write-wins dedup keeps it bit-exact); draining replicas are
+// skipped. ShardConfig.Health tunes the breaker, HedgeFactor/HedgeMin
+// the hedging.
+type (
+	// ShardHealthConfig tunes a replica's circuit breaker and probe
+	// schedule (ShardConfig.Health; the zero value derives defaults
+	// from the retry policy).
+	ShardHealthConfig = health.Config
+	// ShardHealthState is a position in the replica health state
+	// machine: Healthy, Degraded, Quarantined, HalfOpen.
+	ShardHealthState = health.State
+	// ShardHealthCounters snapshots one replica's breaker activity
+	// (trips, probes, closes).
+	ShardHealthCounters = health.Counters
+	// ShardDrainingTransport is the optional transport interface that
+	// reports a replica's graceful drain; the coordinator stops leasing
+	// to draining replicas.
+	ShardDrainingTransport = shard.DrainingTransport
+)
+
+// ErrShardAuthFailed is the typed rejection of a coordinator whose
+// auth token a replica refused (ecoreplica -auth-token).
+var ErrShardAuthFailed = shard.ErrAuthFailed
 
 // TornadoCtx is Tornado with cancellation and engine options. It runs on
 // a compiled parameter plan (see ParamPlan) and is bit-identical to

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Admission defaults: a request family admits at most
+// DefaultMaxInflight concurrent requests; an arrival finding every slot
+// busy queues for up to DefaultQueueTimeout before it is shed.
+const (
+	DefaultMaxInflight  = 64
+	DefaultQueueTimeout = 100 * time.Millisecond
+)
+
+// ErrOverloaded is the sentinel all shed requests unwrap to:
+// errors.Is(err, ErrOverloaded) identifies an admission rejection
+// regardless of which family shed it.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// OverloadError reports one shed request: the family whose in-flight
+// bound was hit and the client's suggested retry delay. HTTP maps it to
+// 429 with a Retry-After header.
+type OverloadError struct {
+	// Family is the request family that shed ("sweep", "whatif",
+	// "disaggregate", "stream").
+	Family string
+	// Limit is the family's in-flight bound at the time of shedding.
+	Limit int
+	// RetryAfter is the suggested client backoff (at least one second —
+	// the Retry-After wire granularity).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: %s overloaded (%d in flight), retry after %s", e.Family, e.Limit, e.RetryAfter)
+}
+
+// Unwrap makes every OverloadError match ErrOverloaded.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// GateStats snapshots one admission gate.
+type GateStats struct {
+	// Admitted counts requests that won a slot (including after
+	// queueing).
+	Admitted uint64 `json:"admitted"`
+	// Shed counts requests rejected after the queue timeout.
+	Shed uint64 `json:"shed"`
+	// Inflight is the current number of admitted, unreleased requests.
+	Inflight int `json:"inflight"`
+}
+
+// AdmissionStats snapshots all four request-family gates.
+type AdmissionStats struct {
+	Sweeps        GateStats `json:"sweeps"`
+	WhatIfs       GateStats `json:"whatifs"`
+	Disaggregates GateStats `json:"disaggregates"`
+	Streams       GateStats `json:"streams"`
+}
+
+// gate is one family's admission bound: a slot semaphore plus a queue
+// timeout. A nil gate admits everything (admission disabled).
+type gate struct {
+	family   string
+	slots    chan struct{}
+	timeout  time.Duration
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+func newGate(family string, limit int, timeout time.Duration) *gate {
+	if limit < 0 {
+		return nil // disabled: unbounded admission
+	}
+	if limit == 0 {
+		limit = DefaultMaxInflight
+	}
+	if timeout <= 0 {
+		timeout = DefaultQueueTimeout
+	}
+	return &gate{family: family, slots: make(chan struct{}, limit), timeout: timeout}
+}
+
+// acquire admits the request or sheds it. On success the returned
+// release must be called exactly once when the request finishes; on
+// shedding the error is an *OverloadError (and ctx errors pass through
+// as themselves — a caller that gave up is not "overload").
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	default:
+	}
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return g.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		g.shed.Add(1)
+		return nil, &OverloadError{Family: g.family, Limit: cap(g.slots), RetryAfter: retryAfter(g.timeout)}
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+func (g *gate) stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{Admitted: g.admitted.Load(), Shed: g.shed.Load(), Inflight: len(g.slots)}
+}
+
+// retryAfter rounds the queue timeout up to whole seconds (the
+// Retry-After granularity), never below one second.
+func retryAfter(timeout time.Duration) time.Duration {
+	d := timeout.Truncate(time.Second)
+	if d < timeout {
+		d += time.Second
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// admitter holds the per-family gates.
+type admitter struct {
+	sweep, whatif, disagg, stream *gate
+}
+
+func newAdmitter(limit int, timeout time.Duration) *admitter {
+	return &admitter{
+		sweep:  newGate("sweep", limit, timeout),
+		whatif: newGate("whatif", limit, timeout),
+		disagg: newGate("disaggregate", limit, timeout),
+		stream: newGate("stream", limit, timeout),
+	}
+}
+
+func (a *admitter) stats() AdmissionStats {
+	return AdmissionStats{
+		Sweeps:        a.sweep.stats(),
+		WhatIfs:       a.whatif.stats(),
+		Disaggregates: a.disagg.stats(),
+		Streams:       a.stream.stats(),
+	}
+}

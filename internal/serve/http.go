@@ -2,8 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"ecochip/internal/explore"
 	"ecochip/internal/shard"
@@ -20,7 +23,9 @@ import (
 //	GET  /v1/stats                            -> Stats
 //
 // Request validation failures are 400s with an {"error": ...} body;
-// everything downstream of a valid request is a 500. Handlers are
+// everything downstream of a valid request is a 500. A request shed by
+// the per-family admission gates is a 429 with a Retry-After header
+// (whole seconds). Handlers are
 // concurrency-safe (the server's caches single-flight compiles), so the
 // default one-goroutine-per-connection http.Server drive is the
 // intended concurrent serving mode.
@@ -104,7 +109,7 @@ func streamFront(w http.ResponseWriter, r *http.Request, s *Server, req *SweepRe
 	if err != nil {
 		if !wrote {
 			// Nothing streamed yet: fail the request properly.
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			writeError(w, err)
 			return
 		}
 		emit(StreamLine{Error: err.Error()})
@@ -125,10 +130,27 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 
 func reply[T any](w http.ResponseWriter, resp *T, err error) {
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError maps a server error to its HTTP shape: a shed request
+// becomes 429 with a Retry-After hint, everything else stays the 400
+// contract.
+func writeError(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		secs := int(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -13,6 +13,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ecochip/internal/core"
 	"ecochip/internal/cost"
@@ -48,6 +49,15 @@ type Config struct {
 	// StreamBlockSize is the per-block quantum of streamed front runs
 	// (default: the shard protocol default, 512 points).
 	StreamBlockSize int
+	// MaxInflight bounds concurrently admitted requests per family
+	// (sweep, what-if, disaggregate, stream): 0 selects
+	// DefaultMaxInflight, negative disables admission control entirely.
+	// An arrival past the bound queues for QueueTimeout, then is shed
+	// with an *OverloadError (HTTP 429 + Retry-After).
+	MaxInflight int
+	// QueueTimeout is how long an over-bound arrival may wait for a slot
+	// before shedding (0 = DefaultQueueTimeout).
+	QueueTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -71,10 +81,13 @@ type paramEntry struct {
 	pool *kernel.ScratchPool
 }
 
-// Stats snapshots the server's three plan caches.
+// Stats snapshots the server's three plan caches and the admission
+// gates.
 type Stats struct {
 	// Sweeps / Params / Disaggregates are the per-family cache counters.
 	Sweeps, Params, Disaggregates lru.Stats
+	// Admission is the per-family overload-shedding snapshot.
+	Admission AdmissionStats
 }
 
 // Server answers what-if requests off content-keyed warm plans. Safe
@@ -86,6 +99,7 @@ type Server struct {
 	sweeps *lru.Cache[*explore.CompiledPlan]
 	params *lru.Cache[*paramEntry]
 	disagg *lru.Cache[*explore.DisaggregateSearch]
+	admit  *admitter
 }
 
 // NewServer builds a server over one technology database version.
@@ -101,12 +115,18 @@ func NewServer(db *tech.DB, cfg Config) *Server {
 		sweeps: lru.New[*explore.CompiledPlan](cfg.PlanCacheSize),
 		params: lru.New[*paramEntry](cfg.PlanCacheSize),
 		disagg: lru.New[*explore.DisaggregateSearch](cfg.PlanCacheSize),
+		admit:  newAdmitter(cfg.MaxInflight, cfg.QueueTimeout),
 	}
 }
 
-// Stats snapshots the plan-cache counters.
+// Stats snapshots the plan-cache and admission counters.
 func (s *Server) Stats() Stats {
-	return Stats{Sweeps: s.sweeps.Stats(), Params: s.params.Stats(), Disaggregates: s.disagg.Stats()}
+	return Stats{
+		Sweeps:        s.sweeps.Stats(),
+		Params:        s.params.Stats(),
+		Disaggregates: s.disagg.Stats(),
+		Admission:     s.admit.stats(),
+	}
 }
 
 func (s *Server) engineOpts() []engine.Option {
@@ -191,6 +211,11 @@ type SweepResponse struct {
 
 // Sweep runs a (possibly warm) compiled sweep.
 func (s *Server) Sweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	release, err := s.admit.sweep.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if req.System == nil {
 		return nil, fmt.Errorf("serve: sweep request carries no system")
 	}
@@ -266,6 +291,11 @@ type WhatIfResponse struct {
 
 // WhatIf answers one what-if question off the matching warm plan.
 func (s *Server) WhatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfResponse, error) {
+	release, err := s.admit.whatif.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if req.System == nil {
 		return nil, fmt.Errorf("serve: what-if request carries no system")
 	}
@@ -417,6 +447,11 @@ type DisaggregateResponse struct {
 // warm run revisits the search's memoized candidate tables and answers
 // at a small fraction of the cold cost, bit-identically.
 func (s *Server) Disaggregate(ctx context.Context, req *DisaggregateRequest) (*DisaggregateResponse, error) {
+	release, err := s.admit.disagg.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if req.System == nil {
 		return nil, fmt.Errorf("serve: disaggregate request carries no system")
 	}
@@ -450,6 +485,11 @@ func (s *Server) Disaggregate(ctx context.Context, req *DisaggregateRequest) (*D
 // server's warm plan — the serving embodiment of the lease protocol's
 // incremental front consumption.
 func (s *Server) StreamFront(ctx context.Context, req *SweepRequest, emit func(shard.FrontSnapshot) error) (*SweepResponse, error) {
+	release, err := s.admit.stream.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if req.System == nil {
 		return nil, fmt.Errorf("serve: stream request carries no system")
 	}

@@ -9,13 +9,16 @@ import (
 
 // chaosSchedules returns the per-replica fault schedules of one chaos
 // trial: one replica guaranteed to crash mid-block, one prone to
-// duplicate deliveries, one mixing drops, transient errors and delays —
-// all seeded from the trial RNG so failures replay.
+// duplicate deliveries, one mixing drops, transient errors and delays,
+// one flapping straggler (slow deliveries plus periodic outages, the
+// health-fabric levers) — all seeded from the trial RNG so failures
+// replay.
 func chaosSchedules(rng *rand.Rand) []FaultSpec {
 	return []FaultSpec{
 		{Seed: rng.Int63(), CrashAfter: 1 + rng.Intn(4), Dup: 0.2},
 		{Seed: rng.Int63(), Dup: 0.5, Drop: 0.1},
 		{Seed: rng.Int63(), Drop: 0.3, Err: 0.3, Crash: 0.05, Delay: time.Duration(rng.Intn(3)) * time.Millisecond},
+		{Seed: rng.Int63(), Slow: 3 * time.Millisecond, SlowProb: 0.3, FlapEvery: 2 + rng.Intn(3), Dup: 0.1},
 	}
 }
 

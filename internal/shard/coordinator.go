@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ecochip/internal/explore"
+	"ecochip/internal/shard/health"
 )
 
 // Config tunes the coordinator's lease protocol. The zero value is
@@ -35,7 +36,10 @@ type Config struct {
 	// BackoffMax caps the exponential backoff.
 	BackoffMax time.Duration
 	// MaxRetries is the consecutive-failure budget per replica
-	// (default 3); past it the replica is retired for the run.
+	// (default 3); past it the replica's circuit breaker opens and the
+	// replica is quarantined — probed and rejoined if it recovers,
+	// retired for the run once its probe budget is spent too
+	// (health.Config.MaxProbes).
 	MaxRetries int
 	// Seed seeds the backoff jitter (deterministic per replica index).
 	Seed int64
@@ -43,6 +47,22 @@ type Config struct {
 	// typed *ExhaustedError instead of a local walk — for deployments
 	// where the coordinator must not absorb compute.
 	DisableFallback bool
+	// Health tunes the per-replica circuit breakers and latency
+	// trackers. Zero fields default sensibly; in particular TripAfter
+	// defaults to MaxRetries+1 (the old retire threshold becomes the
+	// trip threshold) and ProbeAfter to BackoffMax.
+	Health health.Config
+	// HedgeFactor scales the cross-replica EWMA lease latency into the
+	// adaptive straggler threshold (default 3): an outstanding lease
+	// older than EWMA×HedgeFactor is speculatively re-leased to a
+	// healthy replica. Blocks are deterministic and delivery is
+	// first-write-wins, so a hedge can change timing but never bits.
+	HedgeFactor float64
+	// HedgeMin floors the straggler threshold (default 25ms) so warm
+	// sub-millisecond EWMAs cannot hedge every lease.
+	HedgeMin time.Duration
+	// DisableHedging turns speculative re-leases off.
+	DisableHedging bool
 	// Logf, when set, receives protocol events worth operator eyes
 	// (currently: fallback activation). Default: silent.
 	Logf func(format string, args ...any)
@@ -67,7 +87,26 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
 	}
+	if c.HedgeFactor <= 0 {
+		c.HedgeFactor = 3
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
 	return c
+}
+
+// healthConfig derives the tracker config: unset breaker thresholds
+// inherit the lease protocol's retry knobs so one knob set scales both.
+func (c Config) healthConfig() health.Config {
+	h := c.Health
+	if h.TripAfter <= 0 {
+		h.TripAfter = c.MaxRetries + 1
+	}
+	if h.ProbeAfter <= 0 {
+		h.ProbeAfter = c.BackoffMax
+	}
+	return h
 }
 
 // Stats is a snapshot of the coordinator's protocol counters,
@@ -85,10 +124,22 @@ type Stats struct {
 	// BlocksLocal the blocks absorbed by the coordinator's fallback.
 	BlocksCompleted, BlocksDeduped, BlocksLocal uint64
 	// ReplicaFailures counts transient Execute errors; ReplicasLost the
-	// replicas retired (crash or retry budget exhausted).
+	// replicas retired (crash, auth rejection, or probe budget spent).
 	ReplicaFailures, ReplicasLost uint64
 	// Fallbacks counts local-walk degradations (total replica loss).
 	Fallbacks uint64
+	// HedgesFired counts straggling leases whose remaining blocks were
+	// speculatively re-leased; HedgesWon the hedged blocks that
+	// completed under the hedge rather than the original; and
+	// HedgesCancelled the losing leases cancelled early because every
+	// block of their span completed under another lease.
+	HedgesFired, HedgesWon, HedgesCancelled uint64
+	// BreakerTrips / BreakerProbes / BreakerCloses count circuit-breaker
+	// transitions across the replica set: openings (→ quarantined),
+	// half-open probe entries, and probe successes closing the breaker.
+	BreakerTrips, BreakerProbes, BreakerCloses uint64
+	// DrainSkips counts lease grants withheld from draining replicas.
+	DrainSkips uint64
 	// Wire aggregates the wire-level counters of the coordinator's
 	// counted transports (zero for pure loopback runs).
 	Wire TransportCounters
@@ -98,6 +149,10 @@ func (s Stats) String() string {
 	out := fmt.Sprintf("shard: %d leases granted (%d expired), %d blocks re-leased, %d completed (%d deduped, %d local), %d replica failures (%d replicas lost), %d fallbacks",
 		s.LeasesGranted, s.LeasesExpired, s.BlocksRequeued, s.BlocksCompleted, s.BlocksDeduped, s.BlocksLocal,
 		s.ReplicaFailures, s.ReplicasLost, s.Fallbacks)
+	if s.HedgesFired+s.HedgesWon+s.HedgesCancelled+s.BreakerTrips+s.BreakerProbes+s.BreakerCloses+s.DrainSkips > 0 {
+		out += fmt.Sprintf("\nhealth: %d hedges fired (%d blocks won, %d leases cancelled), breaker %d trips / %d probes / %d closes, %d drain skips",
+			s.HedgesFired, s.HedgesWon, s.HedgesCancelled, s.BreakerTrips, s.BreakerProbes, s.BreakerCloses, s.DrainSkips)
+	}
 	if !s.Wire.IsZero() {
 		out += "\n" + s.Wire.String()
 	}
@@ -106,38 +161,169 @@ func (s Stats) String() string {
 
 // Coordinator drives one compiled plan across a set of replica
 // transports under the lease protocol. It is safe for sequential
-// reuse (Sweep / ParetoFront any number of times); stats accumulate.
+// reuse (Sweep / ParetoFront any number of times); stats accumulate,
+// and per-replica health state (breakers, latency EWMAs) carries
+// across runs so a replica quarantined in one run is probed — not
+// blindly trusted — by the next. AddTransport / RemoveTransport adjust
+// the replica set at any time, including mid-run.
 type Coordinator struct {
-	plan       *explore.CompiledPlan
-	key        string
+	plan      *explore.CompiledPlan
+	key       string
+	cfg       Config
+	healthCfg health.Config
+	leaseEwma *health.Ewma
+
+	mu         sync.Mutex
 	transports []Transport
-	cfg        Config
+	removed    map[Transport]bool
+	trackers   map[Transport]*health.Tracker
+	active     *runState
+
+	driveSeq atomic.Int64
 
 	leasesGranted, leasesExpired, blocksRequeued  atomic.Uint64
 	blocksCompleted, blocksDeduped, blocksLocal   atomic.Uint64
 	replicaFailures, replicasLost, fallbacksTotal atomic.Uint64
+	hedgesFired, hedgesWon, hedgesCancelled       atomic.Uint64
+	drainSkips                                    atomic.Uint64
 }
 
 // NewCoordinator builds a coordinator for the plan (compiled by the
 // caller — the coordinator needs it for geometry, result assembly and
 // the degradation path) identified by key (explore.PlanKey of the same
 // inputs) over the given replica transports. An empty transport list
-// is legal: every run degrades to the local walk.
+// is legal: every run degrades to the local walk (or use AddTransport
+// before running).
 func NewCoordinator(plan *explore.CompiledPlan, key string, transports []Transport, cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
 	return &Coordinator{
 		plan:       plan,
 		key:        key,
 		transports: append([]Transport(nil), transports...),
-		cfg:        cfg.withDefaults(),
+		cfg:        cfg,
+		healthCfg:  cfg.healthConfig(),
+		leaseEwma:  health.NewEwma(cfg.Health.Alpha),
+		removed:    make(map[Transport]bool),
+		trackers:   make(map[Transport]*health.Tracker),
 	}
+}
+
+// AddTransport adds a replica transport to the set at runtime: it
+// joins the current run (if one is live) immediately, and every later
+// run. Adding a transport that was removed earlier clears its removal.
+func (c *Coordinator) AddTransport(t Transport) {
+	c.mu.Lock()
+	c.transports = append(c.transports, t)
+	delete(c.removed, t)
+	r := c.active
+	c.mu.Unlock()
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.driversGone {
+		r.spawnDriveLocked(r.ctx, t)
+	}
+	r.mu.Unlock()
+}
+
+// RemoveTransport removes every entry of t from the replica set (a
+// pipelined transport appears once per lease slot) and stops its lease
+// goroutines at their next acquire — an in-flight lease finishes or
+// fails normally first, and its late results deduplicate as usual.
+// Reports whether t was present.
+func (c *Coordinator) RemoveTransport(t Transport) bool {
+	c.mu.Lock()
+	kept := c.transports[:0]
+	found := false
+	for _, x := range c.transports {
+		if x == t {
+			found = true
+			continue
+		}
+		kept = append(kept, x)
+	}
+	c.transports = kept
+	if found {
+		c.removed[t] = true
+	}
+	r := c.active
+	c.mu.Unlock()
+	if found && r != nil {
+		// Wake acquire waiters so the removed transport's parked
+		// drivers observe the tombstone and exit.
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+	return found
+}
+
+// Transports snapshots the current replica set.
+func (c *Coordinator) Transports() []Transport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Transport(nil), c.transports...)
+}
+
+func (c *Coordinator) isRemoved(t Transport) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removed[t]
+}
+
+// tracker returns t's health tracker, creating it on first use.
+// Pipelined lease slots of the same transport value share one tracker,
+// so a replica's health is judged per replica, not per slot.
+func (c *Coordinator) tracker(t Transport) *health.Tracker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr := c.trackers[t]
+	if tr == nil {
+		tr = health.New(c.healthCfg)
+		c.trackers[t] = tr
+	}
+	return tr
+}
+
+// hedgeDelay derives the adaptive straggler threshold for a fresh
+// lease: the cross-replica EWMA of lease latencies × HedgeFactor,
+// floored at HedgeMin. Hedging is off until the EWMA has a sample
+// (nothing to adapt to), with fewer than two transports (nobody to
+// hedge to), and at or past LeaseTimeout (expiry re-leases anyway).
+func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
+	if c.cfg.DisableHedging {
+		return 0, false
+	}
+	c.mu.Lock()
+	n := len(c.transports)
+	c.mu.Unlock()
+	if n < 2 {
+		return 0, false
+	}
+	e := c.leaseEwma.Value()
+	if e <= 0 {
+		return 0, false
+	}
+	d := time.Duration(float64(e) * c.cfg.HedgeFactor)
+	if d < c.cfg.HedgeMin {
+		d = c.cfg.HedgeMin
+	}
+	if d >= c.cfg.LeaseTimeout {
+		return 0, false
+	}
+	return d, true
 }
 
 // Stats snapshots the protocol counters, including the summed
 // wire-level counters of the distinct counted transports (one entry
 // per transport value: passing the same network client several times
-// to pipeline leases over its socket does not double-count it).
+// to pipeline leases over its socket does not double-count it) and the
+// breaker-transition counters summed across replica health trackers.
 func (c *Coordinator) Stats() Stats {
 	var wire TransportCounters
+	var hc health.Counters
+	c.mu.Lock()
 	seen := make(map[Transport]bool, len(c.transports))
 	for _, t := range c.transports {
 		ct, ok := t.(CountedTransport)
@@ -147,6 +333,10 @@ func (c *Coordinator) Stats() Stats {
 		seen[t] = true
 		wire.add(ct.TransportCounters())
 	}
+	for _, tr := range c.trackers {
+		hc.Add(tr.Counters())
+	}
+	c.mu.Unlock()
 	return Stats{
 		Wire:            wire,
 		LeasesGranted:   c.leasesGranted.Load(),
@@ -158,6 +348,13 @@ func (c *Coordinator) Stats() Stats {
 		ReplicaFailures: c.replicaFailures.Load(),
 		ReplicasLost:    c.replicasLost.Load(),
 		Fallbacks:       c.fallbacksTotal.Load(),
+		HedgesFired:     c.hedgesFired.Load(),
+		HedgesWon:       c.hedgesWon.Load(),
+		HedgesCancelled: c.hedgesCancelled.Load(),
+		BreakerTrips:    hc.Trips,
+		BreakerProbes:   hc.Probes,
+		BreakerCloses:   hc.Closes,
+		DrainSkips:      c.drainSkips.Load(),
 	}
 }
 
@@ -329,37 +526,75 @@ type leaseRec struct {
 	remaining map[int]bool // blocks not yet delivered under any lease
 	expired   bool
 	released  bool
-	cancel    context.CancelFunc
-	timer     *time.Timer
+	// satisfied marks a lease cancelled early because every block of
+	// its span completed under other leases (the losing side of a
+	// hedge race) — not a replica failure.
+	satisfied bool
+	// hedged marks a lease whose remaining blocks were speculatively
+	// re-leased after it exceeded the straggler threshold.
+	hedged     bool
+	cancel     context.CancelFunc
+	timer      *time.Timer
+	hedgeTimer *time.Timer
 }
 
 // runState is the mutable state of one coordinator run. All fields are
 // guarded by mu; cond broadcasts wake acquire waiters on every state
-// change that could unblock them (requeue, completion, cancellation).
+// change that could unblock them (requeue, completion, cancellation,
+// membership changes).
 type runState struct {
 	c          *Coordinator
+	ctx        context.Context
 	mode       Mode
 	objectives []Objective
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	pending   []int // sorted block ids awaiting a lease
-	done      []bool
-	doneCount int
-	nb        int
-	nextSeq   uint64
-	sink      func(BlockResult) // called under mu; slots pre-validated
-	complete  chan struct{}
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []int  // sorted block ids awaiting a lease
+	queued      []bool // mirrors pending membership (no double-queue)
+	done        []bool
+	doneCount   int
+	nb          int
+	nextSeq     uint64
+	outstanding map[*leaseRec]struct{}
+	hedgeBlocks map[int]uint64    // hedged block -> straggler lease seq
+	sink        func(BlockResult) // called under mu; slots pre-validated
+	complete    chan struct{}
+
+	drivers     int
+	driversGone bool
+	driversDone chan struct{}
+}
+
+// spawnDriveLocked starts one lease goroutine for t on this run.
+// Caller holds r.mu.
+func (r *runState) spawnDriveLocked(ctx context.Context, t Transport) {
+	r.drivers++
+	go func() {
+		defer func() {
+			r.mu.Lock()
+			r.drivers--
+			if r.drivers == 0 && !r.driversGone {
+				r.driversGone = true
+				close(r.driversDone)
+			}
+			r.mu.Unlock()
+		}()
+		r.drive(ctx, t)
+	}()
 }
 
 func (c *Coordinator) run(ctx context.Context, mode Mode, objectives []Objective, sink func(BlockResult)) error {
 	combos := c.plan.Combos()
 	nb := blockCount(combos, c.cfg.BlockSize)
 	r := &runState{c: c, mode: mode, objectives: objectives, nb: nb, sink: sink,
-		done: make([]bool, nb), pending: make([]int, nb), complete: make(chan struct{})}
+		done: make([]bool, nb), queued: make([]bool, nb), pending: make([]int, nb),
+		outstanding: make(map[*leaseRec]struct{}), hedgeBlocks: make(map[int]uint64),
+		complete: make(chan struct{}), driversDone: make(chan struct{})}
 	r.cond = sync.NewCond(&r.mu)
 	for b := range r.pending {
 		r.pending[b] = b
+		r.queued[b] = true
 	}
 	if combos == 0 {
 		return ctx.Err()
@@ -367,6 +602,7 @@ func (c *Coordinator) run(ctx context.Context, mode Mode, objectives []Objective
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	r.ctx = runCtx
 	// cond.Wait cannot watch a context; wake every waiter when the run
 	// context dies so acquire loops can observe it.
 	stopWake := context.AfterFunc(runCtx, func() {
@@ -376,24 +612,37 @@ func (c *Coordinator) run(ctx context.Context, mode Mode, objectives []Objective
 	})
 	defer stopWake()
 
-	var wg sync.WaitGroup
-	for i, t := range c.transports {
-		wg.Add(1)
-		go func(i int, t Transport) {
-			defer wg.Done()
-			r.drive(runCtx, i, t)
-		}(i, t)
+	c.mu.Lock()
+	snapshot := append([]Transport(nil), c.transports...)
+	// A fresh run grants every quarantined replica a fresh probe
+	// budget: retirement is per run, rejoining is the default.
+	for _, tr := range c.trackers {
+		tr.Reset()
 	}
-	driversDone := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(driversDone)
+	c.active = r
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.active == r {
+			c.active = nil
+		}
+		c.mu.Unlock()
 	}()
+
+	r.mu.Lock()
+	for _, t := range snapshot {
+		r.spawnDriveLocked(runCtx, t)
+	}
+	if r.drivers == 0 {
+		r.driversGone = true
+		close(r.driversDone)
+	}
+	r.mu.Unlock()
 
 	select {
 	case <-r.complete:
 		cancel() // release straggler leases promptly; their late results dedup
-	case <-driversDone:
+	case <-r.driversDone:
 		// Every replica retired (or the run completed and they drained).
 	case <-ctx.Done():
 		cancel()
@@ -454,34 +703,90 @@ func (r *runState) isDone(b int) bool {
 }
 
 // drive is one replica's lease loop: acquire a span, execute it,
-// release it, classify the outcome. Transient failures AND lease
-// expiries back off exponentially with jitter before the replica may
-// acquire again — expiry means the replica missed its deadline, and
-// pausing it is also what lets a healthy replica win the re-leased
-// blocks instead of the straggler instantly re-acquiring its own
-// expired span. ErrReplicaDown or an exhausted consecutive-failure
-// budget retires the replica for the run.
-func (r *runState) drive(ctx context.Context, idx int, t Transport) {
+// release it, classify the outcome. The replica's shared health
+// tracker gates admission — a quarantined replica sleeps out its probe
+// interval and re-enters through a single half-open probe lease — and
+// absorbs every outcome: successes feed the latency EWMA (the hedging
+// baseline), transient failures and expiries back off exponentially
+// with jitter and push the breaker toward a trip. ErrReplicaDown, an
+// auth rejection, or a spent probe budget retires the replica for the
+// run.
+func (r *runState) drive(ctx context.Context, t Transport) {
 	cfg := r.c.cfg
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*0x9e3779b9))
-	fails := 0
+	rng := rand.New(rand.NewSource(cfg.Seed + r.c.driveSeq.Add(1)*0x9e3779b9))
+	tr := r.c.tracker(t)
 	for {
-		lease, rec, ok := r.acquire(ctx)
-		if !ok {
+		if r.c.isRemoved(t) {
 			return
 		}
+		if tr.Exhausted() {
+			// The quarantine probe budget is spent: retire the replica
+			// for this run (counted once however many lease slots share
+			// the tracker). The next run probes it afresh.
+			if tr.Retire() {
+				r.c.replicasLost.Add(1)
+			}
+			return
+		}
+		if ok, wait := tr.Allow(time.Now()); !ok {
+			if wait <= 0 {
+				wait = cfg.RetryBackoff
+			}
+			if !sleepCtx(ctx, wait) {
+				return
+			}
+			continue
+		}
+		if dt, ok := t.(DrainingTransport); ok && dt.Draining() {
+			// The replica announced a graceful drain (liveness pong or
+			// refused lease): stop leasing to it. Draining is
+			// unavailability, so it feeds the breaker — a peer that
+			// drains forever quarantines and eventually retires instead
+			// of stalling the run. This also resolves a claimed
+			// half-open probe (as a failed one).
+			r.c.drainSkips.Add(1)
+			tr.Failure(time.Now())
+			if !sleepCtx(ctx, backoff(rng, cfg, tr.ConsecutiveFailures())) {
+				return
+			}
+			continue
+		}
 		lctx, lcancel := context.WithCancel(ctx)
-		rec.cancel = lcancel
+		lease, rec, ok := r.acquire(ctx, t, lcancel)
+		if !ok {
+			lcancel()
+			tr.AbandonProbe(time.Now())
+			return
+		}
 		rec.timer = time.AfterFunc(cfg.LeaseTimeout, func() { r.expire(rec) })
+		granted := time.Now()
+		if !cfg.DisableHedging {
+			r.mu.Lock()
+			rec.hedgeTimer = time.AfterFunc(cfg.HedgeMin, func() { r.hedgeCheck(rec, granted) })
+			r.mu.Unlock()
+		}
+		start := time.Now()
 		err := t.Execute(lctx, lease, func(res BlockResult) error { return r.deliver(rec, res) })
-		expired := r.release(rec, lcancel)
+		expired, satisfied := r.release(rec, lcancel)
 		if ctx.Err() != nil {
 			return
 		}
 		switch {
+		case satisfied:
+			// Every block of the span completed under other leases and
+			// this one was cancelled early — the losing side of a hedge
+			// race, neither a replica failure nor a clean latency
+			// sample.
 		case err == nil && !expired:
-			fails = 0
+			lat := time.Since(start)
+			tr.Success(time.Now(), lat)
+			r.c.leaseEwma.Observe(lat)
 		case errors.Is(err, ErrReplicaDown):
+			r.c.replicasLost.Add(1)
+			return
+		case errors.Is(err, ErrAuthFailed):
+			// Credentials do not heal mid-run; retrying would hammer
+			// the replica with doomed registrations.
 			r.c.replicasLost.Add(1)
 			return
 		default:
@@ -490,12 +795,8 @@ func (r *runState) drive(ctx context.Context, idx int, t Transport) {
 			if !expired {
 				r.c.replicaFailures.Add(1)
 			}
-			fails++
-			if fails > cfg.MaxRetries {
-				r.c.replicasLost.Add(1)
-				return
-			}
-			if !sleepCtx(ctx, backoff(rng, cfg, fails)) {
+			tr.Failure(time.Now())
+			if !sleepCtx(ctx, backoff(rng, cfg, tr.ConsecutiveFailures())) {
 				return
 			}
 		}
@@ -527,15 +828,18 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// acquire blocks until a block span is available (or the run is over)
-// and grants a lease over it. Pending blocks are kept sorted; a lease
-// takes the longest contiguous run from the head, capped at
-// LeaseBlocks, so re-leased stragglers coalesce back into spans.
-func (r *runState) acquire(ctx context.Context) (Lease, *leaseRec, bool) {
+// acquire blocks until a block span is available (or the run is over,
+// or t was removed from the replica set) and grants a lease over it.
+// Pending blocks are kept sorted; a lease takes the longest contiguous
+// run from the head, capped at LeaseBlocks, so re-leased stragglers
+// coalesce back into spans. The returned rec carries cancel so a
+// hedge-satisfied lease can be cancelled the moment its last block
+// completes elsewhere.
+func (r *runState) acquire(ctx context.Context, t Transport, cancel context.CancelFunc) (Lease, *leaseRec, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
-		if r.doneCount == r.nb || ctx.Err() != nil {
+		if r.doneCount == r.nb || ctx.Err() != nil || r.c.isRemoved(t) {
 			return Lease{}, nil, false
 		}
 		// Drop blocks a straggler completed while they sat pending.
@@ -543,6 +847,8 @@ func (r *runState) acquire(ctx context.Context) (Lease, *leaseRec, bool) {
 		for _, b := range r.pending {
 			if !r.done[b] {
 				live = append(live, b)
+			} else {
+				r.queued[b] = false
 			}
 		}
 		r.pending = live
@@ -568,10 +874,12 @@ func (r *runState) acquire(ctx context.Context) (Lease, *leaseRec, bool) {
 		Objectives: append([]Objective(nil), r.objectives...),
 		Deadline:   time.Now().Add(r.c.cfg.LeaseTimeout),
 	}
-	rec := &leaseRec{lease: lease, remaining: make(map[int]bool, n)}
+	rec := &leaseRec{lease: lease, remaining: make(map[int]bool, n), cancel: cancel}
 	for b := lo; b < lo+n; b++ {
 		rec.remaining[b] = true
+		r.queued[b] = false
 	}
+	r.outstanding[rec] = struct{}{}
 	r.c.leasesGranted.Add(1)
 	return lease, rec, true
 }
@@ -582,7 +890,7 @@ func (r *runState) acquire(ctx context.Context) (Lease, *leaseRec, bool) {
 // may still deliver them later — first write wins.
 func (r *runState) expire(rec *leaseRec) {
 	r.mu.Lock()
-	if rec.released || rec.expired || len(rec.remaining) == 0 {
+	if rec.released || rec.expired || rec.satisfied || len(rec.remaining) == 0 {
 		r.mu.Unlock()
 		return
 	}
@@ -593,31 +901,95 @@ func (r *runState) expire(rec *leaseRec) {
 	rec.cancel()
 }
 
+// hedgeCheck re-evaluates a live lease against the adaptive straggler
+// threshold. The threshold needs a warm latency EWMA and a second
+// transport, neither of which is guaranteed at grant time, so the
+// timer re-arms (at HedgeMin granularity, bounded by the lease's own
+// lifetime) until the lease either finishes or ages past the
+// threshold and hedges.
+func (r *runState) hedgeCheck(rec *leaseRec, granted time.Time) {
+	d, ok := r.c.hedgeDelay()
+	age := time.Since(granted)
+	if ok && age >= d {
+		r.hedge(rec)
+		return
+	}
+	wait := r.c.cfg.HedgeMin
+	if ok && d-age > wait {
+		wait = d - age
+	}
+	r.mu.Lock()
+	if !rec.released && !rec.expired && !rec.satisfied {
+		rec.hedgeTimer = time.AfterFunc(wait, func() { r.hedgeCheck(rec, granted) })
+	}
+	r.mu.Unlock()
+}
+
+// hedge fires when a lease outlives the adaptive straggler threshold
+// with blocks outstanding: the incomplete blocks are speculatively
+// re-queued so an idle healthy replica picks them up while the
+// original lease keeps running. Whichever computation delivers a block
+// first wins (the bits are identical by construction); the losing
+// lease is cancelled by deliver once its whole span is covered.
+func (r *runState) hedge(rec *leaseRec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec.released || rec.expired || rec.satisfied || r.doneCount == r.nb {
+		return
+	}
+	n := 0
+	for b := range rec.remaining {
+		if !r.done[b] && !r.queued[b] {
+			r.pending = append(r.pending, b)
+			r.queued[b] = true
+			r.hedgeBlocks[b] = rec.lease.Seq
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	rec.hedged = true
+	sort.Ints(r.pending)
+	r.c.hedgesFired.Add(1)
+	r.cond.Broadcast()
+}
+
 // release retires a lease record when its Execute returns: any blocks
 // it did not deliver (failure, crash, dropped results) are re-leased
-// unless expiry already did so. Reports whether the lease had expired.
-func (r *runState) release(rec *leaseRec, cancel context.CancelFunc) bool {
+// unless expiry already did so. Reports whether the lease had expired
+// and whether it was hedge-satisfied (cancelled because its span
+// completed under other leases).
+func (r *runState) release(rec *leaseRec, cancel context.CancelFunc) (expired, satisfied bool) {
 	r.mu.Lock()
 	rec.released = true
 	if rec.timer != nil {
 		rec.timer.Stop()
 	}
-	expired := rec.expired
+	if rec.hedgeTimer != nil {
+		rec.hedgeTimer.Stop()
+	}
+	delete(r.outstanding, rec)
+	expired = rec.expired
+	satisfied = rec.satisfied
 	if !expired {
 		r.requeueLocked(rec)
 	}
 	r.mu.Unlock()
 	cancel()
-	return expired
+	return expired, satisfied
 }
 
 // requeueLocked returns rec's undelivered, still-incomplete blocks to
-// the pending queue in sorted order and wakes acquire waiters.
+// the pending queue in sorted order and wakes acquire waiters. Blocks
+// already queued (a hedge beat the requeue to them) are not queued
+// twice.
 func (r *runState) requeueLocked(rec *leaseRec) {
 	n := 0
 	for b := range rec.remaining {
-		if !r.done[b] {
+		if !r.done[b] && !r.queued[b] {
 			r.pending = append(r.pending, b)
+			r.queued[b] = true
 			n++
 		}
 	}
@@ -630,9 +1002,13 @@ func (r *runState) requeueLocked(rec *leaseRec) {
 }
 
 // deliver accepts one block result from a lease: structural validation,
-// first-write-wins dedup, result sink, completion detection. A
-// malformed result fails the delivering Execute with ErrBadResult; the
-// block stays incomplete and is re-leased.
+// first-write-wins dedup, result sink, completion detection, and the
+// hedge-race bookkeeping — a block completing under a lease other than
+// the straggler it was hedged away from counts as a hedge win, and any
+// other outstanding lease left with nothing undelivered is cancelled
+// early (the losing hedge). A malformed result fails the delivering
+// Execute with ErrBadResult; the block stays incomplete and is
+// re-leased.
 func (r *runState) deliver(rec *leaseRec, res BlockResult) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -661,6 +1037,25 @@ func (r *runState) deliver(rec *leaseRec, res BlockResult) error {
 	r.doneCount++
 	delete(rec.remaining, b)
 	r.c.blocksCompleted.Add(1)
+	if seq, ok := r.hedgeBlocks[b]; ok {
+		delete(r.hedgeBlocks, b)
+		if rec.lease.Seq != seq {
+			r.c.hedgesWon.Add(1)
+		}
+	}
+	// Cancel losing hedges: any other live lease whose span is now
+	// fully delivered burns replica cycles on blocks that are all done.
+	for other := range r.outstanding {
+		if other == rec || other.released || other.expired || other.satisfied {
+			continue
+		}
+		delete(other.remaining, b)
+		if len(other.remaining) == 0 {
+			other.satisfied = true
+			r.c.hedgesCancelled.Add(1)
+			other.cancel()
+		}
+	}
 	if r.doneCount == r.nb {
 		close(r.complete)
 		r.cond.Broadcast()

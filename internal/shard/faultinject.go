@@ -38,6 +38,18 @@ type FaultSpec struct {
 	// Delay stalls before each delivery (context-respecting) — the lever
 	// for forcing lease expiry.
 	Delay time.Duration
+	// Slow stalls an additional Slow before a delivery chosen by
+	// SlowProb — the straggler lever for exercising hedged leases
+	// without pushing the lease past its expiry deadline.
+	Slow time.Duration
+	// SlowProb is the per-block probability that Slow applies; zero with
+	// Slow set means every delivery is slowed.
+	SlowProb float64
+	// FlapEvery, when positive, alternates the replica between FlapEvery
+	// accepted Execute calls and FlapEvery refused ones (a transient
+	// outage, not a crash) — the deterministic lever for driving a
+	// breaker through open → half-open → close.
+	FlapEvery int
 }
 
 // ParseFaultSpec parses the ecodse -shard-faults syntax: a
@@ -45,9 +57,9 @@ type FaultSpec struct {
 //
 //	drop=0.1,dup=0.05,err=0.05,crash-after=7,delay=2ms,seed=42
 //
-// Keys: drop, dup, err, crash (probabilities in [0,1]), crash-after
-// (block count), delay (Go duration), seed (int64). An empty string is
-// the zero spec.
+// Keys: drop, dup, err, crash, slow-prob (probabilities in [0,1]),
+// crash-after, flap (counts), delay, slow (Go durations), seed (int64).
+// An empty string is the zero spec.
 func ParseFaultSpec(s string) (FaultSpec, error) {
 	var spec FaultSpec
 	if strings.TrimSpace(s) == "" {
@@ -72,6 +84,12 @@ func ParseFaultSpec(s string) (FaultSpec, error) {
 			spec.CrashAfter, err = strconv.Atoi(val)
 		case "delay":
 			spec.Delay, err = time.ParseDuration(val)
+		case "slow":
+			spec.Slow, err = time.ParseDuration(val)
+		case "slow-prob":
+			spec.SlowProb, err = parseProb(key, val)
+		case "flap":
+			spec.FlapEvery, err = strconv.Atoi(val)
 		case "seed":
 			spec.Seed, err = strconv.ParseInt(val, 10, 64)
 		default:
@@ -112,26 +130,43 @@ type faultTransport struct {
 	mu        sync.Mutex
 	rng       *rand.Rand
 	delivered int
+	execs     int
 	dead      bool
 }
 
 // roll draws the fates of the next delivery under the mutex so
-// concurrent leases (not that the coordinator grants them today) keep
-// the schedule deterministic per wrapper.
-func (f *faultTransport) roll() (drop, dup, errAfter, crash bool) {
+// concurrent leases (pipelined transports grant them) keep the
+// schedule deterministic per wrapper.
+func (f *faultTransport) roll() (drop, dup, errAfter, crash, slow bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.delivered++
 	if f.spec.CrashAfter > 0 && f.delivered >= f.spec.CrashAfter {
-		return false, false, false, true
+		return false, false, false, true, false
 	}
 	if f.spec.Crash > 0 && f.rng.Float64() < f.spec.Crash {
-		return false, false, false, true
+		return false, false, false, true, false
 	}
 	drop = f.spec.Drop > 0 && f.rng.Float64() < f.spec.Drop
 	dup = !drop && f.spec.Dup > 0 && f.rng.Float64() < f.spec.Dup
 	errAfter = f.spec.Err > 0 && f.rng.Float64() < f.spec.Err
-	return drop, dup, errAfter, crash
+	slow = f.spec.Slow > 0 && (f.spec.SlowProb <= 0 || f.rng.Float64() < f.spec.SlowProb)
+	return drop, dup, errAfter, crash, slow
+}
+
+// flapDown reports whether this Execute call lands in a down phase of
+// the flap cycle (FlapEvery up, FlapEvery down, repeating — counted
+// across all Execute calls, probes included, so breaker recovery is a
+// deterministic function of the attempt count).
+func (f *faultTransport) flapDown() (int, bool) {
+	if f.spec.FlapEvery <= 0 {
+		return 0, false
+	}
+	f.mu.Lock()
+	n := f.execs
+	f.execs++
+	f.mu.Unlock()
+	return n, (n/f.spec.FlapEvery)%2 == 1
 }
 
 func (f *faultTransport) Execute(ctx context.Context, lease Lease, emit func(BlockResult) error) error {
@@ -141,13 +176,21 @@ func (f *faultTransport) Execute(ctx context.Context, lease Lease, emit func(Blo
 	if dead {
 		return ErrReplicaDown
 	}
+	if n, down := f.flapDown(); down {
+		return fmt.Errorf("shard: injected flap outage (attempt %d)", n)
+	}
 	err := f.inner.Execute(ctx, lease, func(res BlockResult) error {
 		if f.spec.Delay > 0 {
 			if !sleepCtx(ctx, f.spec.Delay) {
 				return ctx.Err()
 			}
 		}
-		drop, dup, errAfter, crash := f.roll()
+		drop, dup, errAfter, crash, slow := f.roll()
+		if slow {
+			if !sleepCtx(ctx, f.spec.Slow) {
+				return ctx.Err()
+			}
+		}
 		if crash {
 			f.mu.Lock()
 			f.dead = true

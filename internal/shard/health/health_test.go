@@ -1,0 +1,202 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func at(s int) time.Time { return time.Unix(int64(s), 0) }
+
+func TestConsecutiveFailuresTripAndProbeCycle(t *testing.T) {
+	tr := New(Config{TripAfter: 3, ProbeAfter: 10 * time.Second, MaxProbes: 2})
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("fresh tracker state = %v, want healthy", got)
+	}
+	if tripped := tr.Failure(at(0)); tripped {
+		t.Fatalf("first failure tripped the breaker")
+	}
+	if got := tr.State(); got != Degraded {
+		t.Fatalf("state after one failure = %v, want degraded", got)
+	}
+	tr.Failure(at(1))
+	if tripped := tr.Failure(at(2)); !tripped {
+		t.Fatalf("third consecutive failure did not trip (TripAfter=3)")
+	}
+	if got := tr.State(); got != Quarantined {
+		t.Fatalf("state after trip = %v, want quarantined", got)
+	}
+
+	// Quarantine refuses leases until the probe interval lapses.
+	if ok, wait := tr.Allow(at(3)); ok || wait <= 0 {
+		t.Fatalf("Allow during quarantine = (%v, %v), want refusal with positive wait", ok, wait)
+	}
+	// Probe due: exactly one caller claims the half-open slot.
+	ok, _ := tr.Allow(at(13))
+	if !ok {
+		t.Fatalf("Allow after probe interval refused the probe")
+	}
+	if got := tr.State(); got != HalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if ok, _ := tr.Allow(at(13)); ok {
+		t.Fatalf("second Allow during half-open probe granted a lease")
+	}
+
+	// Probe succeeds: breaker closes, full recovery.
+	tr.Success(at(14), 5*time.Millisecond)
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("state after probe success = %v, want healthy", got)
+	}
+	c := tr.Counters()
+	if c.Trips != 1 || c.Probes != 1 || c.Closes != 1 {
+		t.Fatalf("counters after open→half-open→close = %+v, want 1 trip, 1 probe, 1 close", c)
+	}
+}
+
+func TestFailedProbesBackOffAndExhaust(t *testing.T) {
+	tr := New(Config{TripAfter: 2, ProbeAfter: 10 * time.Second, ProbeAfterMax: time.Hour, MaxProbes: 2})
+	tr.Failure(at(0))
+	tr.Failure(at(0)) // trips
+	if tr.Exhausted() {
+		t.Fatalf("exhausted before any probe")
+	}
+
+	// First probe fails: re-quarantined with a doubled interval.
+	if ok, _ := tr.Allow(at(11)); !ok {
+		t.Fatalf("first probe refused")
+	}
+	tr.Failure(at(11))
+	if got := tr.State(); got != Quarantined {
+		t.Fatalf("state after failed probe = %v, want quarantined", got)
+	}
+	if ok, _ := tr.Allow(at(12)); ok {
+		t.Fatalf("probe granted before the doubled interval lapsed")
+	}
+	if ok, _ := tr.Allow(at(32)); !ok {
+		t.Fatalf("second probe refused after doubled interval")
+	}
+	tr.Failure(at(32))
+	if !tr.Exhausted() {
+		t.Fatalf("not exhausted after MaxProbes=2 failed probes")
+	}
+	if !tr.Retire() {
+		t.Fatalf("first Retire returned false")
+	}
+	if tr.Retire() {
+		t.Fatalf("second Retire returned true; want once-guard")
+	}
+}
+
+func TestErrorRateTrip(t *testing.T) {
+	tr := New(Config{TripAfter: 100, Window: 8, MinSamples: 8, TripRate: 0.5, ProbeAfter: time.Second})
+	// Alternate success/failure: never 100 consecutive failures, but the
+	// windowed rate reaches 0.5 once MinSamples outcomes exist.
+	var tripped bool
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			tr.Success(at(i), time.Millisecond)
+		} else {
+			tripped = tr.Failure(at(i)) || tripped
+		}
+	}
+	if !tripped {
+		t.Fatalf("50%% windowed error rate over MinSamples did not trip")
+	}
+	if got := tr.State(); got != Quarantined {
+		t.Fatalf("state after rate trip = %v, want quarantined", got)
+	}
+}
+
+func TestErrorRateNeedsMinSamples(t *testing.T) {
+	tr := New(Config{TripAfter: 100, Window: 8, MinSamples: 8, TripRate: 0.5})
+	// One failure in two samples is a 50% rate, but below MinSamples.
+	tr.Success(at(0), time.Millisecond)
+	if tripped := tr.Failure(at(1)); tripped {
+		t.Fatalf("breaker tripped below MinSamples")
+	}
+	if got := tr.State(); got != Degraded {
+		t.Fatalf("state = %v, want degraded", got)
+	}
+}
+
+func TestDegradedRecoversOnSuccess(t *testing.T) {
+	tr := New(Config{TripAfter: 4, Window: 8, TripRate: 0.5})
+	tr.Failure(at(0))
+	if got := tr.State(); got != Degraded {
+		t.Fatalf("state after failure = %v, want degraded", got)
+	}
+	tr.Success(at(1), time.Millisecond)
+	tr.Success(at(2), time.Millisecond)
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("state after recovery = %v, want healthy", got)
+	}
+	if n := tr.ConsecutiveFailures(); n != 0 {
+		t.Fatalf("consecutive failures after success = %d, want 0", n)
+	}
+}
+
+func TestEWMATracksLatency(t *testing.T) {
+	tr := New(Config{Alpha: 0.5})
+	if got := tr.EWMA(); got != 0 {
+		t.Fatalf("EWMA before samples = %v, want 0", got)
+	}
+	tr.Success(at(0), 100*time.Millisecond)
+	if got := tr.EWMA(); got != 100*time.Millisecond {
+		t.Fatalf("EWMA after first sample = %v, want exactly the sample", got)
+	}
+	tr.Success(at(1), 200*time.Millisecond)
+	if got := tr.EWMA(); got != 150*time.Millisecond {
+		t.Fatalf("EWMA after 100ms,200ms at alpha 0.5 = %v, want 150ms", got)
+	}
+}
+
+func TestEwmaStandalone(t *testing.T) {
+	e := NewEwma(0.5)
+	if e.Value() != 0 || e.Samples() != 0 {
+		t.Fatalf("fresh Ewma = (%v, %d), want zero", e.Value(), e.Samples())
+	}
+	e.Observe(40 * time.Millisecond)
+	e.Observe(80 * time.Millisecond)
+	if got := e.Value(); got != 60*time.Millisecond {
+		t.Fatalf("Ewma after 40ms,80ms at alpha 0.5 = %v, want 60ms", got)
+	}
+	if e.Samples() != 2 {
+		t.Fatalf("Samples = %d, want 2", e.Samples())
+	}
+}
+
+func TestConcurrentProbeClaim(t *testing.T) {
+	tr := New(Config{TripAfter: 1, ProbeAfter: time.Millisecond})
+	tr.Failure(at(0)) // trips immediately
+	// Many goroutines race for the single half-open slot well past the
+	// probe deadline; exactly one must win.
+	var wg sync.WaitGroup
+	wins := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ok, _ := tr.Allow(at(10)); ok {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d goroutines claimed the half-open probe, want exactly 1", n)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Healthy: "healthy", Degraded: "degraded", Quarantined: "quarantined", HalfOpen: "half-open"} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package netx
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"net"
@@ -628,5 +629,261 @@ func TestTCPDialFailureFallsBack(t *testing.T) {
 	st := co.Stats()
 	if st.Fallbacks == 0 {
 		t.Fatalf("expected local fallback: %+v", st)
+	}
+}
+
+// Auth: a server with a shared secret must reject a tokenless client
+// with the typed auth error (distinct from db-skew) and accept a
+// matching one bit-identically.
+func TestTCPAuthToken(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	plan, reg, key, newCat := testSweep(t, rng)
+	want, err := plan.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvOpts := testOpts()
+	srvOpts.AuthToken = "hunter2"
+	addr, _, stop := startServer(t, newCat(), srvOpts)
+	defer stop()
+
+	badOpts := testOpts()
+	badOpts.AuthToken = "wrong"
+	bad := DialTransport(addr, reg, badOpts)
+	defer bad.Close()
+	lease := shard.Lease{Key: key, Seq: 1, Blocks: shard.BlockRange{Lo: 0, Hi: 1},
+		BlockSize: 16, PlanPoints: plan.Combos(), Mode: shard.ModePoints,
+		Deadline: time.Now().Add(5 * time.Second)}
+	err = bad.Execute(context.Background(), lease, func(shard.BlockResult) error { return nil })
+	if !errors.Is(err, shard.ErrAuthFailed) {
+		t.Fatalf("wrong token: %v, want ErrAuthFailed", err)
+	}
+	if errors.Is(err, shard.ErrPlanUnknown) {
+		t.Fatalf("auth failure must stay distinct from plan-unknown: %v", err)
+	}
+
+	goodOpts := testOpts()
+	goodOpts.AuthToken = "hunter2"
+	good := DialTransport(addr, reg, goodOpts)
+	defer good.Close()
+	co := shard.NewCoordinator(plan, key, []shard.Transport{good}, fastCfg())
+	got, err := co.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePoints(t, want, got, "authed sweep")
+}
+
+// A coordinator holding one bad-token and one good-token client must
+// retire the rejected transport (auth does not heal mid-run) and let
+// the authenticated one finish — no local fallback.
+func TestTCPAuthFailureRetiresTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	plan, reg, key, newCat := testSweep(t, rng)
+	for plan.Combos() < 16 {
+		plan, reg, key, newCat = testSweep(t, rng)
+	}
+	want, err := plan.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvOpts := testOpts()
+	srvOpts.AuthToken = "s3cret"
+	addr, _, stop := startServer(t, newCat(), srvOpts)
+	defer stop()
+
+	badOpts := testOpts() // no token at all
+	bad := DialTransport(addr, reg, badOpts)
+	defer bad.Close()
+	goodOpts := testOpts()
+	goodOpts.AuthToken = "s3cret"
+	good := DialTransport(addr, reg, goodOpts)
+	defer good.Close()
+
+	cfg := fastCfg()
+	cfg.DisableFallback = true
+	cfg.BlockSize = 2
+	cfg.LeaseBlocks = 1
+	co := shard.NewCoordinator(plan, key, []shard.Transport{bad, good}, cfg)
+	got, err := co.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePoints(t, want, got, "auth-mixed sweep")
+	st := co.Stats()
+	if st.ReplicasLost != 1 {
+		t.Fatalf("stats = %+v, want exactly the rejected transport retired", st)
+	}
+}
+
+// Liveness pongs carry the drain flag, and the client folds it into
+// Draining() — including via the idle probe loop, with no lease
+// traffic at all.
+func TestTCPPingDraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	_, reg, _, newCat := testSweep(t, rng)
+	addr, srv, stop := startServer(t, newCat(), testOpts())
+	defer stop()
+
+	opts := testOpts()
+	opts.IdleProbe = 10 * time.Millisecond
+	cl := DialTransport(addr, reg, opts)
+	defer cl.Close()
+
+	cc, err := cl.ensure(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if cl.Draining() {
+		t.Fatal("fresh server reported draining")
+	}
+
+	// Flip the server into drain (white-box, same flag the Serve ctx
+	// path sets) and let the idle probe loop discover it.
+	srv.mu.Lock()
+	srv.draining = true
+	srv.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cl.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("idle probes never surfaced the drain flag")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A redial is a fresh replica: the flag must clear.
+	srv.mu.Lock()
+	srv.draining = false
+	srv.mu.Unlock()
+	cc.fail(fmt.Errorf("test: force redial"))
+	if _, err := cl.ensure(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Draining() {
+		t.Fatal("draining flag survived a reconnect")
+	}
+}
+
+// Reconnect backoff under a flapping path: the first connection dies
+// mid-lease, the next dials are cut during the handshake, and only
+// then does the path heal. The pipelined client must redial through
+// the flap (Reconnects advances), resolve every lease, leak no pends,
+// and keep the output bit-identical.
+func TestTCPReconnectBackoffFlappingListener(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	plan, reg, key, newCat := testSweep(t, rng)
+	for plan.Combos() < 32 {
+		plan, reg, key, newCat = testSweep(t, rng)
+	}
+	want, err := plan.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, stop := startServer(t, newCat(), testOpts())
+	defer stop()
+	proxy := newKillProxy(t, addr, func(n int) int64 {
+		switch n {
+		case 0:
+			return 160 // survive the handshake, die inside the first lease
+		case 1, 2:
+			return 0 // the flap: cut before the hello reply arrives
+		default:
+			return -1 // healed
+		}
+	})
+	cl := DialTransport(proxy.Addr(), reg, testOpts())
+	defer cl.Close()
+
+	// The same client twice: both lease slots pipeline on one socket and
+	// both must survive the flap.
+	cfg := fastCfg()
+	cfg.BlockSize = 4
+	cfg.LeaseBlocks = 1
+	co := shard.NewCoordinator(plan, key, []shard.Transport{cl, cl}, cfg)
+	got, err := co.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePoints(t, want, got, "flap sweep")
+	if proxy.kills.Load() < 3 {
+		t.Fatalf("proxy killed %d connections, want the whole flap schedule", proxy.kills.Load())
+	}
+	c := cl.TransportCounters()
+	if c.Reconnects == 0 {
+		t.Fatalf("no reconnects recorded through the flap: %+v", c)
+	}
+	// No pend leaks: with every lease resolved, the routing table of the
+	// surviving connection must be empty.
+	cl.mu.Lock()
+	cc := cl.cc
+	cl.mu.Unlock()
+	if cc != nil {
+		cc.mu.Lock()
+		n := len(cc.pending)
+		cc.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("%d pends leaked after the sweep", n)
+		}
+	}
+}
+
+// The TCP health-fabric chaos trial: a straggling replica and a
+// flapping replica behind real sockets. The sweep must stay
+// Float64bits-identical while hedges rescue the straggler's spans and
+// the flapper's breaker walks through a full open -> half-open ->
+// close cycle.
+func TestTCPChaosStragglerFlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	plan, reg, key, newCat := testSweep(t, rng)
+	for plan.Combos() < 24 {
+		plan, reg, key, newCat = testSweep(t, rng)
+	}
+	want, err := plan.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func() *Client {
+		addr, _, stop := startServer(t, newCat(), testOpts())
+		t.Cleanup(stop)
+		cl := DialTransport(addr, reg, testOpts())
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	steady := shard.Fault(mk(), shard.FaultSpec{Seed: 1, Delay: 2 * time.Millisecond})
+	straggler := shard.Fault(mk(), shard.FaultSpec{Seed: 2, Slow: 10 * time.Second})
+	flappy := shard.Fault(mk(), shard.FaultSpec{Seed: 3, FlapEvery: 4})
+
+	cfg := fastCfg()
+	cfg.BlockSize = 1
+	cfg.LeaseBlocks = 1
+	cfg.LeaseTimeout = 30 * time.Second
+	cfg.HedgeMin = 5 * time.Millisecond
+	cfg.Health.TripAfter = 3
+	cfg.Health.MinSamples = 1000
+	cfg.Health.ProbeAfter = 2 * time.Millisecond
+	cfg.Health.ProbeAfterMax = 4 * time.Millisecond
+	cfg.Health.MaxProbes = 100
+	co := shard.NewCoordinator(plan, key, []shard.Transport{steady, straggler, flappy}, cfg)
+	got, err := co.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePoints(t, want, got, "tcp health-fabric sweep")
+	st := co.Stats()
+	if st.HedgesFired == 0 || st.HedgesWon == 0 {
+		t.Errorf("stats = %+v, want hedges fired and won over tcp", st)
+	}
+	if st.BreakerTrips == 0 || st.BreakerProbes == 0 || st.BreakerCloses == 0 {
+		t.Errorf("stats = %+v, want a full breaker cycle over tcp", st)
+	}
+	if st.LeasesExpired != 0 {
+		t.Errorf("stats = %+v, want rescue via hedging, not expiry", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Errorf("stats = %+v, want no local fallback", st)
 	}
 }

@@ -31,6 +31,7 @@ package netx
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"net"
@@ -59,6 +60,19 @@ type Options struct {
 	DrainTimeout time.Duration
 	// MaxFrame caps accepted frame sizes (default wire.MaxFrame).
 	MaxFrame int
+	// AuthToken is the shared secret of both ends. A server with a token
+	// set rejects registrations whose token does not match
+	// (constant-time compare, typed CodeAuthFailed); a client with a
+	// token set ships it in every registration frame. The token is
+	// connection metadata — it never enters plan content keys.
+	AuthToken string
+	// IdleProbe, when positive, has the client ping an idle connection
+	// at this interval: a dead peer is detected (and the connection
+	// failed into the coordinator's retry machinery) before the next
+	// lease wastes its deadline on it, and a draining peer's pong flag
+	// stops the coordinator leasing to it. Lease traffic suppresses
+	// probes — an active connection proves itself. Zero disables.
+	IdleProbe time.Duration
 	// Logf, when set, receives transport events worth operator eyes
 	// (accept errors, protocol violations, drain progress).
 	Logf func(format string, args ...any)
@@ -208,6 +222,19 @@ func (s *Server) drain() error {
 	case <-done:
 	case <-time.After(s.opts.DrainTimeout):
 		s.opts.logf("netx: drain timeout after %s, closing with leases in flight", s.opts.DrainTimeout)
+		// Name every abandoned lease: the coordinator will re-lease the
+		// blocks, but the operator deserves to know what was cut off.
+		s.mu.Lock()
+		for _, sc := range s.conns {
+			sc.mu.Lock()
+			for id, al := range sc.active {
+				s.opts.logf("netx: abandoning lease %d: plan %s blocks [%d,%d) after %s",
+					id, al.lease.Key, al.lease.Blocks.Lo, al.lease.Blocks.Hi,
+					time.Since(al.started).Round(time.Millisecond))
+			}
+			sc.mu.Unlock()
+		}
+		s.mu.Unlock()
 	}
 	s.mu.Lock()
 	for nc, sc := range s.conns {
@@ -220,21 +247,29 @@ func (s *Server) drain() error {
 }
 
 // srvConn is the per-connection server state: a locked frame writer
-// shared by lease goroutines and the id→cancel map of active leases.
+// shared by lease goroutines and the id→lease map of active leases.
 type srvConn struct {
 	c   net.Conn
 	w   *wire.Writer
 	wmu sync.Mutex
 
 	mu     sync.Mutex
-	active map[uint64]context.CancelFunc
+	active map[uint64]*activeLease
+}
+
+// activeLease is one in-flight lease execution, retained so a drain
+// that abandons it can say exactly what was abandoned.
+type activeLease struct {
+	cancel  context.CancelFunc
+	lease   shard.Lease
+	started time.Time
 }
 
 func (sc *srvConn) cancelAll() {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	for _, cancel := range sc.active {
-		cancel()
+	for _, al := range sc.active {
+		al.cancel()
 	}
 }
 
@@ -268,7 +303,7 @@ func (s *Server) buffer(sc *srvConn, m wire.Msg, id uint64, payload []byte, dead
 }
 
 func (s *Server) serveConn(nc net.Conn) {
-	sc := &srvConn{c: nc, w: wire.NewWriter(nc), active: make(map[uint64]context.CancelFunc)}
+	sc := &srvConn{c: nc, w: wire.NewWriter(nc), active: make(map[uint64]*activeLease)}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -325,10 +360,24 @@ func (s *Server) serveConn(nc net.Conn) {
 			s.startLease(sc, id, lease)
 		case wire.MsgCancel:
 			sc.mu.Lock()
-			if cancel := sc.active[id]; cancel != nil {
-				cancel()
+			if al := sc.active[id]; al != nil {
+				al.cancel()
 			}
 			sc.mu.Unlock()
+		case wire.MsgPing:
+			// Liveness probe. Answered even while draining — especially
+			// while draining: the pong's flag is how a coordinator learns
+			// to stop leasing here before burning a refused round-trip.
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			var flags uint64
+			if draining {
+				flags |= wire.PongDraining
+			}
+			if err := s.write(sc, wire.MsgPong, id, wire.AppendPong(nil, flags), time.Now().Add(s.opts.Slack)); err != nil {
+				return
+			}
 		default:
 			s.opts.logf("netx: %s: unexpected frame type %d", nc.RemoteAddr(), m)
 			return
@@ -345,6 +394,12 @@ func (s *Server) handleRegister(sc *srvConn, id uint64, p []byte) {
 	if err != nil {
 		s.write(sc, wire.MsgLeaseError, id, wire.AppendError(nil, wire.CodeGeneric, err.Error()), wd)
 		return
+	}
+	if s.opts.AuthToken != "" {
+		if subtle.ConstantTimeCompare([]byte(reg.Token), []byte(s.opts.AuthToken)) != 1 {
+			s.write(sc, wire.MsgLeaseError, id, wire.AppendError(nil, wire.CodeAuthFailed, "register: bad auth token"), wd)
+			return
+		}
 	}
 	var sys core.System
 	if err := json.Unmarshal(reg.System, &sys); err != nil {
@@ -401,7 +456,7 @@ func (s *Server) startLease(sc *srvConn, id uint64, lease shard.Lease) {
 		lctx, cancel = context.WithDeadline(context.Background(), s.leaseBudget(lease.Deadline))
 	}
 	sc.mu.Lock()
-	sc.active[id] = cancel
+	sc.active[id] = &activeLease{cancel: cancel, lease: lease, started: time.Now()}
 	sc.mu.Unlock()
 
 	depth := s.activeLeases.Add(1)

@@ -163,6 +163,14 @@ type Transport interface {
 	Execute(ctx context.Context, lease Lease, emit func(BlockResult) error) error
 }
 
+// DrainingTransport is optionally implemented by transports that learn
+// (from liveness pongs or refused leases) that their replica is in
+// graceful drain. The coordinator stops granting leases to a draining
+// transport instead of paying one refused round-trip per attempt.
+type DrainingTransport interface {
+	Draining() bool
+}
+
 // Typed failure classes of the shard layer.
 var (
 	// ErrPlanUnknown reports a replica that cannot resolve a lease's
@@ -178,6 +186,11 @@ var (
 	// (wrong point count, out-of-range slots); the delivering lease
 	// fails and the block is re-leased.
 	ErrBadResult = errors.New("shard: malformed block result")
+	// ErrAuthFailed reports a replica that rejected the coordinator's
+	// shared-secret credentials — a configuration failure (distinct
+	// from the db-skew key mismatch of ErrPlanUnknown) that retries
+	// cannot heal, so the coordinator retires the transport for the run.
+	ErrAuthFailed = errors.New("shard: replica rejected credentials")
 )
 
 // ExhaustedError is returned (only under Config.DisableFallback) when

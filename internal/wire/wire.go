@@ -48,8 +48,10 @@ import (
 )
 
 // ProtoVersion is the handshake version; both ends of a connection
-// must agree (MsgHello exchange) before any lease traffic.
-const ProtoVersion = 1
+// must agree (MsgHello exchange) before any lease traffic. Version 2
+// added ping/pong liveness frames and the auth token field of the
+// register payload.
+const ProtoVersion = 2
 
 // MaxFrame caps a frame's body length. A peer announcing a longer
 // frame is corrupt or hostile; the connection is torn down instead of
@@ -82,6 +84,21 @@ const (
 	// MsgCancel asks the replica to stop a lease (no payload); sent on
 	// coordinator-side expiry so the replica stops burning cycles.
 	MsgCancel
+	// MsgPing probes a connection's liveness (no payload); clients send
+	// it on idle connections so a silently dead peer is detected before
+	// the next lease pays for the discovery.
+	MsgPing
+	// MsgPong answers a ping: payload is a uvarint flag word
+	// (PongDraining marks a replica in graceful drain, so the
+	// coordinator stops leasing to it before the first refusal).
+	MsgPong
+)
+
+// Pong flag bits.
+const (
+	// PongDraining marks the replica as draining: it answers pings and
+	// finishes in-flight leases but refuses new ones.
+	PongDraining uint64 = 1 << 0
 )
 
 // ErrCode classifies a MsgLeaseError so typed shard errors survive the
@@ -101,6 +118,10 @@ const (
 	// leases; the coordinator treats it as transient and re-leases
 	// elsewhere.
 	CodeShuttingDown
+	// CodeAuthFailed reports a register frame whose auth token the
+	// replica rejected — a configuration failure distinct from db skew
+	// (which surfaces as a key mismatch on a successful register).
+	CodeAuthFailed
 )
 
 // ErrTruncated reports a payload that ended before its declared
@@ -127,6 +148,10 @@ type Registration struct {
 	Nodes []int
 	// Cost is the JSON encoding of the cost.Params.
 	Cost []byte
+	// Token is the shared-secret credential of the replica port (empty
+	// when the deployment runs unauthenticated). It is connection
+	// metadata, not plan content: the key derivation never sees it.
+	Token string
 }
 
 // --- append-side primitives -------------------------------------------------
@@ -474,7 +499,7 @@ func DecodeBlockResult(p []byte, r *shard.BlockResult) error {
 
 // AppendRegistration appends the register payload:
 //
-//	key(string) system(bytes) ncount nodes... cost(bytes)
+//	key(string) system(bytes) ncount nodes... cost(bytes) token(string)
 func AppendRegistration(dst []byte, reg *Registration) []byte {
 	dst = appendString(dst, reg.Key)
 	dst = appendBytes(dst, reg.System)
@@ -483,6 +508,7 @@ func AppendRegistration(dst []byte, reg *Registration) []byte {
 		dst = appendUvarint(dst, uint64(n))
 	}
 	dst = appendBytes(dst, reg.Cost)
+	dst = appendString(dst, reg.Token)
 	return dst
 }
 
@@ -510,6 +536,9 @@ func DecodeRegistration(p []byte) (Registration, error) {
 		}
 	}
 	if reg.Cost, err = d.bytesField(); err != nil {
+		return Registration{}, err
+	}
+	if reg.Token, err = d.stringField(); err != nil {
 		return Registration{}, err
 	}
 	if err := d.finish(); err != nil {
@@ -553,6 +582,13 @@ func DecodeString(p []byte) (string, error) {
 	}
 	return s, d.finish()
 }
+
+// AppendPong appends a pong payload: the uvarint flag word (see
+// PongDraining). A ping carries no payload at all.
+func AppendPong(dst []byte, flags uint64) []byte { return appendUvarint(dst, flags) }
+
+// DecodePong parses a pong payload back into its flag word.
+func DecodePong(p []byte) (uint64, error) { return DecodeUvarint(p) }
 
 // AppendUvarint / DecodeUvarint carry bare-integer payloads
 // (MsgHello's version).

@@ -143,6 +143,7 @@ func TestRegistrationRoundTrip(t *testing.T) {
 		System: []byte(`{"Name":"epyc"}`),
 		Nodes:  []int{7, 14, 10},
 		Cost:   []byte(`{"x":1}`),
+		Token:  "hunter2",
 	}
 	p := AppendRegistration(nil, &reg)
 	got, err := DecodeRegistration(p)
@@ -154,6 +155,22 @@ func TestRegistrationRoundTrip(t *testing.T) {
 	}
 	if len(got.Nodes) != 3 || got.Nodes[0] != 7 || got.Nodes[2] != 10 {
 		t.Fatalf("nodes %v", got.Nodes)
+	}
+	if got.Token != "hunter2" {
+		t.Fatalf("token %q, want %q", got.Token, "hunter2")
+	}
+}
+
+func TestPongRoundTrip(t *testing.T) {
+	for _, flags := range []uint64{0, PongDraining, PongDraining | 1<<5} {
+		p := AppendPong(nil, flags)
+		got, err := DecodePong(p)
+		if err != nil || got != flags {
+			t.Fatalf("pong flags %#x round-tripped to (%#x, %v)", flags, got, err)
+		}
+	}
+	if _, err := DecodePong(nil); err == nil {
+		t.Fatalf("empty pong payload decoded without error")
 	}
 }
 
